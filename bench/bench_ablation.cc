@@ -1,0 +1,181 @@
+// Ablations of Aquila's design choices (DESIGN.md §5):
+//   * batched vs per-page TLB shootdown (§4.1: one IPI per 512 pages);
+//   * two-level (per-core/per-NUMA) freelist vs a single shared queue;
+//   * lock-free hash vs a mutex-protected map for the cached-page index;
+//   * per-core dirty trees vs one shared tree.
+// The shootdown ablation reports modeled cycles; the structure ablations are
+// real multi-threaded throughput on the host.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/cache/dirty_tree.h"
+#include "src/cache/freelist.h"
+#include "src/cache/lockfree_hash.h"
+#include "src/mem/tlb.h"
+#include "src/util/rng.h"
+#include "src/vmx/ipi.h"
+
+namespace aquila {
+namespace {
+
+void BM_ShootdownBatched(benchmark::State& state) {
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  std::vector<uint64_t> vpns(512);
+  for (size_t i = 0; i < vpns.size(); i++) {
+    vpns[i] = i;
+  }
+  uint64_t modeled = 0;
+  for (auto _ : state) {
+    SimClock clock;
+    tlb.Shootdown(clock, 0, 16, vpns, fabric);
+    modeled = clock.Now();
+    benchmark::DoNotOptimize(modeled);
+  }
+  state.counters["modeled_cycles_per_page"] = static_cast<double>(modeled) / 512;
+}
+BENCHMARK(BM_ShootdownBatched);
+
+void BM_ShootdownPerPage(benchmark::State& state) {
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  uint64_t modeled = 0;
+  for (auto _ : state) {
+    SimClock clock;
+    for (uint64_t vpn = 0; vpn < 512; vpn++) {
+      tlb.Shootdown(clock, 0, 16, std::span(&vpn, 1), fabric);
+    }
+    modeled = clock.Now();
+    benchmark::DoNotOptimize(modeled);
+  }
+  state.counters["modeled_cycles_per_page"] = static_cast<double>(modeled) / 512;
+}
+BENCHMARK(BM_ShootdownPerPage);
+
+template <bool kTwoLevel>
+void BM_FreelistAllocFree(benchmark::State& state) {
+  // Shared across the benchmark's threads; gbench barriers at loop
+  // start/end make the thread-0 setup/teardown safe.
+  static TwoLevelFreelist* freelist = nullptr;
+  if (state.thread_index() == 0) {
+    TwoLevelFreelist::Options options;
+    options.numa_nodes = kTwoLevel ? 2 : 1;
+    // Single-queue ablation: a zero threshold forwards every free to the
+    // one NUMA queue, so all threads contend there.
+    options.core_queue_threshold = kTwoLevel ? 128 : 0;
+    options.move_batch = kTwoLevel ? 64 : 1;
+    freelist = new TwoLevelFreelist(1 << 16, options);
+    freelist->AddFrames(0, 1 << 16);
+  }
+  int core = state.thread_index() % CoreRegistry::kMaxCores;
+  std::vector<FrameId> held;
+  for (auto _ : state) {
+    FrameId frame = freelist->Alloc(core);
+    if (frame != kInvalidFrame) {
+      held.push_back(frame);
+    }
+    if (held.size() >= 32 || frame == kInvalidFrame) {
+      for (FrameId f : held) {
+        freelist->Free(core, f);
+      }
+      held.clear();
+    }
+  }
+  if (state.thread_index() == 0) {
+    delete freelist;
+    freelist = nullptr;
+  }
+}
+BENCHMARK(BM_FreelistAllocFree<true>)->Name("BM_FreelistTwoLevel")->Threads(8);
+BENCHMARK(BM_FreelistAllocFree<false>)->Name("BM_FreelistSingleQueue")->Threads(8);
+
+void BM_LockFreeHashMixed(benchmark::State& state) {
+  static LockFreeHash* hash = nullptr;
+  if (state.thread_index() == 0) {
+    hash = new LockFreeHash(1 << 18);
+  }
+  Rng rng(state.thread_index() + 1);
+  uint64_t base = static_cast<uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    uint64_t key = base | (rng.Uniform(4096) + 1);
+    uint64_t value;
+    if (rng.OneIn(4)) {
+      if (!hash->Insert(key, key)) {
+        hash->Remove(key);
+      }
+    } else {
+      benchmark::DoNotOptimize(hash->Lookup(key, &value));
+    }
+  }
+  if (state.thread_index() == 0) {
+    delete hash;
+    hash = nullptr;
+  }
+}
+BENCHMARK(BM_LockFreeHashMixed)->Threads(8);
+
+void BM_LockedMapMixed(benchmark::State& state) {
+  static std::mutex* mu = nullptr;
+  static std::map<uint64_t, uint64_t>* map = nullptr;
+  if (state.thread_index() == 0) {
+    mu = new std::mutex();
+    map = new std::map<uint64_t, uint64_t>();
+  }
+  Rng rng(state.thread_index() + 1);
+  uint64_t base = static_cast<uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    uint64_t key = base | (rng.Uniform(4096) + 1);
+    std::lock_guard<std::mutex> guard(*mu);
+    if (rng.OneIn(4)) {
+      auto [it, inserted] = map->emplace(key, key);
+      if (!inserted) {
+        map->erase(it);
+      }
+    } else {
+      auto it = map->find(key);
+      benchmark::DoNotOptimize(it == map->end());
+    }
+  }
+  if (state.thread_index() == 0) {
+    delete map;
+    delete mu;
+    map = nullptr;
+    mu = nullptr;
+  }
+}
+BENCHMARK(BM_LockedMapMixed)->Threads(8);
+
+template <bool kPerCore>
+void BM_DirtyTrees(benchmark::State& state) {
+  static DirtyTreeSet* set = nullptr;
+  if (state.thread_index() == 0) {
+    set = new DirtyTreeSet();
+  }
+  std::vector<DirtyItem> items(256);
+  Rng rng(state.thread_index() + 7);
+  int core = kPerCore ? state.thread_index() % CoreRegistry::kMaxCores : 0;
+  for (auto _ : state) {
+    for (auto& item : items) {
+      item.sort_key = rng.Next();
+      set->Insert(core, &item);
+    }
+    for (auto& item : items) {
+      set->Remove(&item);
+    }
+  }
+  if (state.thread_index() == 0) {
+    delete set;
+    set = nullptr;
+  }
+}
+BENCHMARK(BM_DirtyTrees<true>)->Name("BM_DirtyTreesPerCore")->Threads(8);
+BENCHMARK(BM_DirtyTrees<false>)->Name("BM_DirtyTreeShared")->Threads(8);
+
+}  // namespace
+}  // namespace aquila
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// I/O configuration ablation — the comparison §3.3 defers to future work:
+// the same random-4K-read workload over every access method the paper
+// lists, on the NVMe model:
+//
+//   sync-syscall : pread per request through the host kernel;
+//   io_uring     : batched async submission, syscall amortized over the
+//                  batch, completion path via shared memory;
+//   spdk-poll    : user-space queue pairs, no kernel at all;
+//   aquila-mmio  : faults on first touch, free hits thereafter.
+//
+// Expected shape (§7.1): async batching cuts CPU cycles per op and lifts
+// throughput, but raises per-request latency (a request waits for its
+// batch); SPDK removes the kernel entirely; mmio wins once the working set
+// caches.
+#include <cinttypes>
+
+#include "bench/common.h"
+#include "src/storage/async_io.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+namespace bench {
+namespace {
+
+struct Row {
+  double kiops;
+  double avg_us;
+  double p99_us;
+  double cpu_cycles_per_op;  // cycles the CPU spends, excluding device waits
+};
+
+void Print(const char* name, const Row& row) {
+  std::printf("%-14s %10.1f kIOPS   avg %7.2f us   p99 %7.2f us   cpu %6.0f cyc/op\n", name,
+              row.kiops, row.avg_us, row.p99_us, row.cpu_cycles_per_op);
+}
+
+Row Finish(Histogram& latency, uint64_t ops, uint64_t elapsed, const CostBreakdown& delta) {
+  Row row;
+  uint64_t cycles_per_us = GlobalCostModel().cycles_per_us;
+  row.kiops = static_cast<double>(ops) /
+              (static_cast<double>(elapsed) / (cycles_per_us * 1e6)) / 1e3;
+  row.avg_us = latency.Mean() / cycles_per_us;
+  row.p99_us = static_cast<double>(latency.Percentile(0.99)) / cycles_per_us;
+  uint64_t cpu = delta.Total() - delta[CostCategory::kDeviceIo] - delta[CostCategory::kIdle];
+  row.cpu_cycles_per_op = static_cast<double>(cpu) / ops;
+  return row;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aquila
+
+int main() {
+  using namespace aquila;
+  using namespace aquila::bench;
+  PrintHeader("I/O configurations (paper §3.3 future work): random 4K reads, NVMe");
+  const uint64_t kDataBytes = Scaled(64ull << 20);
+  const uint64_t kOps = Scaled(4000);
+  const uint64_t kPages = kDataBytes / kPageSize;
+
+  // --- synchronous pread through the host kernel -------------------------------
+  {
+    auto device = MakeNvme(kDataBytes);
+    Vcpu& vcpu = ThisVcpu();
+    Histogram latency;
+    Rng rng(1);
+    std::vector<uint8_t> buf(kPageSize);
+    uint64_t start = vcpu.clock().Now();
+    CostBreakdown before = vcpu.clock().Breakdown();
+    for (uint64_t i = 0; i < kOps; i++) {
+      uint64_t begin = vcpu.clock().Now();
+      AQUILA_CHECK(device->host->Read(vcpu, rng.Uniform(kPages) * kPageSize,
+                                      std::span(buf)).ok());
+      latency.Record(vcpu.clock().Now() - begin);
+    }
+    Row row = Finish(latency, kOps, vcpu.clock().Now() - start,
+                     vcpu.clock().Breakdown() - before);
+    Print("sync-syscall", row);
+  }
+
+  // --- io_uring: batches of 32 ----------------------------------------------------
+  {
+    auto device = MakeNvme(kDataBytes);
+    AsyncIoRing ring(device->nvme_ctrl.get(), AsyncIoRing::Options{});
+    Vcpu& vcpu = ThisVcpu();
+    Histogram latency;
+    Rng rng(2);
+    constexpr uint32_t kBatch = 32;
+    std::vector<std::vector<uint8_t>> buffers(kBatch, std::vector<uint8_t>(kPageSize));
+    std::vector<AsyncIoRing::Completion> completions;
+    uint64_t start = vcpu.clock().Now();
+    CostBreakdown before = vcpu.clock().Breakdown();
+    for (uint64_t done = 0; done < kOps; done += kBatch) {
+      for (uint32_t i = 0; i < kBatch; i++) {
+        AQUILA_CHECK(ring.PrepareRead(rng.Uniform(kPages) * kPageSize,
+                                      std::span(buffers[i]), i).ok());
+      }
+      uint64_t batch_start = vcpu.clock().Now();
+      AQUILA_CHECK(ring.Submit(vcpu).ok());
+      completions.clear();
+      AQUILA_CHECK(ring.WaitFor(vcpu, kBatch, &completions).ok());
+      // Per-request latency includes waiting for the whole batch (the tail
+      // cost of batching the paper calls out).
+      for (uint32_t i = 0; i < kBatch; i++) {
+        latency.Record(vcpu.clock().Now() - batch_start);
+      }
+    }
+    Row row = Finish(latency, kOps, vcpu.clock().Now() - start,
+                     vcpu.clock().Breakdown() - before);
+    Print("io_uring-32", row);
+  }
+
+  // --- SPDK polling ------------------------------------------------------------------
+  {
+    auto device = MakeNvme(kDataBytes);
+    Vcpu& vcpu = ThisVcpu();
+    Histogram latency;
+    Rng rng(3);
+    std::vector<uint8_t> buf(kPageSize);
+    uint64_t start = vcpu.clock().Now();
+    CostBreakdown before = vcpu.clock().Breakdown();
+    for (uint64_t i = 0; i < kOps; i++) {
+      uint64_t begin = vcpu.clock().Now();
+      AQUILA_CHECK(device->direct->Read(vcpu, rng.Uniform(kPages) * kPageSize,
+                                        std::span(buf)).ok());
+      latency.Record(vcpu.clock().Now() - begin);
+    }
+    Row row = Finish(latency, kOps, vcpu.clock().Now() - start,
+                     vcpu.clock().Breakdown() - before);
+    Print("spdk-poll", row);
+  }
+
+  // --- Aquila mmio (cache half the dataset) --------------------------------------------
+  {
+    auto device = MakeNvme(kDataBytes);
+    auto runtime = MakeAquila(kDataBytes / 2);
+    DeviceBacking backing(device->direct, 0, kDataBytes);
+    auto map = runtime->Map(&backing, kDataBytes, kProtRead);
+    AQUILA_CHECK(map.ok());
+    (void)(*map)->Advise(0, kDataBytes, Advice::kRandom);
+    Vcpu& vcpu = ThisVcpu();
+    Histogram latency;
+    Rng rng(4);
+    uint64_t start = vcpu.clock().Now();
+    CostBreakdown before = vcpu.clock().Breakdown();
+    for (uint64_t i = 0; i < kOps; i++) {
+      uint64_t begin = vcpu.clock().Now();
+      (*map)->TouchRead(rng.Uniform(kPages) * kPageSize);
+      latency.Record(vcpu.clock().Now() - begin);
+    }
+    Row row = Finish(latency, kOps, vcpu.clock().Now() - start,
+                     vcpu.clock().Breakdown() - before);
+    Print("aquila-mmio", row);
+    AQUILA_CHECK(runtime->Unmap(*map).ok());
+  }
+
+  std::printf("\nexpected shape: io_uring > sync in IOPS and CPU/op but worse per-request "
+              "latency; spdk removes kernel cycles; mmio amortizes to ~zero on hits\n");
+  return 0;
+}

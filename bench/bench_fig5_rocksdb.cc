@@ -1,0 +1,142 @@
+// Figure 5: RocksDB (mini-LSM) under YCSB workload C (100% uniform random
+// reads), comparing three I/O paths —
+//   read/write : direct I/O + user-space block cache (RocksDB's recommended
+//                configuration);
+//   mmap       : SST reads through the Linux-mmap baseline;
+//   aquila     : SST reads through Aquila mmio;
+// over (a) a dataset that fits in the cache and (b) a dataset 4x larger,
+// for both a pmem and an NVMe device (§6.1).
+#include <cinttypes>
+
+#include "bench/common.h"
+#include "src/kvs/lsm_db.h"
+#include "src/ycsb/runner.h"
+
+namespace aquila {
+namespace bench {
+namespace {
+
+struct Dataset {
+  std::unique_ptr<TestDevice> device;
+  BlobEnv blobs;
+  uint64_t records;
+};
+
+LsmDb::Options DbOptions(KvsEnv* env, BlockCache* cache) {
+  LsmDb::Options options;
+  options.env = env;
+  options.block_cache = cache;
+  options.name = "/db";
+  options.memtable_bytes = 2ull << 20;
+  options.sst_target_bytes = 4ull << 20;
+  options.enable_wal = false;  // load-then-read benchmark
+  return options;
+}
+
+Dataset LoadDataset(const char* kind, uint64_t records) {
+  Dataset ds;
+  uint64_t capacity = records * 1400 * 4 + (256ull << 20);
+  ds.device = std::string(kind) == "pmem" ? MakePmem(capacity) : MakeNvme(capacity);
+  ds.blobs = MakeBlobEnv(ds.device->direct);
+  ds.records = records;
+
+  KvsEnv::Options env_options;
+  env_options.store = ds.blobs.store.get();
+  env_options.ns = ds.blobs.ns.get();
+  env_options.read_path = ReadPath::kDirectIo;
+  KvsEnv env(env_options);
+  auto db = LsmDb::Open(DbOptions(&env, nullptr));
+  AQUILA_CHECK(db.ok());
+  YcsbWorkload load = YcsbWorkload::C();
+  load.record_count = records;
+  YcsbRunner runner(db->get(), load, YcsbRunner::Options{});
+  Status load_status = runner.Load();
+  if (!load_status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", load_status.ToString().c_str());
+    AQUILA_CHECK(false);
+  }
+  AQUILA_CHECK((*db)->Flush().ok());
+  return ds;
+}
+
+void RunConfig(Dataset& ds, const char* mode, uint64_t cache_bytes, int threads) {
+  KvsEnv::Options env_options;
+  env_options.store = ds.blobs.store.get();
+  env_options.ns = ds.blobs.ns.get();
+
+  std::unique_ptr<BlockCache> block_cache;
+  std::unique_ptr<LinuxMmapEngine> linux_engine;
+  std::unique_ptr<Aquila> aquila_engine;
+  std::function<void()> thread_init;
+
+  if (std::string(mode) == "read/write") {
+    env_options.read_path = ReadPath::kDirectIo;
+    BlockCache::Options bc;
+    bc.capacity_bytes = cache_bytes;
+    block_cache = std::make_unique<BlockCache>(bc);
+  } else if (std::string(mode) == "mmap") {
+    env_options.read_path = ReadPath::kMmio;
+    linux_engine = MakeLinuxMmap(cache_bytes);
+    env_options.mmio_engine = linux_engine.get();
+    thread_init = [&engine = *linux_engine] { engine.EnterThread(); };
+  } else {
+    env_options.read_path = ReadPath::kMmio;
+    aquila_engine = MakeAquila(cache_bytes);
+    env_options.mmio_engine = aquila_engine.get();
+    thread_init = [&engine = *aquila_engine] { engine.EnterThread(); };
+  }
+
+  KvsEnv env(env_options);
+  auto db = LsmDb::Open(DbOptions(&env, block_cache.get()));
+  AQUILA_CHECK(db.ok());
+
+  YcsbWorkload workload = YcsbWorkload::C();
+  workload.record_count = ds.records;
+  workload.operation_count = Scaled(6000) * threads;
+  workload.distribution = YcsbDistribution::kUniform;
+  YcsbRunner::Options run_options;
+  run_options.threads = threads;
+  run_options.thread_init = thread_init;
+  YcsbRunner runner(db->get(), workload, run_options);
+  StatusOr<YcsbReport> report = runner.Run();
+  AQUILA_CHECK(report.ok());
+  std::printf("%-6s %-10s thr=%-2d | %8.1f kops/s | avg %7.2f us | p99 %8.2f | p99.9 %8.2f\n",
+              ds.device->kind.c_str(), mode, threads, report->throughput_kops,
+              report->avg_latency_us, report->p99_latency_us, report->p999_latency_us);
+  if (std::getenv("AQUILA_BENCH_VERBOSE") != nullptr) {
+    std::printf("    breakdown/op: %s\n",
+                (report->breakdown.ToString()).c_str());
+  }
+
+  // Unmap all mmio SST mappings before the engines die.
+  db->reset();
+}
+
+void RunPart(const char* title, uint64_t records, uint64_t cache_bytes) {
+  PrintHeader(title);
+  for (const char* kind : {"pmem", "nvme"}) {
+    Dataset ds = LoadDataset(kind, records);
+    for (int threads : {1, 4, 8}) {
+      for (const char* mode : {"read/write", "mmap", "aquila"}) {
+        RunConfig(ds, mode, cache_bytes, threads);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aquila
+
+int main() {
+  using namespace aquila::bench;
+  // Paper: 8 GB cache; datasets 8 GB (fits) and 32 GB (4x). Scaled MB-for-GB
+  // with value size kept at 1 KB.
+  uint64_t cache = Scaled(24ull << 20);
+  RunPart("Fig 5(a): YCSB-C, dataset fits in the cache", Scaled(16) * 1024, cache);
+  RunPart("Fig 5(b): YCSB-C, dataset 4x the cache", Scaled(64) * 1024, cache);
+  std::printf("\npaper: (a) mmap beats read/write, Aquila up to 1.15x over mmap; "
+              "(b) mmap collapses (128K readahead for 1K reads), Aquila >= read/write, "
+              "up to 1.65x on pmem at high thread counts\n");
+  return 0;
+}

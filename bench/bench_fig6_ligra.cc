@@ -1,0 +1,147 @@
+// Figure 6: extending the application heap over fast storage — Ligra BFS on
+// an R-MAT graph with the heap placed on an mmio mapping (§6.2).
+//
+//  (a)/(b) execution time for mmap vs Aquila (pmem and NVMe) vs DRAM-only,
+//          with the DRAM cache at 1/8 and 1/4 of the heap footprint,
+//          threads 1..16;
+//  (c)     execution-time breakdown (user/system/idle) at 16 threads with
+//          the small cache.
+//
+// Paper: R-MAT, 100M vertices, 10x directed edges, 18 GB graph, ~64 GB heap;
+// Aquila up to 4.14x faster than mmap at 16 threads and closes the gap to
+// in-memory execution from 11.8x to 2.8x.
+#include <cinttypes>
+
+#include "bench/common.h"
+#include "src/graph/bfs.h"
+#include "src/graph/rmat.h"
+
+namespace aquila {
+namespace bench {
+namespace {
+
+struct RunOut {
+  double seconds;
+  CostBreakdown breakdown;
+};
+
+// Builds the graph on the given heap (or DRAM) and runs BFS once.
+RunOut RunBfs(const std::vector<std::pair<uint64_t, uint64_t>>& edges, uint64_t vertices,
+              MmioHeap* heap, int threads, const std::function<void()>& thread_init) {
+  std::unique_ptr<WordArray> parents;
+  std::unique_ptr<Graph> graph;
+  if (heap != nullptr) {
+    graph = std::make_unique<Graph>(BuildGraph(vertices, edges, heap));
+    parents = heap->AllocArray(vertices);
+  } else {
+    graph = std::make_unique<Graph>(BuildGraph(vertices, edges, nullptr));
+    parents = std::make_unique<DramWordArray>(vertices);
+  }
+  LigraOptions options;
+  options.threads = threads;
+  options.thread_init = thread_init;
+
+  SimClock& clock = ThisThreadClock();
+  uint64_t start = clock.Now();
+  CostBreakdown before = clock.Breakdown();
+  BfsResult result = Bfs(*graph, 0, parents.get(), options);
+  AQUILA_CHECK(result.reached > vertices / 2);
+  RunOut out;
+  out.seconds = static_cast<double>(clock.Now() - start) /
+                (static_cast<double>(GlobalCostModel().cycles_per_us) * 1e6);
+  out.breakdown = clock.Breakdown() - before;
+  return out;
+}
+
+void PrintBreakdownRow(const char* name, const CostBreakdown& b) {
+  // Fig 6(c) buckets: user = application compute; system = kernel/runtime
+  // work (traps, cache mgmt, copies, TLB, syscalls); iowait = device + queueing.
+  uint64_t user = b[CostCategory::kUserWork];
+  uint64_t system = b[CostCategory::kTrap] + b[CostCategory::kVmExit] +
+                    b[CostCategory::kPageTable] + b[CostCategory::kCacheMgmt] +
+                    b[CostCategory::kDirtyTracking] + b[CostCategory::kTlbShootdown] +
+                    b[CostCategory::kMemcpy] + b[CostCategory::kSyscall];
+  uint64_t iowait = b[CostCategory::kDeviceIo] + b[CostCategory::kIdle];
+  double total = static_cast<double>(user + system + iowait);
+  if (total == 0) {
+    total = 1;
+  }
+  std::printf("  %-12s user %5.1f%%  system %5.1f%%  io+idle %5.1f%%\n", name, user * 100 / total,
+              system * 100 / total, iowait * 100 / total);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aquila
+
+int main() {
+  using namespace aquila;
+  using namespace aquila::bench;
+
+  // Scaled graph: 160K vertices, 1.6M directed edges (paper: 100M / 1G).
+  uint64_t vertices = Scaled(160) * 1024;
+  auto edges = GenerateRmat(vertices, vertices * 10);
+
+  // Heap footprint: offsets + symmetrized edges + parents.
+  uint64_t approx_heap = (vertices + 1 + edges.size() * 2 + vertices) * 8;
+  uint64_t mapping_bytes = approx_heap * 3 / 2;
+  std::printf("graph: %" PRIu64 " vertices, ~%zu directed edges, heap ~%" PRIu64 " MB\n",
+              vertices, edges.size(), approx_heap >> 20);
+
+  CostBreakdown mmap_bd, aquila_bd;
+  for (uint64_t divisor : {8, 4}) {
+    uint64_t cache_bytes = approx_heap / divisor;
+    std::printf("\n=== Fig 6(%s): BFS execution time (s), DRAM cache = heap/%" PRIu64 " ===\n",
+                divisor == 8 ? "a" : "b", divisor);
+    std::printf("%-8s %12s %12s %12s %12s | %8s\n", "threads", "mmap-pmem", "aquila-pmem",
+                "aquila-nvme", "dram-only", "speedup");
+    for (int threads : {1, 2, 4, 8, 16}) {
+      auto pmem1 = MakePmem(mapping_bytes, CopyFlavor::kPlain);
+      auto mmap_engine = MakeLinuxMmap(cache_bytes);
+      DeviceBacking b1(pmem1->direct, 0, mapping_bytes);
+      auto m1 = mmap_engine->Map(&b1, mapping_bytes, kProtRead | kProtWrite);
+      AQUILA_CHECK(m1.ok());
+      MmioHeap h1(*m1);
+      RunOut mmap_run = RunBfs(edges, vertices, &h1, threads,
+                               [&e = *mmap_engine] { e.EnterThread(); });
+      AQUILA_CHECK(mmap_engine->Unmap(*m1).ok());
+
+      auto pmem2 = MakePmem(mapping_bytes);
+      auto aq1 = MakeAquila(cache_bytes, threads + 1);
+      DeviceBacking b2(pmem2->direct, 0, mapping_bytes);
+      auto m2 = aq1->Map(&b2, mapping_bytes, kProtRead | kProtWrite);
+      AQUILA_CHECK(m2.ok());
+      MmioHeap h2(*m2);
+      RunOut aquila_pmem = RunBfs(edges, vertices, &h2, threads,
+                                  [&e = *aq1] { e.EnterThread(); });
+      AQUILA_CHECK(aq1->Unmap(*m2).ok());
+
+      auto nvme = MakeNvme(mapping_bytes);
+      auto aq2 = MakeAquila(cache_bytes, threads + 1);
+      DeviceBacking b3(nvme->direct, 0, mapping_bytes);
+      auto m3 = aq2->Map(&b3, mapping_bytes, kProtRead | kProtWrite);
+      AQUILA_CHECK(m3.ok());
+      MmioHeap h3(*m3);
+      RunOut aquila_nvme = RunBfs(edges, vertices, &h3, threads,
+                                  [&e = *aq2] { e.EnterThread(); });
+      AQUILA_CHECK(aq2->Unmap(*m3).ok());
+
+      RunOut dram = RunBfs(edges, vertices, nullptr, threads, {});
+
+      std::printf("%-8d %12.3f %12.3f %12.3f %12.3f | %6.2fx\n", threads, mmap_run.seconds,
+                  aquila_pmem.seconds, aquila_nvme.seconds, dram.seconds,
+                  mmap_run.seconds / aquila_pmem.seconds);
+      if (divisor == 8 && threads == 16) {
+        mmap_bd = mmap_run.breakdown;
+        aquila_bd = aquila_pmem.breakdown;
+      }
+    }
+  }
+
+  PrintHeader("Fig 6(c): execution-time breakdown, 16 threads, cache = heap/8 (pmem)");
+  PrintBreakdownRow("mmap", mmap_bd);
+  PrintBreakdownRow("aquila", aquila_bd);
+  std::printf("\npaper: Aquila 1.56x (1 thr) .. 4.14x (16 thr) faster than mmap at 8 GB "
+              "cache; mmap system time 61.8%% vs Aquila 43.8%%, user 10.6%% vs 55.9%%\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// §3.3 ablation: plain memcpy vs non-temporal (streaming) copy for the 4 KB
+// page transfers between the DRAM cache and byte-addressable pmem.
+//
+// The paper measures ~2400 cycles for a non-SIMD 4 KB copy and ~900 cycles
+// for the AVX2 streaming variant (plus 300 cycles FPU save/restore paid only
+// on copying faults) — the streaming copy also avoids polluting the
+// processor cache with device data. Run on real hardware, the host's own
+// numbers appear here next to the model constants.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+
+#include "src/storage/nt_memcpy.h"
+#include "src/util/bitops.h"
+#include "src/vmx/cost_model.h"
+
+namespace aquila {
+namespace {
+
+constexpr size_t kSpan = 64ull << 20;  // exceed LLC so copies hit memory
+
+struct Buffers {
+  std::unique_ptr<uint8_t[]> src;
+  std::unique_ptr<uint8_t[]> dst;
+  uint8_t* src_aligned;
+  uint8_t* dst_aligned;
+};
+
+Buffers MakeBuffers() {
+  Buffers b;
+  b.src = std::make_unique<uint8_t[]>(kSpan + 64);
+  b.dst = std::make_unique<uint8_t[]>(kSpan + 64);
+  b.src_aligned = reinterpret_cast<uint8_t*>(
+      AlignUp(reinterpret_cast<uintptr_t>(b.src.get()), 64));
+  b.dst_aligned = reinterpret_cast<uint8_t*>(
+      AlignUp(reinterpret_cast<uintptr_t>(b.dst.get()), 64));
+  std::memset(b.src_aligned, 0x5A, kSpan);
+  std::memset(b.dst_aligned, 0, kSpan);
+  return b;
+}
+
+void BM_PlainMemcpy4K(benchmark::State& state) {
+  Buffers b = MakeBuffers();
+  size_t offset = 0;
+  for (auto _ : state) {
+    PlainMemcpy(b.dst_aligned + offset, b.src_aligned + offset, kPageSize);
+    offset = (offset + kPageSize) % kSpan;
+    benchmark::DoNotOptimize(b.dst_aligned[offset]);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kPageSize);
+  state.counters["model_cycles"] = static_cast<double>(GlobalCostModel().memcpy_4k_plain);
+}
+BENCHMARK(BM_PlainMemcpy4K);
+
+void BM_StreamingMemcpy4K(benchmark::State& state) {
+  Buffers b = MakeBuffers();
+  size_t offset = 0;
+  for (auto _ : state) {
+    NtMemcpy(b.dst_aligned + offset, b.src_aligned + offset, kPageSize);
+    offset = (offset + kPageSize) % kSpan;
+    benchmark::DoNotOptimize(b.dst_aligned[offset]);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kPageSize);
+  state.counters["model_cycles"] = static_cast<double>(GlobalCostModel().memcpy_4k_nt +
+                                                       GlobalCostModel().fpu_save_restore);
+}
+BENCHMARK(BM_StreamingMemcpy4K);
+
+}  // namespace
+}  // namespace aquila
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Shared scaffolding for the paper-reproduction benchmarks.
+//
+// Every bench prints the rows of one table/figure from the paper's
+// evaluation (see DESIGN.md section 4 and EXPERIMENTS.md). Geometry is
+// scaled MB-for-GB relative to the paper's testbed; set AQUILA_BENCH_SCALE
+// (e.g. 4) to enlarge datasets/ops proportionally.
+#ifndef AQUILA_BENCH_COMMON_H_
+#define AQUILA_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/blob/blob_namespace.h"
+#include "src/core/aquila.h"
+#include "src/linuxsim/linux_mmap.h"
+#include "src/storage/host_device.h"
+#include "src/storage/nvme_device.h"
+#include "src/storage/pmem_device.h"
+
+namespace aquila {
+namespace bench {
+
+inline double Scale() {
+  const char* s = std::getenv("AQUILA_BENCH_SCALE");
+  if (s == nullptr) {
+    return 1.0;
+  }
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) { return static_cast<uint64_t>(base * Scale()); }
+
+// One simulated storage device of either kind, with both the direct-access
+// path and the host-kernel-mediated path.
+struct TestDevice {
+  std::string kind;  // "pmem" or "nvme"
+  std::unique_ptr<PmemDevice> pmem;
+  std::unique_ptr<NvmeController> nvme_ctrl;
+  std::unique_ptr<NvmeDevice> nvme;
+  std::unique_ptr<HostIoDevice> host;  // syscall-mediated access to `direct`
+  BlockDevice* direct = nullptr;       // direct (SPDK / DAX) access
+};
+
+inline std::unique_ptr<TestDevice> MakePmem(uint64_t capacity,
+                                            CopyFlavor flavor = CopyFlavor::kStreaming) {
+  auto dev = std::make_unique<TestDevice>();
+  dev->kind = "pmem";
+  PmemDevice::Options options;
+  options.capacity_bytes = capacity;
+  options.copy_flavor = flavor;
+  dev->pmem = std::make_unique<PmemDevice>(options);
+  dev->direct = dev->pmem.get();
+  dev->host = std::make_unique<HostIoDevice>(dev->direct, HostIoDevice::EntryPath::kSyscall);
+  return dev;
+}
+
+inline std::unique_ptr<TestDevice> MakeNvme(uint64_t capacity) {
+  auto dev = std::make_unique<TestDevice>();
+  dev->kind = "nvme";
+  NvmeController::Options options;
+  options.capacity_bytes = capacity;
+  dev->nvme_ctrl = std::make_unique<NvmeController>(options);
+  dev->nvme = std::make_unique<NvmeDevice>(dev->nvme_ctrl.get());
+  dev->direct = dev->nvme.get();
+  dev->host = std::make_unique<HostIoDevice>(dev->direct, HostIoDevice::EntryPath::kSyscall);
+  return dev;
+}
+
+// Standard Aquila runtime for a given cache size.
+inline std::unique_ptr<Aquila> MakeAquila(uint64_t cache_bytes, int active_cores = 0) {
+  Aquila::Options options;
+  options.hypervisor.host_memory_bytes = 4ull << 30;
+  options.hypervisor.chunk_size = 4ull << 20;
+  options.cache.capacity_pages = cache_bytes / kPageSize;
+  options.cache.max_pages = options.cache.capacity_pages * 2;
+  // Scale the paper's 512-page eviction batch with the (scaled-down) cache.
+  options.cache.eviction_batch =
+      static_cast<uint32_t>(std::min<uint64_t>(512, options.cache.capacity_pages / 16 + 1));
+  options.cache.freelist.core_queue_threshold =
+      static_cast<uint32_t>(options.cache.capacity_pages / 64 + 16);
+  options.cache.freelist.move_batch = options.cache.freelist.core_queue_threshold / 2 + 1;
+  options.active_cores = active_cores;
+  return std::make_unique<Aquila>(options);
+}
+
+inline std::unique_ptr<LinuxMmapEngine> MakeLinuxMmap(uint64_t cache_bytes) {
+  LinuxMmapEngine::Options options;
+  options.cache_pages = cache_bytes / kPageSize;
+  return std::make_unique<LinuxMmapEngine>(options);
+}
+
+inline std::unique_ptr<LinuxMmapEngine> MakeKmmap(uint64_t cache_bytes) {
+  return std::make_unique<LinuxMmapEngine>(
+      LinuxMmapEngine::KmmapOptions(cache_bytes / kPageSize));
+}
+
+// A blobstore + namespace over a device (the KV-store substrate).
+struct BlobEnv {
+  std::unique_ptr<Blobstore> store;
+  std::unique_ptr<BlobNamespace> ns;
+};
+
+inline BlobEnv MakeBlobEnv(BlockDevice* device) {
+  BlobEnv env;
+  Blobstore::Options options;
+  options.cluster_size = 256 * 1024;
+  options.metadata_bytes = 8ull << 20;
+  auto store = Blobstore::Format(ThisVcpu(), device, options);
+  AQUILA_CHECK(store.ok());
+  env.store = std::move(*store);
+  env.ns = std::make_unique<BlobNamespace>(env.store.get());
+  return env;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline double CyclesToUs(uint64_t cycles) {
+  return static_cast<double>(cycles) / static_cast<double>(GlobalCostModel().cycles_per_us);
+}
+
+}  // namespace bench
+}  // namespace aquila
+
+#endif  // AQUILA_BENCH_COMMON_H_

@@ -1,0 +1,65 @@
+// Graph analytics example: the §6.2 scenario — extend the application heap
+// over a fast storage device and run Ligra-style BFS on a graph that does
+// not fit in the DRAM cache.
+//
+// The graph arrays and the BFS parent array are allocated from an MmioHeap
+// (a bump allocator over an Aquila mapping); the only changes versus an
+// in-memory run are the allocator and a per-thread EnterThread() — exactly
+// the "minimal modifications, only during initialization" the paper claims.
+#include <cstdio>
+
+#include "src/core/aquila.h"
+#include "src/graph/bfs.h"
+#include "src/graph/rmat.h"
+#include "src/storage/pmem_device.h"
+
+using namespace aquila;
+
+int main() {
+  PmemDevice::Options dev_options;
+  dev_options.capacity_bytes = 256ull << 20;
+  PmemDevice device(dev_options);
+
+  Aquila::Options options;
+  options.cache.capacity_pages = (8ull << 20) / kPageSize;  // cache << heap
+  options.cache.max_pages = (64ull << 20) / kPageSize;
+  Aquila runtime(options);
+
+  DeviceBacking backing(&device, 0, device.capacity_bytes());
+  StatusOr<MemoryMap*> map =
+      runtime.Map(&backing, device.capacity_bytes(), kProtRead | kProtWrite);
+  if (!map.ok()) {
+    std::fprintf(stderr, "map failed: %s\n", map.status().ToString().c_str());
+    return 1;
+  }
+
+  // R-MAT graph: 256K vertices, ~2.5M directed edges -> ~44 MB heap.
+  uint64_t vertices = 256 * 1024;
+  auto edges = GenerateRmat(vertices, vertices * 10);
+  MmioHeap heap(*map);
+  Graph graph = BuildGraph(vertices, std::move(edges), &heap);
+  auto parents = heap.AllocArray(vertices);
+  std::printf("graph on storage-backed heap: %llu vertices, %llu undirected edges, "
+              "%llu MB heap, %llu MB cache\n",
+              static_cast<unsigned long long>(graph.num_vertices()),
+              static_cast<unsigned long long>(graph.num_edges() / 2),
+              static_cast<unsigned long long>(heap.used_bytes() >> 20),
+              static_cast<unsigned long long>(runtime.cache().capacity_pages() * kPageSize >>
+                                              20));
+
+  LigraOptions ligra;
+  ligra.threads = 4;
+  ligra.thread_init = [&runtime] { runtime.EnterThread(); };
+  BfsResult result = Bfs(graph, /*source=*/0, parents.get(), ligra);
+
+  std::printf("BFS reached %llu vertices in %d rounds\n",
+              static_cast<unsigned long long>(result.reached), result.rounds);
+  const FaultStats& stats = runtime.fault_stats();
+  std::printf("mmio: %llu major faults, %llu evicted pages, %llu written back\n",
+              static_cast<unsigned long long>(stats.major_faults.load()),
+              static_cast<unsigned long long>(stats.evicted_pages.load()),
+              static_cast<unsigned long long>(stats.writeback_pages.load()));
+
+  (void)runtime.Unmap(*map);
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "src/blob/blob_namespace.h"
+
+#include "src/util/bitops.h"
+
+namespace aquila {
+
+BlobNamespace::BlobNamespace(Blobstore* store) : store_(store) {}
+
+Status BlobNamespace::Recover() {
+  std::lock_guard<SpinLock> guard(lock_);
+  paths_.clear();
+  for (BlobId id : store_->ListBlobs()) {
+    StatusOr<std::string> name = store_->GetXattr(id, "name");
+    if (name.ok()) {
+      paths_[*name] = id;
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<BlobId> BlobNamespace::Open(const std::string& path, bool create,
+                                     uint64_t initial_bytes) {
+  {
+    std::lock_guard<SpinLock> guard(lock_);
+    auto it = paths_.find(path);
+    if (it != paths_.end()) {
+      return it->second;
+    }
+  }
+  if (!create) {
+    return Status::NotFound("no blob named " + path);
+  }
+  uint64_t clusters = AlignUp(initial_bytes, store_->options().cluster_size) /
+                      store_->options().cluster_size;
+  StatusOr<BlobId> id = store_->CreateBlob(clusters);
+  if (!id.ok()) {
+    return id.status();
+  }
+  AQUILA_RETURN_IF_ERROR(store_->SetXattr(*id, "name", path));
+  std::lock_guard<SpinLock> guard(lock_);
+  auto [it, inserted] = paths_.emplace(path, *id);
+  if (!inserted) {
+    // Lost a create race: release ours, return the winner.
+    (void)store_->DeleteBlob(*id);
+    return it->second;
+  }
+  return *id;
+}
+
+StatusOr<BlobId> BlobNamespace::Lookup(const std::string& path) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  auto it = paths_.find(path);
+  if (it == paths_.end()) {
+    return Status::NotFound("no blob named " + path);
+  }
+  return it->second;
+}
+
+Status BlobNamespace::Unlink(const std::string& path) {
+  BlobId id;
+  {
+    std::lock_guard<SpinLock> guard(lock_);
+    auto it = paths_.find(path);
+    if (it == paths_.end()) {
+      return Status::NotFound("no blob named " + path);
+    }
+    id = it->second;
+    paths_.erase(it);
+  }
+  return store_->DeleteBlob(id);
+}
+
+Status BlobNamespace::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<SpinLock> guard(lock_);
+  auto it = paths_.find(from);
+  if (it == paths_.end()) {
+    return Status::NotFound("no blob named " + from);
+  }
+  BlobId id = it->second;
+  AQUILA_RETURN_IF_ERROR(store_->SetXattr(id, "name", to));
+  paths_.erase(it);
+  // Rename-over semantics: the destination blob, if any, is replaced (the
+  // old blob is deleted) — matching POSIX rename used by LSM compactions.
+  auto existing = paths_.find(to);
+  if (existing != paths_.end()) {
+    (void)store_->DeleteBlob(existing->second);
+    existing->second = id;
+  } else {
+    paths_[to] = id;
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> BlobNamespace::List() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  std::vector<std::string> names;
+  names.reserve(paths_.size());
+  for (const auto& [path, id] : paths_) {
+    names.push_back(path);
+  }
+  return names;
+}
+
+}  // namespace aquila

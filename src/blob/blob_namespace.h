@@ -1,0 +1,44 @@
+// Path -> blob translation: the file abstraction Aquila layers over the
+// blobstore by intercepting open()/mmap() in non-root ring 0 (§3.3).
+//
+// Names are stored durably as the "name" xattr of each blob, so a namespace
+// can be rebuilt from a loaded blobstore. Open-or-create semantics mirror
+// O_CREAT: key-value stores just open SST files by path and get blobs.
+#ifndef AQUILA_SRC_BLOB_BLOB_NAMESPACE_H_
+#define AQUILA_SRC_BLOB_BLOB_NAMESPACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/blob/blobstore.h"
+
+namespace aquila {
+
+class BlobNamespace {
+ public:
+  explicit BlobNamespace(Blobstore* store);
+
+  // Rebuilds the path table from blob xattrs (after Blobstore::Load).
+  Status Recover();
+
+  // Opens the blob named `path`, creating it (with `initial_bytes` rounded
+  // up to clusters) when absent and `create` is set.
+  StatusOr<BlobId> Open(const std::string& path, bool create, uint64_t initial_bytes = 0);
+
+  StatusOr<BlobId> Lookup(const std::string& path) const;
+  Status Unlink(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  std::vector<std::string> List() const;
+
+  Blobstore* store() { return store_; }
+
+ private:
+  Blobstore* store_;
+  mutable SpinLock lock_;
+  std::map<std::string, BlobId> paths_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_BLOB_BLOB_NAMESPACE_H_

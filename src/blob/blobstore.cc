@@ -1,0 +1,460 @@
+#include "src/blob/blobstore.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/bitops.h"
+#include "src/util/logging.h"
+
+namespace aquila {
+namespace {
+
+constexpr uint64_t kMagic = 0x4151554232303231ull;  // "AQUB2021"
+constexpr uint32_t kVersion = 1;
+
+struct Superblock {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t reserved;
+  uint64_t cluster_size;
+  uint64_t metadata_bytes;
+  uint64_t total_clusters;
+  uint64_t next_id;
+  uint64_t metadata_payload_bytes;
+};
+static_assert(sizeof(Superblock) <= kPageSize);
+
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>& out) : out_(out) {}
+  void U32(uint32_t v) { Append(&v, sizeof(v)); }
+  void U64(uint64_t v) { Append(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+
+ private:
+  void Append(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+  std::vector<uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+  bool U32(uint32_t* v) { return Take(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Take(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    uint32_t len;
+    if (!U32(&len) || pos_ + len > data_.size()) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  bool Take(void* out, size_t n) {
+    if (pos_ + n > data_.size()) {
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Blobstore::BlobRecord::RebuildPrefix() {
+  extent_starts.clear();
+  extent_starts.reserve(extents.size());
+  uint64_t cum = 0;
+  for (const Extent& e : extents) {
+    extent_starts.push_back(cum);
+    cum += e.cluster_count;
+  }
+}
+
+Blobstore::Blobstore(BlockDevice* device, const Options& options)
+    : device_(device), options_(options) {
+  total_clusters_ = device_->capacity_bytes() / options_.cluster_size;
+  metadata_clusters_ =
+      AlignUp(options_.metadata_bytes + kPageSize, options_.cluster_size) / options_.cluster_size;
+  cluster_bitmap_.assign(total_clusters_, false);
+  for (uint64_t c = 0; c < metadata_clusters_; c++) {
+    cluster_bitmap_[c] = true;
+  }
+  free_clusters_ = total_clusters_ - metadata_clusters_;
+}
+
+StatusOr<std::unique_ptr<Blobstore>> Blobstore::Format(Vcpu& vcpu, BlockDevice* device,
+                                                       const Options& options) {
+  if (!IsPowerOfTwo(options.cluster_size) || options.cluster_size < kPageSize) {
+    return Status::InvalidArgument("cluster size must be a power of two >= 4K");
+  }
+  if (device->capacity_bytes() / options.cluster_size < 4) {
+    return Status::InvalidArgument("device too small for blobstore");
+  }
+  auto store = std::unique_ptr<Blobstore>(new Blobstore(device, options));
+  AQUILA_RETURN_IF_ERROR(store->Sync(vcpu));
+  return store;
+}
+
+StatusOr<std::unique_ptr<Blobstore>> Blobstore::Load(Vcpu& vcpu, BlockDevice* device) {
+  std::vector<uint8_t> page(kPageSize);
+  AQUILA_RETURN_IF_ERROR(device->Read(vcpu, 0, std::span(page)));
+  Superblock sb;
+  std::memcpy(&sb, page.data(), sizeof(sb));
+  if (sb.magic != kMagic || sb.version != kVersion) {
+    return Status::FailedPrecondition("no blobstore on device");
+  }
+  Options options;
+  options.cluster_size = sb.cluster_size;
+  options.metadata_bytes = sb.metadata_bytes;
+  auto store = std::unique_ptr<Blobstore>(new Blobstore(device, options));
+  store->next_id_ = sb.next_id;
+  if (sb.metadata_payload_bytes != 0) {
+    std::vector<uint8_t> payload(AlignUp(sb.metadata_payload_bytes, kPageSize));
+    AQUILA_RETURN_IF_ERROR(device->Read(vcpu, kPageSize, std::span(payload)));
+    AQUILA_RETURN_IF_ERROR(store->DeserializeMetadata(
+        std::span(payload.data(), sb.metadata_payload_bytes)));
+  }
+  return store;
+}
+
+std::vector<uint8_t> Blobstore::SerializeMetadata() const {
+  std::vector<uint8_t> out;
+  Writer w(out);
+  w.U64(blobs_.size());
+  for (const auto& [id, blob] : blobs_) {
+    w.U64(id);
+    w.U64(blob.cluster_count);
+    w.U32(static_cast<uint32_t>(blob.extents.size()));
+    for (const Extent& e : blob.extents) {
+      w.U64(e.start_cluster);
+      w.U64(e.cluster_count);
+    }
+    w.U32(static_cast<uint32_t>(blob.xattrs.size()));
+    for (const auto& [name, value] : blob.xattrs) {
+      w.Str(name);
+      w.Str(value);
+    }
+  }
+  return out;
+}
+
+Status Blobstore::DeserializeMetadata(std::span<const uint8_t> data) {
+  Reader r(data);
+  uint64_t blob_count;
+  if (!r.U64(&blob_count)) {
+    return Status::IoError("corrupt blobstore metadata");
+  }
+  for (uint64_t i = 0; i < blob_count; i++) {
+    BlobRecord blob;
+    uint32_t extent_count, xattr_count;
+    if (!r.U64(&blob.id) || !r.U64(&blob.cluster_count) || !r.U32(&extent_count)) {
+      return Status::IoError("corrupt blobstore metadata");
+    }
+    for (uint32_t e = 0; e < extent_count; e++) {
+      Extent extent;
+      if (!r.U64(&extent.start_cluster) || !r.U64(&extent.cluster_count)) {
+        return Status::IoError("corrupt blobstore metadata");
+      }
+      if (extent.start_cluster + extent.cluster_count > total_clusters_) {
+        return Status::IoError("blob extent beyond device");
+      }
+      for (uint64_t c = 0; c < extent.cluster_count; c++) {
+        if (cluster_bitmap_[extent.start_cluster + c]) {
+          return Status::IoError("blob extents overlap");
+        }
+        cluster_bitmap_[extent.start_cluster + c] = true;
+      }
+      free_clusters_ -= extent.cluster_count;
+      blob.extents.push_back(extent);
+    }
+    blob.RebuildPrefix();
+    if (!r.U32(&xattr_count)) {
+      return Status::IoError("corrupt blobstore metadata");
+    }
+    for (uint32_t x = 0; x < xattr_count; x++) {
+      std::string name, value;
+      if (!r.Str(&name) || !r.Str(&value)) {
+        return Status::IoError("corrupt blobstore metadata");
+      }
+      blob.xattrs[name] = value;
+    }
+    BlobId id = blob.id;
+    blobs_[id] = std::move(blob);
+  }
+  return Status::Ok();
+}
+
+Status Blobstore::Sync(Vcpu& vcpu) {
+  std::vector<uint8_t> payload;
+  uint64_t next_id;
+  {
+    SharedLockGuard guard(lock_);
+    payload = SerializeMetadata();
+    next_id = next_id_;
+  }
+  if (kPageSize + payload.size() > metadata_clusters_ * options_.cluster_size) {
+    return Status::OutOfSpace("blobstore metadata region full");
+  }
+  std::vector<uint8_t> page(kPageSize, 0);
+  Superblock sb{kMagic,           kVersion,
+                0,                options_.cluster_size,
+                options_.metadata_bytes, total_clusters_,
+                next_id,          payload.size()};
+  std::memcpy(page.data(), &sb, sizeof(sb));
+  AQUILA_RETURN_IF_ERROR(device_->Write(vcpu, 0, std::span<const uint8_t>(page)));
+  if (!payload.empty()) {
+    payload.resize(AlignUp(payload.size(), kPageSize), 0);
+    AQUILA_RETURN_IF_ERROR(
+        device_->Write(vcpu, kPageSize, std::span<const uint8_t>(payload)));
+  }
+  return device_->Flush(vcpu);
+}
+
+StatusOr<std::vector<Blobstore::Extent>> Blobstore::AllocateClusters(uint64_t count) {
+  // Caller holds lock_ exclusively.
+  if (count > free_clusters_) {
+    return Status::OutOfSpace("blobstore out of clusters");
+  }
+  std::vector<Extent> extents;
+  uint64_t remaining = count;
+  uint64_t c = metadata_clusters_;
+  while (remaining > 0 && c < total_clusters_) {
+    if (cluster_bitmap_[c]) {
+      c++;
+      continue;
+    }
+    uint64_t run_start = c;
+    while (c < total_clusters_ && !cluster_bitmap_[c] && (c - run_start) < remaining) {
+      cluster_bitmap_[c] = true;
+      c++;
+    }
+    extents.push_back(Extent{run_start, c - run_start});
+    remaining -= c - run_start;
+  }
+  AQUILA_CHECK(remaining == 0);
+  free_clusters_ -= count;
+  return extents;
+}
+
+void Blobstore::ReleaseExtents(const std::vector<Extent>& extents) {
+  for (const Extent& e : extents) {
+    for (uint64_t c = 0; c < e.cluster_count; c++) {
+      AQUILA_DCHECK(cluster_bitmap_[e.start_cluster + c]);
+      cluster_bitmap_[e.start_cluster + c] = false;
+    }
+    free_clusters_ += e.cluster_count;
+  }
+}
+
+const Blobstore::BlobRecord* Blobstore::FindBlob(BlobId id) const {
+  auto it = blobs_.find(id);
+  return it == blobs_.end() ? nullptr : &it->second;
+}
+
+Blobstore::BlobRecord* Blobstore::FindBlob(BlobId id) {
+  auto it = blobs_.find(id);
+  return it == blobs_.end() ? nullptr : &it->second;
+}
+
+StatusOr<BlobId> Blobstore::CreateBlob(uint64_t initial_clusters) {
+  ExclusiveLockGuard guard(lock_);
+  BlobRecord blob;
+  blob.id = next_id_++;
+  if (initial_clusters > 0) {
+    StatusOr<std::vector<Extent>> extents = AllocateClusters(initial_clusters);
+    if (!extents.ok()) {
+      return extents.status();
+    }
+    blob.extents = std::move(*extents);
+    blob.cluster_count = initial_clusters;
+    blob.RebuildPrefix();
+  }
+  BlobId id = blob.id;
+  blobs_[id] = std::move(blob);
+  return id;
+}
+
+Status Blobstore::DeleteBlob(BlobId id) {
+  ExclusiveLockGuard guard(lock_);
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("blob does not exist");
+  }
+  ReleaseExtents(it->second.extents);
+  blobs_.erase(it);
+  return Status::Ok();
+}
+
+Status Blobstore::GrowBlob(BlobRecord& blob, uint64_t add_clusters) {
+  StatusOr<std::vector<Extent>> extents = AllocateClusters(add_clusters);
+  if (!extents.ok()) {
+    return extents.status();
+  }
+  for (Extent& e : *extents) {
+    // Merge with the trailing extent when physically contiguous.
+    if (!blob.extents.empty() &&
+        blob.extents.back().start_cluster + blob.extents.back().cluster_count ==
+            e.start_cluster) {
+      blob.extents.back().cluster_count += e.cluster_count;
+    } else {
+      blob.extents.push_back(e);
+    }
+  }
+  blob.cluster_count += add_clusters;
+  blob.RebuildPrefix();
+  return Status::Ok();
+}
+
+Status Blobstore::ShrinkBlob(BlobRecord& blob, uint64_t remove_clusters) {
+  std::vector<Extent> released;
+  uint64_t remaining = remove_clusters;
+  while (remaining > 0) {
+    AQUILA_CHECK(!blob.extents.empty());
+    Extent& last = blob.extents.back();
+    if (last.cluster_count <= remaining) {
+      remaining -= last.cluster_count;
+      released.push_back(last);
+      blob.extents.pop_back();
+    } else {
+      last.cluster_count -= remaining;
+      released.push_back(Extent{last.start_cluster + last.cluster_count, remaining});
+      remaining = 0;
+    }
+  }
+  ReleaseExtents(released);
+  blob.cluster_count -= remove_clusters;
+  blob.RebuildPrefix();
+  return Status::Ok();
+}
+
+Status Blobstore::ResizeBlob(BlobId id, uint64_t clusters) {
+  ExclusiveLockGuard guard(lock_);
+  BlobRecord* blob = FindBlob(id);
+  if (blob == nullptr) {
+    return Status::NotFound("blob does not exist");
+  }
+  if (clusters > blob->cluster_count) {
+    return GrowBlob(*blob, clusters - blob->cluster_count);
+  }
+  if (clusters < blob->cluster_count) {
+    return ShrinkBlob(*blob, blob->cluster_count - clusters);
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> Blobstore::BlobClusterCount(BlobId id) const {
+  SharedLockGuard guard(lock_);
+  const BlobRecord* blob = FindBlob(id);
+  if (blob == nullptr) {
+    return Status::NotFound("blob does not exist");
+  }
+  return blob->cluster_count;
+}
+
+uint64_t Blobstore::BlobSizeBytes(BlobId id) const {
+  SharedLockGuard guard(lock_);
+  const BlobRecord* blob = FindBlob(id);
+  return blob == nullptr ? 0 : blob->cluster_count * options_.cluster_size;
+}
+
+std::vector<BlobId> Blobstore::ListBlobs() const {
+  SharedLockGuard guard(lock_);
+  std::vector<BlobId> ids;
+  ids.reserve(blobs_.size());
+  for (const auto& [id, blob] : blobs_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Status Blobstore::SetXattr(BlobId id, const std::string& name, const std::string& value) {
+  ExclusiveLockGuard guard(lock_);
+  BlobRecord* blob = FindBlob(id);
+  if (blob == nullptr) {
+    return Status::NotFound("blob does not exist");
+  }
+  blob->xattrs[name] = value;
+  return Status::Ok();
+}
+
+StatusOr<std::string> Blobstore::GetXattr(BlobId id, const std::string& name) const {
+  SharedLockGuard guard(lock_);
+  const BlobRecord* blob = FindBlob(id);
+  if (blob == nullptr) {
+    return Status::NotFound("blob does not exist");
+  }
+  auto it = blob->xattrs.find(name);
+  if (it == blob->xattrs.end()) {
+    return Status::NotFound("xattr not set");
+  }
+  return it->second;
+}
+
+StatusOr<uint64_t> Blobstore::TranslateOffset(BlobId id, uint64_t offset) const {
+  SharedLockGuard guard(lock_);
+  const BlobRecord* blob = FindBlob(id);
+  if (blob == nullptr) {
+    return Status::NotFound("blob does not exist");
+  }
+  uint64_t cluster = offset / options_.cluster_size;
+  if (cluster >= blob->cluster_count) {
+    return Status::InvalidArgument("offset beyond blob size");
+  }
+  // Find the extent containing the logical cluster.
+  auto it = std::upper_bound(blob->extent_starts.begin(), blob->extent_starts.end(), cluster);
+  size_t idx = static_cast<size_t>(it - blob->extent_starts.begin()) - 1;
+  const Extent& e = blob->extents[idx];
+  uint64_t cluster_in_extent = cluster - blob->extent_starts[idx];
+  uint64_t device_cluster = e.start_cluster + cluster_in_extent;
+  return device_cluster * options_.cluster_size + offset % options_.cluster_size;
+}
+
+Status Blobstore::ReadBlob(Vcpu& vcpu, BlobId id, uint64_t offset, std::span<uint8_t> dst) {
+  uint64_t done = 0;
+  while (done < dst.size()) {
+    StatusOr<uint64_t> dev_off = TranslateOffset(id, offset + done);
+    if (!dev_off.ok()) {
+      return dev_off.status();
+    }
+    uint64_t in_cluster = (offset + done) % options_.cluster_size;
+    uint64_t run = std::min<uint64_t>(dst.size() - done, options_.cluster_size - in_cluster);
+    AQUILA_RETURN_IF_ERROR(device_->Read(vcpu, *dev_off, dst.subspan(done, run)));
+    done += run;
+  }
+  return Status::Ok();
+}
+
+Status Blobstore::WriteBlob(Vcpu& vcpu, BlobId id, uint64_t offset,
+                            std::span<const uint8_t> src) {
+  uint64_t done = 0;
+  while (done < src.size()) {
+    StatusOr<uint64_t> dev_off = TranslateOffset(id, offset + done);
+    if (!dev_off.ok()) {
+      return dev_off.status();
+    }
+    uint64_t in_cluster = (offset + done) % options_.cluster_size;
+    uint64_t run = std::min<uint64_t>(src.size() - done, options_.cluster_size - in_cluster);
+    AQUILA_RETURN_IF_ERROR(device_->Write(vcpu, *dev_off, src.subspan(done, run)));
+    done += run;
+  }
+  return Status::Ok();
+}
+
+uint64_t Blobstore::free_clusters() const {
+  SharedLockGuard guard(lock_);
+  return free_clusters_;
+}
+
+}  // namespace aquila

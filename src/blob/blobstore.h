@@ -1,0 +1,119 @@
+// Blobstore: a flat namespace of resizable blobs over a block device,
+// modeled on SPDK's Blobstore (§3.3 "Direct access to NVMe").
+//
+// Aquila provides applications a file abstraction over SPDK by translating
+// files to blobs: each blob is identified by a unique id, can be created,
+// resized, and deleted at runtime, and supports extended attributes. This
+// implementation is the direct-I/O flavor the paper uses (no internal
+// buffering — Aquila's DRAM cache is the only cache; contrast BlobFS).
+//
+// On-device layout (cluster_size-aligned):
+//   cluster 0 ..            : superblock + serialized metadata region
+//   data clusters           : allocated to blobs as extents
+// Metadata is kept in memory and serialized on Sync(); Load() replays it,
+// so blobstores survive "remounts" of the same device.
+#ifndef AQUILA_SRC_BLOB_BLOBSTORE_H_
+#define AQUILA_SRC_BLOB_BLOBSTORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/block_device.h"
+#include "src/util/spinlock.h"
+#include "src/util/status.h"
+
+namespace aquila {
+
+using BlobId = uint64_t;
+
+class Blobstore {
+ public:
+  struct Options {
+    uint64_t cluster_size = 64 * 1024;
+    uint64_t metadata_bytes = 4ull << 20;
+  };
+
+  struct Extent {
+    uint64_t start_cluster = 0;
+    uint64_t cluster_count = 0;
+  };
+
+  // Formats `device` with an empty blobstore. The device's previous contents
+  // are gone after Sync().
+  static StatusOr<std::unique_ptr<Blobstore>> Format(Vcpu& vcpu, BlockDevice* device,
+                                                     const Options& options);
+
+  // Loads an existing blobstore from `device` (reads the superblock and
+  // metadata region written by a previous Sync()).
+  static StatusOr<std::unique_ptr<Blobstore>> Load(Vcpu& vcpu, BlockDevice* device);
+
+  // --- Blob lifecycle ---------------------------------------------------------
+  StatusOr<BlobId> CreateBlob(uint64_t initial_clusters = 0);
+  Status DeleteBlob(BlobId id);
+  Status ResizeBlob(BlobId id, uint64_t clusters);
+  StatusOr<uint64_t> BlobClusterCount(BlobId id) const;
+  uint64_t BlobSizeBytes(BlobId id) const;
+  std::vector<BlobId> ListBlobs() const;
+
+  // --- Extended attributes ------------------------------------------------------
+  Status SetXattr(BlobId id, const std::string& name, const std::string& value);
+  StatusOr<std::string> GetXattr(BlobId id, const std::string& name) const;
+
+  // --- Data path (direct, unbuffered) ------------------------------------------
+  Status ReadBlob(Vcpu& vcpu, BlobId id, uint64_t offset, std::span<uint8_t> dst);
+  Status WriteBlob(Vcpu& vcpu, BlobId id, uint64_t offset, std::span<const uint8_t> src);
+
+  // Translates a blob-relative byte offset to a device byte offset. The mmio
+  // layer maps blob pages through this. Fails beyond the blob's size.
+  StatusOr<uint64_t> TranslateOffset(BlobId id, uint64_t offset) const;
+
+  // Persists the metadata region. Blob data goes straight to the device, so
+  // only metadata needs syncing.
+  Status Sync(Vcpu& vcpu);
+
+  const Options& options() const { return options_; }
+  BlockDevice* device() { return device_; }
+  uint64_t free_clusters() const;
+  uint64_t total_data_clusters() const { return total_clusters_ - metadata_clusters_; }
+
+ private:
+  struct BlobRecord {
+    BlobId id = 0;
+    uint64_t cluster_count = 0;
+    std::vector<Extent> extents;           // in logical order
+    std::vector<uint64_t> extent_starts;   // prefix sums of cluster counts
+    std::map<std::string, std::string> xattrs;
+
+    void RebuildPrefix();
+  };
+
+  Blobstore(BlockDevice* device, const Options& options);
+
+  StatusOr<std::vector<Extent>> AllocateClusters(uint64_t count);
+  void ReleaseExtents(const std::vector<Extent>& extents);
+  Status GrowBlob(BlobRecord& blob, uint64_t add_clusters);
+  Status ShrinkBlob(BlobRecord& blob, uint64_t remove_clusters);
+  const BlobRecord* FindBlob(BlobId id) const;
+  BlobRecord* FindBlob(BlobId id);
+
+  std::vector<uint8_t> SerializeMetadata() const;
+  Status DeserializeMetadata(std::span<const uint8_t> data);
+
+  BlockDevice* device_;
+  Options options_;
+  uint64_t total_clusters_ = 0;
+  uint64_t metadata_clusters_ = 0;
+
+  mutable RwSpinLock lock_;
+  std::vector<bool> cluster_bitmap_;  // true = allocated
+  std::map<BlobId, BlobRecord> blobs_;
+  BlobId next_id_ = 1;
+  uint64_t free_clusters_ = 0;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_BLOB_BLOBSTORE_H_

@@ -1,0 +1,69 @@
+#include "src/cache/dirty_tree.h"
+
+namespace aquila {
+
+void DirtyTreeSet::Insert(int core, DirtyItem* item) {
+  AQUILA_DCHECK(core >= 0 && core < CoreRegistry::kMaxCores);
+  item->owner_core = static_cast<int16_t>(core);
+  PerCore& pc = cores_[core];
+  std::lock_guard<SpinLock> guard(pc.lock);
+  pc.tree.Insert(&item->node);
+}
+
+void DirtyTreeSet::Remove(DirtyItem* item) {
+  int core = item->owner_core;
+  if (core < 0) {
+    return;
+  }
+  PerCore& pc = cores_[core];
+  std::lock_guard<SpinLock> guard(pc.lock);
+  if (item->node.linked) {
+    pc.tree.Remove(&item->node);
+  }
+  item->owner_core = -1;
+}
+
+size_t DirtyTreeSet::CollectBatch(int start_core, size_t max, DirtyItem** out) {
+  size_t n = 0;
+  for (int i = 0; i < CoreRegistry::kMaxCores && n < max; i++) {
+    PerCore& pc = cores_[(start_core + i) % CoreRegistry::kMaxCores];
+    std::lock_guard<SpinLock> guard(pc.lock);
+    while (n < max && !pc.tree.empty()) {
+      RbNode* node = pc.tree.First();
+      pc.tree.Remove(node);
+      DirtyItem* item = ItemOf(node);
+      item->owner_core = -1;
+      out[n++] = item;
+    }
+  }
+  return n;
+}
+
+void DirtyTreeSet::CollectRange(uint64_t lo, uint64_t hi, std::vector<DirtyItem*>* out) {
+  for (PerCore& pc : cores_) {
+    std::lock_guard<SpinLock> guard(pc.lock);
+    RbNode* node = pc.tree.LowerBound(lo);
+    while (node != nullptr) {
+      DirtyItem* item = ItemOf(node);
+      if (item->sort_key > hi) {
+        break;
+      }
+      RbNode* next = RbTree<KeyOf>::Next(node);
+      pc.tree.Remove(node);
+      item->owner_core = -1;
+      out->push_back(item);
+      node = next;
+    }
+  }
+}
+
+size_t DirtyTreeSet::TotalDirty() const {
+  size_t total = 0;
+  for (const PerCore& pc : cores_) {
+    std::lock_guard<SpinLock> guard(pc.lock);
+    total += pc.tree.size();
+  }
+  return total;
+}
+
+}  // namespace aquila

@@ -1,0 +1,143 @@
+#include "src/cache/freelist.h"
+
+namespace aquila {
+
+void FrameStack::Push(FrameId frame) { PushChain(frame, frame, 1); }
+
+void FrameStack::PushChain(FrameId first, FrameId last, uint32_t count) {
+  uint64_t head = head_.load(std::memory_order_relaxed);
+  while (true) {
+    next_[last].store(Top(head), std::memory_order_relaxed);
+    uint64_t desired = Pack(Tag(head) + 1, first);
+    if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) {
+      size_.fetch_add(count, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+FrameId FrameStack::Pop() {
+  uint64_t head = head_.load(std::memory_order_acquire);
+  while (true) {
+    uint32_t top = Top(head);
+    if (top == kNil) {
+      return kInvalidFrame;
+    }
+    uint32_t after = next_[top].load(std::memory_order_relaxed);
+    uint64_t desired = Pack(Tag(head) + 1, after);
+    if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) {
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return top;
+    }
+  }
+}
+
+uint32_t FrameStack::PopBatch(FrameId* out, uint32_t max) {
+  uint32_t n = 0;
+  while (n < max) {
+    FrameId frame = Pop();
+    if (frame == kInvalidFrame) {
+      break;
+    }
+    out[n++] = frame;
+  }
+  return n;
+}
+
+TwoLevelFreelist::TwoLevelFreelist(uint32_t max_frames, const Options& options)
+    : options_(options),
+      capacity_(max_frames),
+      next_(std::make_unique<std::atomic<uint32_t>[]>(max_frames)),
+      core_queues_(CoreRegistry::kMaxCores),
+      numa_queues_(static_cast<size_t>(options.numa_nodes)) {
+  AQUILA_CHECK(options_.numa_nodes >= 1);
+  for (FrameStack& q : core_queues_) {
+    q.BindNextArray(next_.get());
+  }
+  for (FrameStack& q : numa_queues_) {
+    q.BindNextArray(next_.get());
+  }
+}
+
+void TwoLevelFreelist::AddFrames(FrameId first, uint32_t count) {
+  AQUILA_CHECK(static_cast<uint64_t>(first) + count <= capacity_);
+  // Spread across NUMA queues in contiguous runs, pre-linking each run
+  // locally so the publish is one CAS per queue.
+  uint32_t nodes = static_cast<uint32_t>(numa_queues_.size());
+  uint32_t per_node = count / nodes;
+  uint32_t extra = count % nodes;
+  FrameId cursor = first;
+  for (uint32_t node = 0; node < nodes; node++) {
+    uint32_t n = per_node + (node < extra ? 1 : 0);
+    if (n == 0) {
+      continue;
+    }
+    for (uint32_t i = 0; i + 1 < n; i++) {
+      next_[cursor + i].store(cursor + i + 1, std::memory_order_relaxed);
+    }
+    numa_queues_[node].PushChain(cursor, cursor + n - 1, n);
+    cursor += n;
+  }
+}
+
+FrameId TwoLevelFreelist::Alloc(int core) {
+  FrameId frame = core_queues_[core].Pop();
+  if (frame != kInvalidFrame) {
+    stats_.core_hits.fetch_add(1, std::memory_order_relaxed);
+    return frame;
+  }
+  int local_node = NumaTopology::NodeOfCore(core) % static_cast<int>(numa_queues_.size());
+  frame = numa_queues_[local_node].Pop();
+  if (frame != kInvalidFrame) {
+    stats_.numa_hits.fetch_add(1, std::memory_order_relaxed);
+    return frame;
+  }
+  for (size_t i = 0; i < numa_queues_.size(); i++) {
+    if (static_cast<int>(i) == local_node) {
+      continue;
+    }
+    frame = numa_queues_[i].Pop();
+    if (frame != kInvalidFrame) {
+      stats_.remote_hits.fetch_add(1, std::memory_order_relaxed);
+      return frame;
+    }
+  }
+  return kInvalidFrame;
+}
+
+void TwoLevelFreelist::Free(int core, FrameId frame) {
+  core_queues_[core].Push(frame);
+  MaybeOverflow(core);
+}
+
+void TwoLevelFreelist::MaybeOverflow(int core) {
+  if (core_queues_[core].ApproxSize() <= options_.core_queue_threshold) {
+    return;
+  }
+  // Move a batch to the local NUMA queue: pop into a scratch chain, then
+  // publish with one CAS.
+  std::vector<FrameId> batch(options_.move_batch);
+  uint32_t n = core_queues_[core].PopBatch(batch.data(), options_.move_batch);
+  if (n == 0) {
+    return;
+  }
+  for (uint32_t i = 0; i + 1 < n; i++) {
+    next_[batch[i]].store(batch[i + 1], std::memory_order_relaxed);
+  }
+  int node = NumaTopology::NodeOfCore(core) % static_cast<int>(numa_queues_.size());
+  numa_queues_[node].PushChain(batch[0], batch[n - 1], n);
+  stats_.batch_moves.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t TwoLevelFreelist::ApproxFree() const {
+  uint64_t total = 0;
+  for (const FrameStack& q : core_queues_) {
+    total += q.ApproxSize();
+  }
+  for (const FrameStack& q : numa_queues_) {
+    total += q.ApproxSize();
+  }
+  return total;
+}
+
+}  // namespace aquila

@@ -1,0 +1,117 @@
+// Lock-free, hierarchical two-level freelist for DRAM-cache frames (§3.2).
+//
+// Level 1: one queue per NUMA node. Level 2: one queue per core. A core
+// allocates from, in order: its own queue, its NUMA node's queue, remote
+// NUMA queues. Frees go to the core queue; when the core queue exceeds a
+// threshold, a batch is moved to the NUMA queue ("all page movement between
+// first and second level queues is performed in batches", 4096 pages in the
+// paper, scaled here). The combination of per-core queues, batching, and
+// lock-free stacks is what keeps allocation contention negligible.
+//
+// Frames are dense 32-bit ids; the stacks are intrusive over a shared
+// next[] array (one slot per frame), so no allocation ever happens on the
+// fault path. ABA on the Treiber stacks is prevented with a 32-bit tag
+// packed next to the top-of-stack id.
+#ifndef AQUILA_SRC_CACHE_FREELIST_H_
+#define AQUILA_SRC_CACHE_FREELIST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/cpu.h"
+#include "src/util/logging.h"
+
+namespace aquila {
+
+using FrameId = uint32_t;
+inline constexpr FrameId kInvalidFrame = ~0u;
+
+// Treiber stack of frame ids, intrusive over a shared next[] array.
+class FrameStack {
+ public:
+  // `next` must outlive the stack and have one slot per possible frame id.
+  explicit FrameStack(std::atomic<uint32_t>* next = nullptr) : next_(next) {}
+
+  void BindNextArray(std::atomic<uint32_t>* next) { next_ = next; }
+
+  void Push(FrameId frame);
+
+  // Pushes a locally pre-linked chain [first..last] of `count` frames with a
+  // single CAS. next[last] is overwritten.
+  void PushChain(FrameId first, FrameId last, uint32_t count);
+
+  // Pops one frame; kInvalidFrame when empty.
+  FrameId Pop();
+
+  // Pops up to `max` frames into `out`; returns the number popped.
+  uint32_t PopBatch(FrameId* out, uint32_t max);
+
+  uint32_t ApproxSize() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr uint64_t kNil = 0xffffffffull;
+  static uint64_t Pack(uint64_t tag, uint64_t top) { return (tag << 32) | top; }
+  static uint32_t Top(uint64_t packed) { return static_cast<uint32_t>(packed & 0xffffffffull); }
+  static uint64_t Tag(uint64_t packed) { return packed >> 32; }
+
+  alignas(kCacheLineSize) std::atomic<uint64_t> head_{Pack(0, kNil)};
+  std::atomic<uint32_t> size_{0};
+  std::atomic<uint32_t>* next_;
+};
+
+class TwoLevelFreelist {
+ public:
+  struct Options {
+    // Core-queue occupancy above which a batch moves to the NUMA queue.
+    uint32_t core_queue_threshold = 512;
+    // Frames moved per core->NUMA transfer.
+    uint32_t move_batch = 256;
+    int numa_nodes = NumaTopology::kNumaNodes;
+  };
+
+  struct Stats {
+    std::atomic<uint64_t> core_hits{0};
+    std::atomic<uint64_t> numa_hits{0};
+    std::atomic<uint64_t> remote_hits{0};
+    std::atomic<uint64_t> batch_moves{0};
+  };
+
+  // `max_frames` is the hard capacity: the largest frame id the cache can
+  // ever grow to (bounded by the hypervisor's host memory). Fixed at
+  // construction so the intrusive next[] array never reallocates under
+  // concurrent lock-free pushes.
+  TwoLevelFreelist(uint32_t max_frames, const Options& options);
+
+  uint32_t capacity() const { return static_cast<uint32_t>(capacity_); }
+
+  // Seeds the freelist with frames [first, first + count), spread across
+  // NUMA queues.
+  void AddFrames(FrameId first, uint32_t count);
+
+  // Allocates a frame for `core`; kInvalidFrame when every queue is empty
+  // (the caller must evict).
+  FrameId Alloc(int core);
+
+  // Returns a frame from `core` (eviction places frames in the local core
+  // queue, §3.2).
+  void Free(int core, FrameId frame);
+
+  const Stats& stats() const { return stats_; }
+  uint64_t ApproxFree() const;
+
+ private:
+  void MaybeOverflow(int core);
+
+  Options options_;
+  uint64_t capacity_;
+  std::unique_ptr<std::atomic<uint32_t>[]> next_;
+  std::vector<FrameStack> core_queues_;  // one per logical core
+  std::vector<FrameStack> numa_queues_;  // one per NUMA node
+  Stats stats_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_CACHE_FREELIST_H_

@@ -1,0 +1,153 @@
+// Lock-free open-addressing hash table: page key -> cache frame.
+//
+// This is the structure the paper contrasts with Linux's per-file radix tree
+// behind a single lock (§6.5): all cached pages of all mappings live here,
+// lookups are wait-free reads, and inserts/removes are single-CAS claims, so
+// the shared-file scalability collapse of the baseline cannot happen.
+//
+// Design (after David et al. [16], "asynchronized concurrency"):
+//  - fixed capacity, power of two, linear probing;
+//  - slot := { atomic key, atomic value };
+//  - insert claims an EMPTY or TOMBSTONE slot by CAS on the key, then
+//    publishes the value (readers briefly spin on kValueUnset);
+//  - remove stores TOMBSTONE into the key; probes continue past tombstones;
+//  - same-page insert/remove races are excluded by the caller (the fault
+//    handler holds the per-page VMA entry lock), so the table only needs to
+//    be internally consistent across *different* keys.
+//
+// Capacity is 2x the frame count (load factor <= 0.5), so probe sequences
+// stay short and tombstone buildup is bounded by reuse on insert.
+#ifndef AQUILA_SRC_CACHE_LOCKFREE_HASH_H_
+#define AQUILA_SRC_CACHE_LOCKFREE_HASH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/util/bitops.h"
+#include "src/util/cpu.h"
+#include "src/util/logging.h"
+
+namespace aquila {
+
+class LockFreeHash {
+ public:
+  static constexpr uint64_t kEmptyKey = 0;
+  static constexpr uint64_t kTombstoneKey = ~0ull;
+  static constexpr uint64_t kValueUnset = ~0ull;
+
+  // `capacity` is rounded up to a power of two. Keys 0 and ~0 are reserved.
+  explicit LockFreeHash(uint64_t capacity)
+      : capacity_(NextPowerOfTwo(capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+  // Inserts key -> value. Returns false if the key is already present.
+  // Two-phase: scan the whole probe chain for the key (a tombstone does NOT
+  // terminate the chain, so the key may live past one), remembering the
+  // first reusable slot; then claim it with a CAS. Same-key concurrency is
+  // excluded by the caller (per-page entry lock); racing *different* keys
+  // may steal the remembered slot, in which case the scan restarts.
+  bool Insert(uint64_t key, uint64_t value) {
+    AQUILA_DCHECK(key != kEmptyKey && key != kTombstoneKey);
+    uint64_t start = Mix64(key) & mask_;
+    while (true) {
+      uint64_t claim = capacity_;  // sentinel: none found
+      bool saw_empty = false;
+      uint64_t index = start;
+      for (uint64_t probe = 0; probe < capacity_; probe++, index = (index + 1) & mask_) {
+        uint64_t cur = slots_[index].key.load(std::memory_order_acquire);
+        if (cur == key) {
+          return false;
+        }
+        if (cur == kTombstoneKey) {
+          if (claim == capacity_) {
+            claim = index;
+          }
+        } else if (cur == kEmptyKey) {
+          if (claim == capacity_) {
+            claim = index;
+          }
+          saw_empty = true;
+          break;
+        }
+      }
+      AQUILA_CHECK(claim != capacity_);  // table full: capacity must exceed frames
+      (void)saw_empty;
+      Slot& slot = slots_[claim];
+      uint64_t expected = slot.key.load(std::memory_order_acquire);
+      if ((expected == kEmptyKey || expected == kTombstoneKey) &&
+          slot.key.compare_exchange_strong(expected, key, std::memory_order_acq_rel)) {
+        slot.value.store(value, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // A concurrent insert of a different key took the slot; rescan.
+    }
+  }
+
+  // Looks up `key`. Returns true and sets *value on hit.
+  bool Lookup(uint64_t key, uint64_t* value) const {
+    uint64_t index = Mix64(key) & mask_;
+    for (uint64_t probe = 0; probe < capacity_; probe++, index = (index + 1) & mask_) {
+      const Slot& slot = slots_[index];
+      uint64_t cur = slot.key.load(std::memory_order_acquire);
+      if (cur == kEmptyKey) {
+        return false;
+      }
+      if (cur == key) {
+        uint64_t v = slot.value.load(std::memory_order_acquire);
+        SpinBackoff backoff;
+        while (v == kValueUnset) {  // insert in flight: value not yet published
+          backoff.Pause();
+          v = slot.value.load(std::memory_order_acquire);
+        }
+        // Re-check the key: the slot may have been removed and reused for a
+        // different key between the two loads.
+        if (slot.key.load(std::memory_order_acquire) != key) {
+          return false;
+        }
+        *value = v;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Removes `key`. Returns false when absent.
+  bool Remove(uint64_t key) {
+    uint64_t index = Mix64(key) & mask_;
+    for (uint64_t probe = 0; probe < capacity_; probe++, index = (index + 1) & mask_) {
+      Slot& slot = slots_[index];
+      uint64_t cur = slot.key.load(std::memory_order_acquire);
+      if (cur == kEmptyKey) {
+        return false;
+      }
+      if (cur == key) {
+        slot.value.store(kValueUnset, std::memory_order_release);
+        slot.key.store(kTombstoneKey, std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> key{kEmptyKey};
+    std::atomic<uint64_t> value{kValueUnset};
+  };
+
+  uint64_t capacity_;
+  uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_CACHE_LOCKFREE_HASH_H_

@@ -1,0 +1,193 @@
+#include "src/cache/page_cache.h"
+
+#include "src/util/logging.h"
+
+namespace aquila {
+
+PageCache::PageCache(Hypervisor* hypervisor, int guest, Vcpu& vcpu, const Options& options)
+    : hypervisor_(hypervisor),
+      guest_(guest),
+      options_(options),
+      frames_(std::make_unique<Frame[]>(options.max_pages)),
+      hash_(options.max_pages * 2),
+      freelist_(static_cast<uint32_t>(options.max_pages), options.freelist) {
+  AQUILA_CHECK(options_.capacity_pages <= options_.max_pages);
+  Status status = Grow(vcpu, options_.capacity_pages);
+  AQUILA_CHECK(status.ok());
+}
+
+bool PageCache::Lookup(uint64_t key, FrameId* frame) {
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  uint64_t value;
+  if (!hash_.Lookup(key, &value)) {
+    return false;
+  }
+  stats_.lookup_hits.fetch_add(1, std::memory_order_relaxed);
+  *frame = static_cast<FrameId>(value);
+  return true;
+}
+
+bool PageCache::InsertMapping(uint64_t key, FrameId frame) { return hash_.Insert(key, frame); }
+
+bool PageCache::RemoveMapping(uint64_t key) { return hash_.Remove(key); }
+
+uint8_t* PageCache::FrameData(Vcpu& vcpu, FrameId id) {
+  Frame& f = frames_[id];
+  if (f.data == nullptr) {
+    f.data = hypervisor_->ResolveGpa(vcpu, guest_, f.gpa);
+  }
+  return f.data;
+}
+
+FrameId PageCache::AllocFrame(Vcpu& vcpu, int core) {
+  FrameId id = freelist_.Alloc(core);
+  if (id == kInvalidFrame) {
+    return kInvalidFrame;
+  }
+  Frame& f = frames_[id];
+  AQUILA_DCHECK(f.state.load(std::memory_order_relaxed) == FrameState::kFree);
+  f.state.store(FrameState::kFilling, std::memory_order_relaxed);
+  f.referenced.store(1, std::memory_order_relaxed);
+  return id;
+}
+
+void PageCache::FreeFrame(int core, FrameId id) {
+  Frame& f = frames_[id];
+  f.key = 0;
+  f.vaddr = 0;
+  f.dirty.store(0, std::memory_order_relaxed);
+  f.state.store(FrameState::kFree, std::memory_order_release);
+  freelist_.Free(core, id);
+}
+
+size_t PageCache::SelectVictims(size_t max, FrameId* out) {
+  stats_.clock_sweeps.fetch_add(1, std::memory_order_relaxed);
+  uint64_t total = total_frames_.load(std::memory_order_acquire);
+  if (total == 0) {
+    return 0;
+  }
+  size_t n = 0;
+  // Bound the sweep: with every frame referenced, two full rotations clear
+  // all bits and then claim.
+  uint64_t limit = total * 2 + max;
+  for (uint64_t step = 0; step < limit && n < max; step++) {
+    uint64_t slot = clock_hand_.fetch_add(1, std::memory_order_relaxed) % total;
+    Frame& f = frames_[slot];
+    FrameState state = f.state.load(std::memory_order_acquire);
+    if (state != FrameState::kResident) {
+      continue;
+    }
+    if (f.referenced.exchange(0, std::memory_order_relaxed) != 0) {
+      continue;  // second chance
+    }
+    FrameState expected = FrameState::kResident;
+    if (f.state.compare_exchange_strong(expected, FrameState::kEvicting,
+                                        std::memory_order_acq_rel)) {
+      out[n++] = static_cast<FrameId>(slot);
+    }
+  }
+  stats_.evictions.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+void PageCache::MarkDirty(int core, FrameId id, uint64_t sort_key) {
+  Frame& f = frames_[id];
+  f.dirty.store(1, std::memory_order_relaxed);
+  f.dirty_item.sort_key = sort_key;
+  dirty_.Insert(core, &f.dirty_item);
+}
+
+void PageCache::ClearDirty(FrameId id) {
+  Frame& f = frames_[id];
+  dirty_.Remove(&f.dirty_item);
+  f.dirty.store(0, std::memory_order_relaxed);
+}
+
+size_t PageCache::CollectDirtyBatch(int start_core, size_t max, FrameId* out) {
+  std::vector<DirtyItem*> items(max);
+  size_t n = dirty_.CollectBatch(start_core, max, items.data());
+  for (size_t i = 0; i < n; i++) {
+    Frame* f = reinterpret_cast<Frame*>(reinterpret_cast<char*>(items[i]) -
+                                        offsetof(Frame, dirty_item));
+    out[i] = IndexOf(f);
+  }
+  return n;
+}
+
+void PageCache::CollectDirtyRange(uint64_t lo, uint64_t hi, std::vector<FrameId>* out) {
+  std::vector<DirtyItem*> items;
+  dirty_.CollectRange(lo, hi, &items);
+  out->reserve(out->size() + items.size());
+  for (DirtyItem* item : items) {
+    Frame* f = reinterpret_cast<Frame*>(reinterpret_cast<char*>(item) -
+                                        offsetof(Frame, dirty_item));
+    out->push_back(IndexOf(f));
+  }
+}
+
+Status PageCache::Grow(Vcpu& vcpu, uint64_t add_pages) {
+  if (add_pages == 0) {
+    return Status::Ok();
+  }
+  std::lock_guard<SpinLock> guard(grow_lock_);
+  uint64_t current = total_frames_.load(std::memory_order_relaxed);
+  if (current + add_pages > options_.max_pages) {
+    return Status::OutOfSpace("cache growth beyond max_pages");
+  }
+  StatusOr<uint64_t> gpa = hypervisor_->VmcallGrantGpaRange(vcpu, guest_, add_pages * kPageSize);
+  if (!gpa.ok()) {
+    return gpa.status();
+  }
+  auto range = std::make_unique<GpaRange>();
+  range->base_gpa = *gpa;
+  range->first_frame = static_cast<FrameId>(current);
+  range->frame_count = static_cast<uint32_t>(add_pages);
+  for (uint64_t i = 0; i < add_pages; i++) {
+    Frame& f = frames_[current + i];
+    f.gpa = *gpa + i * kPageSize;
+    f.data = nullptr;
+    f.state.store(FrameState::kFree, std::memory_order_relaxed);
+  }
+  ranges_.push_back(std::move(range));
+  total_frames_.store(current + add_pages, std::memory_order_release);
+  freelist_.AddFrames(static_cast<FrameId>(current), static_cast<uint32_t>(add_pages));
+  capacity_pages_.fetch_add(add_pages, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> PageCache::Shrink(Vcpu& vcpu, uint64_t remove_pages) {
+  std::lock_guard<SpinLock> guard(grow_lock_);
+  uint64_t removed = 0;
+  int core = CoreRegistry::CurrentCore();
+  while (removed < remove_pages) {
+    FrameId id = freelist_.Alloc(core);
+    if (id == kInvalidFrame) {
+      break;  // no more free frames; caller may evict and retry
+    }
+    Frame& f = frames_[id];
+    f.state.store(FrameState::kOffline, std::memory_order_release);
+    removed++;
+    // Find the owning range and count the offline frame.
+    for (auto& range : ranges_) {
+      if (id >= range->first_frame && id < range->first_frame + range->frame_count) {
+        uint32_t off = range->offline_frames.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (off == range->frame_count && !range->released) {
+          Status status = hypervisor_->VmcallReleaseGpaRange(
+              vcpu, guest_, range->base_gpa,
+              static_cast<uint64_t>(range->frame_count) * kPageSize);
+          if (status.ok()) {
+            range->released = true;
+            for (uint32_t i = 0; i < range->frame_count; i++) {
+              frames_[range->first_frame + i].data = nullptr;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  capacity_pages_.fetch_sub(removed, std::memory_order_relaxed);
+  return removed;
+}
+
+}  // namespace aquila

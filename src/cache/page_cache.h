@@ -1,0 +1,148 @@
+// Aquila's DRAM I/O cache (§3.2, Figure 4).
+//
+// Composition:
+//   - LockFreeHash      : page key -> frame, for fault-time lookups;
+//   - TwoLevelFreelist  : per-core / per-NUMA frame allocation;
+//   - DirtyTreeSet      : per-core red-black trees of dirty frames;
+//   - clock sweep       : LRU approximation driven by fault-set reference
+//                         bits, claiming eviction batches of 512 frames;
+//   - Hypervisor grants : frames live in guest-physical ranges granted via
+//                         vmcall and backed lazily through EPT faults
+//                         (dynamic cache resizing, §3.5).
+//
+// The cache itself is policy-free about *what* eviction means: the fault
+// handler (src/core) owns unmapping, TLB shootdown, and writeback, using
+// SelectVictims() / CollectDirtyBatch() from here. Same-page races are
+// excluded by the VMA per-entry lock held by callers; this layer guarantees
+// internal consistency across different pages.
+#ifndef AQUILA_SRC_CACHE_PAGE_CACHE_H_
+#define AQUILA_SRC_CACHE_PAGE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cache/dirty_tree.h"
+#include "src/cache/freelist.h"
+#include "src/cache/lockfree_hash.h"
+#include "src/util/bitops.h"
+#include "src/vmx/hypervisor.h"
+
+namespace aquila {
+
+enum class FrameState : uint32_t {
+  kFree = 0,   // in a freelist queue
+  kFilling,    // claimed by a fault, I/O in flight
+  kResident,   // mapped, in the hash table
+  kEvicting,   // claimed by an evictor
+  kOffline,    // removed by a cache shrink
+};
+
+struct Frame {
+  std::atomic<FrameState> state{FrameState::kFree};
+  std::atomic<uint8_t> referenced{0};  // clock ref bit, set on fault
+  std::atomic<uint8_t> dirty{0};
+  uint64_t key = 0;    // hash key while resident
+  uint64_t vaddr = 0;  // mapped guest-virtual page address while resident
+  uint64_t gpa = 0;
+  uint8_t* data = nullptr;  // resolved host pointer (EPT walk cached)
+  DirtyItem dirty_item;     // embeds the RB node + device-offset sort key
+};
+
+class PageCache {
+ public:
+  struct Options {
+    uint64_t capacity_pages = (64ull << 20) / kPageSize;  // initial size
+    uint64_t max_pages = (512ull << 20) / kPageSize;      // growth ceiling
+    uint32_t eviction_batch = 512;                        // paper's batch
+    TwoLevelFreelist::Options freelist;
+  };
+
+  struct Stats {
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> lookup_hits{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> clock_sweeps{0};
+  };
+
+  // Grants the initial capacity from the hypervisor (one vmcall), charged to
+  // `vcpu`.
+  PageCache(Hypervisor* hypervisor, int guest, Vcpu& vcpu, const Options& options);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // --- Lookup / mapping bookkeeping (lock-free) --------------------------------
+  bool Lookup(uint64_t key, FrameId* frame);
+  bool InsertMapping(uint64_t key, FrameId frame);
+  bool RemoveMapping(uint64_t key);
+
+  // --- Frames -------------------------------------------------------------------
+  Frame& frame(FrameId id) { return frames_[id]; }
+  FrameId IndexOf(const Frame* f) const { return static_cast<FrameId>(f - frames_.get()); }
+
+  // Host memory of the frame; resolves GPA->HPA through the hypervisor on
+  // first touch (EPT fault per chunk) and caches the pointer.
+  uint8_t* FrameData(Vcpu& vcpu, FrameId id);
+
+  // Allocation from the freelist; kInvalidFrame when empty (caller evicts).
+  // The returned frame is in state kFilling.
+  FrameId AllocFrame(Vcpu& vcpu, int core);
+  // Returns a frame to `core`'s queue (state -> kFree).
+  void FreeFrame(int core, FrameId id);
+
+  // --- Eviction support -----------------------------------------------------------
+  // Clock sweep: claims up to `max` resident frames (state -> kEvicting) and
+  // returns them. Frames with the reference bit set get a second chance.
+  size_t SelectVictims(size_t max, FrameId* out);
+
+  // --- Dirty tracking --------------------------------------------------------------
+  // 0 -> 1 transition done by the caller under the page entry lock.
+  void MarkDirty(int core, FrameId id, uint64_t sort_key);
+  void ClearDirty(FrameId id);
+  size_t CollectDirtyBatch(int start_core, size_t max, FrameId* out);
+  void CollectDirtyRange(uint64_t lo, uint64_t hi, std::vector<FrameId>* out);
+  size_t TotalDirty() const { return dirty_.TotalDirty(); }
+
+  // --- Dynamic resizing (operation ⑤) -----------------------------------------------
+  Status Grow(Vcpu& vcpu, uint64_t add_pages);
+  // Takes up to `remove_pages` free frames out of circulation; whole grants
+  // whose frames are all offline are returned to the host. Returns how many
+  // frames went offline.
+  StatusOr<uint64_t> Shrink(Vcpu& vcpu, uint64_t remove_pages);
+
+  uint64_t capacity_pages() const { return capacity_pages_.load(std::memory_order_relaxed); }
+  uint64_t max_pages() const { return options_.max_pages; }
+  uint32_t eviction_batch() const { return options_.eviction_batch; }
+  const Stats& stats() const { return stats_; }
+  const TwoLevelFreelist::Stats& freelist_stats() const { return freelist_.stats(); }
+  uint64_t ApproxFreeFrames() const { return freelist_.ApproxFree(); }
+
+ private:
+  struct GpaRange {
+    uint64_t base_gpa = 0;
+    FrameId first_frame = 0;
+    uint32_t frame_count = 0;
+    std::atomic<uint32_t> offline_frames{0};
+    bool released = false;
+  };
+
+  Hypervisor* hypervisor_;
+  int guest_;
+  Options options_;
+  std::unique_ptr<Frame[]> frames_;  // preallocated to max_pages
+  std::atomic<uint64_t> total_frames_{0};
+  std::atomic<uint64_t> capacity_pages_{0};
+  LockFreeHash hash_;
+  TwoLevelFreelist freelist_;
+  DirtyTreeSet dirty_;
+  std::atomic<uint64_t> clock_hand_{0};
+  Stats stats_;
+  SpinLock grow_lock_;
+  std::vector<std::unique_ptr<GpaRange>> ranges_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_CACHE_PAGE_CACHE_H_

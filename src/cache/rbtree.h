@@ -1,0 +1,336 @@
+// Intrusive red-black tree.
+//
+// Used for the per-core dirty-page trees (§3.2): dirty pages must be kept
+// sorted by device offset so evictions and msync can merge them into large
+// sequential writebacks, and the paper uses one tree per core to avoid a
+// single contended lock. Nodes are embedded in the owning object (cache
+// frames), so insert/remove never allocate — a requirement for running
+// inside the fault handler.
+//
+// This is a textbook left-leaning-free CLRS red-black tree with parent
+// pointers; not thread-safe (each per-core tree carries its own lock in
+// DirtyTreeSet).
+#ifndef AQUILA_SRC_CACHE_RBTREE_H_
+#define AQUILA_SRC_CACHE_RBTREE_H_
+
+#include <cstdint>
+
+#include "src/util/logging.h"
+
+namespace aquila {
+
+struct RbNode {
+  RbNode* parent = nullptr;
+  RbNode* left = nullptr;
+  RbNode* right = nullptr;
+  bool red = false;
+  bool linked = false;  // membership flag, guards double-insert/remove
+};
+
+// Comparator: strict weak ordering over nodes, provided per-tree as a
+// function of the containing object. KeyOf maps node -> uint64 sort key.
+template <typename KeyOfNode>
+class RbTree {
+ public:
+  RbTree() = default;
+  explicit RbTree(KeyOfNode key_of) : key_of_(key_of) {}
+
+  bool empty() const { return root_ == nullptr; }
+  size_t size() const { return size_; }
+
+  void Insert(RbNode* node) {
+    AQUILA_DCHECK(!node->linked);
+    node->parent = node->left = node->right = nullptr;
+    node->red = true;
+    node->linked = true;
+    size_++;
+
+    RbNode** link = &root_;
+    RbNode* parent = nullptr;
+    uint64_t key = key_of_(node);
+    while (*link != nullptr) {
+      parent = *link;
+      link = key < key_of_(parent) ? &parent->left : &parent->right;
+    }
+    node->parent = parent;
+    *link = node;
+    FixupInsert(node);
+  }
+
+  void Remove(RbNode* node) {
+    AQUILA_DCHECK(node->linked);
+    node->linked = false;
+    size_--;
+
+    RbNode* child;
+    RbNode* parent;
+    bool red;
+    if (node->left == nullptr) {
+      child = node->right;
+      parent = node->parent;
+      red = node->red;
+      Transplant(node, child);
+    } else if (node->right == nullptr) {
+      child = node->left;
+      parent = node->parent;
+      red = node->red;
+      Transplant(node, child);
+    } else {
+      RbNode* successor = Minimum(node->right);
+      red = successor->red;
+      child = successor->right;
+      if (successor->parent == node) {
+        parent = successor;
+      } else {
+        parent = successor->parent;
+        Transplant(successor, successor->right);
+        successor->right = node->right;
+        successor->right->parent = successor;
+      }
+      Transplant(node, successor);
+      successor->left = node->left;
+      successor->left->parent = successor;
+      successor->red = node->red;
+    }
+    if (!red) {
+      FixupRemove(child, parent);
+    }
+    node->parent = node->left = node->right = nullptr;
+  }
+
+  // Smallest node, or null.
+  RbNode* First() const { return root_ == nullptr ? nullptr : Minimum(root_); }
+
+  // In-order successor.
+  static RbNode* Next(RbNode* node) {
+    if (node->right != nullptr) {
+      return Minimum(node->right);
+    }
+    RbNode* parent = node->parent;
+    while (parent != nullptr && node == parent->right) {
+      node = parent;
+      parent = parent->parent;
+    }
+    return parent;
+  }
+
+  // First node with key >= `key`, or null.
+  RbNode* LowerBound(uint64_t key) const {
+    RbNode* node = root_;
+    RbNode* best = nullptr;
+    while (node != nullptr) {
+      if (key_of_(node) >= key) {
+        best = node;
+        node = node->left;
+      } else {
+        node = node->right;
+      }
+    }
+    return best;
+  }
+
+  // Validates RB invariants (test hook). Returns black height, -1 on error.
+  int Validate() const { return ValidateFrom(root_, nullptr); }
+
+ private:
+  static RbNode* Minimum(RbNode* node) {
+    while (node->left != nullptr) {
+      node = node->left;
+    }
+    return node;
+  }
+
+  void RotateLeft(RbNode* node) {
+    RbNode* r = node->right;
+    node->right = r->left;
+    if (r->left != nullptr) {
+      r->left->parent = node;
+    }
+    r->parent = node->parent;
+    if (node->parent == nullptr) {
+      root_ = r;
+    } else if (node == node->parent->left) {
+      node->parent->left = r;
+    } else {
+      node->parent->right = r;
+    }
+    r->left = node;
+    node->parent = r;
+  }
+
+  void RotateRight(RbNode* node) {
+    RbNode* l = node->left;
+    node->left = l->right;
+    if (l->right != nullptr) {
+      l->right->parent = node;
+    }
+    l->parent = node->parent;
+    if (node->parent == nullptr) {
+      root_ = l;
+    } else if (node == node->parent->right) {
+      node->parent->right = l;
+    } else {
+      node->parent->left = l;
+    }
+    l->right = node;
+    node->parent = l;
+  }
+
+  void Transplant(RbNode* out, RbNode* in) {
+    if (out->parent == nullptr) {
+      root_ = in;
+    } else if (out == out->parent->left) {
+      out->parent->left = in;
+    } else {
+      out->parent->right = in;
+    }
+    if (in != nullptr) {
+      in->parent = out->parent;
+    }
+  }
+
+  void FixupInsert(RbNode* node) {
+    while (node->parent != nullptr && node->parent->red) {
+      RbNode* parent = node->parent;
+      RbNode* grand = parent->parent;
+      if (parent == grand->left) {
+        RbNode* uncle = grand->right;
+        if (uncle != nullptr && uncle->red) {
+          parent->red = uncle->red = false;
+          grand->red = true;
+          node = grand;
+        } else {
+          if (node == parent->right) {
+            node = parent;
+            RotateLeft(node);
+            parent = node->parent;
+          }
+          parent->red = false;
+          grand->red = true;
+          RotateRight(grand);
+        }
+      } else {
+        RbNode* uncle = grand->left;
+        if (uncle != nullptr && uncle->red) {
+          parent->red = uncle->red = false;
+          grand->red = true;
+          node = grand;
+        } else {
+          if (node == parent->left) {
+            node = parent;
+            RotateRight(node);
+            parent = node->parent;
+          }
+          parent->red = false;
+          grand->red = true;
+          RotateLeft(grand);
+        }
+      }
+    }
+    root_->red = false;
+  }
+
+  void FixupRemove(RbNode* node, RbNode* parent) {
+    while (node != root_ && (node == nullptr || !node->red)) {
+      if (node == parent->left) {
+        RbNode* sibling = parent->right;
+        if (sibling->red) {
+          sibling->red = false;
+          parent->red = true;
+          RotateLeft(parent);
+          sibling = parent->right;
+        }
+        if ((sibling->left == nullptr || !sibling->left->red) &&
+            (sibling->right == nullptr || !sibling->right->red)) {
+          sibling->red = true;
+          node = parent;
+          parent = node->parent;
+        } else {
+          if (sibling->right == nullptr || !sibling->right->red) {
+            if (sibling->left != nullptr) {
+              sibling->left->red = false;
+            }
+            sibling->red = true;
+            RotateRight(sibling);
+            sibling = parent->right;
+          }
+          sibling->red = parent->red;
+          parent->red = false;
+          if (sibling->right != nullptr) {
+            sibling->right->red = false;
+          }
+          RotateLeft(parent);
+          node = root_;
+          break;
+        }
+      } else {
+        RbNode* sibling = parent->left;
+        if (sibling->red) {
+          sibling->red = false;
+          parent->red = true;
+          RotateRight(parent);
+          sibling = parent->left;
+        }
+        if ((sibling->left == nullptr || !sibling->left->red) &&
+            (sibling->right == nullptr || !sibling->right->red)) {
+          sibling->red = true;
+          node = parent;
+          parent = node->parent;
+        } else {
+          if (sibling->left == nullptr || !sibling->left->red) {
+            if (sibling->right != nullptr) {
+              sibling->right->red = false;
+            }
+            sibling->red = true;
+            RotateLeft(sibling);
+            sibling = parent->left;
+          }
+          sibling->red = parent->red;
+          parent->red = false;
+          if (sibling->left != nullptr) {
+            sibling->left->red = false;
+          }
+          RotateRight(parent);
+          node = root_;
+          break;
+        }
+      }
+    }
+    if (node != nullptr) {
+      node->red = false;
+    }
+  }
+
+  int ValidateFrom(const RbNode* node, const RbNode* parent) const {
+    if (node == nullptr) {
+      return 1;
+    }
+    if (node->parent != parent) {
+      return -1;
+    }
+    if (node->red && ((node->left != nullptr && node->left->red) ||
+                      (node->right != nullptr && node->right->red))) {
+      return -1;
+    }
+    if (node->left != nullptr && key_of_(node->left) > key_of_(node)) {
+      return -1;
+    }
+    if (node->right != nullptr && key_of_(node->right) < key_of_(node)) {
+      return -1;
+    }
+    int lh = ValidateFrom(node->left, node);
+    int rh = ValidateFrom(node->right, node);
+    if (lh < 0 || rh < 0 || lh != rh) {
+      return -1;
+    }
+    return lh + (node->red ? 0 : 1);
+  }
+
+  RbNode* root_ = nullptr;
+  size_t size_ = 0;
+  KeyOfNode key_of_{};
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_CACHE_RBTREE_H_

@@ -1,0 +1,193 @@
+#include "src/core/aquila.h"
+
+#include <algorithm>
+
+#include "src/core/mmio_region.h"
+#include "src/core/trap_driver.h"
+#include "src/util/bitops.h"
+
+namespace aquila {
+
+Aquila::Aquila(const Options& options)
+    : options_(options),
+      hypervisor_(options.hypervisor),
+      guest_(hypervisor_.CreateGuest()),
+      fabric_(options.ipi_send_path) {
+  EnterThread();
+  cache_ = std::make_unique<PageCache>(&hypervisor_, guest_, ThisVcpu(), options_.cache);
+}
+
+Aquila::~Aquila() {
+  // Tear down any mappings the application leaked; writeback must still run
+  // (shared file mappings persist after exit, §2.1).
+  std::vector<std::unique_ptr<AquilaMap>> maps;
+  {
+    std::lock_guard<SpinLock> guard(maps_lock_);
+    maps.swap(maps_);
+  }
+  for (auto& map : maps) {
+    (void)map->TearDown();
+  }
+  TrapDriver::UnregisterRuntime(this);
+}
+
+void Aquila::EnterThread() {
+  CoreRegistry::RegisterThisThread();
+  ThisVcpu().set_mode(CpuMode::kGuestRing0);
+  if (trap_mode_used_.load(std::memory_order_acquire)) {
+    TrapDriver::Install();  // idempotent; sets up this thread's signal stack
+  }
+}
+
+int Aquila::active_cores() const {
+  if (options_.active_cores > 0) {
+    return options_.active_cores;
+  }
+  return CoreRegistry::RegisteredCores();
+}
+
+StatusOr<MemoryMap*> Aquila::Map(Backing* backing, uint64_t length, int prot) {
+  if (length == 0 || backing == nullptr) {
+    return Status::InvalidArgument("empty mapping");
+  }
+  if (length > backing->size_bytes()) {
+    return Status::InvalidArgument("mapping longer than backing object");
+  }
+  if ((prot & (kProtRead | kProtWrite)) == 0) {
+    return Status::InvalidArgument("mapping needs read or write protection");
+  }
+  auto map = std::make_unique<AquilaMap>(this, backing, length, prot);
+  AQUILA_RETURN_IF_ERROR(map->Install());
+  AquilaMap* raw = map.get();
+  std::lock_guard<SpinLock> guard(maps_lock_);
+  maps_.push_back(std::move(map));
+  return static_cast<MemoryMap*>(raw);
+}
+
+Status Aquila::Unmap(MemoryMap* map) {
+  std::unique_ptr<AquilaMap> owned;
+  {
+    std::lock_guard<SpinLock> guard(maps_lock_);
+    auto it = std::find_if(maps_.begin(), maps_.end(),
+                           [map](const auto& m) { return m.get() == map; });
+    if (it == maps_.end()) {
+      return Status::NotFound("not an active mapping");
+    }
+    owned = std::move(*it);
+    maps_.erase(it);
+  }
+  return owned->TearDown();
+}
+
+StatusOr<MemoryMap*> Aquila::Remap(MemoryMap* map, uint64_t new_length) {
+  auto* old_map = static_cast<AquilaMap*>(map);
+  if (old_map->transparent()) {
+    // Moving a transparent mapping would relocate PTEs but not the live
+    // hardware translations the application's pointers depend on.
+    return Status::Unimplemented("mremap of transparent mappings");
+  }
+  if (new_length == 0 || new_length > old_map->backing()->size_bytes()) {
+    return Status::InvalidArgument("bad mremap length");
+  }
+  Vcpu& vcpu = ThisVcpu();
+
+  // Build the replacement mapping at a fresh VA range, reusing the mapping
+  // id so cache keys (and therefore cached frames) carry over.
+  auto new_map =
+      std::make_unique<AquilaMap>(this, old_map->backing(), new_length, old_map->vma_.prot);
+  new_map->vma_.mapping_id = old_map->vma_.mapping_id;
+  AQUILA_RETURN_IF_ERROR(new_map->Install());
+
+  // Move resident translations: for every present PTE in the overlapping
+  // prefix, re-point the frame at its new virtual address.
+  uint64_t move_pages = std::min(old_map->vma_.page_count, new_map->vma_.page_count);
+  std::vector<uint64_t> old_vpns;
+  for (uint64_t i = 0; i < move_pages; i++) {
+    uint64_t old_page = old_map->vma_.start_page + i;
+    Vma* vma = vma_tree_.LockEntry(old_page);
+    if (vma == nullptr) {
+      continue;
+    }
+    uint64_t old_vaddr = old_page << kPageShift;
+    uint64_t pte = page_table_.Remove(old_vaddr);
+    if (Pte::Present(pte)) {
+      uint64_t new_vaddr = (new_map->vma_.start_page + i) << kPageShift;
+      FrameId frame = static_cast<FrameId>(Pte::Gpa(pte) >> kPageShift);
+      cache_->frame(frame).vaddr = new_vaddr;
+      page_table_.Install(new_vaddr, Pte::Gpa(pte), pte & Pte::kFlagsMask & ~Pte::kPresent);
+      old_vpns.push_back(old_page);
+    }
+    vma_tree_.UnlockEntry(old_page);
+  }
+
+  // Pages beyond the new length (shrink) must leave the cache.
+  if (old_map->vma_.page_count > move_pages) {
+    (void)old_map->Advise(move_pages * kPageSize,
+                          (old_map->vma_.page_count - move_pages) * kPageSize,
+                          Advice::kDontNeed);
+  }
+
+  AQUILA_RETURN_IF_ERROR(vma_tree_.Remove(&old_map->vma_));
+  for (size_t i = 0; i < old_vpns.size(); i += options_.shootdown_batch) {
+    size_t n = std::min<size_t>(options_.shootdown_batch, old_vpns.size() - i);
+    tlb_.Shootdown(vcpu.clock(), vcpu.core(), active_cores(),
+                   std::span(old_vpns.data() + i, n), fabric_);
+  }
+
+  MemoryMap* result = new_map.get();
+  {
+    std::lock_guard<SpinLock> guard(maps_lock_);
+    maps_.push_back(std::move(new_map));
+    auto it = std::find_if(maps_.begin(), maps_.end(),
+                           [map](const auto& m) { return m.get() == map; });
+    if (it != maps_.end()) {
+      maps_.erase(it);
+    }
+  }
+  return result;
+}
+
+StatusOr<MemoryMap*> Aquila::MapTransparent(Backing* backing, uint64_t length, int prot) {
+  if (length == 0 || backing == nullptr || length > backing->size_bytes()) {
+    return Status::InvalidArgument("bad transparent mapping arguments");
+  }
+  if ((prot & (kProtRead | kProtWrite)) == 0) {
+    return Status::InvalidArgument("mapping needs read or write protection");
+  }
+  if (hypervisor_.backing_fd() < 0) {
+    return Status::FailedPrecondition("trap mode needs memfd-backed host memory");
+  }
+  auto map = std::make_unique<AquilaMap>(this, backing, length, prot);
+  uint8_t* base = TrapDriver::ReserveRange(map->vma_.page_count * kPageSize);
+  if (base == nullptr) {
+    return Status::OutOfSpace("cannot reserve transparent address range");
+  }
+  map->transparent_base_ = base;
+  Status installed = map->Install();
+  if (!installed.ok()) {
+    TrapDriver::ReleaseRange(base, map->vma_.page_count * kPageSize);
+    return installed;
+  }
+  trap_mode_used_.store(true, std::memory_order_release);
+  TrapDriver::RegisterRuntime(this);
+  TrapDriver::Install();
+  AquilaMap* raw = map.get();
+  std::lock_guard<SpinLock> guard(maps_lock_);
+  maps_.push_back(std::move(map));
+  return static_cast<MemoryMap*>(raw);
+}
+
+Status Aquila::GrowCache(uint64_t add_bytes) {
+  return cache_->Grow(ThisVcpu(), AlignUp(add_bytes, kPageSize) / kPageSize);
+}
+
+StatusOr<uint64_t> Aquila::ShrinkCache(uint64_t remove_bytes) {
+  StatusOr<uint64_t> pages =
+      cache_->Shrink(ThisVcpu(), AlignUp(remove_bytes, kPageSize) / kPageSize);
+  if (!pages.ok()) {
+    return pages.status();
+  }
+  return *pages * kPageSize;
+}
+
+}  // namespace aquila

@@ -1,0 +1,120 @@
+// Aquila: the library OS runtime (§3, §4).
+//
+// An Aquila instance plays the role of the guest OS the paper collocates
+// with the application in VMX non-root ring 0. It owns:
+//   - one guest context on the simulated hypervisor (EPT, GPA grants);
+//   - a single process-wide page table (GVA -> frame) and per-core TLBs;
+//   - the DRAM I/O cache (lock-free hash, 2-level freelist, dirty trees);
+//   - the radix-tree VMA manager and a VA allocator;
+//   - the posted-IPI fabric for batched TLB shootdowns.
+//
+// Application integration mirrors the paper (§4): one call to construct the
+// runtime at startup, one EnterThread() per thread; thereafter mmap-like
+// calls (Map/Unmap/Sync/Advise/Protect/Remap) are handled entirely inside
+// non-root ring 0 — no vmcall — while cache growth and shrink go to the
+// hypervisor (operation ⑤).
+#ifndef AQUILA_SRC_CORE_AQUILA_H_
+#define AQUILA_SRC_CORE_AQUILA_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/page_cache.h"
+#include "src/core/mmio.h"
+#include "src/mem/page_table.h"
+#include "src/mem/tlb.h"
+#include "src/util/spinlock.h"
+#include "src/vma/vma_tree.h"
+#include "src/vmx/hypervisor.h"
+#include "src/vmx/ipi.h"
+
+namespace aquila {
+
+class AquilaMap;
+
+struct FaultStats {
+  std::atomic<uint64_t> major_faults{0};   // page read from the device
+  std::atomic<uint64_t> minor_faults{0};   // page was in cache, mapping installed
+  std::atomic<uint64_t> write_upgrades{0}; // write fault on a read-only mapping
+  std::atomic<uint64_t> evict_batches{0};
+  std::atomic<uint64_t> evicted_pages{0};
+  std::atomic<uint64_t> writeback_pages{0};
+  std::atomic<uint64_t> readahead_pages{0};
+};
+
+class Aquila : public MmioEngine {
+ public:
+  struct Options {
+    Hypervisor::Options hypervisor;
+    PageCache::Options cache;
+    PostedIpiFabric::SendPath ipi_send_path = PostedIpiFabric::SendPath::kVmexitProtected;
+    // Mappings removed per TLB shootdown batch (512 in the paper, §4.1).
+    uint32_t shootdown_batch = 512;
+    // Pages prefetched on a sequential-advice miss.
+    uint32_t readahead_pages = 8;
+    // Cores participating in shootdowns; defaults to all registered cores.
+    int active_cores = 0;
+  };
+
+  explicit Aquila(const Options& options);
+  ~Aquila() override;
+
+  Aquila(const Aquila&) = delete;
+  Aquila& operator=(const Aquila&) = delete;
+
+  // --- MmioEngine -------------------------------------------------------------
+  const char* name() const override { return "aquila"; }
+  StatusOr<MemoryMap*> Map(Backing* backing, uint64_t length, int prot) override;
+  Status Unmap(MemoryMap* map) override;
+  void EnterThread() override;
+
+  // mremap: moves `map` to a mapping of `new_length` (data and cache state
+  // preserved; virtual addresses change, old TLB entries shot down).
+  StatusOr<MemoryMap*> Remap(MemoryMap* map, uint64_t new_length);
+
+  // Transparent (trap-mode) mapping: the returned map's data() pointer is
+  // directly dereferenceable; misses take REAL page faults served by the
+  // Aquila fault path, and hits cost nothing at all (hardware TLB). See
+  // src/core/trap_driver.h. Linux/x86-64 only.
+  StatusOr<MemoryMap*> MapTransparent(Backing* backing, uint64_t length, int prot);
+
+  // Dynamic cache resizing (operation ⑤): interacts with the hypervisor.
+  Status GrowCache(uint64_t add_bytes);
+  StatusOr<uint64_t> ShrinkCache(uint64_t remove_bytes);
+
+  // --- Introspection ----------------------------------------------------------
+  Hypervisor& hypervisor() { return hypervisor_; }
+  PageCache& cache() { return *cache_; }
+  PageTable& page_table() { return page_table_; }
+  TlbSet& tlb() { return tlb_; }
+  VmaTree& vma_tree() { return vma_tree_; }
+  PostedIpiFabric& fabric() { return fabric_; }
+  FaultStats& fault_stats() { return fault_stats_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  const Options& options() const { return options_; }
+  int guest() const { return guest_; }
+  int active_cores() const;
+
+ private:
+  friend class AquilaMap;
+
+  Options options_;
+  Hypervisor hypervisor_;
+  int guest_;
+  PageTable page_table_;
+  TlbSet tlb_;
+  PostedIpiFabric fabric_;
+  VmaTree vma_tree_;
+  VaAllocator va_allocator_;
+  std::unique_ptr<PageCache> cache_;
+  FaultStats fault_stats_;
+
+  SpinLock maps_lock_;
+  std::vector<std::unique_ptr<AquilaMap>> maps_;
+  std::atomic<uint64_t> next_mapping_id_{1};
+  std::atomic<bool> trap_mode_used_{false};
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_CORE_AQUILA_H_

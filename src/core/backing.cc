@@ -1,0 +1,59 @@
+#include "src/core/backing.h"
+
+#include <vector>
+
+namespace aquila {
+
+Status DeviceBacking::WritePages(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                                 std::span<const uint8_t* const> pages, uint64_t page_bytes) {
+  // Translate file offsets to device offsets, then hand the whole batch to
+  // the device (NVMe overlaps it on the queue pair).
+  std::vector<uint64_t> device_offsets(offsets.size());
+  for (size_t i = 0; i < offsets.size(); i++) {
+    if (offsets[i] + page_bytes > length_) {
+      return Status::InvalidArgument("write beyond backing");
+    }
+    device_offsets[i] = base_ + offsets[i];
+  }
+  return device_->WriteBatch(vcpu, device_offsets, pages, page_bytes);
+}
+
+Status DeviceBacking::ReadPages(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                                std::span<uint8_t* const> pages, uint64_t page_bytes) {
+  std::vector<uint64_t> device_offsets(offsets.size());
+  for (size_t i = 0; i < offsets.size(); i++) {
+    if (offsets[i] + page_bytes > length_) {
+      return Status::InvalidArgument("read beyond backing");
+    }
+    device_offsets[i] = base_ + offsets[i];
+  }
+  return device_->ReadBatch(vcpu, device_offsets, pages, page_bytes);
+}
+
+Status BlobBacking::ReadPages(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                              std::span<uint8_t* const> pages, uint64_t page_bytes) {
+  std::vector<uint64_t> device_offsets(offsets.size());
+  for (size_t i = 0; i < offsets.size(); i++) {
+    StatusOr<uint64_t> dev = store_->TranslateOffset(blob_, offsets[i]);
+    if (!dev.ok()) {
+      return dev.status();
+    }
+    device_offsets[i] = *dev;
+  }
+  return store_->device()->ReadBatch(vcpu, device_offsets, pages, page_bytes);
+}
+
+Status BlobBacking::WritePages(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                               std::span<const uint8_t* const> pages, uint64_t page_bytes) {
+  std::vector<uint64_t> device_offsets(offsets.size());
+  for (size_t i = 0; i < offsets.size(); i++) {
+    StatusOr<uint64_t> dev = store_->TranslateOffset(blob_, offsets[i]);
+    if (!dev.ok()) {
+      return dev.status();
+    }
+    device_offsets[i] = *dev;
+  }
+  return store_->device()->WriteBatch(vcpu, device_offsets, pages, page_bytes);
+}
+
+}  // namespace aquila

@@ -1,0 +1,90 @@
+// Engine-neutral mmio interface.
+//
+// Applications (key-value stores, the graph framework, the benchmarks)
+// program against MemoryMap/MmioEngine so the same workload runs over
+// Aquila, over the Linux-mmap baseline simulator, or over kmmap — exactly
+// the comparison matrix of the paper's evaluation.
+//
+// Access semantics mirror shared file-backed mmap (§2.1): loads and stores
+// hit the DRAM cache through hardware-translated mappings; misses fault;
+// stores mark pages dirty; Msync writes a range back durably.
+#ifndef AQUILA_SRC_CORE_MMIO_H_
+#define AQUILA_SRC_CORE_MMIO_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/core/backing.h"
+#include "src/util/status.h"
+#include "src/vma/vma_tree.h"  // kProtRead / kProtWrite
+
+namespace aquila {
+
+enum class Advice {
+  kNormal = 0,
+  kRandom,      // disable read-ahead
+  kSequential,  // aggressive read-ahead
+  kWillNeed,    // prefetch the range now
+  kDontNeed,    // drop the range from the cache
+};
+
+class MemoryMap {
+ public:
+  virtual ~MemoryMap() = default;
+
+  virtual uint64_t length() const = 0;
+
+  // Bulk accessors (may span pages; fault in what is missing).
+  virtual Status Read(uint64_t offset, std::span<uint8_t> dst) = 0;
+  virtual Status Write(uint64_t offset, std::span<const uint8_t> src) = 0;
+
+  // Single-page touch: the microbenchmark primitive (one load / one store at
+  // `offset`). Returns whether the access faulted.
+  virtual bool TouchRead(uint64_t offset) = 0;
+  virtual bool TouchWrite(uint64_t offset) = 0;
+
+  // msync(MS_SYNC) over [offset, offset+length).
+  virtual Status Sync(uint64_t offset, uint64_t length) = 0;
+
+  // madvise over [offset, offset+length).
+  virtual Status Advise(uint64_t offset, uint64_t length, Advice advice) = 0;
+
+  // Typed scalar accessors for pointer-chasing workloads (Ligra's heap).
+  template <typename T>
+  T LoadValue(uint64_t offset) {
+    T value{};
+    Status status = Read(offset, std::span(reinterpret_cast<uint8_t*>(&value), sizeof(T)));
+    AQUILA_CHECK(status.ok());
+    return value;
+  }
+
+  template <typename T>
+  void StoreValue(uint64_t offset, const T& value) {
+    Status status =
+        Write(offset, std::span(reinterpret_cast<const uint8_t*>(&value), sizeof(T)));
+    AQUILA_CHECK(status.ok());
+  }
+};
+
+class MmioEngine {
+ public:
+  virtual ~MmioEngine() = default;
+
+  virtual const char* name() const = 0;
+
+  // mmap: maps `length` bytes of `backing` starting at backing offset 0.
+  // `prot` is a kProtRead/kProtWrite mask. The engine owns the returned map
+  // until Unmap.
+  virtual StatusOr<MemoryMap*> Map(Backing* backing, uint64_t length, int prot) = 0;
+
+  // munmap: flushes dirty pages and releases the mapping.
+  virtual Status Unmap(MemoryMap* map) = 0;
+
+  // Per-thread initialization (Aquila: switch the thread into non-root
+  // ring 0; baseline: no-op).
+  virtual void EnterThread() {}
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_CORE_MMIO_H_

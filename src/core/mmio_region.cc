@@ -1,0 +1,732 @@
+#include "src/core/mmio_region.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/core/trap_driver.h"
+#include "src/util/bitops.h"
+
+namespace aquila {
+
+namespace {
+
+// Frames claimed for writeback, sorted by device offset before issuing.
+struct WritebackItem {
+  uint64_t sort_key;
+  uint64_t file_offset;
+  const uint8_t* data;
+  Backing* backing;
+  FrameId frame;
+
+  bool operator<(const WritebackItem& other) const { return sort_key < other.sort_key; }
+};
+
+// Issues the (sorted) items grouped per backing in one batched call each.
+Status IssueWriteback(Vcpu& vcpu, std::vector<WritebackItem>& items) {
+  std::sort(items.begin(), items.end());
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    while (j < items.size() && items[j].backing == items[i].backing) {
+      j++;
+    }
+    std::vector<uint64_t> offsets;
+    std::vector<const uint8_t*> pages;
+    offsets.reserve(j - i);
+    pages.reserve(j - i);
+    for (size_t k = i; k < j; k++) {
+      offsets.push_back(items[k].file_offset);
+      pages.push_back(items[k].data);
+    }
+    AQUILA_RETURN_IF_ERROR(items[i].backing->WritePages(vcpu, offsets, pages, kPageSize));
+    i = j;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+AquilaMap::AquilaMap(Aquila* runtime, Backing* backing, uint64_t length, int prot)
+    : runtime_(runtime), backing_(backing), length_(length) {
+  vma_.page_count = AlignUp(length, kPageSize) / kPageSize;
+  vma_.prot = prot;
+  vma_.mapping_id = runtime_->next_mapping_id_.fetch_add(1, std::memory_order_relaxed);
+  vma_.backing = this;
+}
+
+Status AquilaMap::Install() {
+  if (transparent_base_ != nullptr) {
+    vma_.start_page = reinterpret_cast<uint64_t>(transparent_base_) >> kPageShift;
+  } else {
+    vma_.start_page = runtime_->va_allocator_.Allocate(vma_.page_count) >> kPageShift;
+  }
+  return runtime_->vma_tree().Insert(&vma_);
+}
+
+Status AquilaMap::TearDown() {
+  Vcpu& vcpu = ThisVcpu();
+  // Removing the VMA first drains in-flight faults and makes the range
+  // unreachable; afterwards the sweep below cannot race with new faults.
+  AQUILA_RETURN_IF_ERROR(runtime_->vma_tree().Remove(&vma_));
+
+  PageCache& cache = runtime_->cache();
+  std::vector<WritebackItem> writeback;
+  std::vector<uint64_t> vpns;
+  std::vector<FrameId> frames;
+  for (uint64_t i = 0; i < vma_.page_count; i++) {
+    uint64_t page = vma_.start_page + i;
+    uint64_t vaddr = page << kPageShift;
+    uint64_t key = MakeKey(vma_.mapping_id, i);
+    FrameId frame;
+    if (!cache.Lookup(key, &frame)) {
+      continue;
+    }
+    Frame& f = cache.frame(frame);
+    // Claim against concurrent evictors.
+    FrameState expected = FrameState::kResident;
+    while (!f.state.compare_exchange_weak(expected, FrameState::kEvicting,
+                                          std::memory_order_acq_rel)) {
+      if (expected != FrameState::kResident) {
+        CpuRelax();
+        expected = FrameState::kResident;
+        if (!cache.Lookup(key, &frame)) {
+          break;  // evictor took it
+        }
+      }
+    }
+    if (f.state.load(std::memory_order_acquire) != FrameState::kEvicting || f.key != key) {
+      continue;
+    }
+    (void)runtime_->page_table().Remove(vaddr);
+    cache.RemoveMapping(key);
+    vpns.push_back(page);
+    if (f.dirty.load(std::memory_order_relaxed) != 0) {
+      cache.ClearDirty(frame);
+      writeback.push_back(WritebackItem{SortKey(i * kPageSize), i * kPageSize,
+                                        cache.FrameData(vcpu, frame), backing_, frame});
+    }
+    frames.push_back(frame);
+  }
+
+  AQUILA_RETURN_IF_ERROR(IssueWriteback(vcpu, writeback));
+  AQUILA_RETURN_IF_ERROR(backing_->Flush(vcpu));
+
+  uint32_t batch = runtime_->options().shootdown_batch;
+  for (size_t i = 0; i < vpns.size(); i += batch) {
+    size_t n = std::min<size_t>(batch, vpns.size() - i);
+    runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(),
+                              std::span(vpns.data() + i, n), runtime_->fabric());
+  }
+  int core = vcpu.core();
+  for (FrameId frame : frames) {
+    cache.FreeFrame(core, frame);
+  }
+  if (transparent_base_ != nullptr) {
+    TrapDriver::ReleaseRange(transparent_base_, vma_.page_count * kPageSize);
+    transparent_base_ = nullptr;
+  }
+  return Status::Ok();
+}
+
+Status AquilaMap::HandleTrapFault(uint64_t vaddr, bool write) {
+  uint64_t base = reinterpret_cast<uint64_t>(transparent_base_);
+  if (transparent_base_ == nullptr || vaddr < base || vaddr >= base + length_) {
+    return Status::InvalidArgument("fault outside this mapping");
+  }
+  if (write && (vma_.prot & kProtWrite) == 0) {
+    return Status::FailedPrecondition("real write fault on read-only mapping");
+  }
+  uint64_t offset = vaddr - base;
+  StatusOr<PageRef> ref = AccessPage(offset, write);
+  if (!ref.ok()) {
+    return ref.status();
+  }
+  UnlockPage(vma_.start_page + (offset >> kPageShift));
+  return Status::Ok();
+}
+
+StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write) {
+  if (offset >= length_) {
+    return Status::InvalidArgument("access beyond mapping");
+  }
+  if (write && (vma_.prot & kProtWrite) == 0) {
+    return Status::FailedPrecondition("write to read-only mapping");
+  }
+  Vcpu& vcpu = ThisVcpu();
+  uint64_t page = vma_.start_page + (offset >> kPageShift);
+  uint64_t vaddr = page << kPageShift;
+
+  // Hardware translation attempt (statistical TLB).
+  TlbSet::LookupResult tlb = runtime_->tlb().Lookup(vcpu.core(), page);
+
+  Vma* vma = runtime_->vma_tree().LockEntry(page);
+  if (vma == nullptr) {
+    return Status::FailedPrecondition("address no longer mapped");
+  }
+  AQUILA_DCHECK(vma == &vma_);
+
+  uint64_t pte = runtime_->page_table().Lookup(vaddr);
+  PageRef ref;
+  FrameId frame;
+  if (Pte::Present(pte) && (!write || Pte::Writable(pte))) {
+    // Cache hit: translation exists; no software on the real machine. We
+    // charge only the hardware walk when the TLB missed.
+    if (!tlb.hit || (write && !tlb.writable)) {
+      vcpu.clock().Charge(CostCategory::kPageTable, GlobalCostModel().hardware_walk);
+      runtime_->tlb().Insert(vcpu.core(), page, Pte::Writable(pte));
+    }
+    frame = static_cast<FrameId>(Pte::Gpa(pte) >> kPageShift);
+    ref.faulted = false;
+  } else {
+    StatusOr<FrameId> faulted = HandleFault(vcpu, vaddr, write);
+    if (!faulted.ok()) {
+      UnlockPage(page);
+      return faulted.status();
+    }
+    frame = *faulted;
+    runtime_->tlb().Insert(vcpu.core(), page, write);
+    ref.faulted = true;
+  }
+  Frame& f = runtime_->cache().frame(frame);
+  f.referenced.store(1, std::memory_order_relaxed);
+  ref.data = runtime_->cache().FrameData(vcpu, frame);
+  return ref;
+}
+
+StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write) {
+  // Entry lock held by the caller. This is operation ①: an exception taken
+  // and handled entirely in non-root ring 0 — no protection-domain switch.
+  runtime_->fabric().Absorb(vcpu.clock(), vcpu.core());
+  vcpu.ChargeRing0Exception();
+
+  PageCache& cache = runtime_->cache();
+  uint64_t page = vaddr >> kPageShift;
+  uint64_t file_page = page - vma_.start_page;
+  uint64_t key = MakeKey(vma_.mapping_id, file_page);
+
+  uint64_t pte = runtime_->page_table().Lookup(vaddr);
+  if (Pte::Present(pte)) {
+    // Write fault on a read-only mapping: the dirty-tracking fault (§3.2).
+    AQUILA_DCHECK(write && !Pte::Writable(pte));
+    ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
+    FrameId frame = static_cast<FrameId>(Pte::Gpa(pte) >> kPageShift);
+    // The frame may already be dirty with only its PTE write-protected
+    // (mprotect downgrade); re-inserting it would corrupt the dirty tree.
+    if (cache.frame(frame).dirty.load(std::memory_order_relaxed) == 0) {
+      cache.MarkDirty(vcpu.core(), frame, SortKey(file_page * kPageSize));
+    }
+    runtime_->page_table().Walk(vaddr)->fetch_or(Pte::kWritable | Pte::kDirty,
+                                                 std::memory_order_acq_rel);
+    if (transparent_base_ != nullptr) {
+      TrapDriver::UpgradeRealMapping(vaddr);
+    }
+    runtime_->fault_stats().write_upgrades.fetch_add(1, std::memory_order_relaxed);
+    return frame;
+  }
+
+  FrameId frame;
+  // Minor-fault path: the page may already be in the cache (read-ahead or
+  // a prior mapping). Frames without a translation (read-ahead) can be
+  // evicted concurrently — an evictor for a *mapped* page would need our
+  // entry lock — so re-validate with a lookup loop: either we observe the
+  // frame resident under our key, or the mapping disappears and we fall
+  // through to the major-fault path. The wait itself stays outside the
+  // measured scopes (it is host-scheduling noise, not modeled work).
+  {
+    SpinBackoff backoff;
+    while (true) {
+      bool found;
+      {
+        ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+        found = cache.Lookup(key, &frame);
+      }
+      if (!found) {
+        break;
+      }
+      Frame& f = cache.frame(frame);
+      FrameState state = f.state.load(std::memory_order_acquire);
+      if (state == FrameState::kResident && f.key == key) {
+        ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+        f.vaddr = vaddr;
+        uint64_t flags =
+            write ? (Pte::kWritable | Pte::kDirty | Pte::kAccessed) : Pte::kAccessed;
+        AQUILA_CHECK(runtime_->page_table().Install(
+            vaddr, static_cast<uint64_t>(frame) << kPageShift, flags));
+        if (write && f.dirty.load(std::memory_order_relaxed) == 0) {
+          cache.MarkDirty(vcpu.core(), frame, SortKey(file_page * kPageSize));
+        }
+        if (transparent_base_ != nullptr) {
+          TrapDriver::InstallRealMapping(runtime_, vaddr, f.gpa, write);
+        }
+        runtime_->fault_stats().minor_faults.fetch_add(1, std::memory_order_relaxed);
+        return frame;
+      }
+      backoff.Pause();  // eviction or reuse in flight; re-validate
+    }
+  }
+
+  // Major fault: allocate a frame, evicting synchronously when the cache is
+  // full (§3.2: batch of 512).
+  while (true) {
+    {
+      ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+      frame = cache.AllocFrame(vcpu, vcpu.core());
+    }
+    if (frame != kInvalidFrame) {
+      break;
+    }
+    if (EvictBatch(vcpu) == 0) {
+      CpuRelax();  // every frame busy; another thread is making progress
+    }
+  }
+
+  Status fill = FillAndPublish(vcpu, frame, vaddr, key, write);
+  if (!fill.ok()) {
+    cache.FreeFrame(vcpu.core(), frame);
+    return fill;
+  }
+  runtime_->fault_stats().major_faults.fetch_add(1, std::memory_order_relaxed);
+
+  if (advice_.load(std::memory_order_relaxed) == Advice::kSequential) {
+    ReadAhead(vcpu, file_page);
+  }
+  return frame;
+}
+
+Status AquilaMap::FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint64_t key,
+                                 bool write) {
+  PageCache& cache = runtime_->cache();
+  Frame& f = cache.frame(frame);
+  uint64_t file_page = FilePageOfKey(key);
+  uint64_t file_offset = file_page * kPageSize;
+
+  uint8_t* data = cache.FrameData(vcpu, frame);
+  uint64_t read_len = std::min<uint64_t>(kPageSize, backing_->size_bytes() - file_offset);
+  Status status = backing_->ReadRange(vcpu, file_offset, std::span(data, read_len));
+  if (!status.ok()) {
+    return status;
+  }
+  if (read_len < kPageSize) {
+    std::memset(data + read_len, 0, kPageSize - read_len);
+  }
+
+  ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+  f.key = key;
+  f.vaddr = vaddr;
+  uint64_t flags = write ? (Pte::kWritable | Pte::kDirty | Pte::kAccessed) : Pte::kAccessed;
+  AQUILA_CHECK(
+      runtime_->page_table().Install(vaddr, static_cast<uint64_t>(frame) << kPageShift, flags));
+  AQUILA_CHECK(cache.InsertMapping(key, frame));
+  if (write) {
+    cache.MarkDirty(vcpu.core(), frame, SortKey(file_offset));
+  }
+  if (transparent_base_ != nullptr) {
+    TrapDriver::InstallRealMapping(runtime_, vaddr, f.gpa, write);
+  }
+  f.state.store(FrameState::kResident, std::memory_order_release);
+  return Status::Ok();
+}
+
+void AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
+  PageCache& cache = runtime_->cache();
+  uint32_t window = runtime_->options().readahead_pages;
+  std::vector<uint64_t> offsets;
+  std::vector<uint8_t*> buffers;
+  std::vector<FrameId> frames;
+  std::vector<uint64_t> pages;
+
+  for (uint32_t i = 1; i <= window; i++) {
+    uint64_t next_file_page = file_page + i;
+    if (next_file_page >= vma_.page_count ||
+        (next_file_page + 1) * kPageSize > backing_->size_bytes()) {
+      break;
+    }
+    uint64_t page = vma_.start_page + next_file_page;
+    Vma* vma;
+    if (!runtime_->vma_tree().TryLockEntry(page, &vma)) {
+      continue;
+    }
+    uint64_t key = MakeKey(vma_.mapping_id, next_file_page);
+    FrameId existing;
+    if (cache.Lookup(key, &existing)) {
+      UnlockPage(page);
+      continue;
+    }
+    FrameId frame = cache.AllocFrame(vcpu, vcpu.core());
+    if (frame == kInvalidFrame) {
+      UnlockPage(page);
+      break;  // never evict for read-ahead
+    }
+    Frame& f = cache.frame(frame);
+    f.key = key;
+    f.vaddr = 0;  // no translation yet: the actual access takes a minor fault
+    offsets.push_back(next_file_page * kPageSize);
+    buffers.push_back(cache.FrameData(vcpu, frame));
+    frames.push_back(frame);
+    pages.push_back(page);
+  }
+  if (frames.empty()) {
+    return;
+  }
+
+  Status status = backing_->ReadPages(vcpu, offsets, buffers, kPageSize);
+  for (size_t i = 0; i < frames.size(); i++) {
+    Frame& f = cache.frame(frames[i]);
+    if (status.ok()) {
+      AQUILA_CHECK(cache.InsertMapping(f.key, frames[i]));
+      f.state.store(FrameState::kResident, std::memory_order_release);
+    } else {
+      cache.FreeFrame(vcpu.core(), frames[i]);
+    }
+    UnlockPage(pages[i]);
+  }
+  if (status.ok()) {
+    runtime_->fault_stats().readahead_pages.fetch_add(frames.size(),
+                                                      std::memory_order_relaxed);
+  }
+}
+
+size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
+  PageCache& cache = runtime_->cache();
+  FaultStats& stats = runtime_->fault_stats();
+  stats.evict_batches.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<FrameId> victims(cache.eviction_batch());
+  size_t n;
+  {
+    ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+    n = cache.SelectVictims(victims.size(), victims.data());
+  }
+  if (n == 0) {
+    return 0;
+  }
+
+  std::vector<WritebackItem> writeback;
+  std::vector<uint64_t> locked_dirty_pages;
+  std::vector<uint64_t> vpns;
+  std::vector<FrameId> to_free;
+  vpns.reserve(n);
+  to_free.reserve(n);
+
+  {
+    ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+    for (size_t i = 0; i < n; i++) {
+      FrameId frame = victims[i];
+      Frame& f = cache.frame(frame);
+      uint64_t page = f.vaddr >> kPageShift;
+      Vma* vma;
+      if (f.vaddr == 0 || !runtime_->vma_tree().TryLockEntry(page, &vma)) {
+        // Read-ahead frame with no translation yet, or a fault in flight on
+        // that page: give it a second chance.
+        if (f.vaddr == 0) {
+          // Read-ahead page: evictable without a translation or a lock.
+          cache.RemoveMapping(f.key);
+          to_free.push_back(frame);
+          continue;
+        }
+        f.referenced.store(1, std::memory_order_relaxed);
+        f.state.store(FrameState::kResident, std::memory_order_release);
+        continue;
+      }
+      (void)runtime_->page_table().Remove(f.vaddr);
+      cache.RemoveMapping(f.key);
+      auto* owner = static_cast<AquilaMap*>(vma->backing);
+      if (owner->transparent_base_ != nullptr) {
+        TrapDriver::RemoveRealMapping(f.vaddr);
+      }
+      vpns.push_back(page);
+      if (f.dirty.load(std::memory_order_relaxed) != 0) {
+        cache.ClearDirty(frame);
+        auto* map = owner;
+        uint64_t file_offset = FilePageOfKey(f.key) * kPageSize;
+        writeback.push_back(WritebackItem{f.dirty_item.sort_key, file_offset,
+                                          cache.FrameData(vcpu, frame), map->backing_, frame});
+        locked_dirty_pages.push_back(page);  // stays locked until written
+      } else {
+        UnlockPage(page);
+        to_free.push_back(frame);
+      }
+    }
+  }
+
+  if (!writeback.empty()) {
+    {
+      ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
+      std::sort(writeback.begin(), writeback.end());
+    }
+    Status status = IssueWriteback(vcpu, writeback);
+    AQUILA_CHECK(status.ok());
+    stats.writeback_pages.fetch_add(writeback.size(), std::memory_order_relaxed);
+    for (uint64_t page : locked_dirty_pages) {
+      UnlockPage(page);
+    }
+    for (const WritebackItem& item : writeback) {
+      to_free.push_back(item.frame);
+    }
+  }
+
+  // One batched shootdown for the whole eviction (§4.1).
+  if (!vpns.empty()) {
+    runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(), vpns,
+                              runtime_->fabric());
+  }
+
+  int core = vcpu.core();
+  for (FrameId frame : to_free) {
+    cache.FreeFrame(core, frame);
+  }
+  stats.evicted_pages.fetch_add(to_free.size(), std::memory_order_relaxed);
+  return to_free.size();
+}
+
+Status AquilaMap::Read(uint64_t offset, std::span<uint8_t> dst) {
+  if (offset + dst.size() > length_) {
+    return Status::InvalidArgument("read beyond mapping");
+  }
+  uint64_t done = 0;
+  while (done < dst.size()) {
+    uint64_t in_page = (offset + done) % kPageSize;
+    uint64_t run = std::min<uint64_t>(dst.size() - done, kPageSize - in_page);
+    StatusOr<PageRef> ref = AccessPage(offset + done, /*write=*/false);
+    if (!ref.ok()) {
+      return ref.status();
+    }
+    std::memcpy(dst.data() + done, ref->data + in_page, run);
+    UnlockPage(vma_.start_page + ((offset + done) >> kPageShift));
+    done += run;
+  }
+  return Status::Ok();
+}
+
+Status AquilaMap::Write(uint64_t offset, std::span<const uint8_t> src) {
+  if (offset + src.size() > length_) {
+    return Status::InvalidArgument("write beyond mapping");
+  }
+  uint64_t done = 0;
+  while (done < src.size()) {
+    uint64_t in_page = (offset + done) % kPageSize;
+    uint64_t run = std::min<uint64_t>(src.size() - done, kPageSize - in_page);
+    StatusOr<PageRef> ref = AccessPage(offset + done, /*write=*/true);
+    if (!ref.ok()) {
+      return ref.status();
+    }
+    std::memcpy(ref->data + in_page, src.data() + done, run);
+    UnlockPage(vma_.start_page + ((offset + done) >> kPageShift));
+    done += run;
+  }
+  return Status::Ok();
+}
+
+bool AquilaMap::TouchRead(uint64_t offset) {
+  StatusOr<PageRef> ref = AccessPage(offset, /*write=*/false);
+  AQUILA_CHECK(ref.ok());
+  // One load from the page (the microbenchmark's access).
+  volatile uint8_t sink = ref->data[offset % kPageSize];
+  (void)sink;
+  bool faulted = ref->faulted;
+  UnlockPage(vma_.start_page + (offset >> kPageShift));
+  return faulted;
+}
+
+bool AquilaMap::TouchWrite(uint64_t offset) {
+  StatusOr<PageRef> ref = AccessPage(offset, /*write=*/true);
+  AQUILA_CHECK(ref.ok());
+  ref->data[offset % kPageSize]++;
+  bool faulted = ref->faulted;
+  UnlockPage(vma_.start_page + (offset >> kPageShift));
+  return faulted;
+}
+
+Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
+  if (offset + length > AlignUp(length_, kPageSize) || length == 0) {
+    return Status::InvalidArgument("bad msync range");
+  }
+  Vcpu& vcpu = ThisVcpu();
+  PageCache& cache = runtime_->cache();
+
+  // Claim dirty frames of this mapping from the per-core trees.
+  std::vector<FrameId> collected;
+  uint64_t lo = vma_.mapping_id << 40;
+  uint64_t hi = lo | ((1ull << 40) - 1);
+  {
+    ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
+    cache.CollectDirtyRange(lo, hi, &collected);
+  }
+
+  uint64_t first_page = offset >> kPageShift;
+  uint64_t last_page = (offset + length - 1) >> kPageShift;
+  std::vector<WritebackItem> writeback;
+  std::vector<uint64_t> vpns;
+  std::vector<FrameId> claimed;
+  for (FrameId frame : collected) {
+    Frame& f = cache.frame(frame);
+    uint64_t file_page = FilePageOfKey(f.key);
+    if (file_page < first_page || file_page > last_page) {
+      // Outside the msync range: keep it dirty.
+      ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
+      cache.MarkDirty(vcpu.core(), frame, f.dirty_item.sort_key);
+      continue;
+    }
+    // Claim against evictors; if an evictor already owns it, it will write
+    // the page back itself.
+    FrameState expected = FrameState::kResident;
+    if (!f.state.compare_exchange_strong(expected, FrameState::kEvicting,
+                                         std::memory_order_acq_rel)) {
+      continue;
+    }
+    f.dirty.store(0, std::memory_order_relaxed);
+    // Write-protect so future stores re-fault and re-mark dirty.
+    std::atomic<uint64_t>* pte = runtime_->page_table().WalkExisting(f.vaddr);
+    if (pte != nullptr) {
+      pte->fetch_and(~(Pte::kWritable | Pte::kDirty), std::memory_order_acq_rel);
+      if (transparent_base_ != nullptr && Pte::Present(pte->load(std::memory_order_relaxed))) {
+        TrapDriver::DowngradeRealMapping(f.vaddr);
+      }
+    }
+    vpns.push_back(f.vaddr >> kPageShift);
+    writeback.push_back(WritebackItem{f.dirty_item.sort_key, file_page * kPageSize,
+                                      cache.FrameData(vcpu, frame), backing_, frame});
+    claimed.push_back(frame);
+  }
+
+  // Shoot down stale writable TLB entries before reading page contents.
+  uint32_t batch = runtime_->options().shootdown_batch;
+  for (size_t i = 0; i < vpns.size(); i += batch) {
+    size_t n = std::min<size_t>(batch, vpns.size() - i);
+    runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(),
+                              std::span(vpns.data() + i, n), runtime_->fabric());
+  }
+
+  AQUILA_RETURN_IF_ERROR(IssueWriteback(vcpu, writeback));
+  AQUILA_RETURN_IF_ERROR(backing_->Flush(vcpu));
+  runtime_->fault_stats().writeback_pages.fetch_add(writeback.size(),
+                                                    std::memory_order_relaxed);
+  for (FrameId frame : claimed) {
+    cache.frame(frame).state.store(FrameState::kResident, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
+  Vcpu& vcpu = ThisVcpu();
+  PageCache& cache = runtime_->cache();
+  switch (advice) {
+    case Advice::kNormal:
+    case Advice::kRandom:
+    case Advice::kSequential:
+      advice_.store(advice, std::memory_order_relaxed);
+      return Status::Ok();
+    case Advice::kWillNeed: {
+      // Prefetch like read-ahead, page by page, never evicting.
+      uint64_t first = offset >> kPageShift;
+      uint64_t last = std::min((offset + length - 1) >> kPageShift, vma_.page_count - 1);
+      if (first > 0) {
+        ReadAhead(vcpu, first - 1);
+      }
+      for (uint64_t file_page = first; file_page < last;
+           file_page += runtime_->options().readahead_pages) {
+        ReadAhead(vcpu, file_page);
+      }
+      return Status::Ok();
+    }
+    case Advice::kDontNeed: {
+      uint64_t first = offset >> kPageShift;
+      uint64_t last = std::min((offset + length - 1) >> kPageShift, vma_.page_count - 1);
+      std::vector<WritebackItem> writeback;
+      std::vector<uint64_t> vpns;
+      std::vector<FrameId> to_free;
+      std::vector<uint64_t> locked_pages;
+      for (uint64_t file_page = first; file_page <= last; file_page++) {
+        uint64_t page = vma_.start_page + file_page;
+        Vma* vma;
+        if (!runtime_->vma_tree().TryLockEntry(page, &vma)) {
+          continue;
+        }
+        uint64_t key = MakeKey(vma_.mapping_id, file_page);
+        FrameId frame;
+        if (!cache.Lookup(key, &frame)) {
+          UnlockPage(page);
+          continue;
+        }
+        Frame& f = cache.frame(frame);
+        FrameState expected = FrameState::kResident;
+        if (!f.state.compare_exchange_strong(expected, FrameState::kEvicting,
+                                             std::memory_order_acq_rel)) {
+          UnlockPage(page);
+          continue;
+        }
+        (void)runtime_->page_table().Remove(f.vaddr);
+        cache.RemoveMapping(key);
+        if (transparent_base_ != nullptr) {
+          TrapDriver::RemoveRealMapping(f.vaddr);
+        }
+        vpns.push_back(page);
+        if (f.dirty.load(std::memory_order_relaxed) != 0) {
+          cache.ClearDirty(frame);
+          writeback.push_back(WritebackItem{f.dirty_item.sort_key, file_page * kPageSize,
+                                            cache.FrameData(vcpu, frame), backing_, frame});
+          locked_pages.push_back(page);
+        } else {
+          UnlockPage(page);
+          to_free.push_back(frame);
+        }
+      }
+      AQUILA_RETURN_IF_ERROR(IssueWriteback(vcpu, writeback));
+      for (uint64_t page : locked_pages) {
+        UnlockPage(page);
+      }
+      for (const WritebackItem& item : writeback) {
+        to_free.push_back(item.frame);
+      }
+      uint32_t batch = runtime_->options().shootdown_batch;
+      for (size_t i = 0; i < vpns.size(); i += batch) {
+        size_t n = std::min<size_t>(batch, vpns.size() - i);
+        runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(),
+                                  std::span(vpns.data() + i, n), runtime_->fabric());
+      }
+      for (FrameId frame : to_free) {
+        cache.FreeFrame(vcpu.core(), frame);
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown advice");
+}
+
+Status AquilaMap::Protect(int prot) {
+  if ((prot & (kProtRead | kProtWrite)) == 0) {
+    return Status::InvalidArgument("mprotect needs read or write");
+  }
+  Vcpu& vcpu = ThisVcpu();
+  bool dropping_write = (vma_.prot & kProtWrite) != 0 && (prot & kProtWrite) == 0;
+  vma_.prot = prot;
+  if (!dropping_write) {
+    return Status::Ok();
+  }
+  // Downgrade: clear W on every present PTE and shoot down stale entries.
+  std::vector<uint64_t> vpns;
+  for (uint64_t i = 0; i < vma_.page_count; i++) {
+    uint64_t vaddr = (vma_.start_page + i) << kPageShift;
+    std::atomic<uint64_t>* pte = runtime_->page_table().WalkExisting(vaddr);
+    if (pte == nullptr) {
+      continue;
+    }
+    uint64_t old = pte->fetch_and(~Pte::kWritable, std::memory_order_acq_rel);
+    if (Pte::Present(old) && Pte::Writable(old)) {
+      if (transparent_base_ != nullptr) {
+        TrapDriver::DowngradeRealMapping(vaddr);
+      }
+      vpns.push_back(vma_.start_page + i);
+    }
+  }
+  uint32_t batch = runtime_->options().shootdown_batch;
+  for (size_t i = 0; i < vpns.size(); i += batch) {
+    size_t n = std::min<size_t>(batch, vpns.size() - i);
+    runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(),
+                              std::span(vpns.data() + i, n), runtime_->fabric());
+  }
+  return Status::Ok();
+}
+
+}  // namespace aquila

@@ -1,0 +1,97 @@
+// AquilaMap: one shared file-backed mmio mapping under the Aquila runtime.
+//
+// The access path implements the paper's common-path operation ①:
+//   hit  : TLB/page-table translation only — no software beyond the walk
+//          (charged as hardware; cache hits are "free");
+//   miss : a page fault taken in non-root ring 0 (552-cycle exception, no
+//          protection-domain switch), handled under the page's VMA entry
+//          lock: cache lookup in the lock-free hash, frame allocation from
+//          the 2-level freelist, synchronous batched eviction when empty,
+//          device read, mapping install.
+// Dirty tracking follows §3.2: read faults map read-only; the first write
+// takes a second (minor) fault that sets PTE.W|D and inserts the frame into
+// the faulting core's dirty tree, keyed by device offset.
+#ifndef AQUILA_SRC_CORE_MMIO_REGION_H_
+#define AQUILA_SRC_CORE_MMIO_REGION_H_
+
+#include <atomic>
+
+#include "src/core/aquila.h"
+
+namespace aquila {
+
+class AquilaMap : public MemoryMap {
+ public:
+  AquilaMap(Aquila* runtime, Backing* backing, uint64_t length, int prot);
+
+  uint64_t length() const override { return length_; }
+
+  Status Read(uint64_t offset, std::span<uint8_t> dst) override;
+  Status Write(uint64_t offset, std::span<const uint8_t> src) override;
+  bool TouchRead(uint64_t offset) override;
+  bool TouchWrite(uint64_t offset) override;
+  Status Sync(uint64_t offset, uint64_t length) override;
+  Status Advise(uint64_t offset, uint64_t length, Advice advice) override;
+
+  // mprotect over the whole mapping (downgrades shoot down stale TLBs).
+  Status Protect(int prot);
+
+  // Trap mode (transparent mappings; see src/core/trap_driver.h).
+  bool transparent() const { return transparent_base_ != nullptr; }
+  // Raw pointer the application dereferences; null for soft-mode mappings.
+  uint8_t* data() { return transparent_base_; }
+  // Called by the SIGSEGV handler: resolves the fault at `vaddr` and
+  // installs a real translation. Returns non-OK for addresses outside the
+  // mapping (the handler then falls through to the default disposition).
+  Status HandleTrapFault(uint64_t vaddr, bool write);
+
+  const Vma& vma() const { return vma_; }
+  uint64_t mapping_id() const { return vma_.mapping_id; }
+  Backing* backing() { return backing_; }
+
+ private:
+  friend class Aquila;
+
+  // Result of one page access: pointer valid until UnlockPage.
+  struct PageRef {
+    uint8_t* data = nullptr;
+    bool faulted = false;
+  };
+
+  static uint64_t MakeKey(uint64_t mapping_id, uint64_t file_page) {
+    return (1ull << 63) | (mapping_id << 40) | file_page;
+  }
+  static uint64_t FilePageOfKey(uint64_t key) { return key & ((1ull << 40) - 1); }
+  uint64_t SortKey(uint64_t file_offset) const {
+    return (vma_.mapping_id << 40) | (backing_->DeviceOffset(file_offset) >> kPageShift);
+  }
+
+  // Locks the page entry, resolves (faulting if needed), returns the frame
+  // data. Caller must UnlockPage(page) afterwards.
+  StatusOr<PageRef> AccessPage(uint64_t offset, bool write);
+  void UnlockPage(uint64_t page) { runtime_->vma_tree().UnlockEntry(page); }
+
+  // Fault handling (entry lock held). Returns the resident frame.
+  StatusOr<FrameId> HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write);
+  // Installs readahead pages following `file_page` (best effort).
+  void ReadAhead(Vcpu& vcpu, uint64_t file_page);
+  // Synchronous batched eviction; returns frames freed.
+  size_t EvictBatch(Vcpu& vcpu);
+  // Fills `frame` for (vaddr,key) from the backing and publishes it.
+  Status FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint64_t key, bool write);
+
+  // Internal setup/teardown used by Aquila::Map/Unmap.
+  Status Install();
+  Status TearDown();
+
+  Aquila* runtime_;
+  Backing* backing_;
+  uint64_t length_;
+  Vma vma_;
+  std::atomic<Advice> advice_{Advice::kNormal};
+  uint8_t* transparent_base_ = nullptr;  // set for trap-mode mappings
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_CORE_MMIO_REGION_H_

@@ -1,0 +1,172 @@
+#include "src/core/trap_driver.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <ucontext.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+
+#include "src/core/aquila.h"
+#include "src/core/mmio_region.h"
+#include "src/util/bitops.h"
+#include "src/util/logging.h"
+
+namespace aquila {
+
+namespace {
+
+constexpr int kMaxRuntimes = 16;
+std::array<std::atomic<Aquila*>, kMaxRuntimes> g_runtimes{};
+std::atomic<uint64_t> g_handled_faults{0};
+std::atomic<bool> g_installed{false};
+struct sigaction g_previous_action;
+
+// Each thread that can fault on a trap mapping gets its own signal stack:
+// the handler runs the full fault path (eviction, writeback, device model),
+// which needs real stack depth — and, as §4.2 notes for the ring-0 case,
+// handlers must not clobber the interrupted frame's red zone.
+constexpr size_t kSignalStackBytes = 512 * 1024;
+
+void EnsureThreadSignalStack() {
+  static thread_local char* stack = nullptr;
+  if (stack != nullptr) {
+    return;
+  }
+  stack = new char[kSignalStackBytes];
+  stack_t ss{};
+  ss.ss_sp = stack;
+  ss.ss_size = kSignalStackBytes;
+  ss.ss_flags = 0;
+  AQUILA_CHECK(sigaltstack(&ss, nullptr) == 0);
+}
+
+void FallThrough(int signo, siginfo_t* info, void* context) {
+  // Not ours: restore the previous disposition and let the fault re-raise,
+  // so genuine wild accesses still crash with a useful report.
+  if (g_previous_action.sa_flags & SA_SIGINFO) {
+    if (g_previous_action.sa_sigaction != nullptr) {
+      g_previous_action.sa_sigaction(signo, info, context);
+      return;
+    }
+  } else if (g_previous_action.sa_handler == SIG_IGN) {
+    return;
+  } else if (g_previous_action.sa_handler != SIG_DFL &&
+             g_previous_action.sa_handler != nullptr) {
+    g_previous_action.sa_handler(signo);
+    return;
+  }
+  signal(SIGSEGV, SIG_DFL);
+}
+
+void SigsegvHandler(int signo, siginfo_t* info, void* context) {
+  uint64_t vaddr = reinterpret_cast<uint64_t>(info->si_addr);
+  bool write = false;
+#if defined(__x86_64__)
+  auto* uc = static_cast<ucontext_t*>(context);
+  // x86 page-fault error code: bit 1 set on writes.
+  write = (uc->uc_mcontext.gregs[REG_ERR] & 2) != 0;
+#endif
+  uint64_t page = vaddr >> kPageShift;
+  for (auto& slot : g_runtimes) {
+    Aquila* runtime = slot.load(std::memory_order_acquire);
+    if (runtime == nullptr) {
+      continue;
+    }
+    Vma* vma = runtime->vma_tree().Find(page);
+    if (vma == nullptr) {
+      continue;
+    }
+    auto* map = static_cast<AquilaMap*>(vma->backing);
+    if (!map->transparent()) {
+      continue;
+    }
+    if (map->HandleTrapFault(vaddr, write).ok()) {
+      g_handled_faults.fetch_add(1, std::memory_order_relaxed);
+      return;  // translation installed; the instruction restarts
+    }
+  }
+  FallThrough(signo, info, context);
+}
+
+}  // namespace
+
+void TrapDriver::Install() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) {
+    EnsureThreadSignalStack();
+    return;
+  }
+  EnsureThreadSignalStack();
+  struct sigaction action{};
+  action.sa_sigaction = SigsegvHandler;
+  action.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_NODEFER;
+  sigemptyset(&action.sa_mask);
+  AQUILA_CHECK(sigaction(SIGSEGV, &action, &g_previous_action) == 0);
+}
+
+void TrapDriver::RegisterRuntime(Aquila* runtime) {
+  for (auto& slot : g_runtimes) {
+    Aquila* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, runtime)) {
+      return;
+    }
+    if (expected == runtime) {
+      return;
+    }
+  }
+  AQUILA_CHECK(false);  // more than kMaxRuntimes concurrent runtimes
+}
+
+void TrapDriver::UnregisterRuntime(Aquila* runtime) {
+  for (auto& slot : g_runtimes) {
+    Aquila* expected = runtime;
+    slot.compare_exchange_strong(expected, nullptr);
+  }
+}
+
+uint8_t* TrapDriver::ReserveRange(uint64_t bytes) {
+  void* base = mmap(nullptr, bytes, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                    -1, 0);
+  return base == MAP_FAILED ? nullptr : static_cast<uint8_t*>(base);
+}
+
+void TrapDriver::ReleaseRange(uint8_t* base, uint64_t bytes) {
+  if (base != nullptr) {
+    munmap(base, bytes);
+  }
+}
+
+void TrapDriver::InstallRealMapping(Aquila* runtime, uint64_t vaddr, uint64_t gpa,
+                                    bool writable) {
+  Hypervisor& hv = runtime->hypervisor();
+  AQUILA_CHECK(hv.backing_fd() >= 0);
+  uint8_t* host = hv.ResolveGpa(ThisVcpu(), runtime->guest(), gpa);
+  uint64_t hpa = static_cast<uint64_t>(host - hv.HostPtr(0));
+  int prot = PROT_READ | (writable ? PROT_WRITE : 0);
+  void* mapped = mmap(reinterpret_cast<void*>(vaddr), kPageSize, prot,
+                      MAP_SHARED | MAP_FIXED, hv.backing_fd(), static_cast<off_t>(hpa));
+  AQUILA_CHECK(mapped == reinterpret_cast<void*>(vaddr));
+}
+
+void TrapDriver::UpgradeRealMapping(uint64_t vaddr) {
+  AQUILA_CHECK(mprotect(reinterpret_cast<void*>(vaddr), kPageSize,
+                        PROT_READ | PROT_WRITE) == 0);
+}
+
+void TrapDriver::DowngradeRealMapping(uint64_t vaddr) {
+  AQUILA_CHECK(mprotect(reinterpret_cast<void*>(vaddr), kPageSize, PROT_READ) == 0);
+}
+
+void TrapDriver::RemoveRealMapping(uint64_t vaddr) {
+  // Atomic replace with an inaccessible anonymous page keeps the range
+  // reserved (a real munmap would open a hole another mmap could claim).
+  void* mapped = mmap(reinterpret_cast<void*>(vaddr), kPageSize, PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED | MAP_NORESERVE, -1, 0);
+  AQUILA_CHECK(mapped == reinterpret_cast<void*>(vaddr));
+}
+
+uint64_t TrapDriver::HandledFaults() { return g_handled_faults.load(std::memory_order_relaxed); }
+
+}  // namespace aquila

@@ -1,0 +1,67 @@
+// Transparent ("trap-mode") mappings: raw load/store access with real
+// hardware faults.
+//
+// Soft-mode mappings route accesses through MemoryMap::Read/Write, which is
+// deterministic and portable but not transparent. Trap mode is the
+// reproduction's analog of what makes Aquila "steroids": the mapping is a
+// real PROT_NONE virtual-address reservation, the application dereferences
+// plain pointers, and a miss takes a REAL page fault — delivered to this
+// process as SIGSEGV — whose handler runs the exact same Aquila fault path
+// (lock-free cache lookup, two-level freelist, batched eviction, device
+// read) and then installs a REAL translation by mmap(MAP_FIXED)-aliasing
+// the cache frame out of the hypervisor's memfd-backed host memory. Hits
+// thereafter are genuinely free: the hardware TLB resolves them, no
+// simulator code runs at all.
+//
+// Dirty tracking works exactly as §3.2 describes: pages are first mapped
+// PROT_READ; the first store takes a second (real) fault that marks the PTE
+// dirty and mprotects the page writable; msync write-protects again.
+//
+// Parallels to the paper's implementation notes (§4.2): the handler runs on
+// the faulting thread with a dedicated sigaltstack (the red-zone/alternate-
+// stack concern), and nested faults on unknown addresses fall through to
+// the default disposition so genuine crashes still crash.
+//
+// Requirements: Linux, x86-64 (the write/read fault distinction uses the
+// page-fault error code in the signal context), and a hypervisor built on
+// memfd (the default). Threads touching trap mappings should call
+// Aquila::EnterThread() first.
+#ifndef AQUILA_SRC_CORE_TRAP_DRIVER_H_
+#define AQUILA_SRC_CORE_TRAP_DRIVER_H_
+
+#include <cstdint>
+
+namespace aquila {
+
+class Aquila;
+class AquilaMap;
+
+// Process-wide registry consulted by the SIGSEGV handler to route faulting
+// addresses to their owning runtime. Install() is idempotent.
+class TrapDriver {
+ public:
+  // Installs the SIGSEGV handler (once per process).
+  static void Install();
+
+  // Registers/unregisters a runtime whose trap mappings the handler serves.
+  static void RegisterRuntime(Aquila* runtime);
+  static void UnregisterRuntime(Aquila* runtime);
+
+  // Reserves `bytes` of PROT_NONE address space; returns the base or null.
+  static uint8_t* ReserveRange(uint64_t bytes);
+  static void ReleaseRange(uint8_t* base, uint64_t bytes);
+
+  // Real-translation maintenance, called from the fault/eviction/msync
+  // paths for transparent mappings.
+  static void InstallRealMapping(Aquila* runtime, uint64_t vaddr, uint64_t gpa, bool writable);
+  static void UpgradeRealMapping(uint64_t vaddr);
+  static void DowngradeRealMapping(uint64_t vaddr);
+  static void RemoveRealMapping(uint64_t vaddr);
+
+  // Test hook: number of real faults the handler served.
+  static uint64_t HandledFaults();
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_CORE_TRAP_DRIVER_H_

@@ -1,0 +1,54 @@
+#include "src/graph/bfs.h"
+
+#include <atomic>
+#include <memory>
+
+namespace aquila {
+
+namespace {
+
+struct BfsFunctor {
+  WordArray* parents;
+  std::atomic<uint8_t>* visited;
+
+  bool UpdateAtomic(uint64_t src, uint64_t dst) {
+    uint8_t expected = 0;
+    if (visited[dst].compare_exchange_strong(expected, 1, std::memory_order_acq_rel)) {
+      parents->Set(dst, src);
+      return true;
+    }
+    return false;
+  }
+
+  bool Cond(uint64_t dst) const { return visited[dst].load(std::memory_order_relaxed) == 0; }
+};
+
+}  // namespace
+
+BfsResult Bfs(const Graph& graph, uint64_t source, WordArray* parents,
+              const LigraOptions& options) {
+  AQUILA_CHECK(parents->size() >= graph.num_vertices());
+  uint64_t n = graph.num_vertices();
+  for (uint64_t v = 0; v < n; v++) {
+    parents->Set(v, ~0ull);
+  }
+  auto visited = std::make_unique<std::atomic<uint8_t>[]>(n);
+
+  BfsFunctor f{parents, visited.get()};
+  visited[source].store(1, std::memory_order_relaxed);
+  parents->Set(source, source);
+
+  BfsResult result;
+  result.reached = 1;
+  VertexSubset frontier(source);
+  while (!frontier.empty()) {
+    frontier = EdgeMap(graph, frontier, f, options);
+    if (!frontier.empty()) {
+      result.rounds++;  // rounds = BFS levels beyond the source
+    }
+    result.reached += frontier.size();
+  }
+  return result;
+}
+
+}  // namespace aquila

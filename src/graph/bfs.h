@@ -1,0 +1,25 @@
+// Breadth-first search over the Ligra abstractions (the Fig 6 workload).
+#ifndef AQUILA_SRC_GRAPH_BFS_H_
+#define AQUILA_SRC_GRAPH_BFS_H_
+
+#include "src/graph/graph.h"
+#include "src/graph/ligra.h"
+
+namespace aquila {
+
+struct BfsResult {
+  uint64_t reached = 0;  // vertices discovered (source included)
+  int rounds = 0;
+};
+
+// Runs BFS from `source`. `parents` must have num_vertices entries; on
+// return parents[v] is v's BFS parent (source's parent is itself) or ~0 for
+// unreached vertices. The parent array may live on an mmio heap — that is
+// the paper's experiment — while the claim bitmap is DRAM-resident
+// (Ligra's CAS on visited flags).
+BfsResult Bfs(const Graph& graph, uint64_t source, WordArray* parents,
+              const LigraOptions& options);
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_GRAPH_BFS_H_

@@ -1,0 +1,45 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+namespace aquila {
+
+Graph BuildGraph(uint64_t num_vertices, std::vector<std::pair<uint64_t, uint64_t>> edges,
+                 MmioHeap* heap) {
+  // Symmetrize and dedup.
+  size_t original = edges.size();
+  edges.reserve(original * 2);
+  for (size_t i = 0; i < original; i++) {
+    edges.emplace_back(edges[i].second, edges[i].first);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const auto& e) { return e.first == e.second; }),
+              edges.end());
+
+  uint64_t m = edges.size();
+  std::unique_ptr<WordArray> offsets;
+  std::unique_ptr<WordArray> edge_array;
+  if (heap != nullptr) {
+    offsets = heap->AllocArray(num_vertices + 1);
+    edge_array = heap->AllocArray(m);
+  } else {
+    offsets = std::make_unique<DramWordArray>(num_vertices + 1);
+    edge_array = std::make_unique<DramWordArray>(m);
+  }
+
+  uint64_t edge_index = 0;
+  for (uint64_t v = 0; v < num_vertices; v++) {
+    offsets->Set(v, edge_index);
+    while (edge_index < m && edges[edge_index].first == v) {
+      edge_array->Set(edge_index, edges[edge_index].second);
+      edge_index++;
+    }
+  }
+  offsets->Set(num_vertices, m);
+
+  return Graph(std::move(offsets), std::move(edge_array), num_vertices, m);
+}
+
+}  // namespace aquila

@@ -1,0 +1,138 @@
+// Ligra-style graph processing substrate (§5, [57]).
+//
+// The paper extends Ligra's heap over fast storage by converting its
+// malloc/free to allocations on a memory-mapped file. We reproduce that
+// architecture: graph arrays (CSR offsets + edges) and algorithm state
+// (parent array) live in a `WordArray`, which is either plain DRAM (the
+// in-memory reference of Fig 6) or an MmioHeap allocation on a device
+// mapping (mmap / Aquila). Every random edge lookup then exercises the
+// mmio path exactly as the ported Ligra does.
+#ifndef AQUILA_SRC_GRAPH_GRAPH_H_
+#define AQUILA_SRC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/mmio.h"
+#include "src/util/logging.h"
+
+namespace aquila {
+
+// A fixed-size array of 64-bit words, either in DRAM or on an mmio mapping.
+class WordArray {
+ public:
+  virtual ~WordArray() = default;
+  virtual uint64_t Get(uint64_t index) const = 0;
+  virtual void Set(uint64_t index, uint64_t value) = 0;
+  virtual uint64_t size() const = 0;
+};
+
+class DramWordArray : public WordArray {
+ public:
+  explicit DramWordArray(uint64_t n, uint64_t fill = 0) : words_(n, fill) {}
+
+  uint64_t Get(uint64_t index) const override { return words_[index]; }
+  void Set(uint64_t index, uint64_t value) override { words_[index] = value; }
+  uint64_t size() const override { return words_.size(); }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+class MmioWordArray : public WordArray {
+ public:
+  MmioWordArray(MemoryMap* map, uint64_t byte_offset, uint64_t n)
+      : map_(map), base_(byte_offset), n_(n) {}
+
+  uint64_t Get(uint64_t index) const override {
+    AQUILA_DCHECK(index < n_);
+    return map_->LoadValue<uint64_t>(base_ + index * 8);
+  }
+  void Set(uint64_t index, uint64_t value) override {
+    AQUILA_DCHECK(index < n_);
+    map_->StoreValue<uint64_t>(base_ + index * 8, value);
+  }
+  uint64_t size() const override { return n_; }
+
+ private:
+  MemoryMap* map_;
+  uint64_t base_;
+  uint64_t n_;
+};
+
+// Bump allocator over a memory mapping: the "extended heap" (§6.2). The
+// mapping is the address space; Alloc hands out 8-byte-aligned offsets.
+class MmioHeap {
+ public:
+  explicit MmioHeap(MemoryMap* map) : map_(map) {}
+
+  // Returns the byte offset of a fresh range; aborts when the mapping is
+  // exhausted (the device bounds the heap, as in the paper).
+  uint64_t Alloc(uint64_t bytes) {
+    uint64_t offset = next_;
+    AQUILA_CHECK(offset + bytes <= map_->length());
+    next_ += (bytes + 7) & ~7ull;
+    return offset;
+  }
+
+  std::unique_ptr<WordArray> AllocArray(uint64_t words) {
+    return std::make_unique<MmioWordArray>(map_, Alloc(words * 8), words);
+  }
+
+  MemoryMap* map() { return map_; }
+  uint64_t used_bytes() const { return next_; }
+
+ private:
+  MemoryMap* map_;
+  uint64_t next_ = 0;
+};
+
+// Compressed-sparse-row graph. Arrays may live in DRAM or on an mmio heap.
+class Graph {
+ public:
+  Graph(std::unique_ptr<WordArray> offsets, std::unique_ptr<WordArray> edges,
+        uint64_t num_vertices, uint64_t num_edges)
+      : offsets_(std::move(offsets)),
+        edges_(std::move(edges)),
+        num_vertices_(num_vertices),
+        num_edges_(num_edges) {
+    AQUILA_CHECK(offsets_->size() == num_vertices_ + 1);
+    AQUILA_CHECK(edges_->size() == num_edges_);
+    // Degree summary kept in DRAM, as Ligra's vertex objects do: the
+    // direction-optimization threshold must not re-walk the offsets array
+    // through mmio every round.
+    degrees_.resize(num_vertices_);
+    uint64_t prev = offsets_->Get(0);
+    for (uint64_t v = 0; v < num_vertices_; v++) {
+      uint64_t next = offsets_->Get(v + 1);
+      degrees_[v] = static_cast<uint32_t>(next - prev);
+      prev = next;
+    }
+  }
+
+  uint64_t num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return num_edges_; }
+
+  uint64_t Degree(uint64_t v) const { return offsets_->Get(v + 1) - offsets_->Get(v); }
+  // DRAM-resident degree (no mmio traffic); used for scheduling decisions.
+  uint64_t DegreeCached(uint64_t v) const { return degrees_[v]; }
+  uint64_t EdgeBegin(uint64_t v) const { return offsets_->Get(v); }
+  uint64_t EdgeTarget(uint64_t e) const { return edges_->Get(e); }
+
+ private:
+  std::unique_ptr<WordArray> offsets_;
+  std::unique_ptr<WordArray> edges_;
+  uint64_t num_vertices_;
+  uint64_t num_edges_;
+  std::vector<uint32_t> degrees_;
+};
+
+// Builds a CSR graph from an edge list, symmetrizing (Ligra's BFS inputs
+// are symmetric). Arrays are allocated from `heap` when non-null, else DRAM.
+Graph BuildGraph(uint64_t num_vertices, std::vector<std::pair<uint64_t, uint64_t>> edges,
+                 MmioHeap* heap);
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_GRAPH_GRAPH_H_

@@ -1,0 +1,195 @@
+// Ligra's programming model: vertex subsets + direction-optimizing edgeMap
+// (Shun & Blelloch [57]).
+//
+// EdgeMap picks between a sparse push traversal (iterate frontier out-edges)
+// and a dense pull traversal (scan undiscovered vertices' in-edges) based on
+// the frontier's edge count — Ligra's signature optimization, kept because
+// the paper's Fig 6 BFS inherits its access pattern from it. Parallelism is
+// a thread pool over frontier/vertex partitions; the functor's UpdateAtomic
+// must be safe for concurrent claims (BFS uses a CAS on a visited bitmap).
+#ifndef AQUILA_SRC_GRAPH_LIGRA_H_
+#define AQUILA_SRC_GRAPH_LIGRA_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/sim_clock.h"
+
+namespace aquila {
+
+class VertexSubset {
+ public:
+  VertexSubset() = default;
+  explicit VertexSubset(uint64_t single) : vertices_{single} {}
+  explicit VertexSubset(std::vector<uint64_t> vertices) : vertices_(std::move(vertices)) {}
+
+  bool empty() const { return vertices_.empty(); }
+  uint64_t size() const { return vertices_.size(); }
+  const std::vector<uint64_t>& vertices() const { return vertices_; }
+
+ private:
+  std::vector<uint64_t> vertices_;
+};
+
+struct LigraOptions {
+  int threads = 1;
+  // Application compute charged per edge scanned (simulated cycles). Gives
+  // the traversal a CPU cost independent of the memory backend, so DRAM vs
+  // mmio runs compare like the paper's Fig 6 (calibrate with
+  // bench_fig6_ligra's --calibrate output if desired).
+  uint64_t user_cycles_per_edge = 45;
+  // Dense traversal when frontier out-degree sum exceeds edges/divisor.
+  uint64_t dense_divisor = 20;
+  // Per-thread init hook (mmio engines need EnterThread).
+  std::function<void()> thread_init;
+};
+
+namespace ligra_internal {
+
+template <typename Body>
+void ParallelFor(uint64_t begin, uint64_t end, const LigraOptions& options, Body body) {
+  int threads = options.threads;
+  if (threads <= 1 || end - begin < 2) {
+    if (options.thread_init) {
+      options.thread_init();
+    }
+    body(0, begin, end);
+    return;
+  }
+  // Fork/join in simulated time: workers start at the coordinator's clock
+  // and the coordinator resumes at the slowest worker's end.
+  uint64_t origin = ThisThreadClock().Now();
+  std::vector<uint64_t> ends(threads, origin);
+  uint64_t chunk = (end - begin + threads - 1) / threads;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; t++) {
+    uint64_t lo = begin + static_cast<uint64_t>(t) * chunk;
+    uint64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) {
+      break;
+    }
+    pool.emplace_back([&, t, lo, hi] {
+      if (options.thread_init) {
+        options.thread_init();
+      }
+      ThisThreadClock().JumpTo(origin);
+      body(t, lo, hi);
+      ends[t] = ThisThreadClock().Now();
+    });
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+  uint64_t slowest = origin;
+  for (uint64_t e : ends) {
+    slowest = std::max(slowest, e);
+  }
+  ThisThreadClock().JumpTo(slowest);
+}
+
+}  // namespace ligra_internal
+
+// F requirements:
+//   bool UpdateAtomic(uint64_t src, uint64_t dst)  -- true iff dst newly claimed
+//   bool Cond(uint64_t dst)                        -- explore dst at all?
+template <typename F>
+VertexSubset EdgeMapSparse(const Graph& graph, const VertexSubset& frontier, F& f,
+                           const LigraOptions& options) {
+  int threads = std::max(1, options.threads);
+  std::vector<std::vector<uint64_t>> local(threads);
+  ligra_internal::ParallelFor(
+      0, frontier.size(), options, [&](int tid, uint64_t lo, uint64_t hi) {
+        std::vector<uint64_t>& out = local[tid];
+        uint64_t scanned = 0;
+        for (uint64_t i = lo; i < hi; i++) {
+          uint64_t src = frontier.vertices()[i];
+          uint64_t begin = graph.EdgeBegin(src);
+          uint64_t degree = graph.Degree(src);
+          scanned += degree;
+          for (uint64_t e = 0; e < degree; e++) {
+            uint64_t dst = graph.EdgeTarget(begin + e);
+            if (f.Cond(dst) && f.UpdateAtomic(src, dst)) {
+              out.push_back(dst);
+            }
+          }
+        }
+        ThisThreadClock().Charge(CostCategory::kUserWork,
+                                 scanned * options.user_cycles_per_edge);
+      });
+  std::vector<uint64_t> merged;
+  for (auto& chunk : local) {
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
+  }
+  return VertexSubset(std::move(merged));
+}
+
+template <typename F>
+VertexSubset EdgeMapDense(const Graph& graph, const std::vector<uint8_t>& in_frontier, F& f,
+                          const LigraOptions& options) {
+  int threads = std::max(1, options.threads);
+  std::vector<std::vector<uint64_t>> local(threads);
+  ligra_internal::ParallelFor(
+      0, graph.num_vertices(), options, [&](int tid, uint64_t lo, uint64_t hi) {
+        std::vector<uint64_t>& out = local[tid];
+        uint64_t scanned = 0;
+        for (uint64_t v = lo; v < hi; v++) {
+          if (!f.Cond(v)) {
+            continue;
+          }
+          uint64_t begin = graph.EdgeBegin(v);
+          uint64_t degree = graph.Degree(v);
+          for (uint64_t e = 0; e < degree; e++) {
+            scanned++;
+            uint64_t u = graph.EdgeTarget(begin + e);
+            if (in_frontier[u] && f.UpdateAtomic(u, v)) {
+              out.push_back(v);
+              break;  // claimed; stop scanning in-neighbors
+            }
+          }
+        }
+        ThisThreadClock().Charge(CostCategory::kUserWork,
+                                 scanned * options.user_cycles_per_edge);
+      });
+  std::vector<uint64_t> merged;
+  for (auto& chunk : local) {
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
+  }
+  return VertexSubset(std::move(merged));
+}
+
+template <typename F>
+VertexSubset EdgeMap(const Graph& graph, const VertexSubset& frontier, F& f,
+                     const LigraOptions& options) {
+  // Direction optimization: sum of frontier degrees against the threshold
+  // (DRAM degree summary; no mmio traffic for scheduling).
+  uint64_t frontier_edges = 0;
+  for (uint64_t v : frontier.vertices()) {
+    frontier_edges += graph.DegreeCached(v);
+  }
+  if (frontier_edges + frontier.size() >
+      graph.num_edges() / std::max<uint64_t>(1, options.dense_divisor)) {
+    std::vector<uint8_t> dense(graph.num_vertices(), 0);
+    for (uint64_t v : frontier.vertices()) {
+      dense[v] = 1;
+    }
+    return EdgeMapDense(graph, dense, f, options);
+  }
+  return EdgeMapSparse(graph, frontier, f, options);
+}
+
+// Applies `body` to every vertex of the subset (in parallel).
+template <typename Body>
+void VertexMap(const VertexSubset& subset, const LigraOptions& options, Body body) {
+  ligra_internal::ParallelFor(0, subset.size(), options,
+                              [&](int tid, uint64_t lo, uint64_t hi) {
+                                for (uint64_t i = lo; i < hi; i++) {
+                                  body(subset.vertices()[i]);
+                                }
+                              });
+}
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_GRAPH_LIGRA_H_

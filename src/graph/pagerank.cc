@@ -1,0 +1,134 @@
+#include "src/graph/pagerank.h"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <set>
+
+namespace aquila {
+
+namespace {
+
+constexpr double kFixedScale = 4294967296.0;  // 2^32
+
+uint64_t EncodeRank(double value) { return static_cast<uint64_t>(value * kFixedScale); }
+
+}  // namespace
+
+double DecodeRank(uint64_t fixed) { return static_cast<double>(fixed) / kFixedScale; }
+
+PageRankResult PageRank(const Graph& graph, WordArray* ranks, const LigraOptions& ligra,
+                        const PageRankOptions& options) {
+  uint64_t n = graph.num_vertices();
+  AQUILA_CHECK(ranks->size() >= n);
+  for (uint64_t v = 0; v < n; v++) {
+    ranks->Set(v, EncodeRank(1.0 / static_cast<double>(n)));
+  }
+
+  // Per-iteration sums accumulate in DRAM atomics (Ligra uses fetch-and-add
+  // into a dense array); the rank vector itself lives wherever the caller
+  // allocated it (DRAM or mmio heap).
+  auto sums = std::make_unique<std::atomic<uint64_t>[]>(n);
+  std::vector<uint64_t> all(n);
+  for (uint64_t v = 0; v < n; v++) {
+    all[v] = v;
+  }
+  VertexSubset everything(std::move(all));
+
+  PageRankResult result;
+  for (int iter = 0; iter < options.max_iterations; iter++) {
+    for (uint64_t v = 0; v < n; v++) {
+      sums[v].store(0, std::memory_order_relaxed);
+    }
+    // Push this round's contributions along every out-edge.
+    VertexMap(everything, ligra, [&](uint64_t v) {
+      uint64_t degree = graph.Degree(v);
+      if (degree == 0) {
+        return;
+      }
+      uint64_t share = ranks->Get(v) / degree;
+      uint64_t begin = graph.EdgeBegin(v);
+      for (uint64_t e = 0; e < degree; e++) {
+        sums[graph.EdgeTarget(begin + e)].fetch_add(share, std::memory_order_relaxed);
+      }
+      ThisThreadClock().Charge(CostCategory::kUserWork,
+                               degree * ligra.user_cycles_per_edge);
+    });
+    // Apply damping and measure the delta.
+    std::atomic<uint64_t> delta_fixed{0};
+    uint64_t base = EncodeRank((1.0 - options.damping) / static_cast<double>(n));
+    VertexMap(everything, ligra, [&](uint64_t v) {
+      uint64_t next = base + static_cast<uint64_t>(
+                                 options.damping *
+                                 static_cast<double>(sums[v].load(std::memory_order_relaxed)));
+      uint64_t prev = ranks->Get(v);
+      uint64_t diff = next > prev ? next - prev : prev - next;
+      delta_fixed.fetch_add(diff, std::memory_order_relaxed);
+      ranks->Set(v, next);
+    });
+    result.iterations = iter + 1;
+    result.l1_delta = DecodeRank(delta_fixed.load());
+    if (result.l1_delta < options.tolerance) {
+      break;
+    }
+  }
+  return result;
+}
+
+uint64_t ConnectedComponents(const Graph& graph, WordArray* labels,
+                             const LigraOptions& ligra) {
+  uint64_t n = graph.num_vertices();
+  AQUILA_CHECK(labels->size() >= n);
+  for (uint64_t v = 0; v < n; v++) {
+    labels->Set(v, v);
+  }
+
+  // Label propagation: iterate until no label shrinks. The "changed" flags
+  // are DRAM atomics; labels live on the caller's array.
+  auto changed = std::make_unique<std::atomic<uint8_t>[]>(n);
+  std::vector<uint64_t> all(n);
+  for (uint64_t v = 0; v < n; v++) {
+    all[v] = v;
+    changed[v].store(1, std::memory_order_relaxed);
+  }
+  VertexSubset everything(std::move(all));
+
+  bool any_changed = true;
+  while (any_changed) {
+    std::atomic<bool> round_changed{false};
+    VertexMap(everything, ligra, [&](uint64_t v) {
+      if (changed[v].load(std::memory_order_relaxed) == 0) {
+        return;
+      }
+      changed[v].store(0, std::memory_order_relaxed);
+      uint64_t label = labels->Get(v);
+      uint64_t degree = graph.Degree(v);
+      uint64_t begin = graph.EdgeBegin(v);
+      for (uint64_t e = 0; e < degree; e++) {
+        uint64_t u = graph.EdgeTarget(begin + e);
+        uint64_t other = labels->Get(u);
+        if (other > label) {
+          labels->Set(u, label);
+          changed[u].store(1, std::memory_order_relaxed);
+          round_changed.store(true, std::memory_order_relaxed);
+        } else if (other < label) {
+          label = other;
+          labels->Set(v, label);
+          changed[v].store(1, std::memory_order_relaxed);
+          round_changed.store(true, std::memory_order_relaxed);
+        }
+      }
+      ThisThreadClock().Charge(CostCategory::kUserWork,
+                               degree * ligra.user_cycles_per_edge);
+    });
+    any_changed = round_changed.load();
+  }
+
+  std::set<uint64_t> distinct;
+  for (uint64_t v = 0; v < n; v++) {
+    distinct.insert(labels->Get(v));
+  }
+  return distinct.size();
+}
+
+}  // namespace aquila

@@ -1,0 +1,40 @@
+// PageRank and connected components over the Ligra abstractions — the other
+// canonical Ligra workloads; both stream every edge per iteration, which is
+// the heaviest mmio access pattern an extended heap sees (dense sweeps, no
+// frontier sparsity to hide behind).
+#ifndef AQUILA_SRC_GRAPH_PAGERANK_H_
+#define AQUILA_SRC_GRAPH_PAGERANK_H_
+
+#include "src/graph/graph.h"
+#include "src/graph/ligra.h"
+
+namespace aquila {
+
+struct PageRankOptions {
+  int max_iterations = 10;
+  double damping = 0.85;
+  // Stop when the L1 delta between iterations drops below this.
+  double tolerance = 1e-7;
+};
+
+struct PageRankResult {
+  int iterations = 0;
+  double l1_delta = 0;  // final iteration's delta
+};
+
+// Ranks are stored as fixed-point (x 2^32) words in `ranks` so they can live
+// on an mmio heap. `ranks` must have num_vertices entries.
+PageRankResult PageRank(const Graph& graph, WordArray* ranks, const LigraOptions& ligra,
+                        const PageRankOptions& options = {});
+
+// Decodes a fixed-point rank produced by PageRank.
+double DecodeRank(uint64_t fixed);
+
+// Label-propagation connected components. `labels` gets the component id
+// (smallest vertex id in the component). Returns the number of components.
+uint64_t ConnectedComponents(const Graph& graph, WordArray* labels,
+                             const LigraOptions& ligra);
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_GRAPH_PAGERANK_H_

@@ -1,0 +1,44 @@
+#include "src/graph/rmat.h"
+
+#include "src/util/bitops.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+
+std::vector<std::pair<uint64_t, uint64_t>> GenerateRmat(uint64_t num_vertices,
+                                                        uint64_t num_edges,
+                                                        const RmatOptions& options) {
+  uint64_t n = NextPowerOfTwo(num_vertices);
+  int levels = 0;
+  while ((1ull << levels) < n) {
+    levels++;
+  }
+  Rng rng(options.seed);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    uint64_t src = 0, dst = 0;
+    for (int level = 0; level < levels; level++) {
+      double p = rng.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (p < options.a) {
+        // top-left quadrant: no bits set
+      } else if (p < options.a + options.b) {
+        dst |= 1;
+      } else if (p < options.a + options.b + options.c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src >= num_vertices || dst >= num_vertices || src == dst) {
+      continue;
+    }
+    edges.emplace_back(src, dst);
+  }
+  return edges;
+}
+
+}  // namespace aquila

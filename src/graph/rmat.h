@@ -1,0 +1,29 @@
+// R-MAT graph generator (Chakrabarti et al. [10]), matching the paper's
+// Fig 6 input: 100M vertices, directed edges = 10x vertices, run through
+// Ligra's symmetrizing build. Scaled down by the benchmarks.
+#ifndef AQUILA_SRC_GRAPH_RMAT_H_
+#define AQUILA_SRC_GRAPH_RMAT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aquila {
+
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  uint64_t seed = 2021;
+};
+
+// Generates `num_edges` directed edges over [0, num_vertices).
+// num_vertices is rounded up to a power of two internally; out-of-range
+// endpoints are re-drawn.
+std::vector<std::pair<uint64_t, uint64_t>> GenerateRmat(uint64_t num_vertices,
+                                                        uint64_t num_edges,
+                                                        const RmatOptions& options = {});
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_GRAPH_RMAT_H_

@@ -1,0 +1,73 @@
+// Bump-pointer arena for memtable nodes (leveldb-style).
+#ifndef AQUILA_SRC_KVS_ARENA_H_
+#define AQUILA_SRC_KVS_ARENA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace aquila {
+
+class Arena {
+ public:
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes) {
+    if (bytes <= remaining_) {
+      char* result = ptr_;
+      ptr_ += bytes;
+      remaining_ -= bytes;
+      return result;
+    }
+    return AllocateFallback(bytes);
+  }
+
+  char* AllocateAligned(size_t bytes) {
+    constexpr size_t kAlign = 8;
+    size_t mod = reinterpret_cast<uintptr_t>(ptr_) & (kAlign - 1);
+    size_t slop = mod == 0 ? 0 : kAlign - mod;
+    if (bytes + slop <= remaining_) {
+      char* result = ptr_ + slop;
+      ptr_ += bytes + slop;
+      remaining_ -= bytes + slop;
+      return result;
+    }
+    return AllocateFallback(bytes);  // fresh blocks are aligned
+  }
+
+  size_t MemoryUsage() const { return memory_usage_.load(std::memory_order_relaxed); }
+
+ private:
+  char* AllocateFallback(size_t bytes) {
+    if (bytes > kBlockSize / 4) {
+      // Large allocation gets its own block; current block keeps its space.
+      return NewBlock(bytes);
+    }
+    ptr_ = NewBlock(kBlockSize);
+    remaining_ = kBlockSize;
+    char* result = ptr_;
+    ptr_ += bytes;
+    remaining_ -= bytes;
+    return result;
+  }
+
+  char* NewBlock(size_t bytes) {
+    blocks_.push_back(std::make_unique<char[]>(bytes));
+    memory_usage_.fetch_add(bytes + sizeof(char*), std::memory_order_relaxed);
+    return blocks_.back().get();
+  }
+
+  char* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_{0};
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_KVS_ARENA_H_

@@ -1,0 +1,45 @@
+// Bloom filter for SST files (RocksDB-style, ~10 bits/key by default).
+#ifndef AQUILA_SRC_KVS_BLOOM_H_
+#define AQUILA_SRC_KVS_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kvs/slice.h"
+
+namespace aquila {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10);
+
+  void AddKey(const Slice& key);
+
+  // Serializes the filter: bit array + one trailing byte of probe count.
+  std::string Finish();
+
+  size_t num_keys() const { return hashes_.size(); }
+
+ private:
+  int bits_per_key_;
+  std::vector<uint32_t> hashes_;
+};
+
+class BloomFilter {
+ public:
+  // `data` must outlive the filter (points into the SST's filter block).
+  explicit BloomFilter(Slice data) : data_(data) {}
+
+  bool MayContain(const Slice& key) const;
+
+ private:
+  Slice data_;
+};
+
+// Hash shared by builder and reader.
+uint32_t BloomHash(const Slice& key);
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_KVS_BLOOM_H_

@@ -1,0 +1,104 @@
+// Fixed- and variable-length integer coding (leveldb-compatible layouts).
+#ifndef AQUILA_SRC_KVS_CODING_H_
+#define AQUILA_SRC_KVS_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/kvs/slice.h"
+
+namespace aquila {
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void PutVarint32(std::string* dst, uint32_t v) {
+  unsigned char buf[5];
+  int n = 0;
+  while (v >= 128) {
+    buf[n++] = static_cast<unsigned char>(v) | 128;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<const char*>(buf), n);
+}
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 128) {
+    buf[n++] = static_cast<unsigned char>(v) | 128;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<const char*>(buf), n);
+}
+
+// Returns pointer past the decoded value, or nullptr on malformed input.
+inline const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
+    uint32_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 128) {
+      result |= (byte & 127) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+inline const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 128) {
+      result |= (byte & 127) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+inline bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint32_t len;
+  const char* p = GetVarint32Ptr(input->data(), input->data() + input->size(), &len);
+  if (p == nullptr || static_cast<size_t>(input->data() + input->size() - p) < len) {
+    return false;
+  }
+  *result = Slice(p, len);
+  *input = Slice(p + len, input->data() + input->size() - p - len);
+  return true;
+}
+
+inline void PutLengthPrefixedSlice(std::string* dst, const Slice& s) {
+  PutVarint32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_KVS_CODING_H_

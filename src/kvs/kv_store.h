@@ -1,0 +1,28 @@
+// Common key-value store interface consumed by the YCSB runner.
+#ifndef AQUILA_SRC_KVS_KV_STORE_H_
+#define AQUILA_SRC_KVS_KV_STORE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/kvs/slice.h"
+#include "src/util/status.h"
+
+namespace aquila {
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+  // *found=false when the key is absent (or deleted).
+  virtual Status Get(const Slice& key, std::string* value, bool* found) = 0;
+  // Visits up to `count` key/value pairs starting at the first key >= start.
+  virtual Status Scan(const Slice& start, int count,
+                      const std::function<void(const Slice&, const Slice&)>& visit) = 0;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_KVS_KV_STORE_H_

@@ -1,0 +1,110 @@
+// Mini-RocksDB: a leveled LSM-tree key-value store (§5).
+//
+// Architecture mirrors the parts of RocksDB the paper's experiments
+// exercise: a skiplist memtable with WAL, flushes into 64 MB-style SSTs in
+// L0, leveled compaction into sorted runs, bloom filters and a pinned index
+// per table, and a pluggable read path — direct I/O + user-space block cache
+// (the recommended RocksDB configuration) or mmio through an engine
+// (RocksDB's mmap_reads mode / the Aquila port). Compactions run inline on
+// the writer thread: the paper excludes write/compaction performance from
+// its claims (background, device-bound, §6.1), and inline compaction keeps
+// the store deterministic.
+#ifndef AQUILA_SRC_KVS_LSM_DB_H_
+#define AQUILA_SRC_KVS_LSM_DB_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/kvs/env.h"
+#include "src/kvs/kv_store.h"
+#include "src/kvs/memtable.h"
+#include "src/kvs/sst.h"
+#include "src/util/spinlock.h"
+
+namespace aquila {
+
+class LsmDb : public KvStore {
+ public:
+  struct Options {
+    KvsEnv* env = nullptr;
+    BlockCache* block_cache = nullptr;  // used only on the direct-I/O path
+    std::string name = "/db";
+    uint64_t memtable_bytes = 4ull << 20;
+    uint64_t sst_target_bytes = 8ull << 20;  // scaled from RocksDB's 64 MB
+    int l0_compaction_trigger = 4;
+    // Level n (n>=1) holds at most base * multiplier^(n-1) bytes.
+    uint64_t l1_max_bytes = 32ull << 20;
+    int level_size_multiplier = 8;
+    int max_levels = 7;
+    bool enable_wal = true;
+    SstOptions sst;
+  };
+
+  struct Stats {
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> puts{0};
+    std::atomic<uint64_t> memtable_hits{0};
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> compactions{0};
+    std::atomic<uint64_t> bytes_compacted{0};
+  };
+
+  static StatusOr<std::unique_ptr<LsmDb>> Open(const Options& options);
+  ~LsmDb() override;
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value, bool* found) override;
+  Status Scan(const Slice& start, int count,
+              const std::function<void(const Slice&, const Slice&)>& visit) override;
+
+  // Forces the memtable out to L0.
+  Status Flush();
+
+  const Stats& stats() const { return stats_; }
+  int NumLevelFiles(int level) const;
+  uint64_t TotalSstBytes() const;
+
+ private:
+  struct TableMeta {
+    uint64_t file_number = 0;
+    uint64_t file_size = 0;
+    std::string smallest;
+    std::string largest;
+    std::shared_ptr<SstReader> reader;
+  };
+
+  explicit LsmDb(const Options& options);
+
+  Status WriteInternal(ValueType type, const Slice& key, const Slice& value);
+  Status FlushMemTableLocked();
+  Status WriteManifest();
+  Status MaybeCompactLocked();
+  Status CompactLevelLocked(int level);
+  Status WriteTables(std::vector<std::unique_ptr<SstReader::Iterator>> inputs, int target_level,
+                     std::vector<TableMeta>* outputs);
+  StatusOr<TableMeta> OpenTable(uint64_t file_number, uint64_t file_size);
+  std::string SstPath(uint64_t file_number) const;
+  uint64_t LevelMaxBytes(int level) const;
+
+  Options options_;
+  Stats stats_;
+
+  std::mutex write_mu_;  // serializes writers (RocksDB's write path does too)
+  // Readers grab a reference under version_lock_; a flush publishes a fresh
+  // memtable the same way RocksDB retires an immutable one — the old table
+  // stays alive for readers still holding it.
+  std::shared_ptr<MemTable> memtable_;
+  std::unique_ptr<WritableFile> wal_;
+  std::atomic<uint64_t> sequence_{1};
+  std::atomic<uint64_t> next_file_number_{1};
+
+  // Version state: L0 newest-first; L1+ sorted, non-overlapping.
+  mutable RwSpinLock version_lock_;
+  std::vector<std::vector<TableMeta>> levels_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_KVS_LSM_DB_H_

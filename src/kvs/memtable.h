@@ -1,0 +1,81 @@
+// Skiplist memtable (leveldb/RocksDB design): lock-free readers, writers
+// serialized by the DB's write mutex. Entries are internal keys: user key
+// ascending, sequence number descending, so a Get finds the newest visible
+// version first and deletions shadow older puts.
+#ifndef AQUILA_SRC_KVS_MEMTABLE_H_
+#define AQUILA_SRC_KVS_MEMTABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/kvs/arena.h"
+#include "src/kvs/slice.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+
+enum class ValueType : uint8_t {
+  kDeletion = 0,
+  kValue = 1,
+};
+
+class MemTable {
+ public:
+  MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Writers must be externally serialized; readers need no synchronization.
+  void Add(uint64_t sequence, ValueType type, const Slice& key, const Slice& value);
+
+  // Returns true if the key has an entry: *found_value filled for kValue,
+  // *deleted set for kDeletion.
+  bool Get(const Slice& key, std::string* found_value, bool* deleted) const;
+
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  uint64_t entries() const { return entries_.load(std::memory_order_relaxed); }
+
+  // In-order iteration (flush to SST). Visits entries as (key, seq, type,
+  // value), newest first within a key.
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* table);
+    bool Valid() const;
+    void SeekToFirst();
+    void Seek(const Slice& key);
+    void Next();
+    Slice key() const;
+    uint64_t sequence() const;
+    ValueType type() const;
+    Slice value() const;
+
+   private:
+    const MemTable* table_;
+    const void* node_;
+  };
+
+ private:
+  friend class Iterator;
+  struct Node;
+  static constexpr int kMaxHeight = 12;
+
+  // Internal-key comparison: user key asc, then sequence desc.
+  int CompareEntries(const char* a, const char* b) const;
+  int CompareEntryToKey(const char* entry, const Slice& key, uint64_t sequence) const;
+
+  Node* NewNode(size_t entry_bytes, int height, char** entry_out);
+  int RandomHeight();
+  Node* FindGreaterOrEqual(const Slice& key, uint64_t sequence, Node** prev) const;
+
+  Arena arena_;
+  Node* head_;
+  std::atomic<int> max_height_{1};
+  std::atomic<uint64_t> entries_{0};
+  Rng rng_{0xdecafbad};
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_KVS_MEMTABLE_H_

@@ -1,0 +1,60 @@
+// Byte-slice and key comparison primitives for the key-value stores.
+#ifndef AQUILA_SRC_KVS_SLICE_H_
+#define AQUILA_SRC_KVS_SLICE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace aquila {
+
+// Non-owning view of bytes. Matches the leveldb/rocksdb Slice contract: the
+// referenced storage must outlive the slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  int compare(const Slice& other) const {
+    size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) {
+        return -1;
+      }
+      if (size_ > other.size_) {
+        return 1;
+      }
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ && std::memcmp(data_, other.data_, size_) == 0;
+  }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+  bool operator<(const Slice& other) const { return compare(other) < 0; }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ && std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_KVS_SLICE_H_

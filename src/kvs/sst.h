@@ -1,0 +1,127 @@
+// Static-Sorted-Table (SST) files: the on-device format of the mini-RocksDB
+// (§5: fixed-size files of sorted blocks with index and bloom filter).
+//
+// Layout:
+//   [data block]*  entries: varint klen | varint vlen | fixed64 tag | k | v
+//   [filter block] bloom over user keys
+//   [index block]  per data block: length-prefixed last_key | off | size
+//   [footer]       index/filter locations + magic (fixed 40 bytes)
+// Entries are in internal-key order: user key ascending, sequence number
+// descending — a point Get stops at the first entry for its user key.
+#ifndef AQUILA_SRC_KVS_SST_H_
+#define AQUILA_SRC_KVS_SST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kvs/block_cache.h"
+#include "src/kvs/bloom.h"
+#include "src/kvs/env.h"
+#include "src/kvs/memtable.h"
+
+namespace aquila {
+
+struct SstOptions {
+  uint64_t block_size = 4096;
+  int bloom_bits_per_key = 10;
+};
+
+class SstBuilder {
+ public:
+  SstBuilder(WritableFile* file, const SstOptions& options);
+
+  // Keys must arrive in internal-key order.
+  void Add(const Slice& key, uint64_t sequence, ValueType type, const Slice& value);
+
+  // Writes filter, index, and footer. The file is synced and closed by the
+  // caller.
+  Status Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t file_size() const { return offset_ + pending_block_.size(); }
+  const std::string& smallest_key() const { return smallest_; }
+  const std::string& largest_key() const { return largest_; }
+
+ private:
+  void FlushBlock();
+
+  WritableFile* file_;
+  SstOptions options_;
+  std::string pending_block_;
+  std::string pending_last_key_;
+  std::string index_;
+  BloomFilterBuilder bloom_;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  std::string smallest_;
+  std::string largest_;
+  Status status_;
+};
+
+class SstReader {
+ public:
+  // `cache` may be null (mmio mode: the mmio cache is the only cache, as
+  // with RocksDB's mmap reads). `file_id` keys the block cache.
+  static StatusOr<std::unique_ptr<SstReader>> Open(std::unique_ptr<RandomAccessFile> file,
+                                                   BlockCache* cache, uint64_t file_id);
+
+  // Point lookup: *found=false if absent; *deleted=true for a tombstone.
+  Status Get(const Slice& key, std::string* value, bool* found, bool* deleted);
+
+  const std::string& smallest_key() const { return smallest_; }
+  const std::string& largest_key() const { return largest_; }
+  uint64_t num_blocks() const { return index_.size(); }
+
+  // Forward iteration over all entries (compaction, scans).
+  class Iterator {
+   public:
+    explicit Iterator(SstReader* reader);
+    bool Valid() const { return valid_; }
+    Status status() const { return status_; }
+    void SeekToFirst();
+    void Seek(const Slice& key);  // first entry with user key >= key
+    void Next();
+    Slice key() const { return key_; }
+    uint64_t sequence() const { return tag_ >> 8; }
+    ValueType type() const { return static_cast<ValueType>(tag_ & 0xff); }
+    Slice value() const { return value_; }
+
+   private:
+    bool LoadBlock(size_t block_index);
+    bool ParseCurrent();
+
+    SstReader* reader_;
+    size_t block_index_ = 0;
+    std::shared_ptr<const std::string> block_;
+    const char* pos_ = nullptr;
+    bool valid_ = false;
+    Status status_;
+    Slice key_;
+    uint64_t tag_ = 0;
+    Slice value_;
+  };
+
+ private:
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint64_t size;
+  };
+
+  SstReader() = default;
+
+  StatusOr<std::shared_ptr<const std::string>> ReadBlock(size_t block_index);
+
+  std::unique_ptr<RandomAccessFile> file_;
+  BlockCache* cache_ = nullptr;
+  uint64_t file_id_ = 0;
+  std::vector<IndexEntry> index_;
+  std::string filter_data_;
+  std::string smallest_;
+  std::string largest_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_KVS_SST_H_

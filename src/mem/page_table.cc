@@ -1,0 +1,97 @@
+#include "src/mem/page_table.h"
+
+#include <array>
+
+#include "src/util/logging.h"
+
+namespace aquila {
+
+struct PageTable::Node {
+  // Interior levels store Node* in the atomics; the leaf level stores PTEs.
+  std::array<std::atomic<uint64_t>, kEntriesPerTable> slots{};
+};
+
+PageTable::PageTable() : root_(new Node()) {}
+
+PageTable::~PageTable() { FreeRecursive(root_, kLevels - 1); }
+
+void PageTable::FreeRecursive(Node* node, int level) {
+  if (level > 0) {
+    for (auto& slot : node->slots) {
+      uint64_t child = slot.load(std::memory_order_relaxed);
+      if (child != 0) {
+        FreeRecursive(reinterpret_cast<Node*>(child), level - 1);
+      }
+    }
+  }
+  delete node;
+}
+
+PageTable::Node* PageTable::EnsureChild(Node* node, int index) {
+  uint64_t child = node->slots[index].load(std::memory_order_acquire);
+  if (child != 0) {
+    return reinterpret_cast<Node*>(child);
+  }
+  Node* fresh = new Node();
+  uint64_t expected = 0;
+  if (node->slots[index].compare_exchange_strong(expected, reinterpret_cast<uint64_t>(fresh),
+                                                 std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;  // lost the install race
+  return reinterpret_cast<Node*>(expected);
+}
+
+std::atomic<uint64_t>* PageTable::Walk(uint64_t vaddr) {
+  Node* node = root_;
+  for (int level = kLevels - 1; level > 0; level--) {
+    node = EnsureChild(node, IndexAt(vaddr, level));
+  }
+  return &node->slots[IndexAt(vaddr, 0)];
+}
+
+std::atomic<uint64_t>* PageTable::WalkExisting(uint64_t vaddr) const {
+  Node* node = root_;
+  for (int level = kLevels - 1; level > 0; level--) {
+    uint64_t child = node->slots[IndexAt(vaddr, level)].load(std::memory_order_acquire);
+    if (child == 0) {
+      return nullptr;
+    }
+    node = reinterpret_cast<Node*>(child);
+  }
+  return const_cast<std::atomic<uint64_t>*>(&node->slots[IndexAt(vaddr, 0)]);
+}
+
+uint64_t PageTable::Lookup(uint64_t vaddr) const {
+  std::atomic<uint64_t>* pte = WalkExisting(vaddr);
+  return pte == nullptr ? 0 : pte->load(std::memory_order_acquire);
+}
+
+bool PageTable::Install(uint64_t vaddr, uint64_t gpa, uint64_t flags) {
+  std::atomic<uint64_t>* pte = Walk(vaddr);
+  uint64_t expected = pte->load(std::memory_order_acquire);
+  uint64_t desired = Pte::Make(gpa, flags | Pte::kPresent);
+  while (true) {
+    if (Pte::Present(expected)) {
+      return false;
+    }
+    if (pte->compare_exchange_weak(expected, desired, std::memory_order_acq_rel)) {
+      present_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+uint64_t PageTable::Remove(uint64_t vaddr) {
+  std::atomic<uint64_t>* pte = WalkExisting(vaddr);
+  if (pte == nullptr) {
+    return 0;
+  }
+  uint64_t old = pte->exchange(0, std::memory_order_acq_rel);
+  if (Pte::Present(old)) {
+    present_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return old;
+}
+
+}  // namespace aquila

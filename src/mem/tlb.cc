@@ -1,0 +1,63 @@
+#include "src/mem/tlb.h"
+
+#include "src/vmx/cost_model.h"
+
+namespace aquila {
+
+TlbSet::LookupResult TlbSet::Lookup(int core, uint64_t vpn) const {
+  uint64_t packed = cores_[core].entries[SlotFor(vpn)].load(std::memory_order_relaxed);
+  if ((packed & 1u) != 0 && (packed >> 2) == vpn) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return LookupResult{true, (packed & 2u) != 0};
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return LookupResult{false, false};
+}
+
+void TlbSet::Insert(int core, uint64_t vpn, bool writable) {
+  cores_[core].entries[SlotFor(vpn)].store(Pack(vpn, writable), std::memory_order_relaxed);
+}
+
+void TlbSet::InvalidatePage(int core, uint64_t vpn) {
+  std::atomic<uint64_t>& slot = cores_[core].entries[SlotFor(vpn)];
+  uint64_t packed = slot.load(std::memory_order_relaxed);
+  if ((packed & 1u) != 0 && (packed >> 2) == vpn) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+}
+
+void TlbSet::FlushCore(int core) {
+  for (auto& slot : cores_[core].entries) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+}
+
+void TlbSet::Shootdown(SimClock& clock, int initiator_core, int active_cores,
+                       std::span<const uint64_t> vpns, PostedIpiFabric& fabric) {
+  const CostModel& costs = GlobalCostModel();
+  shootdowns_.fetch_add(1, std::memory_order_relaxed);
+
+  if (active_cores > CoreRegistry::kMaxCores) {
+    active_cores = CoreRegistry::kMaxCores;
+  }
+
+  // The handler on every core (initiator included) invalidates the batch; a
+  // large batch is cheaper as a full flush.
+  uint64_t per_core_cost = vpns.size() * costs.tlb_invalidate_page;
+  if (per_core_cost > costs.tlb_full_flush) {
+    per_core_cost = costs.tlb_full_flush;
+  }
+
+  for (int core = 0; core < active_cores; core++) {
+    for (uint64_t vpn : vpns) {
+      InvalidatePage(core, vpn);
+    }
+    if (core == initiator_core) {
+      clock.Charge(CostCategory::kTlbShootdown, per_core_cost);
+    } else {
+      fabric.Send(clock, core, per_core_cost);
+    }
+  }
+}
+
+}  // namespace aquila

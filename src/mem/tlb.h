@@ -1,0 +1,82 @@
+// Per-core software TLBs with batched shootdown (§3.1, §4.1).
+//
+// The TLBs are *statistical*: translations are always re-validated against
+// the page table (whose PTE dirty/present bits are authoritative), so a
+// stale TLB entry can only mis-account a hit as such — it can never corrupt
+// data. This mirrors the role the real TLB plays for the paper's accounting:
+// hits are free, misses pay the hardware walk, and invalidations cost IPIs.
+//
+// Shootdown protocol (Aquila): the initiator removes a batch of PTEs, then
+// invalidates the batch locally and sends ONE IPI per remote core for the
+// whole batch through the posted-IPI fabric (vmexit-protected send path,
+// §4.1). The remote handler cost scales with the batch size and is charged
+// to the victim core's mailbox.
+#ifndef AQUILA_SRC_MEM_TLB_H_
+#define AQUILA_SRC_MEM_TLB_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "src/util/cpu.h"
+#include "src/util/sim_clock.h"
+#include "src/vmx/ipi.h"
+
+namespace aquila {
+
+class TlbSet {
+ public:
+  // Entries per core. Direct-mapped; sized like a big L2 STLB.
+  static constexpr int kEntries = 2048;
+
+  struct LookupResult {
+    bool hit = false;
+    bool writable = false;
+  };
+
+  // Statistical lookup for virtual page number `vpn` on `core`.
+  LookupResult Lookup(int core, uint64_t vpn) const;
+
+  // Fills the entry after a walk. `writable` caches the PTE W bit.
+  void Insert(int core, uint64_t vpn, bool writable);
+
+  // Local single-page invalidation (invlpg analog).
+  void InvalidatePage(int core, uint64_t vpn);
+
+  // Drops every entry on `core`.
+  void FlushCore(int core);
+
+  // Invalidates `vpns` on all cores. The initiator (`initiator_core`, whose
+  // clock is `clock`) pays per-page local invalidations plus one IPI per
+  // remote core; each remote core is charged the handler cost via the
+  // fabric. `active_cores` bounds the shootdown fan-out (the paper tracks
+  // which cores may cache the mapping via the shared page table).
+  void Shootdown(SimClock& clock, int initiator_core, int active_cores,
+                 std::span<const uint64_t> vpns, PostedIpiFabric& fabric);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t shootdowns() const { return shootdowns_.load(std::memory_order_relaxed); }
+
+ private:
+  // Packed entry: (vpn << 2) | (writable << 1) | valid. vpn of ~0 unused.
+  static uint64_t Pack(uint64_t vpn, bool writable) {
+    return (vpn << 2) | (writable ? 2u : 0u) | 1u;
+  }
+
+  struct alignas(kCacheLineSize) CoreTlb {
+    std::array<std::atomic<uint64_t>, kEntries> entries{};
+  };
+
+  static int SlotFor(uint64_t vpn) { return static_cast<int>(vpn) & (kEntries - 1); }
+
+  std::array<CoreTlb, CoreRegistry::kMaxCores> cores_{};
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> shootdowns_{0};
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_MEM_TLB_H_

@@ -1,0 +1,21 @@
+#include "src/storage/block_device.h"
+
+namespace aquila {
+
+Status BlockDevice::WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                               std::span<const uint8_t* const> pages, uint64_t page_bytes) {
+  for (size_t i = 0; i < offsets.size(); i++) {
+    AQUILA_RETURN_IF_ERROR(Write(vcpu, offsets[i], std::span(pages[i], page_bytes)));
+  }
+  return Status::Ok();
+}
+
+Status BlockDevice::ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                              std::span<uint8_t* const> pages, uint64_t page_bytes) {
+  for (size_t i = 0; i < offsets.size(); i++) {
+    AQUILA_RETURN_IF_ERROR(Read(vcpu, offsets[i], std::span(pages[i], page_bytes)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace aquila

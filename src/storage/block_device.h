@@ -1,0 +1,73 @@
+// Storage device abstraction used by the DRAM cache, the blobstore, and the
+// key-value stores.
+//
+// All devices are synchronous at this interface (the paper's mmio fault path
+// issues synchronous reads; writebacks use the batched path below). Costs
+// are charged to the calling vCPU's simulated clock:
+//   - time on the device medium / channel        -> CostCategory::kDeviceIo
+//   - CPU copies for byte-addressable devices    -> CostCategory::kMemcpy
+//   - kernel path for host-mediated access       -> CostCategory::kSyscall
+// Devices are shared resources: channel bandwidth is modeled with a
+// SerializedResource, so concurrent readers observe queueing exactly like a
+// saturated Optane drive.
+#ifndef AQUILA_SRC_STORAGE_BLOCK_DEVICE_H_
+#define AQUILA_SRC_STORAGE_BLOCK_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "src/util/status.h"
+#include "src/vmx/vcpu.h"
+
+namespace aquila {
+
+struct DeviceStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual const char* name() const = 0;
+  virtual uint64_t capacity_bytes() const = 0;
+
+  // Synchronous I/O. `offset` and sizes must be 512-byte aligned (all
+  // callers use 4 KB pages). Blocking time is charged to `vcpu`.
+  virtual Status Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) = 0;
+  virtual Status Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) = 0;
+
+  // Batched write path used by the eviction writeback: devices that support
+  // queueing overlap the batch; the default loops over Write.
+  virtual Status WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                            std::span<const uint8_t* const> pages, uint64_t page_bytes);
+
+  // Batched read path used by read-ahead. Default loops over Read.
+  virtual Status ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                           std::span<uint8_t* const> pages, uint64_t page_bytes);
+
+  // Flushes volatile device buffers (durability barrier for msync).
+  virtual Status Flush(Vcpu& vcpu) { return Status::Ok(); }
+
+  const DeviceStats& stats() const { return stats_; }
+
+ protected:
+  void CountRead(uint64_t bytes) {
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void CountWrite(uint64_t bytes) {
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  DeviceStats stats_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_STORAGE_BLOCK_DEVICE_H_

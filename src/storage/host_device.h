@@ -1,0 +1,88 @@
+// Host-OS-mediated device access (the HOST-pmem / HOST-NVMe paths of
+// Fig 8(c), and the kernel path of the explicit-I/O baselines).
+//
+// Wraps any device and prepends the host-kernel entry cost: a syscall when
+// the caller is a normal ring-3 application, or a vmcall when the caller is
+// an Aquila guest forwarding I/O to the host (§3.3 notes a vmcall is even
+// more expensive than a syscall — which is exactly why Aquila prefers
+// direct device access from non-root ring 0). On top of the entry cost the
+// wrapper charges the kernel's filesystem/block-layer path per request.
+#ifndef AQUILA_SRC_STORAGE_HOST_DEVICE_H_
+#define AQUILA_SRC_STORAGE_HOST_DEVICE_H_
+
+#include "src/storage/block_device.h"
+#include "src/vmx/cost_model.h"
+
+namespace aquila {
+
+class HostIoDevice : public BlockDevice {
+ public:
+  enum class EntryPath {
+    kSyscall,  // ring-3 application -> host kernel
+    kVmcall,   // non-root ring 0 guest -> hypervisor -> host kernel
+  };
+
+  HostIoDevice(BlockDevice* inner, EntryPath path) : inner_(inner), path_(path) {}
+
+  const char* name() const override {
+    return path_ == EntryPath::kSyscall ? "host-syscall" : "host-vmcall";
+  }
+  uint64_t capacity_bytes() const override { return inner_->capacity_bytes(); }
+
+  Status Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override {
+    ChargeEntry(vcpu);
+    Status status = inner_->Read(vcpu, offset, dst);
+    if (status.ok()) {
+      CountRead(dst.size());
+    }
+    return status;
+  }
+
+  Status Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override {
+    ChargeEntry(vcpu);
+    Status status = inner_->Write(vcpu, offset, src);
+    if (status.ok()) {
+      CountWrite(src.size());
+    }
+    return status;
+  }
+
+  Status WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                    std::span<const uint8_t* const> pages, uint64_t page_bytes) override {
+    // One kernel entry covers the whole batch (writev/io_submit style), but
+    // the kernel path is still paid per request.
+    ChargeEntry(vcpu);
+    for (size_t i = 1; i < offsets.size(); i++) {
+      vcpu.clock().Charge(CostCategory::kSyscall, GlobalCostModel().kernel_io_path);
+    }
+    Status status = inner_->WriteBatch(vcpu, offsets, pages, page_bytes);
+    if (status.ok()) {
+      for (size_t i = 0; i < offsets.size(); i++) {
+        CountWrite(page_bytes);
+      }
+    }
+    return status;
+  }
+
+  Status Flush(Vcpu& vcpu) override {
+    ChargeEntry(vcpu);
+    return inner_->Flush(vcpu);
+  }
+
+ private:
+  void ChargeEntry(Vcpu& vcpu) {
+    if (path_ == EntryPath::kSyscall) {
+      vcpu.ChargeSyscall();
+    } else {
+      vcpu.ChargeVmcall();
+    }
+    vcpu.clock().Charge(CostCategory::kSyscall, GlobalCostModel().kernel_io_path);
+  }
+
+  BlockDevice* inner_;
+  EntryPath path_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_STORAGE_HOST_DEVICE_H_

@@ -1,0 +1,47 @@
+#include "src/storage/nt_memcpy.h"
+
+#include <cstring>
+
+#include "src/util/bitops.h"
+#include "src/util/logging.h"
+
+#if defined(__x86_64__)
+#include <emmintrin.h>
+#endif
+
+namespace aquila {
+
+void NtMemcpy(void* dst, const void* src, size_t bytes) {
+#if defined(__x86_64__)
+  AQUILA_DCHECK((reinterpret_cast<uintptr_t>(dst) & 15) == 0);
+  AQUILA_DCHECK((reinterpret_cast<uintptr_t>(src) & 15) == 0);
+  AQUILA_DCHECK(bytes % 64 == 0);
+  auto* d = static_cast<__m128i*>(dst);
+  const auto* s = static_cast<const __m128i*>(src);
+  for (size_t i = 0; i < bytes / 16; i += 4) {
+    __m128i a = _mm_load_si128(s + i);
+    __m128i b = _mm_load_si128(s + i + 1);
+    __m128i c = _mm_load_si128(s + i + 2);
+    __m128i e = _mm_load_si128(s + i + 3);
+    _mm_stream_si128(d + i, a);
+    _mm_stream_si128(d + i + 1, b);
+    _mm_stream_si128(d + i + 2, c);
+    _mm_stream_si128(d + i + 3, e);
+  }
+  _mm_sfence();
+#else
+  std::memcpy(dst, src, bytes);
+#endif
+}
+
+void PlainMemcpy(void* dst, const void* src, size_t bytes) { std::memcpy(dst, src, bytes); }
+
+void CopyPage(void* dst, const void* src, CopyFlavor flavor) {
+  if (flavor == CopyFlavor::kStreaming) {
+    NtMemcpy(dst, src, kPageSize);
+  } else {
+    PlainMemcpy(dst, src, kPageSize);
+  }
+}
+
+}  // namespace aquila

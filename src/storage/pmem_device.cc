@@ -1,0 +1,81 @@
+#include "src/storage/pmem_device.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "src/util/bitops.h"
+#include "src/util/logging.h"
+#include "src/vmx/cost_model.h"
+
+namespace aquila {
+
+PmemDevice::PmemDevice(const Options& options) : options_(options) {
+  void* mem = mmap(nullptr, options_.capacity_bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  AQUILA_CHECK(mem != MAP_FAILED);
+  base_ = static_cast<uint8_t*>(mem);
+}
+
+PmemDevice::~PmemDevice() {
+  if (base_ != nullptr) {
+    munmap(base_, options_.capacity_bytes);
+  }
+}
+
+Status PmemDevice::CheckRange(uint64_t offset, uint64_t bytes) const {
+  if (offset + bytes > options_.capacity_bytes || offset + bytes < offset) {
+    return Status::InvalidArgument("pmem access out of range");
+  }
+  return Status::Ok();
+}
+
+uint64_t PmemDevice::CopyCostCycles(uint64_t bytes) const {
+  const CostModel& costs = GlobalCostModel();
+  uint64_t per_4k = options_.copy_flavor == CopyFlavor::kStreaming ? costs.memcpy_4k_nt
+                                                                   : costs.memcpy_4k_plain;
+  uint64_t cost = (bytes * per_4k) / kPageSize;
+  if (options_.charge_fpu_state && options_.copy_flavor == CopyFlavor::kStreaming) {
+    cost += costs.fpu_save_restore;
+  }
+  return cost;
+}
+
+Status PmemDevice::Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
+  AQUILA_RETURN_IF_ERROR(CheckRange(offset, dst.size()));
+  // Only the transfer occupies the shared channel; the access latency
+  // overlaps across concurrent readers.
+  uint64_t transfer =
+      options_.channel_cycles_per_4k * ((dst.size() + kPageSize - 1) / kPageSize);
+  channel_.Acquire(vcpu.clock(), CostCategory::kDeviceIo, transfer);
+  vcpu.clock().Charge(CostCategory::kDeviceIo, options_.read_latency_cycles);
+  // The CPU performs the copy on byte-addressable devices.
+  vcpu.clock().Charge(CostCategory::kMemcpy, CopyCostCycles(dst.size()));
+  if (options_.copy_flavor == CopyFlavor::kStreaming && IsAligned(dst.size(), 64) &&
+      (reinterpret_cast<uintptr_t>(dst.data()) & 15) == 0 && IsAligned(offset, 16)) {
+    NtMemcpy(dst.data(), base_ + offset, dst.size());
+  } else {
+    std::memcpy(dst.data(), base_ + offset, dst.size());
+  }
+  CountRead(dst.size());
+  return Status::Ok();
+}
+
+Status PmemDevice::Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) {
+  AQUILA_RETURN_IF_ERROR(CheckRange(offset, src.size()));
+  uint64_t transfer =
+      options_.channel_cycles_per_4k * ((src.size() + kPageSize - 1) / kPageSize);
+  channel_.Acquire(vcpu.clock(), CostCategory::kDeviceIo, transfer);
+  vcpu.clock().Charge(CostCategory::kDeviceIo, options_.write_latency_cycles);
+  vcpu.clock().Charge(CostCategory::kMemcpy, CopyCostCycles(src.size()));
+  if (options_.copy_flavor == CopyFlavor::kStreaming && IsAligned(src.size(), 64) &&
+      (reinterpret_cast<uintptr_t>(src.data()) & 15) == 0 && IsAligned(offset, 16)) {
+    NtMemcpy(base_ + offset, src.data(), src.size());
+  } else {
+    std::memcpy(base_ + offset, src.data(), src.size());
+  }
+  CountWrite(src.size());
+  return Status::Ok();
+}
+
+}  // namespace aquila

@@ -1,0 +1,40 @@
+// Bit / alignment helpers shared by the memory and storage layers.
+#ifndef AQUILA_SRC_UTIL_BITOPS_H_
+#define AQUILA_SRC_UTIL_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace aquila {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kHugePage2M = 2ull << 20;
+inline constexpr uint64_t kHugePage1G = 1ull << 30;
+
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr uint64_t AlignDown(uint64_t v, uint64_t alignment) { return v & ~(alignment - 1); }
+
+constexpr uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return AlignDown(v + alignment - 1, alignment);
+}
+
+constexpr bool IsAligned(uint64_t v, uint64_t alignment) { return (v & (alignment - 1)) == 0; }
+
+constexpr uint64_t PageIndex(uint64_t addr) { return addr >> kPageShift; }
+constexpr uint64_t PageBase(uint64_t addr) { return AlignDown(addr, kPageSize); }
+
+constexpr uint64_t NextPowerOfTwo(uint64_t v) { return v <= 1 ? 1 : std::bit_ceil(v); }
+
+// Mixer used by hash tables over page indices (splitmix64 finalizer).
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_UTIL_BITOPS_H_

@@ -1,0 +1,9 @@
+#include "src/util/cpu.h"
+
+#include <sched.h>
+
+namespace aquila {
+
+void SpinBackoff::Yield() { sched_yield(); }
+
+}  // namespace aquila

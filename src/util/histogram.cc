@@ -1,0 +1,128 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace aquila {
+
+Histogram::Histogram() : buckets_(kBuckets) {}
+
+// Values < 16 are exact buckets 0..15; above that, each power-of-two octave
+// splits into 8 linear sub-buckets (<= ~6% relative error).
+int Histogram::BucketFor(uint64_t value) {
+  if (value < 16) {
+    return static_cast<int>(value);
+  }
+  int exponent = 63 - std::countl_zero(value);  // >= 4
+  int sub = static_cast<int>(value >> (exponent - 3)) & 7;
+  int bucket = 16 + (exponent - 4) * 8 + sub;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketMidpoint(int bucket) {
+  if (bucket < 16) {
+    return static_cast<uint64_t>(bucket);
+  }
+  int exponent = 4 + (bucket - 16) / 8;
+  int sub = (bucket - 16) % 8;
+  uint64_t base = (1ull << exponent) + (static_cast<uint64_t>(sub) << (exponent - 3));
+  uint64_t width = 1ull << (exponent - 3);
+  return base + width / 2;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (value < prev_min &&
+         !min_.compare_exchange_weak(prev_min, value, std::memory_order_relaxed)) {
+  }
+  uint64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (value > prev_max &&
+         !max_.compare_exchange_weak(prev_max, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; i++) {
+    uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  uint64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (other_min < prev_min &&
+         !min_.compare_exchange_weak(prev_min, other_min, std::memory_order_relaxed)) {
+  }
+  uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  uint64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (other_max > prev_max &&
+         !max_.compare_exchange_weak(prev_max, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const { return count_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  uint64_t n = Count();
+  if (n == 0) {
+    return 0;
+  }
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) / static_cast<double>(n);
+}
+
+uint64_t Histogram::Min() const {
+  uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
+
+uint64_t Histogram::Percentile(double q) const {
+  uint64_t n = Count();
+  if (n == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) {
+    return Max();
+  }
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; i++) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      return std::min(BucketMidpoint(i), Max());
+    }
+  }
+  return Max();
+}
+
+std::string Histogram::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p99=%llu p99.9=%llu max=%llu",
+                static_cast<unsigned long long>(Count()), Mean(),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(Percentile(0.999)),
+                static_cast<unsigned long long>(Max()));
+  return buf;
+}
+
+}  // namespace aquila

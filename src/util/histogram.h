@@ -1,0 +1,58 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// Layout mirrors HdrHistogram's idea at much lower resolution: values are
+// bucketed by (exponent, 16 linear sub-buckets), giving <= ~6% relative error
+// per bucket, which is ample for avg/p99/p99.9 reporting. Recording is a
+// single relaxed atomic increment so one histogram can be shared by many
+// workers, and histograms are mergeable for per-thread recording.
+#ifndef AQUILA_SRC_UTIL_HISTOGRAM_H_
+#define AQUILA_SRC_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aquila {
+
+class Histogram {
+ public:
+  Histogram();
+
+  // Records one sample (e.g. nanoseconds or cycles). Thread-safe.
+  void Record(uint64_t value);
+
+  // Adds all samples from `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t Count() const;
+  double Mean() const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+
+  // Value at quantile q in [0, 1], e.g. 0.999 for p99.9.
+  uint64_t Percentile(double q) const;
+
+  // One-line summary: count/mean/p50/p99/p99.9/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kExponents = 44;    // covers up to ~2^44
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kBuckets = kExponents * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketMidpoint(int bucket);
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_UTIL_HISTOGRAM_H_

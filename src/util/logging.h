@@ -1,0 +1,35 @@
+// Minimal logging / assertion macros.
+//
+// AQUILA_CHECK is always on (internal invariants of the runtime must never be
+// compiled out); AQUILA_DCHECK compiles away in NDEBUG builds like assert.
+#ifndef AQUILA_SRC_UTIL_LOGGING_H_
+#define AQUILA_SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aquila {
+
+[[noreturn]] inline void CheckFailure(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "AQUILA_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace aquila
+
+#define AQUILA_CHECK(expr)                               \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::aquila::CheckFailure(__FILE__, __LINE__, #expr); \
+    }                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define AQUILA_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define AQUILA_DCHECK(expr) AQUILA_CHECK(expr)
+#endif
+
+#endif  // AQUILA_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,139 @@
+// Deterministic random-number generation for workloads and simulators.
+//
+// All generators are seedable and allocation-free so multi-threaded
+// benchmark runners can keep one generator per worker without contention.
+// The Zipfian/ScrambledZipfian/Latest generators follow the YCSB reference
+// implementation (Gray et al.'s rejection-free zipfian), which the paper's
+// YCSB-C client also uses.
+#ifndef AQUILA_SRC_UTIL_RNG_H_
+#define AQUILA_SRC_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace aquila {
+
+// xorshift64* — fast, high-quality 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed ? seed : 1) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n ? Next() % n : 0; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53)); }
+
+  // True with probability num/den.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  uint64_t state_;
+};
+
+// 64-bit finalizer used to scatter zipfian ranks over the key space.
+inline uint64_t FnvHash64(uint64_t v) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; i++) {
+    hash ^= (v >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// Classic YCSB zipfian generator over [0, n). theta defaults to YCSB's 0.99.
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  explicit ZipfianGenerator(uint64_t n, double theta = kDefaultTheta,
+                            uint64_t seed = 0x5eed5eed5eedull)
+      : items_(n), theta_(theta), rng_(seed) {
+    zeta_n_ = Zeta(n, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) / (1.0 - zeta2_ / zeta_n_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    return static_cast<uint64_t>(static_cast<double>(items_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  uint64_t items() const { return items_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t items_;
+  double theta_;
+  Rng rng_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+// ScrambledZipfian: zipfian ranks hashed over the item space so hot keys are
+// spread out, matching YCSB's request distribution for workloads A-D/F.
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n, uint64_t seed = 0x5eed5eed5eedull)
+      : items_(n), zipf_(n, ZipfianGenerator::kDefaultTheta, seed) {}
+
+  uint64_t Next() { return FnvHash64(zipf_.Next()) % items_; }
+
+ private:
+  uint64_t items_;
+  ZipfianGenerator zipf_;
+};
+
+// Latest distribution: skewed towards the most recently inserted items
+// (used by YCSB workload D).
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t n, uint64_t seed = 0x5eed5eed5eedull)
+      : max_(n ? n : 1), zipf_(n ? n : 1, ZipfianGenerator::kDefaultTheta, seed) {}
+
+  void AdvanceTo(uint64_t new_max) {
+    if (new_max > max_) {
+      max_ = new_max;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t off = zipf_.Next() % max_;
+    return max_ - 1 - off;
+  }
+
+ private:
+  uint64_t max_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_UTIL_RNG_H_

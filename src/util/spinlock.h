@@ -1,0 +1,109 @@
+// Spinlocks and small synchronization helpers used throughout the runtime.
+//
+// The fault path cannot block on OS mutexes (the paper's handlers run in
+// non-root ring 0 with interrupts re-enabled), so all hot-path structures use
+// TTAS spinlocks or lock-free algorithms; std::mutex appears only on cold
+// management paths.
+#ifndef AQUILA_SRC_UTIL_SPINLOCK_H_
+#define AQUILA_SRC_UTIL_SPINLOCK_H_
+
+#include <atomic>
+
+#include "src/util/cpu.h"
+
+namespace aquila {
+
+// Test-and-test-and-set spinlock with exponential-free pause backoff.
+class alignas(kCacheLineSize) SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() {
+    SpinBackoff backoff;
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        backoff.Pause();
+      }
+    }
+  }
+
+  bool TryLock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+  // std::lock_guard compatibility.
+  void lock() { Lock(); }
+  void unlock() { Unlock(); }
+  bool try_lock() { return TryLock(); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// Reader-writer spinlock (write-preferring is unnecessary at our scales; this
+// is the simple reader-count scheme Linux used for the mmap_sem fast path).
+class alignas(kCacheLineSize) RwSpinLock {
+ public:
+  void LockShared() {
+    SpinBackoff backoff;
+    while (true) {
+      int32_t v = state_.load(std::memory_order_relaxed);
+      if (v >= 0 && state_.compare_exchange_weak(v, v + 1, std::memory_order_acquire)) {
+        return;
+      }
+      backoff.Pause();
+    }
+  }
+
+  void UnlockShared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  void LockExclusive() {
+    SpinBackoff backoff;
+    while (true) {
+      int32_t expected = 0;
+      if (state_.compare_exchange_weak(expected, -1, std::memory_order_acquire)) {
+        return;
+      }
+      backoff.Pause();
+    }
+  }
+
+  void UnlockExclusive() { state_.store(0, std::memory_order_release); }
+
+ private:
+  // 0 = free, >0 = reader count, -1 = writer.
+  std::atomic<int32_t> state_{0};
+};
+
+template <typename LockType>
+class SharedLockGuard {
+ public:
+  explicit SharedLockGuard(LockType& lock) : lock_(lock) { lock_.LockShared(); }
+  ~SharedLockGuard() { lock_.UnlockShared(); }
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+ private:
+  LockType& lock_;
+};
+
+template <typename LockType>
+class ExclusiveLockGuard {
+ public:
+  explicit ExclusiveLockGuard(LockType& lock) : lock_(lock) { lock_.LockExclusive(); }
+  ~ExclusiveLockGuard() { lock_.UnlockExclusive(); }
+  ExclusiveLockGuard(const ExclusiveLockGuard&) = delete;
+  ExclusiveLockGuard& operator=(const ExclusiveLockGuard&) = delete;
+
+ private:
+  LockType& lock_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_UTIL_SPINLOCK_H_

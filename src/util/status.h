@@ -1,0 +1,131 @@
+// Status / StatusOr error propagation for the storage and blob layers.
+//
+// The fault path itself uses enums and never allocates; Status is reserved
+// for management operations (blob create/resize, mmap argument validation)
+// where readable error messages matter more than cycle counts.
+#ifndef AQUILA_SRC_UTIL_STATUS_H_
+#define AQUILA_SRC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/util/logging.h"
+
+namespace aquila {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfSpace,
+  kIoError,
+  kFailedPrecondition,
+  kUnimplemented,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfSpace(std::string m) { return Status(StatusCode::kOutOfSpace, std::move(m)); }
+  static Status IoError(std::string m) { return Status(StatusCode::kIoError, std::move(m)); }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return message_.empty() ? CodeName() : CodeName() + ": " + message_;
+  }
+
+ private:
+  std::string CodeName() const {
+    switch (code_) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kAlreadyExists:
+        return "AlreadyExists";
+      case StatusCode::kOutOfSpace:
+        return "OutOfSpace";
+      case StatusCode::kIoError:
+        return "IoError";
+      case StatusCode::kFailedPrecondition:
+        return "FailedPrecondition";
+      case StatusCode::kUnimplemented:
+        return "Unimplemented";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    AQUILA_CHECK(!std::get<Status>(value_).ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  T& value() {
+    AQUILA_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const {
+    AQUILA_CHECK(ok());
+    return std::get<T>(value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> value_;
+};
+
+}  // namespace aquila
+
+#define AQUILA_RETURN_IF_ERROR(expr)                    \
+  do {                                                  \
+    ::aquila::Status aquila_return_if_error_ = (expr);  \
+    if (!aquila_return_if_error_.ok()) {                \
+      return aquila_return_if_error_;                   \
+    }                                                   \
+  } while (0)
+
+#endif  // AQUILA_SRC_UTIL_STATUS_H_

@@ -1,0 +1,10 @@
+#include "src/vmx/cost_model.h"
+
+namespace aquila {
+
+CostModel& GlobalCostModel() {
+  static CostModel model;
+  return model;
+}
+
+}  // namespace aquila

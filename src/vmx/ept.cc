@@ -1,0 +1,63 @@
+#include "src/vmx/ept.h"
+
+#include "src/util/bitops.h"
+
+namespace aquila {
+
+Status ExtendedPageTable::Map(uint64_t gpa, uint64_t hpa, uint64_t size, uint64_t page_size) {
+  if (size == 0 || !IsPowerOfTwo(page_size) || !IsAligned(gpa, page_size) ||
+      !IsAligned(size, page_size)) {
+    return Status::InvalidArgument("EPT mapping not aligned to page size");
+  }
+  ExclusiveLockGuard guard(lock_);
+  // Overlap check: the first entry at or after gpa, and the one before it.
+  auto next = entries_.lower_bound(gpa);
+  if (next != entries_.end() && next->first < gpa + size) {
+    return Status::AlreadyExists("EPT range overlaps existing mapping");
+  }
+  if (next != entries_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.gpa + prev->second.size > gpa) {
+      return Status::AlreadyExists("EPT range overlaps existing mapping");
+    }
+  }
+  entries_[gpa] = Mapping{gpa, hpa, size, page_size};
+  mapped_bytes_.fetch_add(size, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ExtendedPageTable::Unmap(uint64_t gpa, uint64_t size) {
+  ExclusiveLockGuard guard(lock_);
+  auto it = entries_.lower_bound(gpa);
+  uint64_t end = gpa + size;
+  while (it != entries_.end() && it->first < end) {
+    if (it->second.gpa < gpa || it->second.gpa + it->second.size > end) {
+      return Status::InvalidArgument("EPT unmap would split a mapping");
+    }
+    mapped_bytes_.fetch_sub(it->second.size, std::memory_order_relaxed);
+    it = entries_.erase(it);
+  }
+  return Status::Ok();
+}
+
+bool ExtendedPageTable::Translate(uint64_t gpa, uint64_t* hpa) const {
+  SharedLockGuard guard(lock_);
+  auto it = entries_.upper_bound(gpa);
+  if (it == entries_.begin()) {
+    return false;
+  }
+  --it;
+  const Mapping& m = it->second;
+  if (gpa < m.gpa || gpa >= m.gpa + m.size) {
+    return false;
+  }
+  *hpa = m.hpa + (gpa - m.gpa);
+  return true;
+}
+
+uint64_t ExtendedPageTable::EntryCount() const {
+  SharedLockGuard guard(lock_);
+  return entries_.size();
+}
+
+}  // namespace aquila

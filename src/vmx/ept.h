@@ -1,0 +1,54 @@
+// Software Extended Page Table: GPA -> HPA translation under hypervisor
+// control (Intel VT-x second-level translation, §2.2/§3.5 of the paper).
+//
+// Mappings are contiguous ranges installed at a declared hardware page size
+// (4 KB / 2 MB / 1 GB). Aquila uses one EPT per *process* (the paper modifies
+// Dune's per-thread EPT, §3.5), so the structure is thread-safe: lookups take
+// a shared lock, installs an exclusive one. Lookups are off the data path —
+// the cache layer resolves a frame's host pointer once per frame — so this
+// is not performance-critical in the simulation.
+#ifndef AQUILA_SRC_VMX_EPT_H_
+#define AQUILA_SRC_VMX_EPT_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/util/spinlock.h"
+#include "src/util/status.h"
+
+namespace aquila {
+
+class ExtendedPageTable {
+ public:
+  struct Mapping {
+    uint64_t gpa = 0;
+    uint64_t hpa = 0;
+    uint64_t size = 0;       // extent of the mapping in bytes
+    uint64_t page_size = 0;  // hardware page size used (4K / 2M / 1G)
+  };
+
+  // Installs a contiguous GPA->HPA range. Fails if it overlaps an existing
+  // mapping or is not aligned to `page_size`.
+  Status Map(uint64_t gpa, uint64_t hpa, uint64_t size, uint64_t page_size);
+
+  // Removes mappings fully contained in [gpa, gpa + size). Partial overlap
+  // with an installed mapping is an error (hardware cannot split a huge page
+  // without hypervisor help).
+  Status Unmap(uint64_t gpa, uint64_t size);
+
+  // Translates a guest-physical address. Returns false on an EPT violation
+  // (the caller raises an EPT fault through the hypervisor).
+  bool Translate(uint64_t gpa, uint64_t* hpa) const;
+
+  uint64_t MappedBytes() const { return mapped_bytes_.load(std::memory_order_relaxed); }
+  uint64_t EntryCount() const;
+
+ private:
+  mutable RwSpinLock lock_;
+  std::map<uint64_t, Mapping> entries_;  // keyed by gpa start
+  std::atomic<uint64_t> mapped_bytes_{0};
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_VMX_EPT_H_

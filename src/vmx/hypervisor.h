@@ -1,0 +1,133 @@
+// Simulated hypervisor: host physical memory, guest-physical grants, EPT
+// fault handling, and the vmcall interface for uncommon-path operations.
+//
+// The paper's Aquila interacts with the hypervisor only for operations
+// ④ (file-mapping management) and ⑤ (dynamic DRAM-cache resizing). The
+// resizing path is modeled faithfully: the guest vmcalls to be granted a
+// guest-physical range; backing host memory is installed *lazily* on EPT
+// faults at huge-page granularity (the paper uses 1 GB pages for GPA->HPA;
+// we scale the chunk size down with the rest of the geometry).
+//
+// Host physical memory is a real memfd-backed mapping so that the trap-mode
+// driver (src/core/trap_driver.*) can alias cache frames into application
+// virtual addresses with mmap(MAP_FIXED), mirroring how the real Aquila's
+// guest page table points application VAs at cache pages.
+#ifndef AQUILA_SRC_VMX_HYPERVISOR_H_
+#define AQUILA_SRC_VMX_HYPERVISOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/util/sim_clock.h"
+#include "src/util/spinlock.h"
+#include "src/util/status.h"
+#include "src/vmx/ept.h"
+#include "src/vmx/vcpu.h"
+
+namespace aquila {
+
+class Hypervisor {
+ public:
+  struct Options {
+    // Capacity of the host physical memory pool. Reserved lazily (memfd +
+    // mmap), so a generous default costs nothing until touched.
+    uint64_t host_memory_bytes = 4ull << 30;
+    // Granularity of GPA->HPA backing; models the paper's 1 GB EPT pages at
+    // the reproduction's scaled-down geometry.
+    uint64_t chunk_size = 4ull << 20;
+    // Install EPT backing eagerly at grant time instead of on EPT faults.
+    bool eager_backing = false;
+  };
+
+  explicit Hypervisor(const Options& options);
+  ~Hypervisor();
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  // --- Host physical memory -------------------------------------------------
+  uint8_t* HostPtr(uint64_t hpa);
+  int backing_fd() const { return backing_fd_; }
+  uint64_t chunk_size() const { return options_.chunk_size; }
+
+  // --- Guest lifecycle --------------------------------------------------------
+  // One guest context per Aquila process instance.
+  int CreateGuest();
+  ExtendedPageTable& GuestEpt(int guest);
+
+  // --- vmcall interface (uncommon path, operation ⑤) -------------------------
+  // Grants `bytes` of new guest-physical address space to the guest's DRAM
+  // cache; backing is installed lazily unless eager_backing. Returns the GPA
+  // base of the granted range. Charges the vmcall to `vcpu`.
+  StatusOr<uint64_t> VmcallGrantGpaRange(Vcpu& vcpu, int guest, uint64_t bytes);
+
+  // Returns a previously granted range to the host (cache shrink). The guest
+  // must have stopped using frames in the range.
+  Status VmcallReleaseGpaRange(Vcpu& vcpu, int guest, uint64_t gpa, uint64_t bytes);
+
+  // Forwarded host syscall (everything Aquila does not intercept, §4.4):
+  // charges a vmcall plus `host_cycles` of host-kernel work.
+  void VmcallForwardSyscall(Vcpu& vcpu, uint64_t host_cycles);
+
+  // --- EPT faults (GPA access with no HPA backing) ----------------------------
+  // Validates the access against the guest's grants and installs backing for
+  // the containing chunk. Charges the EPT-fault cost to `vcpu`.
+  Status HandleEptFault(Vcpu& vcpu, int guest, uint64_t gpa);
+
+  // Resolves a guest-physical address to a host pointer, taking the EPT
+  // fault path on first touch of each chunk. This is how the cache layer
+  // obtains frame memory.
+  uint8_t* ResolveGpa(Vcpu& vcpu, int guest, uint64_t gpa);
+
+  // --- Introspection ----------------------------------------------------------
+  uint64_t granted_bytes(int guest) const;
+  uint64_t backed_bytes(int guest) const;
+  uint64_t host_allocated_bytes() const {
+    return host_next_.load(std::memory_order_relaxed) -
+           free_chunks_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Grant {
+    uint64_t gpa = 0;
+    uint64_t bytes = 0;
+  };
+
+  struct GuestContext {
+    ExtendedPageTable ept;
+    std::map<uint64_t, Grant> grants;  // keyed by gpa
+    uint64_t next_gpa = kGpaBase;
+    uint64_t granted_bytes = 0;
+    uint64_t backed_bytes = 0;
+    mutable SpinLock lock;
+  };
+
+  // Guest-physical addresses start above a hole so that gpa 0 stays invalid.
+  static constexpr uint64_t kGpaBase = 1ull << 32;
+
+  StatusOr<uint64_t> AllocHostChunk();
+  void FreeHostChunk(uint64_t hpa);
+  Status InstallBacking(GuestContext& ctx, uint64_t gpa_chunk);
+
+  Options options_;
+  int backing_fd_ = -1;
+  uint8_t* host_base_ = nullptr;
+  std::atomic<uint64_t> host_next_{0};
+  std::atomic<uint64_t> free_chunks_bytes_{0};
+  SpinLock host_lock_;
+  std::vector<uint64_t> free_chunks_;
+
+  SpinLock guests_lock_;
+  std::vector<std::unique_ptr<GuestContext>> guests_;
+
+  // The hypervisor is a single logical execution context: concurrent vmexits
+  // from many vCPUs serialize here (models the cost the paper avoids by
+  // keeping these operations off the common path).
+  SerializedResource dispatch_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_VMX_HYPERVISOR_H_

@@ -1,0 +1,48 @@
+#include "src/vmx/ipi.h"
+
+#include "src/util/logging.h"
+
+namespace aquila {
+
+void PostedIpiFabric::Send(SimClock& sender, int target_core, uint64_t handler_cycles) {
+  AQUILA_CHECK(target_core >= 0 && target_core < CoreRegistry::kMaxCores);
+  const CostModel& costs = GlobalCostModel();
+
+  int sender_core = CoreRegistry::CurrentCore();
+  if (rate_limit_per_ms_ != 0) {
+    // Token-bucket per sender over simulated time; exceeding the limit stalls
+    // the sender in the hypervisor until the next window.
+    SenderBucket& bucket = buckets_[sender_core];
+    uint64_t window_cycles = GlobalCostModel().cycles_per_us * 1000;
+    uint64_t now = sender.Now();
+    if (now - bucket.window_start >= window_cycles) {
+      bucket.window_start = now;
+      bucket.sends_in_window = 0;
+    }
+    if (++bucket.sends_in_window > rate_limit_per_ms_) {
+      sender.AdvanceTo(bucket.window_start + window_cycles);
+      bucket.window_start = sender.Now();
+      bucket.sends_in_window = 1;
+      total_throttled_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t send_cost =
+      send_path_ == SendPath::kPosted ? costs.ipi_send_posted : costs.ipi_send_vmexit;
+  sender.Charge(CostCategory::kTlbShootdown, send_cost);
+
+  Mailbox& box = mailboxes_[target_core];
+  box.stolen_cycles.fetch_add(costs.ipi_receive + handler_cycles, std::memory_order_relaxed);
+  box.received.fetch_add(1, std::memory_order_relaxed);
+  total_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PostedIpiFabric::Absorb(SimClock& clock, int core) {
+  AQUILA_CHECK(core >= 0 && core < CoreRegistry::kMaxCores);
+  uint64_t stolen = mailboxes_[core].stolen_cycles.exchange(0, std::memory_order_relaxed);
+  if (stolen != 0) {
+    clock.Charge(CostCategory::kTlbShootdown, stolen);
+  }
+}
+
+}  // namespace aquila

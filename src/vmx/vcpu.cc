@@ -1,0 +1,16 @@
+#include "src/vmx/vcpu.h"
+
+namespace aquila {
+
+Vcpu& ThisVcpu() {
+  static thread_local Vcpu vcpu(CoreRegistry::CurrentCore());
+  return vcpu;
+}
+
+// Declared in src/util/sim_clock.h. The thread's simulated clock IS its
+// vCPU's clock, so layers that never see a Vcpu (the block cache, the DB
+// user-work measurements) charge the same timeline as the device and
+// privilege-transition layers.
+SimClock& ThisThreadClock() { return ThisVcpu().clock(); }
+
+}  // namespace aquila

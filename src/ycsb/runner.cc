@@ -1,0 +1,172 @@
+#include "src/ycsb/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/vmx/cost_model.h"
+
+namespace aquila {
+
+std::string YcsbReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%.1f kops/s | avg %.2f us | p99 %.2f us | p99.9 %.2f us | %.0f cyc/op",
+                throughput_kops, avg_latency_us, p99_latency_us, p999_latency_us,
+                cycles_per_op);
+  return buf;
+}
+
+YcsbRunner::YcsbRunner(KvStore* store, const YcsbWorkload& workload, const Options& options)
+    : store_(store), workload_(workload), options_(options) {}
+
+Status YcsbRunner::Load() {
+  if (options_.thread_init) {
+    options_.thread_init();
+  }
+  for (uint64_t i = 0; i < workload_.record_count; i++) {
+    std::string key = YcsbKey(i, workload_.key_bytes);
+    std::string value = YcsbValue(i, workload_.value_bytes);
+    AQUILA_RETURN_IF_ERROR(store_->Put(Slice(key), Slice(value)));
+  }
+  inserted_records_.store(workload_.record_count, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+StatusOr<YcsbReport> YcsbRunner::Run() {
+  inserted_records_.store(workload_.record_count, std::memory_order_relaxed);
+  const int threads = std::max(1, options_.threads);
+  const uint64_t ops_per_thread = workload_.operation_count / threads;
+
+  Histogram latency;
+  std::vector<uint64_t> thread_cycles(threads, 0);
+  std::vector<CostBreakdown> thread_breakdowns(threads);
+  std::atomic<uint64_t> failed_reads{0};
+  std::atomic<bool> error{false};
+
+  uint64_t origin = ThisThreadClock().Now();
+  auto worker = [&](int tid) {
+    if (options_.thread_init) {
+      options_.thread_init();
+    }
+    // Cores share wall-clock time: sync to the coordinator before working.
+    ThisThreadClock().JumpTo(origin);
+    Rng rng(options_.seed * 7919 + tid + 1);
+    ZipfianGenerator zipf(workload_.record_count, ZipfianGenerator::kDefaultTheta,
+                          options_.seed + tid * 131);
+    LatestGenerator latest(workload_.record_count, options_.seed + tid * 131);
+
+    SimClock& clock = ThisThreadClock();
+    uint64_t run_start = clock.Now();
+    CostBreakdown breakdown_start = clock.Breakdown();
+
+    std::string value;
+    for (uint64_t op = 0; op < ops_per_thread && !error.load(std::memory_order_relaxed);
+         op++) {
+      uint64_t current_records = inserted_records_.load(std::memory_order_relaxed);
+      latest.AdvanceTo(current_records);
+      uint64_t id = 0;
+      switch (workload_.distribution) {
+        case YcsbDistribution::kUniform:
+          id = rng.Uniform(current_records);
+          break;
+        case YcsbDistribution::kZipfian:
+          id = FnvHash64(zipf.Next()) % current_records;
+          break;
+        case YcsbDistribution::kLatest:
+          id = latest.Next();
+          break;
+      }
+      std::string key = YcsbKey(id, workload_.key_bytes);
+
+      double dice = rng.NextDouble();
+      uint64_t op_start = clock.Now();
+      Status status;
+      if (dice < workload_.read_proportion) {
+        bool found = false;
+        status = store_->Get(Slice(key), &value, &found);
+        if (status.ok() && !found) {
+          failed_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (dice < workload_.read_proportion + workload_.update_proportion) {
+        std::string update = YcsbValue(id ^ op, workload_.value_bytes);
+        status = store_->Put(Slice(key), Slice(update));
+      } else if (dice < workload_.read_proportion + workload_.update_proportion +
+                            workload_.insert_proportion) {
+        uint64_t new_id = inserted_records_.fetch_add(1, std::memory_order_relaxed);
+        std::string new_key = YcsbKey(new_id, workload_.key_bytes);
+        std::string new_value = YcsbValue(new_id, workload_.value_bytes);
+        status = store_->Put(Slice(new_key), Slice(new_value));
+      } else if (dice < workload_.read_proportion + workload_.update_proportion +
+                            workload_.insert_proportion + workload_.scan_proportion) {
+        int len = static_cast<int>(rng.Uniform(workload_.max_scan_len)) + 1;
+        status = store_->Scan(Slice(key), len, [](const Slice&, const Slice&) {});
+      } else {
+        // Read-modify-write.
+        bool found = false;
+        status = store_->Get(Slice(key), &value, &found);
+        if (status.ok()) {
+          std::string update = YcsbValue(id ^ op, workload_.value_bytes);
+          status = store_->Put(Slice(key), Slice(update));
+        }
+      }
+      if (!status.ok()) {
+        error.store(true, std::memory_order_relaxed);
+        break;
+      }
+      latency.Record(clock.Now() - op_start);
+    }
+    thread_cycles[tid] = clock.Now() - run_start;
+    thread_breakdowns[tid] = clock.Breakdown() - breakdown_start;
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; t++) {
+      pool.emplace_back(worker, t);
+    }
+    for (auto& t : pool) {
+      t.join();
+    }
+    ThisThreadClock().JumpTo(origin + *std::max_element(thread_cycles.begin(),
+                                                        thread_cycles.end()));
+  }
+  if (error.load()) {
+    return Status::IoError("a YCSB operation failed");
+  }
+
+  YcsbReport report;
+  report.operations = latency.Count();
+  report.failed_reads = failed_reads.load();
+  uint64_t cycles_per_us = GlobalCostModel().cycles_per_us;
+  report.avg_latency_us = latency.Mean() / static_cast<double>(cycles_per_us);
+  report.p99_latency_us =
+      static_cast<double>(latency.Percentile(0.99)) / static_cast<double>(cycles_per_us);
+  report.p999_latency_us =
+      static_cast<double>(latency.Percentile(0.999)) / static_cast<double>(cycles_per_us);
+  // Throughput: ops / wall time of the slowest worker (cores run in
+  // parallel in the model).
+  uint64_t max_cycles = *std::max_element(thread_cycles.begin(), thread_cycles.end());
+  if (max_cycles > 0) {
+    double seconds =
+        static_cast<double>(max_cycles) / (static_cast<double>(cycles_per_us) * 1e6);
+    report.throughput_kops = static_cast<double>(report.operations) / seconds / 1e3;
+  }
+  uint64_t total_cycles = 0;
+  for (int t = 0; t < threads; t++) {
+    report.breakdown += thread_breakdowns[t];
+    total_cycles += thread_cycles[t];
+  }
+  if (report.operations > 0) {
+    report.cycles_per_op =
+        static_cast<double>(total_cycles) / static_cast<double>(report.operations);
+  }
+  return report;
+}
+
+}  // namespace aquila

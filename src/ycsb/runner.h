@@ -1,0 +1,61 @@
+// Multi-threaded YCSB runner over any KvStore.
+//
+// Latency is measured on each thread's *simulated* clock (device time,
+// queueing, privilege transitions and measured software cycles all land
+// there — see src/util/sim_clock.h), so throughput and tail latency reflect
+// the modeled machine rather than the host container. The runner reports
+// ops/sec, avg/p99/p99.9 latency in microseconds, and the per-category cost
+// breakdown the paper's Figure 7 plots.
+#ifndef AQUILA_SRC_YCSB_RUNNER_H_
+#define AQUILA_SRC_YCSB_RUNNER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/kvs/kv_store.h"
+#include "src/util/histogram.h"
+#include "src/util/sim_clock.h"
+#include "src/ycsb/workload.h"
+
+namespace aquila {
+
+struct YcsbReport {
+  double throughput_kops = 0;     // thousands of ops per simulated second
+  double avg_latency_us = 0;
+  double p99_latency_us = 0;
+  double p999_latency_us = 0;
+  uint64_t operations = 0;
+  uint64_t failed_reads = 0;      // keys that should have been found but were not
+  CostBreakdown breakdown;        // summed over worker threads
+  double cycles_per_op = 0;
+
+  std::string ToString() const;
+};
+
+class YcsbRunner {
+ public:
+  struct Options {
+    int threads = 1;
+    // Per-thread hook (engine EnterThread etc.).
+    std::function<void()> thread_init;
+    uint64_t seed = 42;
+  };
+
+  YcsbRunner(KvStore* store, const YcsbWorkload& workload, const Options& options);
+
+  // Load phase: inserts record_count records (sequential ids).
+  Status Load();
+
+  // Run phase: operation_count ops split across threads.
+  StatusOr<YcsbReport> Run();
+
+ private:
+  KvStore* store_;
+  YcsbWorkload workload_;
+  Options options_;
+  std::atomic<uint64_t> inserted_records_{0};
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_YCSB_RUNNER_H_

@@ -1,0 +1,31 @@
+#include "src/ycsb/workload.h"
+
+#include <cstdio>
+
+#include "src/util/rng.h"
+
+namespace aquila {
+
+std::string YcsbKey(uint64_t id, uint32_t key_bytes) {
+  char buf[64];
+  int n = std::snprintf(buf, sizeof(buf), "user%020llu",
+                        static_cast<unsigned long long>(FnvHash64(id)));
+  std::string key(buf, n);
+  if (key.size() < key_bytes) {
+    key.append(key_bytes - key.size(), 'k');
+  } else {
+    key.resize(key_bytes);
+  }
+  return key;
+}
+
+std::string YcsbValue(uint64_t id, uint32_t value_bytes) {
+  std::string value(value_bytes, '\0');
+  Rng rng(id + 1);
+  for (size_t i = 0; i < value.size(); i++) {
+    value[i] = static_cast<char>('a' + rng.Uniform(26));
+  }
+  return value;
+}
+
+}  // namespace aquila

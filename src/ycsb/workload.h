@@ -1,0 +1,89 @@
+// YCSB workload definitions (Cooper et al. [15]; Table 1 of the paper).
+//
+// The generator matches the YCSB-C client the paper uses: 30-byte keys
+// ("user" + zero-padded hashed id), 1 KB values, scrambled-zipfian request
+// distribution by default (uniform for the Fig 5 experiments), and the
+// standard A-F operation mixes.
+#ifndef AQUILA_SRC_YCSB_WORKLOAD_H_
+#define AQUILA_SRC_YCSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aquila {
+
+enum class YcsbDistribution {
+  kUniform,
+  kZipfian,
+  kLatest,
+};
+
+struct YcsbWorkload {
+  std::string name;
+  double read_proportion = 0;
+  double update_proportion = 0;
+  double insert_proportion = 0;
+  double scan_proportion = 0;
+  double rmw_proportion = 0;  // read-modify-write
+  YcsbDistribution distribution = YcsbDistribution::kZipfian;
+  uint64_t record_count = 1000000;
+  uint64_t operation_count = 1000000;
+  uint32_t key_bytes = 30;
+  uint32_t value_bytes = 1024;
+  uint32_t max_scan_len = 100;
+
+  // Table 1: the six standard workloads.
+  static YcsbWorkload A() {
+    YcsbWorkload w;
+    w.name = "A";
+    w.read_proportion = 0.5;
+    w.update_proportion = 0.5;
+    return w;
+  }
+  static YcsbWorkload B() {
+    YcsbWorkload w;
+    w.name = "B";
+    w.read_proportion = 0.95;
+    w.update_proportion = 0.05;
+    return w;
+  }
+  static YcsbWorkload C() {
+    YcsbWorkload w;
+    w.name = "C";
+    w.read_proportion = 1.0;
+    return w;
+  }
+  static YcsbWorkload D() {
+    YcsbWorkload w;
+    w.name = "D";
+    w.read_proportion = 0.95;
+    w.insert_proportion = 0.05;
+    w.distribution = YcsbDistribution::kLatest;
+    return w;
+  }
+  static YcsbWorkload E() {
+    YcsbWorkload w;
+    w.name = "E";
+    w.scan_proportion = 0.95;
+    w.insert_proportion = 0.05;
+    return w;
+  }
+  static YcsbWorkload F() {
+    YcsbWorkload w;
+    w.name = "F";
+    w.read_proportion = 0.5;
+    w.rmw_proportion = 0.5;
+    return w;
+  }
+};
+
+// Deterministic key for record id `i`: "user" + zero-padded scrambled id,
+// padded to key_bytes.
+std::string YcsbKey(uint64_t id, uint32_t key_bytes);
+
+// Deterministic value payload for record id `i`.
+std::string YcsbValue(uint64_t id, uint32_t value_bytes);
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_YCSB_WORKLOAD_H_

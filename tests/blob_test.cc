@@ -1,0 +1,180 @@
+// Unit tests for src/blob: blobstore lifecycle, extents, persistence, and
+// the path namespace.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/blob/blob_namespace.h"
+#include "src/blob/blobstore.h"
+#include "src/util/bitops.h"
+#include "src/storage/pmem_device.h"
+
+namespace aquila {
+namespace {
+
+class BlobstoreTest : public ::testing::Test {
+ protected:
+  BlobstoreTest() {
+    PmemDevice::Options options;
+    options.capacity_bytes = 64ull << 20;
+    dev_ = std::make_unique<PmemDevice>(options);
+    Blobstore::Options bs_options;
+    bs_options.cluster_size = 64 * 1024;
+    bs_options.metadata_bytes = 1ull << 20;
+    auto store = Blobstore::Format(vcpu_, dev_.get(), bs_options);
+    AQUILA_CHECK(store.ok());
+    store_ = std::move(*store);
+  }
+
+  Vcpu vcpu_{0};
+  std::unique_ptr<PmemDevice> dev_;
+  std::unique_ptr<Blobstore> store_;
+};
+
+TEST_F(BlobstoreTest, CreateResizeDelete) {
+  StatusOr<BlobId> id = store_->CreateBlob(4);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*store_->BlobClusterCount(*id), 4u);
+  uint64_t free_before = store_->free_clusters();
+  ASSERT_TRUE(store_->ResizeBlob(*id, 10).ok());
+  EXPECT_EQ(*store_->BlobClusterCount(*id), 10u);
+  EXPECT_EQ(store_->free_clusters(), free_before - 6);
+  ASSERT_TRUE(store_->ResizeBlob(*id, 2).ok());
+  EXPECT_EQ(*store_->BlobClusterCount(*id), 2u);
+  ASSERT_TRUE(store_->DeleteBlob(*id).ok());
+  EXPECT_FALSE(store_->BlobClusterCount(*id).ok());
+  EXPECT_EQ(store_->free_clusters(), free_before + 4);
+}
+
+TEST_F(BlobstoreTest, DataRoundTrip) {
+  StatusOr<BlobId> id = store_->CreateBlob(4);
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> out(100 * 1024);
+  for (size_t i = 0; i < out.size(); i++) {
+    out[i] = static_cast<uint8_t>(i * 13);
+  }
+  ASSERT_TRUE(store_->WriteBlob(vcpu_, *id, 12345, std::span<const uint8_t>(out)).ok());
+  std::vector<uint8_t> in(out.size());
+  ASSERT_TRUE(store_->ReadBlob(vcpu_, *id, 12345, std::span(in)).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(BlobstoreTest, ReadBeyondSizeFails) {
+  StatusOr<BlobId> id = store_->CreateBlob(1);
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> buf(kPageSize);
+  EXPECT_FALSE(store_->ReadBlob(vcpu_, *id, 64 * 1024, std::span(buf)).ok());
+}
+
+TEST_F(BlobstoreTest, TranslateOffsetContiguity) {
+  StatusOr<BlobId> id = store_->CreateBlob(4);
+  ASSERT_TRUE(id.ok());
+  StatusOr<uint64_t> d0 = store_->TranslateOffset(*id, 0);
+  StatusOr<uint64_t> d1 = store_->TranslateOffset(*id, 64 * 1024);
+  ASSERT_TRUE(d0.ok());
+  ASSERT_TRUE(d1.ok());
+  // Fresh store: clusters come from one run.
+  EXPECT_EQ(*d1, *d0 + 64 * 1024);
+  // In-cluster offsets are preserved.
+  EXPECT_EQ(*store_->TranslateOffset(*id, 100), *d0 + 100);
+}
+
+TEST_F(BlobstoreTest, FragmentationProducesMultipleExtents) {
+  // a-b-c, delete b, then create something larger than the hole.
+  StatusOr<BlobId> a = store_->CreateBlob(2);
+  StatusOr<BlobId> b = store_->CreateBlob(2);
+  StatusOr<BlobId> c = store_->CreateBlob(2);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  uint64_t free_before = store_->free_clusters();
+  ASSERT_TRUE(store_->DeleteBlob(*b).ok());
+  StatusOr<BlobId> d = store_->CreateBlob(free_before + 2);
+  ASSERT_TRUE(d.ok());
+  // All data addressable despite the discontiguity.
+  std::vector<uint8_t> out(3 * 64 * 1024, 0xEE);
+  ASSERT_TRUE(store_->WriteBlob(vcpu_, *d, 0, std::span<const uint8_t>(out)).ok());
+  std::vector<uint8_t> in(out.size());
+  ASSERT_TRUE(store_->ReadBlob(vcpu_, *d, 0, std::span(in)).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(BlobstoreTest, Xattrs) {
+  StatusOr<BlobId> id = store_->CreateBlob(1);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store_->SetXattr(*id, "name", "sst-000001.sst").ok());
+  EXPECT_EQ(*store_->GetXattr(*id, "name"), "sst-000001.sst");
+  EXPECT_FALSE(store_->GetXattr(*id, "missing").ok());
+  ASSERT_TRUE(store_->SetXattr(*id, "name", "renamed").ok());
+  EXPECT_EQ(*store_->GetXattr(*id, "name"), "renamed");
+}
+
+TEST_F(BlobstoreTest, PersistsAcrossRemount) {
+  StatusOr<BlobId> id = store_->CreateBlob(3);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store_->SetXattr(*id, "name", "data.bin").ok());
+  std::vector<uint8_t> out(64 * 1024, 0x42);
+  ASSERT_TRUE(store_->WriteBlob(vcpu_, *id, 0, std::span<const uint8_t>(out)).ok());
+  ASSERT_TRUE(store_->Sync(vcpu_).ok());
+
+  // Remount from the same device.
+  StatusOr<std::unique_ptr<Blobstore>> reloaded = Blobstore::Load(vcpu_, dev_.get());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(*(*reloaded)->BlobClusterCount(*id), 3u);
+  EXPECT_EQ(*(*reloaded)->GetXattr(*id, "name"), "data.bin");
+  std::vector<uint8_t> in(out.size());
+  ASSERT_TRUE((*reloaded)->ReadBlob(vcpu_, *id, 0, std::span(in)).ok());
+  EXPECT_EQ(in, out);
+  // New blobs do not collide with recovered ids.
+  StatusOr<BlobId> fresh = (*reloaded)->CreateBlob(1);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(*fresh, *id);
+}
+
+TEST_F(BlobstoreTest, LoadRejectsUnformattedDevice) {
+  PmemDevice::Options options;
+  options.capacity_bytes = 1ull << 20;
+  PmemDevice blank(options);
+  EXPECT_FALSE(Blobstore::Load(vcpu_, &blank).ok());
+}
+
+TEST_F(BlobstoreTest, OutOfSpace) {
+  uint64_t free = store_->free_clusters();
+  EXPECT_FALSE(store_->CreateBlob(free + 1).ok());
+  StatusOr<BlobId> id = store_->CreateBlob(free);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(store_->free_clusters(), 0u);
+  EXPECT_FALSE(store_->CreateBlob(1).ok());
+}
+
+TEST_F(BlobstoreTest, NamespaceOpenCreateUnlinkRename) {
+  BlobNamespace ns(store_.get());
+  StatusOr<BlobId> id = ns.Open("/db/000001.sst", /*create=*/true, 128 * 1024);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*ns.Lookup("/db/000001.sst"), *id);
+  EXPECT_EQ(*ns.Open("/db/000001.sst", false), *id);
+  EXPECT_FALSE(ns.Open("/db/missing", false).ok());
+
+  ASSERT_TRUE(ns.Rename("/db/000001.sst", "/db/000002.sst").ok());
+  EXPECT_FALSE(ns.Lookup("/db/000001.sst").ok());
+  EXPECT_EQ(*ns.Lookup("/db/000002.sst"), *id);
+
+  ASSERT_TRUE(ns.Unlink("/db/000002.sst").ok());
+  EXPECT_FALSE(ns.Lookup("/db/000002.sst").ok());
+  EXPECT_FALSE(store_->BlobClusterCount(*id).ok());  // blob deleted
+}
+
+TEST_F(BlobstoreTest, NamespaceRecovery) {
+  BlobNamespace ns(store_.get());
+  StatusOr<BlobId> id = ns.Open("/wal/000007.log", true, 64 * 1024);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store_->Sync(vcpu_).ok());
+
+  StatusOr<std::unique_ptr<Blobstore>> reloaded = Blobstore::Load(vcpu_, dev_.get());
+  ASSERT_TRUE(reloaded.ok());
+  BlobNamespace ns2(reloaded->get());
+  ASSERT_TRUE(ns2.Recover().ok());
+  EXPECT_EQ(*ns2.Lookup("/wal/000007.log"), *id);
+  EXPECT_EQ(ns2.List().size(), 1u);
+}
+
+}  // namespace
+}  // namespace aquila

@@ -1,0 +1,431 @@
+// Unit tests for src/cache: red-black tree, lock-free hash, two-level
+// freelist, dirty trees, page cache frame lifecycle and resizing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/cache/dirty_tree.h"
+#include "src/cache/freelist.h"
+#include "src/cache/lockfree_hash.h"
+#include "src/cache/page_cache.h"
+#include "src/cache/rbtree.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+namespace {
+
+// --- Red-black tree -----------------------------------------------------------
+
+struct TestNode {
+  RbNode node;
+  uint64_t key;
+};
+
+struct TestKeyOf {
+  uint64_t operator()(const RbNode* n) const {
+    return reinterpret_cast<const TestNode*>(reinterpret_cast<const char*>(n) -
+                                             offsetof(TestNode, node))
+        ->key;
+  }
+};
+
+TEST(RbTreeTest, SortedIterationAfterRandomInsert) {
+  RbTree<TestKeyOf> tree;
+  std::vector<TestNode> nodes(1000);
+  std::mt19937_64 rng(1);
+  for (size_t i = 0; i < nodes.size(); i++) {
+    nodes[i].key = rng();
+    tree.Insert(&nodes[i].node);
+  }
+  EXPECT_GE(tree.Validate(), 1);
+  EXPECT_EQ(tree.size(), nodes.size());
+  uint64_t prev = 0;
+  size_t count = 0;
+  for (RbNode* n = tree.First(); n != nullptr; n = RbTree<TestKeyOf>::Next(n)) {
+    uint64_t key = TestKeyOf()(n);
+    EXPECT_GE(key, prev);
+    prev = key;
+    count++;
+  }
+  EXPECT_EQ(count, nodes.size());
+}
+
+TEST(RbTreeTest, RemoveKeepsInvariants) {
+  RbTree<TestKeyOf> tree;
+  std::vector<TestNode> nodes(500);
+  std::mt19937_64 rng(7);
+  for (size_t i = 0; i < nodes.size(); i++) {
+    nodes[i].key = rng() % 10000;
+    tree.Insert(&nodes[i].node);
+  }
+  // Shuffle removal order via indices: the nodes themselves are linked into
+  // the tree and must not move.
+  std::vector<size_t> order(nodes.size());
+  for (size_t i = 0; i < order.size(); i++) {
+    order[i] = i;
+  }
+  std::shuffle(order.begin(), order.end(), rng);
+  for (size_t i = 0; i < order.size(); i++) {
+    tree.Remove(&nodes[order[i]].node);
+    if (i % 50 == 0) {
+      ASSERT_GE(tree.Validate(), 1) << "after " << i << " removals";
+    }
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RbTreeTest, LowerBound) {
+  RbTree<TestKeyOf> tree;
+  std::vector<TestNode> nodes(10);
+  for (size_t i = 0; i < nodes.size(); i++) {
+    nodes[i].key = i * 10;  // 0, 10, ..., 90
+    tree.Insert(&nodes[i].node);
+  }
+  EXPECT_EQ(TestKeyOf()(tree.LowerBound(0)), 0u);
+  EXPECT_EQ(TestKeyOf()(tree.LowerBound(15)), 20u);
+  EXPECT_EQ(TestKeyOf()(tree.LowerBound(90)), 90u);
+  EXPECT_EQ(tree.LowerBound(91), nullptr);
+}
+
+// --- Lock-free hash -------------------------------------------------------------
+
+TEST(LockFreeHashTest, InsertLookupRemove) {
+  LockFreeHash hash(128);
+  EXPECT_TRUE(hash.Insert(7, 70));
+  EXPECT_FALSE(hash.Insert(7, 71));  // duplicate
+  uint64_t v = 0;
+  EXPECT_TRUE(hash.Lookup(7, &v));
+  EXPECT_EQ(v, 70u);
+  EXPECT_FALSE(hash.Lookup(8, &v));
+  EXPECT_TRUE(hash.Remove(7));
+  EXPECT_FALSE(hash.Remove(7));
+  EXPECT_FALSE(hash.Lookup(7, &v));
+  EXPECT_EQ(hash.size(), 0u);
+}
+
+TEST(LockFreeHashTest, TombstoneReuse) {
+  LockFreeHash hash(64);
+  // Insert/remove the same set repeatedly: the table must not fill up with
+  // tombstones (inserts reuse them).
+  for (int round = 0; round < 1000; round++) {
+    for (uint64_t k = 1; k <= 20; k++) {
+      ASSERT_TRUE(hash.Insert(k, k * 2));
+    }
+    for (uint64_t k = 1; k <= 20; k++) {
+      ASSERT_TRUE(hash.Remove(k));
+    }
+  }
+  EXPECT_EQ(hash.size(), 0u);
+}
+
+TEST(LockFreeHashTest, ConcurrentDisjointKeys) {
+  LockFreeHash hash(1 << 16);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&hash, t] {
+      uint64_t base = static_cast<uint64_t>(t) * kPerThread + 1;
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        ASSERT_TRUE(hash.Insert(base + i, base + i));
+      }
+      uint64_t v;
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        ASSERT_TRUE(hash.Lookup(base + i, &v));
+        ASSERT_EQ(v, base + i);
+      }
+      for (uint64_t i = 0; i < kPerThread; i += 2) {
+        ASSERT_TRUE(hash.Remove(base + i));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(hash.size(), kThreads * kPerThread / 2);
+}
+
+TEST(LockFreeHashTest, ConcurrentSameKeyInsertOneWinner) {
+  for (int round = 0; round < 50; round++) {
+    LockFreeHash hash(64);
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+      threads.emplace_back([&hash, &winners, t] {
+        if (hash.Insert(42, static_cast<uint64_t>(t))) {
+          winners.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    EXPECT_EQ(winners.load(), 1);
+    EXPECT_EQ(hash.size(), 1u);
+  }
+}
+
+// --- Freelist --------------------------------------------------------------------
+
+TEST(FreelistTest, AllocFromSeededQueues) {
+  TwoLevelFreelist::Options options;
+  TwoLevelFreelist fl(1024, options);
+  fl.AddFrames(0, 1024);
+  EXPECT_EQ(fl.ApproxFree(), 1024u);
+  std::vector<bool> seen(1024, false);
+  for (int i = 0; i < 1024; i++) {
+    FrameId f = fl.Alloc(0);
+    ASSERT_NE(f, kInvalidFrame);
+    ASSERT_LT(f, 1024u);
+    ASSERT_FALSE(seen[f]) << "double allocation of frame " << f;
+    seen[f] = true;
+  }
+  EXPECT_EQ(fl.Alloc(0), kInvalidFrame);
+}
+
+TEST(FreelistTest, FreeGoesToCoreQueueFirst) {
+  TwoLevelFreelist::Options options;
+  options.core_queue_threshold = 8;
+  options.move_batch = 4;
+  TwoLevelFreelist fl(64, options);
+  fl.AddFrames(0, 64);
+  std::vector<FrameId> held;
+  for (int i = 0; i < 64; i++) {
+    held.push_back(fl.Alloc(1));
+  }
+  for (FrameId f : held) {
+    fl.Free(1, f);
+  }
+  EXPECT_EQ(fl.ApproxFree(), 64u);
+  // Overflow moved batches from the core queue to the NUMA queue.
+  EXPECT_GT(fl.stats().batch_moves.load(), 0u);
+  // Core-local allocation hits after frees.
+  FrameId f = fl.Alloc(1);
+  EXPECT_NE(f, kInvalidFrame);
+  EXPECT_GT(fl.stats().core_hits.load(), 0u);
+}
+
+TEST(FreelistTest, RemoteNumaFallback) {
+  TwoLevelFreelist::Options options;
+  options.numa_nodes = 2;
+  TwoLevelFreelist fl(16, options);
+  fl.AddFrames(0, 16);
+  // Drain everything from core 0 (NUMA node 0): it must also pull from the
+  // remote node's queue.
+  int got = 0;
+  while (fl.Alloc(0) != kInvalidFrame) {
+    got++;
+  }
+  EXPECT_EQ(got, 16);
+  EXPECT_GT(fl.stats().remote_hits.load(), 0u);
+}
+
+TEST(FreelistTest, ConcurrentAllocFreeNoDuplicates) {
+  TwoLevelFreelist::Options options;
+  options.core_queue_threshold = 32;
+  options.move_batch = 16;
+  constexpr uint32_t kFrames = 4096;
+  TwoLevelFreelist fl(kFrames, options);
+  fl.AddFrames(0, kFrames);
+  std::vector<std::atomic<int>> owners(kFrames);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      std::vector<FrameId> mine;
+      Rng rng(t + 1);
+      for (int i = 0; i < 20000; i++) {
+        if (mine.size() < 64 && rng.OneIn(2)) {
+          FrameId f = fl.Alloc(t % CoreRegistry::kMaxCores);
+          if (f != kInvalidFrame) {
+            if (owners[f].fetch_add(1) != 0) {
+              failed.store(true);
+            }
+            mine.push_back(f);
+          }
+        } else if (!mine.empty()) {
+          FrameId f = mine.back();
+          mine.pop_back();
+          owners[f].fetch_sub(1);
+          fl.Free(t % CoreRegistry::kMaxCores, f);
+        }
+      }
+      for (FrameId f : mine) {
+        owners[f].fetch_sub(1);
+        fl.Free(t % CoreRegistry::kMaxCores, f);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(failed.load()) << "a frame was allocated to two owners";
+  EXPECT_EQ(fl.ApproxFree(), kFrames);
+}
+
+// --- Dirty trees ------------------------------------------------------------------
+
+TEST(DirtyTreeTest, CollectBatchSortedRuns) {
+  DirtyTreeSet set;
+  std::vector<DirtyItem> items(100);
+  for (size_t i = 0; i < items.size(); i++) {
+    items[i].sort_key = 1000 - i * 10;
+    set.Insert(static_cast<int>(i % 2), &items[i]);
+  }
+  EXPECT_EQ(set.TotalDirty(), 100u);
+  std::vector<DirtyItem*> out(100);
+  size_t n = set.CollectBatch(0, 100, out.data());
+  EXPECT_EQ(n, 100u);
+  EXPECT_EQ(set.TotalDirty(), 0u);
+  // Items from core 0's tree come first, in ascending key order.
+  for (size_t i = 1; i < 50; i++) {
+    EXPECT_GT(out[i]->sort_key, out[i - 1]->sort_key);
+  }
+}
+
+TEST(DirtyTreeTest, CollectRange) {
+  DirtyTreeSet set;
+  std::vector<DirtyItem> items(20);
+  for (size_t i = 0; i < items.size(); i++) {
+    items[i].sort_key = i;
+    set.Insert(static_cast<int>(i % 4), &items[i]);
+  }
+  std::vector<DirtyItem*> out;
+  set.CollectRange(5, 9, &out);
+  EXPECT_EQ(out.size(), 5u);
+  for (DirtyItem* item : out) {
+    EXPECT_GE(item->sort_key, 5u);
+    EXPECT_LE(item->sort_key, 9u);
+  }
+  EXPECT_EQ(set.TotalDirty(), 15u);
+}
+
+TEST(DirtyTreeTest, RemoveIsIdempotent) {
+  DirtyTreeSet set;
+  DirtyItem item;
+  item.sort_key = 5;
+  set.Insert(0, &item);
+  set.Remove(&item);
+  set.Remove(&item);
+  EXPECT_EQ(set.TotalDirty(), 0u);
+}
+
+// --- PageCache ---------------------------------------------------------------------
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  PageCacheTest() {
+    Hypervisor::Options hv_options;
+    hv_options.host_memory_bytes = 256ull << 20;
+    hv_options.chunk_size = 1ull << 20;
+    hv_ = std::make_unique<Hypervisor>(hv_options);
+    guest_ = hv_->CreateGuest();
+    PageCache::Options options;
+    options.capacity_pages = 1024;
+    options.max_pages = 8192;
+    cache_ = std::make_unique<PageCache>(hv_.get(), guest_, vcpu_, options);
+  }
+
+  Vcpu vcpu_{0};
+  std::unique_ptr<Hypervisor> hv_;
+  int guest_;
+  std::unique_ptr<PageCache> cache_;
+};
+
+TEST_F(PageCacheTest, FrameLifecycle) {
+  FrameId f = cache_->AllocFrame(vcpu_, 0);
+  ASSERT_NE(f, kInvalidFrame);
+  EXPECT_EQ(cache_->frame(f).state.load(), FrameState::kFilling);
+  uint8_t* data = cache_->FrameData(vcpu_, f);
+  ASSERT_NE(data, nullptr);
+  data[0] = 0x11;
+  EXPECT_TRUE(cache_->InsertMapping(0x8000000000000001ull, f));
+  cache_->frame(f).state.store(FrameState::kResident);
+  FrameId found;
+  EXPECT_TRUE(cache_->Lookup(0x8000000000000001ull, &found));
+  EXPECT_EQ(found, f);
+  EXPECT_TRUE(cache_->RemoveMapping(0x8000000000000001ull));
+  cache_->FreeFrame(0, f);
+  EXPECT_EQ(cache_->frame(f).state.load(), FrameState::kFree);
+}
+
+TEST_F(PageCacheTest, ExhaustionAndVictimSelection) {
+  std::vector<FrameId> frames;
+  FrameId f;
+  while ((f = cache_->AllocFrame(vcpu_, 0)) != kInvalidFrame) {
+    cache_->frame(f).vaddr = (frames.size() + 1) * kPageSize;
+    cache_->frame(f).state.store(FrameState::kResident);
+    frames.push_back(f);
+  }
+  EXPECT_EQ(frames.size(), 1024u);
+
+  // First sweep clears reference bits; a bounded sweep still claims a batch.
+  std::vector<FrameId> victims(512);
+  size_t n = cache_->SelectVictims(512, victims.data());
+  EXPECT_EQ(n, 512u);
+  for (size_t i = 0; i < n; i++) {
+    EXPECT_EQ(cache_->frame(victims[i]).state.load(), FrameState::kEvicting);
+  }
+}
+
+TEST_F(PageCacheTest, ReferencedFramesGetSecondChance) {
+  FrameId hot = cache_->AllocFrame(vcpu_, 0);
+  FrameId cold = cache_->AllocFrame(vcpu_, 0);
+  cache_->frame(hot).state.store(FrameState::kResident);
+  cache_->frame(hot).referenced.store(1);
+  cache_->frame(cold).state.store(FrameState::kResident);
+  cache_->frame(cold).referenced.store(0);
+  std::vector<FrameId> victims(1);
+  size_t n = cache_->SelectVictims(1, victims.data());
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(victims[0], cold);
+}
+
+TEST_F(PageCacheTest, GrowAddsCapacityViaHypervisor) {
+  uint64_t granted_before = hv_->granted_bytes(guest_);
+  ASSERT_TRUE(cache_->Grow(vcpu_, 1024).ok());
+  EXPECT_EQ(cache_->capacity_pages(), 2048u);
+  EXPECT_GT(hv_->granted_bytes(guest_), granted_before);
+  // All 2048 frames allocatable.
+  int got = 0;
+  while (cache_->AllocFrame(vcpu_, 0) != kInvalidFrame) {
+    got++;
+  }
+  EXPECT_EQ(got, 2048);
+}
+
+TEST_F(PageCacheTest, GrowBeyondMaxFails) {
+  EXPECT_FALSE(cache_->Grow(vcpu_, 100000).ok());
+}
+
+TEST_F(PageCacheTest, ShrinkReleasesWholeGrant) {
+  ASSERT_TRUE(cache_->Grow(vcpu_, 1024).ok());
+  // Touch a frame in the new grant so backing exists.
+  uint64_t backed_before = hv_->backed_bytes(guest_);
+  StatusOr<uint64_t> removed = cache_->Shrink(vcpu_, 2048);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 2048u);
+  EXPECT_EQ(cache_->capacity_pages(), 0u);
+  EXPECT_EQ(cache_->AllocFrame(vcpu_, 0), kInvalidFrame);
+  EXPECT_LE(hv_->backed_bytes(guest_), backed_before);
+  EXPECT_EQ(hv_->granted_bytes(guest_), 0u);
+}
+
+TEST_F(PageCacheTest, DirtyBookkeeping) {
+  FrameId f = cache_->AllocFrame(vcpu_, 0);
+  cache_->frame(f).state.store(FrameState::kResident);
+  cache_->MarkDirty(2, f, /*sort_key=*/777);
+  EXPECT_EQ(cache_->TotalDirty(), 1u);
+  std::vector<FrameId> out(4);
+  size_t n = cache_->CollectDirtyBatch(2, 4, out.data());
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(out[0], f);
+  EXPECT_EQ(cache_->TotalDirty(), 0u);
+}
+
+}  // namespace
+}  // namespace aquila

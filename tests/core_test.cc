@@ -1,0 +1,363 @@
+// End-to-end tests for the Aquila runtime: mapping lifecycle, fault paths,
+// dirty tracking, eviction + writeback, msync, madvise, mprotect, mremap,
+// dynamic cache resizing, and multi-threaded integrity.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/core/aquila.h"
+#include "src/core/mmio_region.h"
+#include "src/storage/pmem_device.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+namespace {
+
+class AquilaTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kDeviceBytes = 64ull << 20;
+  static constexpr uint64_t kCachePages = 1024;  // 4 MB cache
+
+  AquilaTest() {
+    PmemDevice::Options dev_options;
+    dev_options.capacity_bytes = kDeviceBytes;
+    device_ = std::make_unique<PmemDevice>(dev_options);
+
+    Aquila::Options options;
+    options.hypervisor.host_memory_bytes = 256ull << 20;
+    options.hypervisor.chunk_size = 1ull << 20;
+    options.cache.capacity_pages = kCachePages;
+    options.cache.max_pages = kCachePages * 4;
+    options.cache.eviction_batch = 64;  // scaled for small test caches
+    options.cache.freelist.core_queue_threshold = 64;
+    options.cache.freelist.move_batch = 32;
+    runtime_ = std::make_unique<Aquila>(options);
+  }
+
+  // Fills device offset range with a deterministic pattern.
+  void FillDevice(uint64_t offset, uint64_t bytes) {
+    uint8_t* dax = device_->dax_base();
+    for (uint64_t i = 0; i < bytes; i++) {
+      dax[offset + i] = PatternAt(offset + i);
+    }
+  }
+
+  static uint8_t PatternAt(uint64_t offset) { return static_cast<uint8_t>(offset * 131 + 17); }
+
+  std::unique_ptr<PmemDevice> device_;
+  std::unique_ptr<Aquila> runtime_;
+};
+
+TEST_F(AquilaTest, ReadSeesDeviceContents) {
+  FillDevice(0, 1 << 20);
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead);
+  ASSERT_TRUE(map.ok());
+  std::vector<uint8_t> buf(10000);
+  ASSERT_TRUE((*map)->Read(123456, std::span(buf)).ok());
+  for (size_t i = 0; i < buf.size(); i++) {
+    ASSERT_EQ(buf[i], PatternAt(123456 + i)) << i;
+  }
+  EXPECT_GT(runtime_->fault_stats().major_faults.load(), 0u);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, HitsTakeNoFaultAndNoTransition) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead);
+  ASSERT_TRUE(map.ok());
+  EXPECT_TRUE((*map)->TouchRead(0));  // miss
+  Vcpu& vcpu = ThisVcpu();
+  uint64_t exceptions = vcpu.counters().ring0_exceptions;
+  uint64_t majors = runtime_->fault_stats().major_faults.load();
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE((*map)->TouchRead(i * 8));  // hits within page 0
+  }
+  EXPECT_EQ(vcpu.counters().ring0_exceptions, exceptions);
+  EXPECT_EQ(runtime_->fault_stats().major_faults.load(), majors);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, AquilaFaultIsRing0NoVmexit) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead);
+  ASSERT_TRUE(map.ok());
+  (*map)->TouchRead(0);  // warm the EPT chunk
+  Vcpu& vcpu = ThisVcpu();
+  uint64_t exceptions = vcpu.counters().ring0_exceptions;
+  uint64_t traps = vcpu.counters().ring3_traps;
+  uint64_t vmexits = vcpu.counters().vmexits;
+  EXPECT_TRUE((*map)->TouchRead(kPageSize));  // a fresh miss
+  EXPECT_EQ(vcpu.counters().ring0_exceptions, exceptions + 1);
+  EXPECT_EQ(vcpu.counters().ring3_traps, traps);       // no domain switch
+  EXPECT_EQ(vcpu.counters().vmexits, vmexits);         // no hypervisor
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, WriteFaultTracksDirtyAndMsyncPersists) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  std::vector<uint8_t> out(kPageSize * 3, 0xAA);
+  ASSERT_TRUE((*map)->Write(kPageSize, std::span<const uint8_t>(out)).ok());
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 3u);
+  // Not yet on the device.
+  EXPECT_NE(device_->dax_base()[kPageSize], 0xAA);
+  ASSERT_TRUE((*map)->Sync(kPageSize, out.size()).ok());
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 0u);
+  EXPECT_EQ(device_->dax_base()[kPageSize], 0xAA);
+  EXPECT_EQ(device_->dax_base()[kPageSize + out.size() - 1], 0xAA);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, ReadThenWriteTakesUpgradeFault) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  EXPECT_TRUE((*map)->TouchRead(0));  // read fault: mapped read-only
+  uint64_t majors = runtime_->fault_stats().major_faults.load();
+  uint64_t upgrades = runtime_->fault_stats().write_upgrades.load();
+  EXPECT_TRUE((*map)->TouchWrite(0));  // write on RO page: upgrade fault
+  EXPECT_EQ(runtime_->fault_stats().major_faults.load(), majors);
+  EXPECT_EQ(runtime_->fault_stats().write_upgrades.load(), upgrades + 1);
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 1u);
+  // Second write: plain hit.
+  EXPECT_FALSE((*map)->TouchWrite(8));
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, MsyncAfterRewriteCatchesNewWrites) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  (*map)->TouchWrite(0);
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
+  uint8_t after_first = device_->dax_base()[0];
+  // msync write-protected the page: the next store must re-fault and re-dirty.
+  uint64_t upgrades = runtime_->fault_stats().write_upgrades.load();
+  EXPECT_TRUE((*map)->TouchWrite(0));
+  EXPECT_EQ(runtime_->fault_stats().write_upgrades.load(), upgrades + 1);
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 1u);
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
+  EXPECT_EQ(device_->dax_base()[0], static_cast<uint8_t>(after_first + 1));
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, EvictionPreservesDataIntegrity) {
+  // Working set 4x the cache: every page round-trips through eviction.
+  constexpr uint64_t kBytes = 16ull << 20;
+  FillDevice(0, kBytes);
+  DeviceBacking backing(device_.get(), 0, kBytes);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, kBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+
+  // Pass 1: increment the first byte of every page.
+  constexpr uint64_t kPages = kBytes / kPageSize;
+  for (uint64_t p = 0; p < kPages; p++) {
+    (*map)->TouchWrite(p * kPageSize);
+  }
+  EXPECT_GT(runtime_->fault_stats().evicted_pages.load(), 0u);
+  EXPECT_GT(runtime_->fault_stats().writeback_pages.load(), 0u);
+
+  // Pass 2: verify every page saw exactly one increment (writebacks and
+  // refetches preserved both the written byte and the rest of the page).
+  for (uint64_t p = 0; p < kPages; p++) {
+    uint64_t off = p * kPageSize;
+    std::vector<uint8_t> buf(16);
+    ASSERT_TRUE((*map)->Read(off, std::span(buf)).ok());
+    ASSERT_EQ(buf[0], static_cast<uint8_t>(PatternAt(off) + 1)) << "page " << p;
+    ASSERT_EQ(buf[1], PatternAt(off + 1)) << "page " << p;
+  }
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, UnmapFlushesDirtyPages) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  std::vector<uint8_t> out(kPageSize, 0x5C);
+  ASSERT_TRUE((*map)->Write(7 * kPageSize, std::span<const uint8_t>(out)).ok());
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+  EXPECT_EQ(device_->dax_base()[7 * kPageSize], 0x5C);
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 0u);
+  // All frames returned.
+  EXPECT_EQ(runtime_->cache().ApproxFreeFrames(), kCachePages);
+}
+
+TEST_F(AquilaTest, SequentialAdviceTriggersReadAhead) {
+  FillDevice(0, 1 << 20);
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead);
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE((*map)->Advise(0, 1 << 20, Advice::kSequential).ok());
+  EXPECT_TRUE((*map)->TouchRead(0));
+  EXPECT_GT(runtime_->fault_stats().readahead_pages.load(), 0u);
+  // The next pages are already cached: minor faults at most, no device read.
+  uint64_t majors = runtime_->fault_stats().major_faults.load();
+  for (uint64_t p = 1; p <= runtime_->options().readahead_pages; p++) {
+    (*map)->TouchRead(p * kPageSize);
+  }
+  EXPECT_EQ(runtime_->fault_stats().major_faults.load(), majors);
+  EXPECT_GT(runtime_->fault_stats().minor_faults.load(), 0u);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, DontNeedDropsPages) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  (*map)->TouchWrite(0);
+  (*map)->TouchRead(kPageSize);
+  ASSERT_TRUE((*map)->Advise(0, 2 * kPageSize, Advice::kDontNeed).ok());
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 0u);
+  // Dirty data was written back, not lost.
+  uint64_t majors = runtime_->fault_stats().major_faults.load();
+  EXPECT_TRUE((*map)->TouchRead(0));  // faults again
+  EXPECT_EQ(runtime_->fault_stats().major_faults.load(), majors + 1);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, MprotectBlocksWritesAndDowngrades) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  auto* amap = static_cast<AquilaMap*>(*map);
+  (*map)->TouchWrite(0);
+  uint64_t shootdowns = runtime_->tlb().shootdowns();
+  ASSERT_TRUE(amap->Protect(kProtRead).ok());
+  EXPECT_GT(runtime_->tlb().shootdowns(), shootdowns);
+  std::vector<uint8_t> buf(8, 1);
+  EXPECT_FALSE((*map)->Write(0, std::span<const uint8_t>(buf)).ok());
+  EXPECT_TRUE((*map)->Read(0, std::span(buf)).ok());
+  ASSERT_TRUE(amap->Protect(kProtRead | kProtWrite).ok());
+  EXPECT_TRUE((*map)->Write(0, std::span<const uint8_t>(buf)).ok());
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, RemapPreservesCachedData) {
+  FillDevice(0, 2 << 20);
+  DeviceBacking backing(device_.get(), 0, 2 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  (*map)->TouchWrite(0);  // dirty page carried across the remap
+  uint64_t majors = runtime_->fault_stats().major_faults.load();
+  StatusOr<MemoryMap*> bigger = runtime_->Remap(*map, 2 << 20);
+  ASSERT_TRUE(bigger.ok());
+  EXPECT_EQ((*bigger)->length(), 2ull << 20);
+  // Cached page moved, not refetched.
+  std::vector<uint8_t> buf(4);
+  ASSERT_TRUE((*bigger)->Read(0, std::span(buf)).ok());
+  EXPECT_EQ(buf[0], static_cast<uint8_t>(PatternAt(0) + 1));
+  EXPECT_EQ(runtime_->fault_stats().major_faults.load(), majors);
+  // The grown tail is reachable.
+  ASSERT_TRUE((*bigger)->Read((2 << 20) - 16, std::span(buf)).ok());
+  ASSERT_TRUE(runtime_->Unmap(*bigger).ok());
+}
+
+TEST_F(AquilaTest, MapValidation) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  EXPECT_FALSE(runtime_->Map(&backing, 0, kProtRead).ok());
+  EXPECT_FALSE(runtime_->Map(&backing, 2 << 20, kProtRead).ok());  // beyond backing
+  EXPECT_FALSE(runtime_->Map(&backing, 1 << 20, 0).ok());
+  EXPECT_FALSE(runtime_->Unmap(reinterpret_cast<MemoryMap*>(&backing)).ok());
+}
+
+TEST_F(AquilaTest, AccessBeyondMappingRejected) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead);
+  ASSERT_TRUE(map.ok());
+  std::vector<uint8_t> buf(16);
+  EXPECT_FALSE((*map)->Read((1 << 20) - 8, std::span(buf)).ok());
+  EXPECT_TRUE((*map)->Read((1 << 20) - 16, std::span(buf)).ok());
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, GrowAndShrinkCache) {
+  uint64_t before = runtime_->cache().capacity_pages();
+  ASSERT_TRUE(runtime_->GrowCache(4ull << 20).ok());
+  EXPECT_EQ(runtime_->cache().capacity_pages(), before + 1024);
+  StatusOr<uint64_t> shrunk = runtime_->ShrinkCache(4ull << 20);
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_EQ(*shrunk, 4ull << 20);
+  EXPECT_EQ(runtime_->cache().capacity_pages(), before);
+}
+
+TEST_F(AquilaTest, MultiThreadedSharedMapIntegrity) {
+  // Many threads hammer a shared mapping 2x the cache size with writes to
+  // thread-private slots and reads of a shared pattern.
+  constexpr uint64_t kBytes = 8ull << 20;
+  constexpr int kThreads = 8;
+  FillDevice(0, kBytes);
+  DeviceBacking backing(device_.get(), 0, kBytes);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, kBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> corrupt{false};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      runtime_->EnterThread();
+      Rng rng(t * 977 + 3);
+      for (int i = 0; i < 4000; i++) {
+        uint64_t page = rng.Uniform(kBytes / kPageSize);
+        // Each thread owns byte `16 + t` of every page.
+        uint64_t off = page * kPageSize + 16 + static_cast<uint64_t>(t);
+        uint8_t value = static_cast<uint8_t>(t * 37 + (page & 0x3f));
+        (*map)->StoreValue<uint8_t>(off, value);
+        uint8_t read_back = (*map)->LoadValue<uint8_t>(off);
+        if (read_back != value) {
+          corrupt.store(true);
+        }
+        // Shared read-only byte retains the device pattern.
+        uint8_t shared = (*map)->LoadValue<uint8_t>(page * kPageSize + 4000);
+        if (shared != PatternAt(page * kPageSize + 4000)) {
+          corrupt.store(true);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_GT(runtime_->fault_stats().evicted_pages.load(), 0u);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AquilaTest, BlobBackedMapping) {
+  Blobstore::Options bs_options;
+  bs_options.cluster_size = 64 * 1024;
+  bs_options.metadata_bytes = 256 * 1024;
+  Vcpu& vcpu = ThisVcpu();
+  StatusOr<std::unique_ptr<Blobstore>> store =
+      Blobstore::Format(vcpu, device_.get(), bs_options);
+  ASSERT_TRUE(store.ok());
+  StatusOr<BlobId> blob = (*store)->CreateBlob(16);  // 1 MB
+  ASSERT_TRUE(blob.ok());
+  std::vector<uint8_t> init(1 << 20);
+  for (size_t i = 0; i < init.size(); i++) {
+    init[i] = static_cast<uint8_t>(i % 251);
+  }
+  ASSERT_TRUE((*store)->WriteBlob(vcpu, *blob, 0, std::span<const uint8_t>(init)).ok());
+
+  BlobBacking backing(store->get(), *blob);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  std::vector<uint8_t> buf(1000);
+  ASSERT_TRUE((*map)->Read(500000, std::span(buf)).ok());
+  for (size_t i = 0; i < buf.size(); i++) {
+    ASSERT_EQ(buf[i], static_cast<uint8_t>((500000 + i) % 251));
+  }
+  std::vector<uint8_t> out(kPageSize, 0x99);
+  ASSERT_TRUE((*map)->Write(128 * 1024, std::span<const uint8_t>(out)).ok());
+  ASSERT_TRUE((*map)->Sync(0, 1 << 20).ok());
+  std::vector<uint8_t> check(kPageSize);
+  ASSERT_TRUE((*store)->ReadBlob(vcpu, *blob, 128 * 1024, std::span(check)).ok());
+  EXPECT_EQ(check, out);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+}  // namespace
+}  // namespace aquila

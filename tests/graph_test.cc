@@ -1,0 +1,307 @@
+// Tests for the graph substrate: R-MAT, CSR construction, Ligra edgeMap,
+// BFS over DRAM and over mmio-backed heaps.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "src/core/aquila.h"
+#include "src/graph/bfs.h"
+#include "src/graph/pagerank.h"
+#include "src/graph/rmat.h"
+#include "src/storage/pmem_device.h"
+
+namespace aquila {
+namespace {
+
+TEST(RmatTest, GeneratesRequestedEdges) {
+  auto edges = GenerateRmat(1024, 10240);
+  EXPECT_EQ(edges.size(), 10240u);
+  for (const auto& [src, dst] : edges) {
+    EXPECT_LT(src, 1024u);
+    EXPECT_LT(dst, 1024u);
+    EXPECT_NE(src, dst);
+  }
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  auto edges = GenerateRmat(4096, 40960);
+  std::vector<uint64_t> degree(4096, 0);
+  for (const auto& [src, dst] : edges) {
+    degree[src]++;
+  }
+  uint64_t max_degree = *std::max_element(degree.begin(), degree.end());
+  // R-MAT hubs: far above the average degree of 10.
+  EXPECT_GT(max_degree, 100u);
+}
+
+TEST(GraphTest, BuildCsrSymmetrizes) {
+  std::vector<std::pair<uint64_t, uint64_t>> edges = {{0, 1}, {1, 2}, {0, 2}, {0, 1}};
+  Graph g = BuildGraph(4, edges, nullptr);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 6u);  // 3 undirected edges, deduped
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_EQ(g.Degree(3), 0u);
+  // Neighbors of 0 are 1 and 2.
+  std::set<uint64_t> n0;
+  for (uint64_t e = 0; e < g.Degree(0); e++) {
+    n0.insert(g.EdgeTarget(g.EdgeBegin(0) + e));
+  }
+  EXPECT_EQ(n0, (std::set<uint64_t>{1, 2}));
+}
+
+// Reference BFS distances for validation.
+std::vector<int64_t> ReferenceDistances(const Graph& g, uint64_t source) {
+  std::vector<int64_t> dist(g.num_vertices(), -1);
+  std::queue<uint64_t> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    uint64_t u = queue.front();
+    queue.pop();
+    for (uint64_t e = 0; e < g.Degree(u); e++) {
+      uint64_t v = g.EdgeTarget(g.EdgeBegin(u) + e);
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+// Parent array validity: parents induce exactly the reference distances.
+void ValidateBfs(const Graph& g, uint64_t source, const WordArray& parents,
+                 const BfsResult& result) {
+  std::vector<int64_t> ref = ReferenceDistances(g, source);
+  uint64_t reachable = 0;
+  for (int64_t d : ref) {
+    if (d >= 0) {
+      reachable++;
+    }
+  }
+  EXPECT_EQ(result.reached, reachable);
+  for (uint64_t v = 0; v < g.num_vertices(); v++) {
+    uint64_t parent = parents.Get(v);
+    if (ref[v] < 0) {
+      EXPECT_EQ(parent, ~0ull) << v;
+      continue;
+    }
+    ASSERT_NE(parent, ~0ull) << v;
+    if (v == source) {
+      EXPECT_EQ(parent, source);
+    } else {
+      // Parent must be exactly one level closer.
+      EXPECT_EQ(ref[parent] + 1, ref[v]) << v;
+    }
+  }
+}
+
+TEST(BfsTest, CorrectOnRmatDram) {
+  auto edges = GenerateRmat(2048, 20480);
+  Graph g = BuildGraph(2048, edges, nullptr);
+  DramWordArray parents(2048);
+  LigraOptions options;
+  BfsResult result = Bfs(g, 0, &parents, options);
+  EXPECT_GT(result.reached, 1000u);  // giant component
+  ValidateBfs(g, 0, parents, result);
+}
+
+TEST(BfsTest, MultithreadedMatchesReference) {
+  auto edges = GenerateRmat(2048, 20480);
+  Graph g = BuildGraph(2048, edges, nullptr);
+  DramWordArray parents(2048);
+  LigraOptions options;
+  options.threads = 4;
+  BfsResult result = Bfs(g, 5, &parents, options);
+  ValidateBfs(g, 5, parents, result);
+}
+
+TEST(BfsTest, LineGraphUsesManyRounds) {
+  // Path 0-1-2-...-63: sparse traversal, 63 rounds.
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (uint64_t i = 0; i + 1 < 64; i++) {
+    edges.emplace_back(i, i + 1);
+  }
+  Graph g = BuildGraph(64, edges, nullptr);
+  DramWordArray parents(64);
+  BfsResult result = Bfs(g, 0, &parents, LigraOptions{});
+  EXPECT_EQ(result.reached, 64u);
+  EXPECT_EQ(result.rounds, 63);
+  EXPECT_EQ(parents.Get(63), 62u);
+}
+
+TEST(BfsTest, StarGraphTriggersDensePhase) {
+  // Hub 0 connected to all: frontier after round 1 = everything.
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (uint64_t i = 1; i < 512; i++) {
+    edges.emplace_back(0, i);
+  }
+  Graph g = BuildGraph(512, edges, nullptr);
+  DramWordArray parents(512);
+  LigraOptions options;
+  options.dense_divisor = 20;
+  BfsResult result = Bfs(g, 1, &parents, options);  // start at a leaf
+  EXPECT_EQ(result.reached, 512u);
+  EXPECT_EQ(result.rounds, 2);
+  ValidateBfs(g, 1, parents, result);
+}
+
+class MmioGraphTest : public ::testing::Test {
+ protected:
+  MmioGraphTest() {
+    PmemDevice::Options dev_options;
+    dev_options.capacity_bytes = 64ull << 20;
+    device_ = std::make_unique<PmemDevice>(dev_options);
+    Aquila::Options options;
+    options.hypervisor.host_memory_bytes = 128ull << 20;
+    options.cache.capacity_pages = 1024;  // 4 MB cache: smaller than the graph
+    options.cache.max_pages = 4096;
+    options.cache.eviction_batch = 64;
+    runtime_ = std::make_unique<Aquila>(options);
+    backing_ = std::make_unique<DeviceBacking>(device_.get(), 0, device_->capacity_bytes());
+    auto map =
+        runtime_->Map(backing_.get(), device_->capacity_bytes(), kProtRead | kProtWrite);
+    AQUILA_CHECK(map.ok());
+    map_ = *map;
+  }
+
+  // Declaration order matters: the runtime's destructor tears down leaked
+  // mappings, which writes back through the backing — the backing (and its
+  // device) must outlive the runtime.
+  std::unique_ptr<PmemDevice> device_;
+  std::unique_ptr<DeviceBacking> backing_;
+  std::unique_ptr<Aquila> runtime_;
+  MemoryMap* map_;
+};
+
+TEST_F(MmioGraphTest, HeapAllocatesDisjointRanges) {
+  MmioHeap heap(map_);
+  uint64_t a = heap.Alloc(100);
+  uint64_t b = heap.Alloc(100);
+  EXPECT_GE(b, a + 100);
+  auto arr = heap.AllocArray(64);
+  arr->Set(0, 42);
+  arr->Set(63, 99);
+  EXPECT_EQ(arr->Get(0), 42u);
+  EXPECT_EQ(arr->Get(63), 99u);
+}
+
+TEST_F(MmioGraphTest, BfsOverMmioMatchesDram) {
+  auto edges = GenerateRmat(2048, 20480, RmatOptions{.seed = 77});
+
+  Graph dram_graph = BuildGraph(2048, edges, nullptr);
+  DramWordArray dram_parents(2048);
+  BfsResult dram_result = Bfs(dram_graph, 0, &dram_parents, LigraOptions{});
+
+  MmioHeap heap(map_);
+  Graph mmio_graph = BuildGraph(2048, edges, &heap);
+  auto mmio_parents = heap.AllocArray(2048);
+  LigraOptions options;
+  options.thread_init = [this] { runtime_->EnterThread(); };
+  BfsResult mmio_result = Bfs(mmio_graph, 0, mmio_parents.get(), options);
+
+  EXPECT_EQ(mmio_result.reached, dram_result.reached);
+  EXPECT_EQ(mmio_result.rounds, dram_result.rounds);
+  ValidateBfs(mmio_graph, 0, *mmio_parents, mmio_result);
+  // The graph did not fit in the cache: mmio faults happened.
+  EXPECT_GT(runtime_->fault_stats().major_faults.load(), 0u);
+}
+
+TEST_F(MmioGraphTest, MultithreadedMmioBfs) {
+  auto edges = GenerateRmat(1024, 10240, RmatOptions{.seed = 9});
+  MmioHeap heap(map_);
+  Graph g = BuildGraph(1024, edges, &heap);
+  auto parents = heap.AllocArray(1024);
+  LigraOptions options;
+  options.threads = 4;
+  options.thread_init = [this] { runtime_->EnterThread(); };
+  BfsResult result = Bfs(g, 3, parents.get(), options);
+  ValidateBfs(g, 3, *parents, result);
+}
+
+TEST(PageRankTest, SumsToOneAndRanksHubHighest) {
+  // Star graph: hub 0. Its rank must dominate; total mass stays ~1.
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (uint64_t i = 1; i < 64; i++) {
+    edges.emplace_back(0, i);
+  }
+  Graph g = BuildGraph(64, edges, nullptr);
+  DramWordArray ranks(64);
+  PageRankResult result = PageRank(g, &ranks, LigraOptions{});
+  EXPECT_GT(result.iterations, 1);
+  double total = 0;
+  for (uint64_t v = 0; v < 64; v++) {
+    total += DecodeRank(ranks.Get(v));
+  }
+  EXPECT_NEAR(total, 1.0, 0.01);
+  double hub = DecodeRank(ranks.Get(0));
+  for (uint64_t v = 1; v < 64; v++) {
+    EXPECT_GT(hub, DecodeRank(ranks.Get(v)));
+  }
+}
+
+TEST(PageRankTest, ConvergesOnRmat) {
+  auto edges = GenerateRmat(1024, 10240);
+  Graph g = BuildGraph(1024, edges, nullptr);
+  DramWordArray ranks(1024);
+  PageRankOptions options;
+  options.max_iterations = 50;
+  options.tolerance = 1e-4;
+  PageRankResult result = PageRank(g, &ranks, LigraOptions{}, options);
+  EXPECT_LT(result.iterations, 50);
+  EXPECT_LT(result.l1_delta, 1e-4);
+}
+
+TEST(ConnectedComponentsTest, CountsComponents) {
+  // Two triangles + two isolated vertices = 4 components.
+  std::vector<std::pair<uint64_t, uint64_t>> edges = {{0, 1}, {1, 2}, {2, 0},
+                                                      {3, 4}, {4, 5}, {5, 3}};
+  Graph g = BuildGraph(8, edges, nullptr);
+  DramWordArray labels(8);
+  EXPECT_EQ(ConnectedComponents(g, &labels, LigraOptions{}), 4u);
+  EXPECT_EQ(labels.Get(0), labels.Get(2));
+  EXPECT_EQ(labels.Get(3), labels.Get(5));
+  EXPECT_NE(labels.Get(0), labels.Get(3));
+  EXPECT_EQ(labels.Get(6), 6u);
+}
+
+TEST_F(MmioGraphTest, PageRankOverMmioMatchesDram) {
+  auto edges = GenerateRmat(1024, 10240, RmatOptions{.seed = 3});
+  Graph dram_graph = BuildGraph(1024, edges, nullptr);
+  DramWordArray dram_ranks(1024);
+  PageRankOptions options;
+  options.max_iterations = 8;
+  PageRank(dram_graph, &dram_ranks, LigraOptions{}, options);
+
+  MmioHeap heap(map_);
+  Graph mmio_graph = BuildGraph(1024, edges, &heap);
+  auto mmio_ranks = heap.AllocArray(1024);
+  LigraOptions ligra;
+  ligra.thread_init = [this] { runtime_->EnterThread(); };
+  PageRank(mmio_graph, mmio_ranks.get(), ligra, options);
+
+  for (uint64_t v = 0; v < 1024; v++) {
+    ASSERT_EQ(mmio_ranks->Get(v), dram_ranks.Get(v)) << v;
+  }
+}
+
+TEST_F(MmioGraphTest, ConnectedComponentsOverMmio) {
+  auto edges = GenerateRmat(2048, 4096, RmatOptions{.seed = 11});  // sparse: many comps
+  MmioHeap heap(map_);
+  Graph g = BuildGraph(2048, edges, &heap);
+  auto labels = heap.AllocArray(2048);
+  LigraOptions ligra;
+  ligra.thread_init = [this] { runtime_->EnterThread(); };
+  uint64_t components = ConnectedComponents(g, labels.get(), ligra);
+  EXPECT_GT(components, 1u);
+  // Every label is a component representative labeling itself.
+  for (uint64_t v = 0; v < 2048; v++) {
+    uint64_t l = labels->Get(v);
+    EXPECT_EQ(labels->Get(l), l) << v;
+  }
+}
+
+}  // namespace
+}  // namespace aquila

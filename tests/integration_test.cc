@@ -1,0 +1,232 @@
+// Cross-stack integration tests: the full pipeline (device -> blobstore ->
+// LSM / Kreon -> mmio engine -> YCSB) under stress, plus multi-mapping
+// cache sharing and crash-style reopen cycles.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/core/aquila.h"
+#include "src/kvs/kreon_db.h"
+#include "src/kvs/lsm_db.h"
+#include "src/linuxsim/linux_mmap.h"
+#include "src/storage/nvme_device.h"
+#include "src/storage/pmem_device.h"
+#include "src/util/rng.h"
+#include "src/ycsb/runner.h"
+
+namespace aquila {
+namespace {
+
+// LSM over Aquila-mmio over NVMe with a cache far smaller than the dataset,
+// mixed read/write workload across threads, then reopen and verify.
+TEST(FullStackTest, LsmOverAquilaOverNvmeWithThrashingCache) {
+  NvmeController::Options nvme_options;
+  nvme_options.capacity_bytes = 512ull << 20;
+  NvmeController controller(nvme_options);
+  NvmeDevice device(&controller);
+
+  auto store = Blobstore::Format(ThisVcpu(), &device, Blobstore::Options{});
+  ASSERT_TRUE(store.ok());
+  BlobNamespace ns(store->get());
+
+  Aquila::Options aq_options;
+  aq_options.cache.capacity_pages = 256;  // 1 MB cache (dataset ~4 MB)
+  aq_options.cache.max_pages = 2048;
+  aq_options.cache.eviction_batch = 64;
+  Aquila runtime(aq_options);
+
+  KvsEnv::Options env_options;
+  env_options.store = store->get();
+  env_options.ns = &ns;
+  env_options.read_path = ReadPath::kMmio;
+  env_options.mmio_engine = &runtime;
+  KvsEnv env(env_options);
+
+  LsmDb::Options db_options;
+  db_options.env = &env;
+  db_options.name = "/stress";
+  db_options.memtable_bytes = 512 * 1024;
+
+  std::map<std::string, std::string> model;
+  {
+    auto db = LsmDb::Open(db_options);
+    ASSERT_TRUE(db.ok());
+    // Mixed write phase (single writer thread — the LSM serializes writers
+    // anyway) interleaved with reads from two readers.
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> write_floor{0};
+    std::thread readers[2];
+    std::atomic<int> read_errors{0};
+    for (int r = 0; r < 2; r++) {
+      readers[r] = std::thread([&, r] {
+        runtime.EnterThread();
+        Rng rng(r + 100);
+        std::string value;
+        while (!stop.load(std::memory_order_relaxed)) {
+          uint64_t floor = write_floor.load(std::memory_order_relaxed);
+          if (floor == 0) {
+            continue;
+          }
+          uint64_t id = rng.Uniform(floor);
+          bool found = false;
+          std::string key = "sk" + std::to_string(id);
+          if (!(*db)->Get(key, &value, &found).ok() || !found) {
+            read_errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (uint64_t i = 0; i < 10000; i++) {
+      std::string key = "sk" + std::to_string(i);
+      std::string value = "val-" + std::to_string(i * 7) + std::string(380, 'x');
+      ASSERT_TRUE((*db)->Put(key, value).ok());
+      model[key] = value;
+      write_floor.store(i + 1, std::memory_order_release);
+    }
+    stop.store(true);
+    for (auto& t : readers) {
+      t.join();
+    }
+    EXPECT_EQ(read_errors.load(), 0);
+    EXPECT_GT(runtime.fault_stats().evicted_pages.load(), 0u);
+  }
+
+  // Reopen (manifest + WAL recovery) and verify every record.
+  auto db = LsmDb::Open(db_options);
+  ASSERT_TRUE(db.ok());
+  std::string value;
+  for (const auto& [key, expect] : model) {
+    bool found = false;
+    ASSERT_TRUE((*db)->Get(key, &value, &found).ok());
+    ASSERT_TRUE(found) << key;
+    ASSERT_EQ(value, expect) << key;
+  }
+}
+
+// Several mappings (different backings) share one Aquila cache: eviction
+// from one mapping must never corrupt another.
+TEST(FullStackTest, MultipleMappingsShareOneCache) {
+  constexpr int kMaps = 4;
+  constexpr uint64_t kBytes = 8ull << 20;
+  std::vector<std::unique_ptr<PmemDevice>> devices;
+  std::vector<std::unique_ptr<DeviceBacking>> backings;
+  for (int i = 0; i < kMaps; i++) {
+    PmemDevice::Options o;
+    o.capacity_bytes = kBytes;
+    devices.push_back(std::make_unique<PmemDevice>(o));
+  }
+
+  Aquila::Options options;
+  options.cache.capacity_pages = 1024;  // 4 MB for 32 MB of mappings
+  options.cache.max_pages = 4096;
+  options.cache.eviction_batch = 64;
+  Aquila runtime(options);
+
+  std::vector<MemoryMap*> maps;
+  for (int i = 0; i < kMaps; i++) {
+    backings.push_back(std::make_unique<DeviceBacking>(devices[i].get(), 0, kBytes));
+    auto map = runtime.Map(backings.back().get(), kBytes, kProtRead | kProtWrite);
+    ASSERT_TRUE(map.ok());
+    maps.push_back(*map);
+  }
+
+  // Each mapping gets a distinct pattern written at every page.
+  std::vector<std::thread> writers;
+  for (int i = 0; i < kMaps; i++) {
+    writers.emplace_back([&, i] {
+      runtime.EnterThread();
+      Rng rng(i + 1);
+      for (int op = 0; op < 8000; op++) {
+        uint64_t page = rng.Uniform(kBytes / kPageSize);
+        maps[i]->StoreValue<uint64_t>(page * kPageSize + 8 * i,
+                                      (static_cast<uint64_t>(i) << 56) | page);
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  // Verify, then sync everything and verify on the devices.
+  for (int i = 0; i < kMaps; i++) {
+    ASSERT_TRUE(maps[i]->Sync(0, kBytes).ok());
+  }
+  int checked = 0;
+  for (int i = 0; i < kMaps; i++) {
+    for (uint64_t page = 0; page < kBytes / kPageSize; page++) {
+      uint64_t on_device;
+      std::memcpy(&on_device, devices[i]->dax_base() + page * kPageSize + 8 * i, 8);
+      if (on_device != 0) {
+        ASSERT_EQ(on_device, (static_cast<uint64_t>(i) << 56) | page)
+            << "map " << i << " page " << page;
+        checked++;
+      }
+    }
+    ASSERT_TRUE(runtime.Unmap(maps[i]).ok());
+  }
+  EXPECT_GT(checked, 1000);
+  EXPECT_GT(runtime.fault_stats().evicted_pages.load(), 0u);
+}
+
+// Kreon over the kmmap baseline (the Fig 9 comparator) is functionally
+// identical to Kreon over Aquila on the same workload.
+TEST(FullStackTest, KreonEquivalentOverBothEngines) {
+  YcsbWorkload workload = YcsbWorkload::A();
+  workload.record_count = 2000;
+  workload.operation_count = 4000;
+  workload.value_bytes = 256;
+
+  auto run = [&](MmioEngine* engine, BlockDevice* device) {
+    engine->EnterThread();
+    DeviceBacking backing(device, 0, device->capacity_bytes());
+    auto map = engine->Map(&backing, device->capacity_bytes(), kProtRead | kProtWrite);
+    AQUILA_CHECK(map.ok());
+    auto db = KreonDb::Open(*map, KreonDb::Options{});
+    AQUILA_CHECK(db.ok());
+    YcsbRunner::Options run_options;
+    run_options.thread_init = [engine] { engine->EnterThread(); };
+    YcsbRunner runner(db->get(), workload, run_options);
+    AQUILA_CHECK(runner.Load().ok());
+    StatusOr<YcsbReport> report = runner.Run();
+    AQUILA_CHECK(report.ok());
+    // Deterministic workload: collect a checksum of the visible state.
+    uint64_t checksum = 0;
+    std::string value;
+    for (uint64_t i = 0; i < workload.record_count; i++) {
+      bool found = false;
+      std::string key = YcsbKey(i, workload.key_bytes);
+      AQUILA_CHECK((*db)->Get(key, &value, &found).ok());
+      if (found) {
+        checksum ^= FnvHash64(value.size() * 1315423911u + i);
+        for (char c : value.substr(0, 8)) {
+          checksum = checksum * 131 + static_cast<unsigned char>(c);
+        }
+      }
+    }
+    db->reset();
+    AQUILA_CHECK(engine->Unmap(*map).ok());
+    return std::pair(report->failed_reads, checksum);
+  };
+
+  PmemDevice::Options dev_options;
+  dev_options.capacity_bytes = 64ull << 20;
+
+  PmemDevice dev1(dev_options);
+  auto kmmap = std::make_unique<LinuxMmapEngine>(LinuxMmapEngine::KmmapOptions(2048));
+  auto [kmmap_failed, kmmap_sum] = run(kmmap.get(), &dev1);
+
+  PmemDevice dev2(dev_options);
+  Aquila::Options aq_options;
+  aq_options.cache.capacity_pages = 2048;
+  aq_options.cache.max_pages = 8192;
+  aq_options.cache.eviction_batch = 64;
+  Aquila aquila_engine(aq_options);
+  auto [aq_failed, aq_sum] = run(&aquila_engine, &dev2);
+
+  EXPECT_EQ(kmmap_failed, 0u);
+  EXPECT_EQ(aq_failed, 0u);
+  EXPECT_EQ(kmmap_sum, aq_sum);
+}
+
+}  // namespace
+}  // namespace aquila

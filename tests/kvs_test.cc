@@ -1,0 +1,517 @@
+// Tests for src/kvs: memtable, bloom filter, block cache, SST files, the
+// LSM store (both read paths), and the Kreon mmio store.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/core/aquila.h"
+#include "src/kvs/block_cache.h"
+#include "src/kvs/bloom.h"
+#include "src/kvs/kreon_db.h"
+#include "src/kvs/lsm_db.h"
+#include "src/kvs/memtable.h"
+#include "src/kvs/sst.h"
+#include "src/storage/pmem_device.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+namespace {
+
+// --- MemTable -------------------------------------------------------------------
+
+TEST(MemTableTest, PutGetNewestWins) {
+  MemTable table;
+  table.Add(1, ValueType::kValue, "key1", "v1");
+  table.Add(2, ValueType::kValue, "key1", "v2");
+  std::string value;
+  bool deleted;
+  ASSERT_TRUE(table.Get("key1", &value, &deleted));
+  EXPECT_FALSE(deleted);
+  EXPECT_EQ(value, "v2");
+  EXPECT_FALSE(table.Get("key2", &value, &deleted));
+}
+
+TEST(MemTableTest, DeletionShadowsValue) {
+  MemTable table;
+  table.Add(1, ValueType::kValue, "k", "v");
+  table.Add(2, ValueType::kDeletion, "k", "");
+  std::string value;
+  bool deleted;
+  ASSERT_TRUE(table.Get("k", &value, &deleted));
+  EXPECT_TRUE(deleted);
+}
+
+TEST(MemTableTest, IterationSortedByKeyThenNewest) {
+  MemTable table;
+  table.Add(1, ValueType::kValue, "b", "b1");
+  table.Add(2, ValueType::kValue, "a", "a1");
+  table.Add(3, ValueType::kValue, "b", "b2");
+  table.Add(4, ValueType::kValue, "c", "c1");
+  MemTable::Iterator it(&table);
+  std::vector<std::pair<std::string, std::string>> seen;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    seen.emplace_back(it.key().ToString(), it.value().ToString());
+  }
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0].first, "a");
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::string>{"b", "b2"}));  // newest first
+  EXPECT_EQ(seen[2], (std::pair<std::string, std::string>{"b", "b1"}));
+  EXPECT_EQ(seen[3].first, "c");
+}
+
+TEST(MemTableTest, ManyRandomKeys) {
+  MemTable table;
+  std::map<std::string, std::string> model;
+  Rng rng(3);
+  for (int i = 0; i < 5000; i++) {
+    std::string key = "key" + std::to_string(rng.Uniform(1000));
+    std::string value = "val" + std::to_string(i);
+    table.Add(static_cast<uint64_t>(i + 1), ValueType::kValue, key, value);
+    model[key] = value;
+  }
+  for (const auto& [key, expect] : model) {
+    std::string value;
+    bool deleted;
+    ASSERT_TRUE(table.Get(key, &value, &deleted)) << key;
+    EXPECT_EQ(value, expect);
+  }
+  EXPECT_EQ(table.entries(), 5000u);
+}
+
+// --- Bloom ----------------------------------------------------------------------
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 2000; i++) {
+    builder.AddKey("bloomkey" + std::to_string(i));
+  }
+  std::string data = builder.Finish();
+  BloomFilter filter{Slice(data)};
+  for (int i = 0; i < 2000; i++) {
+    EXPECT_TRUE(filter.MayContain("bloomkey" + std::to_string(i))) << i;
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 2000; i++) {
+    builder.AddKey("present" + std::to_string(i));
+  }
+  std::string data = builder.Finish();
+  BloomFilter filter{Slice(data)};
+  int false_positives = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (filter.MayContain("absent" + std::to_string(i))) {
+      false_positives++;
+    }
+  }
+  EXPECT_LT(false_positives, 300);  // ~1% expected at 10 bits/key
+}
+
+// --- BlockCache -----------------------------------------------------------------
+
+TEST(BlockCacheTest, HitMissEvict) {
+  BlockCache::Options options;
+  options.capacity_bytes = 64 * 1024;
+  options.shards = 1;
+  BlockCache cache(options);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 0, std::make_shared<std::string>(4096, 'x'));
+  auto hit = cache.Lookup(1, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 4096u);
+  // Fill beyond capacity: LRU (the first block, untouched since) evicts.
+  for (int i = 1; i < 32; i++) {
+    cache.Insert(1, i * 4096, std::make_shared<std::string>(4096, 'y'));
+  }
+  EXPECT_GT(cache.stats().evictions.load(), 0u);
+  EXPECT_LE(cache.UsedBytes(), options.capacity_bytes);
+}
+
+TEST(BlockCacheTest, LruKeepsHotBlocks) {
+  BlockCache::Options options;
+  options.capacity_bytes = 4 * (4096 + 64);
+  options.shards = 1;
+  BlockCache cache(options);
+  for (int i = 0; i < 4; i++) {
+    cache.Insert(1, i * 4096, std::make_shared<std::string>(4096, 'a'));
+  }
+  // Touch block 0 so it is MRU, then insert to force one eviction.
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 100 * 4096, std::make_shared<std::string>(4096, 'b'));
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);   // survived
+  EXPECT_EQ(cache.Lookup(1, 4096), nullptr);  // LRU victim
+}
+
+TEST(BlockCacheTest, LookupChargesCycles) {
+  BlockCache::Options options;
+  BlockCache cache(options);
+  SimClock& clock = ThisThreadClock();
+  uint64_t before = clock.Breakdown()[CostCategory::kCacheMgmt];
+  cache.Lookup(9, 9);
+  EXPECT_GE(clock.Breakdown()[CostCategory::kCacheMgmt] - before, options.lookup_surcharge);
+}
+
+// --- SST + LSM over a real blobstore --------------------------------------------
+
+class KvsFixture : public ::testing::Test {
+ protected:
+  KvsFixture() {
+    PmemDevice::Options dev_options;
+    dev_options.capacity_bytes = 512ull << 20;
+    device_ = std::make_unique<PmemDevice>(dev_options);
+    Blobstore::Options bs_options;
+    bs_options.cluster_size = 64 * 1024;
+    bs_options.metadata_bytes = 4ull << 20;
+    auto store = Blobstore::Format(ThisVcpu(), device_.get(), bs_options);
+    AQUILA_CHECK(store.ok());
+    store_ = std::move(*store);
+    ns_ = std::make_unique<BlobNamespace>(store_.get());
+  }
+
+  KvsEnv MakeEnv(ReadPath path, MmioEngine* engine = nullptr) {
+    KvsEnv::Options options;
+    options.store = store_.get();
+    options.ns = ns_.get();
+    options.read_path = path;
+    options.mmio_engine = engine;
+    return KvsEnv(options);
+  }
+
+  std::unique_ptr<PmemDevice> device_;
+  std::unique_ptr<Blobstore> store_;
+  std::unique_ptr<BlobNamespace> ns_;
+};
+
+TEST_F(KvsFixture, SstBuildAndRead) {
+  KvsEnv env = MakeEnv(ReadPath::kDirectIo);
+  auto file = env.NewWritableFile("/t1.sst");
+  ASSERT_TRUE(file.ok());
+  SstBuilder builder(file->get(), SstOptions{});
+  for (int i = 0; i < 1000; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    builder.Add(Slice(key), 1000 + i, i % 7 == 3 ? ValueType::kDeletion : ValueType::kValue,
+                "value" + std::to_string(i));
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_EQ(builder.num_entries(), 1000u);
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto raf = env.NewRandomAccessFile("/t1.sst");
+  ASSERT_TRUE(raf.ok());
+  auto reader = SstReader::Open(std::move(*raf), nullptr, 1);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->smallest_key(), "key000000");
+  EXPECT_EQ((*reader)->largest_key(), "key000999");
+  EXPECT_GT((*reader)->num_blocks(), 1u);
+
+  for (int i = 0; i < 1000; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    std::string value;
+    bool found, deleted;
+    ASSERT_TRUE((*reader)->Get(Slice(key), &value, &found, &deleted).ok());
+    ASSERT_TRUE(found) << key;
+    if (i % 7 == 3) {
+      EXPECT_TRUE(deleted);
+    } else {
+      EXPECT_EQ(value, "value" + std::to_string(i));
+    }
+  }
+  std::string value;
+  bool found, deleted;
+  ASSERT_TRUE((*reader)->Get("missing", &value, &found, &deleted).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(KvsFixture, SstIteratorOrderAndSeek) {
+  KvsEnv env = MakeEnv(ReadPath::kDirectIo);
+  auto file = env.NewWritableFile("/t2.sst");
+  ASSERT_TRUE(file.ok());
+  SstBuilder builder(file->get(), SstOptions{});
+  for (int i = 0; i < 500; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i * 2);
+    builder.Add(Slice(key), i, ValueType::kValue, std::string(100, 'v'));
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto raf = env.NewRandomAccessFile("/t2.sst");
+  ASSERT_TRUE(raf.ok());
+  auto reader = SstReader::Open(std::move(*raf), nullptr, 2);
+  ASSERT_TRUE(reader.ok());
+  SstReader::Iterator it(reader->get());
+  int count = 0;
+  std::string prev;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    std::string key = it.key().ToString();
+    EXPECT_GT(key, prev);
+    prev = key;
+    count++;
+  }
+  EXPECT_EQ(count, 500);
+  ASSERT_TRUE(it.status().ok());
+
+  it.Seek("key000101");  // between entries: lands on the next one
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), "key000102");
+  it.Seek("key000998");  // exact match on the largest key
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), "key000998");
+  it.Seek("key999999");  // beyond everything
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(KvsFixture, LsmPutGetOverwriteDelete) {
+  KvsEnv env = MakeEnv(ReadPath::kDirectIo);
+  BlockCache cache(BlockCache::Options{});
+  LsmDb::Options options;
+  options.env = &env;
+  options.block_cache = &cache;
+  options.memtable_bytes = 256 * 1024;
+  auto db = LsmDb::Open(options);
+  ASSERT_TRUE(db.ok());
+
+  std::map<std::string, std::string> model;
+  Rng rng(11);
+  for (int i = 0; i < 20000; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(5000));
+    if (rng.OneIn(10)) {
+      ASSERT_TRUE((*db)->Delete(key).ok());
+      model.erase(key);
+    } else {
+      std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE((*db)->Put(key, value).ok());
+      model[key] = value;
+    }
+  }
+  EXPECT_GT((*db)->stats().flushes.load(), 0u);
+  EXPECT_GT((*db)->stats().compactions.load(), 0u);
+
+  for (const auto& [key, expect] : model) {
+    std::string value;
+    bool found;
+    ASSERT_TRUE((*db)->Get(key, &value, &found).ok());
+    ASSERT_TRUE(found) << key;
+    EXPECT_EQ(value, expect) << key;
+  }
+  // Deleted keys stay gone.
+  for (int i = 0; i < 5000; i++) {
+    std::string key = "k" + std::to_string(i);
+    if (model.count(key) == 0) {
+      std::string value;
+      bool found;
+      ASSERT_TRUE((*db)->Get(key, &value, &found).ok());
+      EXPECT_FALSE(found) << key;
+    }
+  }
+}
+
+TEST_F(KvsFixture, LsmScanMergesLevelsAndMemtable) {
+  KvsEnv env = MakeEnv(ReadPath::kDirectIo);
+  LsmDb::Options options;
+  options.env = &env;
+  options.memtable_bytes = 64 * 1024;
+  auto db = LsmDb::Open(options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 2000; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "s%06d", i);
+    ASSERT_TRUE((*db)->Put(Slice(key), "val" + std::to_string(i)).ok());
+  }
+  // Overwrite some in the memtable after flushes.
+  ASSERT_TRUE((*db)->Put("s000100", "fresh").ok());
+
+  std::vector<std::pair<std::string, std::string>> seen;
+  ASSERT_TRUE((*db)
+                  ->Scan("s000098", 5,
+                         [&](const Slice& k, const Slice& v) {
+                           seen.emplace_back(k.ToString(), v.ToString());
+                         })
+                  .ok());
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen[0].first, "s000098");
+  EXPECT_EQ(seen[2], (std::pair<std::string, std::string>{"s000100", "fresh"}));
+  for (size_t i = 1; i < seen.size(); i++) {
+    EXPECT_GT(seen[i].first, seen[i - 1].first);
+  }
+}
+
+TEST_F(KvsFixture, LsmRecoversFromManifestAndWal) {
+  KvsEnv env = MakeEnv(ReadPath::kDirectIo);
+  LsmDb::Options options;
+  options.env = &env;
+  options.memtable_bytes = 64 * 1024;
+  {
+    auto db = LsmDb::Open(options);
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 500; i++) {
+      ASSERT_TRUE((*db)->Put("p" + std::to_string(i), "q" + std::to_string(i)).ok());
+    }
+    // 500 writes of ~10 bytes stay below the flush threshold for the tail:
+    // some keys live only in WAL + memtable when we "crash" (no clean close
+    // flush: simulate by flushing explicitly first, then writing more).
+    ASSERT_TRUE((*db)->Flush().ok());
+    for (int i = 500; i < 600; i++) {
+      ASSERT_TRUE((*db)->Put("p" + std::to_string(i), "q" + std::to_string(i)).ok());
+    }
+    // Drop the DB object: the destructor flushes, but WAL replay is also
+    // covered below by reopening with a WAL present.
+  }
+  auto db = LsmDb::Open(options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 600; i++) {
+    std::string value;
+    bool found;
+    ASSERT_TRUE((*db)->Get("p" + std::to_string(i), &value, &found).ok());
+    ASSERT_TRUE(found) << i;
+    EXPECT_EQ(value, "q" + std::to_string(i));
+  }
+}
+
+TEST_F(KvsFixture, LsmMmioModeMatchesDirectMode) {
+  // Same dataset through both read paths must agree.
+  Aquila::Options aq_options;
+  aq_options.hypervisor.host_memory_bytes = 256ull << 20;
+  aq_options.cache.capacity_pages = 4096;
+  aq_options.cache.max_pages = 8192;
+  aq_options.cache.eviction_batch = 64;
+  Aquila runtime(aq_options);
+
+  KvsEnv direct_env = MakeEnv(ReadPath::kDirectIo);
+  LsmDb::Options options;
+  options.env = &direct_env;
+  options.memtable_bytes = 128 * 1024;
+  options.name = "/dbx";
+  {
+    auto db = LsmDb::Open(options);
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 3000; i++) {
+      ASSERT_TRUE((*db)->Put("m" + std::to_string(i), "w" + std::to_string(i * 3)).ok());
+    }
+  }
+
+  KvsEnv mmio_env = MakeEnv(ReadPath::kMmio, &runtime);
+  LsmDb::Options mmio_options = options;
+  mmio_options.env = &mmio_env;
+  auto db = LsmDb::Open(mmio_options);
+  ASSERT_TRUE(db.ok());
+  uint64_t faults_before = runtime.fault_stats().major_faults.load();
+  for (int i = 0; i < 3000; i++) {
+    std::string value;
+    bool found;
+    ASSERT_TRUE((*db)->Get("m" + std::to_string(i), &value, &found).ok());
+    ASSERT_TRUE(found) << i;
+    EXPECT_EQ(value, "w" + std::to_string(i * 3));
+  }
+  // SST reads went through the mmio path.
+  EXPECT_GT(runtime.fault_stats().major_faults.load(), faults_before);
+}
+
+// --- Kreon ----------------------------------------------------------------------
+
+class KreonFixture : public ::testing::Test {
+ protected:
+  KreonFixture() {
+    PmemDevice::Options dev_options;
+    dev_options.capacity_bytes = 128ull << 20;
+    device_ = std::make_unique<PmemDevice>(dev_options);
+    Aquila::Options options;
+    options.hypervisor.host_memory_bytes = 256ull << 20;
+    options.cache.capacity_pages = 8192;
+    options.cache.max_pages = 16384;
+    options.cache.eviction_batch = 64;
+    runtime_ = std::make_unique<Aquila>(options);
+    backing_ = std::make_unique<DeviceBacking>(device_.get(), 0, device_->capacity_bytes());
+    auto map = runtime_->Map(backing_.get(), device_->capacity_bytes(),
+                             kProtRead | kProtWrite);
+    AQUILA_CHECK(map.ok());
+    map_ = *map;
+  }
+
+  // Declaration order matters: the runtime's destructor tears down leaked
+  // mappings, which writes back through the backing — the backing (and its
+  // device) must outlive the runtime.
+  std::unique_ptr<PmemDevice> device_;
+  std::unique_ptr<DeviceBacking> backing_;
+  std::unique_ptr<Aquila> runtime_;
+  MemoryMap* map_;
+};
+
+TEST_F(KreonFixture, PutGetScanDelete) {
+  auto db = KreonDb::Open(map_, KreonDb::Options{});
+  ASSERT_TRUE(db.ok());
+  std::map<std::string, std::string> model;
+  Rng rng(5);
+  for (int i = 0; i < 10000; i++) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "kreon%08llu",
+                  static_cast<unsigned long long>(rng.Uniform(3000)));
+    std::string value = "value-" + std::to_string(i);
+    ASSERT_TRUE((*db)->Put(Slice(key), value).ok());
+    model[key] = value;
+  }
+  for (const auto& [key, expect] : model) {
+    std::string value;
+    bool found;
+    ASSERT_TRUE((*db)->Get(key, &value, &found).ok());
+    ASSERT_TRUE(found) << key;
+    EXPECT_EQ(value, expect);
+  }
+  // Scan returns sorted keys.
+  std::vector<std::string> keys;
+  ASSERT_TRUE((*db)
+                  ->Scan("kreon", 50,
+                         [&](const Slice& k, const Slice& v) { keys.push_back(k.ToString()); })
+                  .ok());
+  ASSERT_EQ(keys.size(), 50u);
+  for (size_t i = 1; i < keys.size(); i++) {
+    EXPECT_GT(keys[i], keys[i - 1]);
+  }
+  // Delete hides a key.
+  std::string victim = model.begin()->first;
+  ASSERT_TRUE((*db)->Delete(victim).ok());
+  std::string value;
+  bool found;
+  ASSERT_TRUE((*db)->Get(victim, &value, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(KreonFixture, PersistAndRecover) {
+  {
+    auto db = KreonDb::Open(map_, KreonDb::Options{});
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 500; i++) {
+      ASSERT_TRUE((*db)->Put("persist" + std::to_string(i), "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*db)->Persist().ok());
+  }
+  // Reopen through the same mapping (superblock recovery path).
+  auto db = KreonDb::Open(map_, KreonDb::Options{});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->entries(), 500u);
+  for (int i = 0; i < 500; i++) {
+    std::string value;
+    bool found;
+    ASSERT_TRUE((*db)->Get("persist" + std::to_string(i), &value, &found).ok());
+    ASSERT_TRUE(found) << i;
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(KreonFixture, RejectsOversizeKeys) {
+  auto db = KreonDb::Open(map_, KreonDb::Options{});
+  ASSERT_TRUE(db.ok());
+  std::string long_key(KreonDb::kMaxKeyBytes + 1, 'x');
+  EXPECT_FALSE((*db)->Put(Slice(long_key), "v").ok());
+  EXPECT_FALSE((*db)->Put(Slice("", 0), "v").ok());
+}
+
+}  // namespace
+}  // namespace aquila

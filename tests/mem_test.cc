@@ -1,0 +1,182 @@
+// Unit tests for src/mem: software page table and per-core TLBs with
+// batched shootdown.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/mem/page_table.h"
+#include "src/mem/tlb.h"
+#include "src/util/bitops.h"
+
+namespace aquila {
+namespace {
+
+TEST(PageTableTest, InstallLookupRemove) {
+  PageTable pt;
+  uint64_t vaddr = 0x500000001000ull;
+  EXPECT_EQ(pt.Lookup(vaddr), 0u);
+  EXPECT_TRUE(pt.Install(vaddr, 42ull << kPageShift, Pte::kAccessed));
+  uint64_t pte = pt.Lookup(vaddr);
+  EXPECT_TRUE(Pte::Present(pte));
+  EXPECT_FALSE(Pte::Writable(pte));
+  EXPECT_EQ(Pte::Gpa(pte) >> kPageShift, 42u);
+  EXPECT_EQ(pt.present_count(), 1u);
+
+  // Double install fails.
+  EXPECT_FALSE(pt.Install(vaddr, 43ull << kPageShift, 0));
+
+  uint64_t old = pt.Remove(vaddr);
+  EXPECT_TRUE(Pte::Present(old));
+  EXPECT_EQ(pt.Lookup(vaddr), 0u);
+  EXPECT_EQ(pt.present_count(), 0u);
+  // Removing twice is harmless.
+  EXPECT_EQ(pt.Remove(vaddr), 0u);
+}
+
+TEST(PageTableTest, DistinguishesNearbyPages) {
+  PageTable pt;
+  uint64_t base = 0x500000000000ull;
+  for (uint64_t i = 0; i < 1024; i++) {
+    ASSERT_TRUE(pt.Install(base + i * kPageSize, i << kPageShift, 0));
+  }
+  for (uint64_t i = 0; i < 1024; i++) {
+    EXPECT_EQ(Pte::Gpa(pt.Lookup(base + i * kPageSize)) >> kPageShift, i);
+  }
+}
+
+TEST(PageTableTest, SparseAddresses) {
+  PageTable pt;
+  // Spread across distinct top-level entries.
+  std::vector<uint64_t> addrs = {0x0000001000ull, 0x7f0000002000ull, 0x003400005000ull,
+                                 0x100000000000ull};
+  for (size_t i = 0; i < addrs.size(); i++) {
+    ASSERT_TRUE(pt.Install(addrs[i], (i + 1) << kPageShift, Pte::kWritable));
+  }
+  for (size_t i = 0; i < addrs.size(); i++) {
+    uint64_t pte = pt.Lookup(addrs[i]);
+    EXPECT_TRUE(Pte::Writable(pte));
+    EXPECT_EQ(Pte::Gpa(pte) >> kPageShift, i + 1);
+  }
+}
+
+TEST(PageTableTest, AtomicFlagUpdates) {
+  PageTable pt;
+  uint64_t vaddr = 0x600000000000ull;
+  ASSERT_TRUE(pt.Install(vaddr, 7ull << kPageShift, Pte::kAccessed));
+  pt.Walk(vaddr)->fetch_or(Pte::kWritable | Pte::kDirty, std::memory_order_acq_rel);
+  uint64_t pte = pt.Lookup(vaddr);
+  EXPECT_TRUE(Pte::Writable(pte));
+  EXPECT_TRUE(Pte::Dirty(pte));
+  pt.Walk(vaddr)->fetch_and(~Pte::kWritable, std::memory_order_acq_rel);
+  EXPECT_FALSE(Pte::Writable(pt.Lookup(vaddr)));
+  EXPECT_EQ(Pte::Gpa(pt.Lookup(vaddr)) >> kPageShift, 7u);
+}
+
+TEST(PageTableTest, ConcurrentInstallDisjointPages) {
+  PageTable pt;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&pt, t] {
+      uint64_t base = 0x500000000000ull + static_cast<uint64_t>(t) * kPerThread * kPageSize;
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        ASSERT_TRUE(pt.Install(base + i * kPageSize, (t * kPerThread + i) << kPageShift, 0));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(pt.present_count(), kThreads * kPerThread);
+}
+
+TEST(PageTableTest, ConcurrentInstallSamePageOneWinner) {
+  for (int round = 0; round < 20; round++) {
+    PageTable pt;
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+      threads.emplace_back([&pt, &winners, t] {
+        if (pt.Install(0x700000000000ull, static_cast<uint64_t>(t + 1) << kPageShift, 0)) {
+          winners.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    EXPECT_EQ(winners.load(), 1);
+  }
+}
+
+TEST(TlbTest, InsertLookupInvalidate) {
+  TlbSet tlb;
+  EXPECT_FALSE(tlb.Lookup(0, 100).hit);
+  tlb.Insert(0, 100, /*writable=*/false);
+  auto r = tlb.Lookup(0, 100);
+  EXPECT_TRUE(r.hit);
+  EXPECT_FALSE(r.writable);
+  tlb.Insert(0, 100, /*writable=*/true);
+  EXPECT_TRUE(tlb.Lookup(0, 100).writable);
+  // Other cores have their own TLB.
+  EXPECT_FALSE(tlb.Lookup(1, 100).hit);
+  tlb.InvalidatePage(0, 100);
+  EXPECT_FALSE(tlb.Lookup(0, 100).hit);
+}
+
+TEST(TlbTest, DirectMappedConflict) {
+  TlbSet tlb;
+  tlb.Insert(0, 5, false);
+  tlb.Insert(0, 5 + TlbSet::kEntries, false);  // same slot
+  EXPECT_FALSE(tlb.Lookup(0, 5).hit);
+  EXPECT_TRUE(tlb.Lookup(0, 5 + TlbSet::kEntries).hit);
+}
+
+TEST(TlbTest, ShootdownInvalidatesAllCores) {
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  SimClock clock;
+  for (int core = 0; core < 4; core++) {
+    tlb.Insert(core, 7, true);
+    tlb.Insert(core, 9, true);
+  }
+  std::vector<uint64_t> vpns = {7, 9};
+  tlb.Shootdown(clock, /*initiator=*/0, /*active_cores=*/4, vpns, fabric);
+  for (int core = 0; core < 4; core++) {
+    EXPECT_FALSE(tlb.Lookup(core, 7).hit) << core;
+    EXPECT_FALSE(tlb.Lookup(core, 9).hit) << core;
+  }
+  // One IPI per remote core, not per page (batching).
+  EXPECT_EQ(fabric.TotalSent(), 3u);
+  EXPECT_EQ(tlb.shootdowns(), 1u);
+  EXPECT_GT(clock.Now(), 0u);
+}
+
+TEST(TlbTest, BatchedShootdownCheaperThanPerPage) {
+  const CostModel& costs = GlobalCostModel();
+  PostedIpiFabric fabric;
+  TlbSet tlb;
+  std::vector<uint64_t> vpns(512);
+  for (size_t i = 0; i < vpns.size(); i++) {
+    vpns[i] = i;
+  }
+  SimClock batched;
+  tlb.Shootdown(batched, 0, 8, vpns, fabric);
+
+  SimClock per_page;
+  TlbSet tlb2;
+  PostedIpiFabric fabric2;
+  for (uint64_t vpn : vpns) {
+    tlb2.Shootdown(per_page, 0, 8, std::span(&vpn, 1), fabric2);
+  }
+  // 512 pages in one IPI per core vs 512 IPIs per core.
+  EXPECT_LT(batched.Now() * 50, per_page.Now());
+  EXPECT_EQ(fabric.TotalSent(), 7u);
+  EXPECT_EQ(fabric2.TotalSent(), 7u * 512);
+  (void)costs;
+}
+
+}  // namespace
+}  // namespace aquila

@@ -1,0 +1,199 @@
+// Unit tests for src/util: histogram, RNG distributions, simulated clocks,
+// serialized resources, bit helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/util/bitops.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+#include "src/util/sim_clock.h"
+
+namespace aquila {
+namespace {
+
+TEST(BitopsTest, AlignmentHelpers) {
+  EXPECT_EQ(AlignUp(1, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4096, 4096), 4096u);
+  EXPECT_EQ(AlignDown(4097, 4096), 4096u);
+  EXPECT_TRUE(IsAligned(8192, 4096));
+  EXPECT_FALSE(IsAligned(8191, 4096));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(96));
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(PageIndex(8192 + 17), 2u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; v++) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), 1000u);
+  EXPECT_NEAR(h.Mean(), 500.5, 0.01);
+  // Bucketed percentiles have ~6% relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 500.0, 40.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 990.0, 70.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_EQ(a.Max(), 1000000u);
+  EXPECT_EQ(a.Min(), 10u);
+}
+
+TEST(HistogramTest, ConcurrentRecording) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 10000; i++) {
+        h.Record(100);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.Count(), 40000u);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.Uniform(100), 100u);
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(ZipfianTest, SkewTowardsHead) {
+  ZipfianGenerator zipf(10000);
+  uint64_t head = 0, total = 100000;
+  for (uint64_t i = 0; i < total; i++) {
+    if (zipf.Next() < 100) {
+      head++;
+    }
+  }
+  // With theta=0.99, the top 1% of items draws >40% of accesses.
+  EXPECT_GT(head, total * 2 / 5);
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  ScrambledZipfianGenerator zipf(1000);
+  for (int i = 0; i < 100000; i++) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(LatestTest, SkewsTowardsNewest) {
+  LatestGenerator latest(10000);
+  uint64_t recent = 0, total = 100000;
+  for (uint64_t i = 0; i < total; i++) {
+    if (latest.Next() >= 9900) {
+      recent++;
+    }
+  }
+  EXPECT_GT(recent, total * 2 / 5);
+}
+
+TEST(SimClockTest, ChargeAccumulates) {
+  SimClock clock;
+  clock.Charge(CostCategory::kTrap, 100);
+  clock.Charge(CostCategory::kDeviceIo, 50);
+  clock.Charge(CostCategory::kTrap, 25);
+  EXPECT_EQ(clock.Now(), 175u);
+  EXPECT_EQ(clock.Breakdown()[CostCategory::kTrap], 125u);
+  EXPECT_EQ(clock.Breakdown()[CostCategory::kDeviceIo], 50u);
+  EXPECT_EQ(clock.Breakdown().Total(), 175u);
+}
+
+TEST(SimClockTest, AdvanceToChargesIdle) {
+  SimClock clock;
+  clock.Charge(CostCategory::kUserWork, 100);
+  clock.AdvanceTo(300);
+  EXPECT_EQ(clock.Now(), 300u);
+  EXPECT_EQ(clock.Breakdown()[CostCategory::kIdle], 200u);
+  clock.AdvanceTo(50);  // in the past: no-op
+  EXPECT_EQ(clock.Now(), 300u);
+}
+
+TEST(SerializedResourceTest, SequentialService) {
+  SerializedResource res;
+  SimClock a, b;
+  res.Acquire(a, CostCategory::kDeviceIo, 100);
+  EXPECT_EQ(a.Now(), 100u);
+  // b arrives at t=0 but the server is busy until t=100.
+  res.Acquire(b, CostCategory::kDeviceIo, 100);
+  EXPECT_EQ(b.Now(), 200u);
+  EXPECT_EQ(b.Breakdown()[CostCategory::kIdle], 100u);
+  EXPECT_EQ(res.TotalQueueingCycles(), 100u);
+  EXPECT_EQ(res.Acquisitions(), 2u);
+}
+
+TEST(SerializedResourceTest, ReserveDoesNotTouchClock) {
+  SerializedResource res;
+  uint64_t done1 = res.Reserve(0, 50);
+  uint64_t done2 = res.Reserve(0, 50);
+  EXPECT_EQ(done1, 50u);
+  EXPECT_EQ(done2, 100u);
+}
+
+TEST(SerializedResourceTest, ConcurrentAcquisitionsSerialize) {
+  SerializedResource res;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 1000;
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> finals(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&res, &finals, t] {
+      SimClock clock;
+      for (int i = 0; i < kOps; i++) {
+        res.Acquire(clock, CostCategory::kDeviceIo, 10);
+      }
+      finals[t] = clock.Now();
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Total service is serialized: the last finisher saw all 8*1000*10 cycles.
+  uint64_t max_final = *std::max_element(finals.begin(), finals.end());
+  EXPECT_EQ(max_final, static_cast<uint64_t>(kThreads) * kOps * 10);
+  EXPECT_EQ(res.TotalServiceCycles(), static_cast<uint64_t>(kThreads) * kOps * 10);
+}
+
+TEST(CostBreakdownTest, Arithmetic) {
+  CostBreakdown a, b;
+  a.cycles[0] = 100;
+  b.cycles[0] = 30;
+  CostBreakdown diff = a - b;
+  EXPECT_EQ(diff.cycles[0], 70u);
+  diff += b;
+  EXPECT_EQ(diff.cycles[0], 100u);
+}
+
+}  // namespace
+}  // namespace aquila

@@ -1,0 +1,136 @@
+// Unit tests for src/vma: radix-tree VMA management and per-entry locks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/vma/vma_tree.h"
+
+namespace aquila {
+namespace {
+
+TEST(VmaTreeTest, InsertFindRemove) {
+  VmaTree tree;
+  Vma vma;
+  vma.start_page = 1000;
+  vma.page_count = 16;
+  vma.mapping_id = 1;
+  ASSERT_TRUE(tree.Insert(&vma).ok());
+  EXPECT_EQ(tree.mapped_pages(), 16u);
+  EXPECT_EQ(tree.Find(1000), &vma);
+  EXPECT_EQ(tree.Find(1015), &vma);
+  EXPECT_EQ(tree.Find(999), nullptr);
+  EXPECT_EQ(tree.Find(1016), nullptr);
+  ASSERT_TRUE(tree.Remove(&vma).ok());
+  EXPECT_EQ(tree.Find(1000), nullptr);
+  EXPECT_EQ(tree.mapped_pages(), 0u);
+}
+
+TEST(VmaTreeTest, RejectsOverlapAndRollsBack) {
+  VmaTree tree;
+  Vma a, b;
+  a.start_page = 100;
+  a.page_count = 10;
+  b.start_page = 105;
+  b.page_count = 10;
+  ASSERT_TRUE(tree.Insert(&a).ok());
+  EXPECT_FALSE(tree.Insert(&b).ok());
+  // The failed insert must not leave b's non-overlapping prefix behind.
+  EXPECT_EQ(tree.Find(104), &a);
+  EXPECT_EQ(tree.Find(110), nullptr);
+  EXPECT_EQ(tree.mapped_pages(), 10u);
+}
+
+TEST(VmaTreeTest, EntryLocking) {
+  VmaTree tree;
+  Vma vma;
+  vma.start_page = 50;
+  vma.page_count = 4;
+  ASSERT_TRUE(tree.Insert(&vma).ok());
+
+  Vma* locked = tree.LockEntry(51);
+  EXPECT_EQ(locked, &vma);
+  // Another page in the same VMA is independently lockable.
+  Vma* other;
+  EXPECT_TRUE(tree.TryLockEntry(52, &other));
+  EXPECT_EQ(other, &vma);
+  // The locked page is not.
+  EXPECT_FALSE(tree.TryLockEntry(51, &other));
+  tree.UnlockEntry(51);
+  tree.UnlockEntry(52);
+  EXPECT_TRUE(tree.TryLockEntry(51, &other));
+  tree.UnlockEntry(51);
+  ASSERT_TRUE(tree.Remove(&vma).ok());
+}
+
+TEST(VmaTreeTest, LockEntryUnmappedReturnsNull) {
+  VmaTree tree;
+  EXPECT_EQ(tree.LockEntry(12345), nullptr);
+  Vma* out;
+  EXPECT_FALSE(tree.TryLockEntry(12345, &out));
+}
+
+TEST(VmaTreeTest, RemoveWaitsForEntryLock) {
+  VmaTree tree;
+  Vma vma;
+  vma.start_page = 10;
+  vma.page_count = 2;
+  ASSERT_TRUE(tree.Insert(&vma).ok());
+  Vma* locked = tree.LockEntry(10);
+  ASSERT_EQ(locked, &vma);
+
+  std::atomic<bool> removed{false};
+  std::thread remover([&] {
+    ASSERT_TRUE(tree.Remove(&vma).ok());
+    removed.store(true);
+  });
+  // The remover must block on the held entry lock.
+  for (int i = 0; i < 1000 && !removed.load(); i++) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(removed.load());
+  tree.UnlockEntry(10);
+  remover.join();
+  EXPECT_TRUE(removed.load());
+  EXPECT_EQ(tree.Find(10), nullptr);
+}
+
+TEST(VmaTreeTest, ManyConcurrentMappers) {
+  VmaTree tree;
+  constexpr int kThreads = 8;
+  constexpr int kMapsPerThread = 100;
+  std::vector<std::vector<Vma>> vmas(kThreads, std::vector<Vma>(kMapsPerThread));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kMapsPerThread; i++) {
+        Vma& vma = vmas[t][i];
+        vma.start_page = (static_cast<uint64_t>(t) * kMapsPerThread + i) * 64;
+        vma.page_count = 32;
+        ASSERT_TRUE(tree.Insert(&vma).ok());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(tree.mapped_pages(), kThreads * kMapsPerThread * 32u);
+  for (int t = 0; t < kThreads; t++) {
+    for (int i = 0; i < kMapsPerThread; i++) {
+      EXPECT_EQ(tree.Find(vmas[t][i].start_page + 7), &vmas[t][i]);
+    }
+  }
+}
+
+TEST(VaAllocatorTest, DisjointRanges) {
+  VaAllocator alloc;
+  uint64_t a = alloc.Allocate(100);
+  uint64_t b = alloc.Allocate(100);
+  EXPECT_GE(b, a + 101 * kPageSize);  // guard page between ranges
+  EXPECT_TRUE(IsAligned(a, kPageSize));
+  EXPECT_GE(a, VaAllocator::kBase);
+}
+
+}  // namespace
+}  // namespace aquila

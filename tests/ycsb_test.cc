@@ -1,0 +1,148 @@
+// Tests for the YCSB workload generator and runner.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "src/ycsb/runner.h"
+#include "src/ycsb/workload.h"
+
+namespace aquila {
+namespace {
+
+// In-memory reference store for runner plumbing tests.
+class MapStore : public KvStore {
+ public:
+  Status Put(const Slice& key, const Slice& value) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    map_[key.ToString()] = value.ToString();
+    return Status::Ok();
+  }
+  Status Delete(const Slice& key) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    map_.erase(key.ToString());
+    return Status::Ok();
+  }
+  Status Get(const Slice& key, std::string* value, bool* found) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = map_.find(key.ToString());
+    *found = it != map_.end();
+    if (*found) {
+      *value = it->second;
+    }
+    ThisThreadClock().Charge(CostCategory::kUserWork, 1000);
+    return Status::Ok();
+  }
+  Status Scan(const Slice& start, int count,
+              const std::function<void(const Slice&, const Slice&)>& visit) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = map_.lower_bound(start.ToString());
+    for (int i = 0; i < count && it != map_.end(); ++i, ++it) {
+      visit(Slice(it->first), Slice(it->second));
+    }
+    return Status::Ok();
+  }
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::string> map_;
+};
+
+TEST(YcsbWorkloadTest, KeyShapeAndDeterminism) {
+  std::string key = YcsbKey(123, 30);
+  EXPECT_EQ(key.size(), 30u);
+  EXPECT_EQ(key.substr(0, 4), "user");
+  EXPECT_EQ(key, YcsbKey(123, 30));
+  EXPECT_NE(key, YcsbKey(124, 30));
+  EXPECT_EQ(YcsbValue(7, 1024).size(), 1024u);
+  EXPECT_EQ(YcsbValue(7, 1024), YcsbValue(7, 1024));
+}
+
+TEST(YcsbWorkloadTest, StandardMixesSumToOne) {
+  for (const YcsbWorkload& w : {YcsbWorkload::A(), YcsbWorkload::B(), YcsbWorkload::C(),
+                                YcsbWorkload::D(), YcsbWorkload::E(), YcsbWorkload::F()}) {
+    double total = w.read_proportion + w.update_proportion + w.insert_proportion +
+                   w.scan_proportion + w.rmw_proportion;
+    EXPECT_NEAR(total, 1.0, 1e-9) << w.name;
+  }
+  EXPECT_EQ(YcsbWorkload::D().distribution, YcsbDistribution::kLatest);
+}
+
+TEST(YcsbRunnerTest, LoadInsertsAllRecords) {
+  MapStore store;
+  YcsbWorkload w = YcsbWorkload::C();
+  w.record_count = 500;
+  w.operation_count = 100;
+  w.value_bytes = 64;
+  YcsbRunner runner(&store, w, YcsbRunner::Options{});
+  ASSERT_TRUE(runner.Load().ok());
+  EXPECT_EQ(store.size(), 500u);
+}
+
+TEST(YcsbRunnerTest, ReadOnlyWorkloadFindsEverything) {
+  MapStore store;
+  YcsbWorkload w = YcsbWorkload::C();
+  w.record_count = 500;
+  w.operation_count = 2000;
+  w.value_bytes = 64;
+  w.distribution = YcsbDistribution::kUniform;
+  YcsbRunner runner(&store, w, YcsbRunner::Options{});
+  ASSERT_TRUE(runner.Load().ok());
+  StatusOr<YcsbReport> report = runner.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->operations, 2000u);
+  EXPECT_EQ(report->failed_reads, 0u);
+  EXPECT_GT(report->throughput_kops, 0.0);
+  EXPECT_GT(report->avg_latency_us, 0.0);
+  EXPECT_GE(report->p999_latency_us, report->p99_latency_us);
+  // The MapStore charges 1000 cycles/Get = ~0.42 us.
+  EXPECT_NEAR(report->avg_latency_us, 0.42, 0.2);
+}
+
+TEST(YcsbRunnerTest, MultiThreadedRun) {
+  MapStore store;
+  YcsbWorkload w = YcsbWorkload::A();
+  w.record_count = 300;
+  w.operation_count = 4000;
+  w.value_bytes = 32;
+  YcsbRunner::Options options;
+  options.threads = 4;
+  YcsbRunner runner(&store, w, options);
+  ASSERT_TRUE(runner.Load().ok());
+  StatusOr<YcsbReport> report = runner.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->operations, 4000u);
+  EXPECT_EQ(report->failed_reads, 0u);
+}
+
+TEST(YcsbRunnerTest, InsertWorkloadGrowsStore) {
+  MapStore store;
+  YcsbWorkload w = YcsbWorkload::D();
+  w.record_count = 200;
+  w.operation_count = 1000;
+  w.value_bytes = 32;
+  YcsbRunner runner(&store, w, YcsbRunner::Options{});
+  ASSERT_TRUE(runner.Load().ok());
+  StatusOr<YcsbReport> report = runner.Run();
+  ASSERT_TRUE(report.ok());
+  // ~5% inserts.
+  EXPECT_GT(store.size(), 210u);
+  EXPECT_EQ(report->failed_reads, 0u);  // latest distribution stays in range
+}
+
+TEST(YcsbRunnerTest, ScanWorkloadRuns) {
+  MapStore store;
+  YcsbWorkload w = YcsbWorkload::E();
+  w.record_count = 200;
+  w.operation_count = 500;
+  w.value_bytes = 32;
+  YcsbRunner runner(&store, w, YcsbRunner::Options{});
+  ASSERT_TRUE(runner.Load().ok());
+  StatusOr<YcsbReport> report = runner.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->operations, 500u);
+}
+
+}  // namespace
+}  // namespace aquila
