@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_io.dir/bench_async_io.cc.o"
+  "CMakeFiles/bench_async_io.dir/bench_async_io.cc.o.d"
+  "bench_async_io"
+  "bench_async_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rocksdb.dir/bench_fig5_rocksdb.cc.o"
+  "CMakeFiles/bench_fig5_rocksdb.dir/bench_fig5_rocksdb.cc.o.d"
+  "bench_fig5_rocksdb"
+  "bench_fig5_rocksdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rocksdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ligra.dir/bench_fig6_ligra.cc.o"
+  "CMakeFiles/bench_fig6_ligra.dir/bench_fig6_ligra.cc.o.d"
+  "bench_fig6_ligra"
+  "bench_fig6_ligra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ligra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

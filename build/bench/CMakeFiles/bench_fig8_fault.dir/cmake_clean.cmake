@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fault.dir/bench_fig8_fault.cc.o"
+  "CMakeFiles/bench_fig8_fault.dir/bench_fig8_fault.cc.o.d"
+  "bench_fig8_fault"
+  "bench_fig8_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_kreon.dir/bench_fig9_kreon.cc.o"
+  "CMakeFiles/bench_fig9_kreon.dir/bench_fig9_kreon.cc.o.d"
+  "bench_fig9_kreon"
+  "bench_fig9_kreon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_kreon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

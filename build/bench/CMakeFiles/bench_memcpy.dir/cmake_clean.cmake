@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memcpy.dir/bench_memcpy.cc.o"
+  "CMakeFiles/bench_memcpy.dir/bench_memcpy.cc.o.d"
+  "bench_memcpy"
+  "bench_memcpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memcpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_policies.dir/custom_policies.cpp.o"
+  "CMakeFiles/custom_policies.dir/custom_policies.cpp.o.d"
+  "custom_policies"
+  "custom_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

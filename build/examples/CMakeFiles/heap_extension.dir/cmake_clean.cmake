@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_extension.dir/heap_extension.cpp.o"
+  "CMakeFiles/heap_extension.dir/heap_extension.cpp.o.d"
+  "heap_extension"
+  "heap_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("vmx")
+subdirs("mem")
+subdirs("storage")
+subdirs("blob")
+subdirs("cache")
+subdirs("vma")
+subdirs("core")
+subdirs("linuxsim")
+subdirs("kvs")
+subdirs("ycsb")
+subdirs("graph")

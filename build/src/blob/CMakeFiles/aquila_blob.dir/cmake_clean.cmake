@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_blob.dir/blob_namespace.cc.o"
+  "CMakeFiles/aquila_blob.dir/blob_namespace.cc.o.d"
+  "CMakeFiles/aquila_blob.dir/blobstore.cc.o"
+  "CMakeFiles/aquila_blob.dir/blobstore.cc.o.d"
+  "libaquila_blob.a"
+  "libaquila_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_cache.dir/dirty_tree.cc.o"
+  "CMakeFiles/aquila_cache.dir/dirty_tree.cc.o.d"
+  "CMakeFiles/aquila_cache.dir/freelist.cc.o"
+  "CMakeFiles/aquila_cache.dir/freelist.cc.o.d"
+  "CMakeFiles/aquila_cache.dir/page_cache.cc.o"
+  "CMakeFiles/aquila_cache.dir/page_cache.cc.o.d"
+  "libaquila_cache.a"
+  "libaquila_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

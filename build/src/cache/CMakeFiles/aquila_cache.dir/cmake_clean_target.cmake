@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaquila_cache.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_core.dir/aquila.cc.o"
+  "CMakeFiles/aquila_core.dir/aquila.cc.o.d"
+  "CMakeFiles/aquila_core.dir/backing.cc.o"
+  "CMakeFiles/aquila_core.dir/backing.cc.o.d"
+  "CMakeFiles/aquila_core.dir/mmio_region.cc.o"
+  "CMakeFiles/aquila_core.dir/mmio_region.cc.o.d"
+  "CMakeFiles/aquila_core.dir/trap_driver.cc.o"
+  "CMakeFiles/aquila_core.dir/trap_driver.cc.o.d"
+  "libaquila_core.a"
+  "libaquila_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

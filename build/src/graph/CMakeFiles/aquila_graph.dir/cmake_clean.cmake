@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_graph.dir/bfs.cc.o"
+  "CMakeFiles/aquila_graph.dir/bfs.cc.o.d"
+  "CMakeFiles/aquila_graph.dir/graph.cc.o"
+  "CMakeFiles/aquila_graph.dir/graph.cc.o.d"
+  "CMakeFiles/aquila_graph.dir/pagerank.cc.o"
+  "CMakeFiles/aquila_graph.dir/pagerank.cc.o.d"
+  "CMakeFiles/aquila_graph.dir/rmat.cc.o"
+  "CMakeFiles/aquila_graph.dir/rmat.cc.o.d"
+  "libaquila_graph.a"
+  "libaquila_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

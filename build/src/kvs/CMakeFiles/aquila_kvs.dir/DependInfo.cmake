@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvs/block_cache.cc" "src/kvs/CMakeFiles/aquila_kvs.dir/block_cache.cc.o" "gcc" "src/kvs/CMakeFiles/aquila_kvs.dir/block_cache.cc.o.d"
+  "/root/repo/src/kvs/bloom.cc" "src/kvs/CMakeFiles/aquila_kvs.dir/bloom.cc.o" "gcc" "src/kvs/CMakeFiles/aquila_kvs.dir/bloom.cc.o.d"
+  "/root/repo/src/kvs/env.cc" "src/kvs/CMakeFiles/aquila_kvs.dir/env.cc.o" "gcc" "src/kvs/CMakeFiles/aquila_kvs.dir/env.cc.o.d"
+  "/root/repo/src/kvs/kreon_db.cc" "src/kvs/CMakeFiles/aquila_kvs.dir/kreon_db.cc.o" "gcc" "src/kvs/CMakeFiles/aquila_kvs.dir/kreon_db.cc.o.d"
+  "/root/repo/src/kvs/lsm_db.cc" "src/kvs/CMakeFiles/aquila_kvs.dir/lsm_db.cc.o" "gcc" "src/kvs/CMakeFiles/aquila_kvs.dir/lsm_db.cc.o.d"
+  "/root/repo/src/kvs/memtable.cc" "src/kvs/CMakeFiles/aquila_kvs.dir/memtable.cc.o" "gcc" "src/kvs/CMakeFiles/aquila_kvs.dir/memtable.cc.o.d"
+  "/root/repo/src/kvs/sst.cc" "src/kvs/CMakeFiles/aquila_kvs.dir/sst.cc.o" "gcc" "src/kvs/CMakeFiles/aquila_kvs.dir/sst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aquila_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/aquila_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/aquila_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aquila_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aquila_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vma/CMakeFiles/aquila_vma.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmx/CMakeFiles/aquila_vmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aquila_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

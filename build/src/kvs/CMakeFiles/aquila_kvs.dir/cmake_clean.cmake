@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_kvs.dir/block_cache.cc.o"
+  "CMakeFiles/aquila_kvs.dir/block_cache.cc.o.d"
+  "CMakeFiles/aquila_kvs.dir/bloom.cc.o"
+  "CMakeFiles/aquila_kvs.dir/bloom.cc.o.d"
+  "CMakeFiles/aquila_kvs.dir/env.cc.o"
+  "CMakeFiles/aquila_kvs.dir/env.cc.o.d"
+  "CMakeFiles/aquila_kvs.dir/kreon_db.cc.o"
+  "CMakeFiles/aquila_kvs.dir/kreon_db.cc.o.d"
+  "CMakeFiles/aquila_kvs.dir/lsm_db.cc.o"
+  "CMakeFiles/aquila_kvs.dir/lsm_db.cc.o.d"
+  "CMakeFiles/aquila_kvs.dir/memtable.cc.o"
+  "CMakeFiles/aquila_kvs.dir/memtable.cc.o.d"
+  "CMakeFiles/aquila_kvs.dir/sst.cc.o"
+  "CMakeFiles/aquila_kvs.dir/sst.cc.o.d"
+  "libaquila_kvs.a"
+  "libaquila_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

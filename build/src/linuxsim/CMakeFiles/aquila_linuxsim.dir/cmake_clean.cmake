@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_linuxsim.dir/linux_mmap.cc.o"
+  "CMakeFiles/aquila_linuxsim.dir/linux_mmap.cc.o.d"
+  "libaquila_linuxsim.a"
+  "libaquila_linuxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_linuxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

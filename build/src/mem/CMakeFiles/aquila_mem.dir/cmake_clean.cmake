@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_mem.dir/page_table.cc.o"
+  "CMakeFiles/aquila_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/aquila_mem.dir/tlb.cc.o"
+  "CMakeFiles/aquila_mem.dir/tlb.cc.o.d"
+  "libaquila_mem.a"
+  "libaquila_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

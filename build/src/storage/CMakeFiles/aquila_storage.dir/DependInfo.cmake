@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/async_io.cc" "src/storage/CMakeFiles/aquila_storage.dir/async_io.cc.o" "gcc" "src/storage/CMakeFiles/aquila_storage.dir/async_io.cc.o.d"
+  "/root/repo/src/storage/block_device.cc" "src/storage/CMakeFiles/aquila_storage.dir/block_device.cc.o" "gcc" "src/storage/CMakeFiles/aquila_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/storage/nt_memcpy.cc" "src/storage/CMakeFiles/aquila_storage.dir/nt_memcpy.cc.o" "gcc" "src/storage/CMakeFiles/aquila_storage.dir/nt_memcpy.cc.o.d"
+  "/root/repo/src/storage/nvme_device.cc" "src/storage/CMakeFiles/aquila_storage.dir/nvme_device.cc.o" "gcc" "src/storage/CMakeFiles/aquila_storage.dir/nvme_device.cc.o.d"
+  "/root/repo/src/storage/pmem_device.cc" "src/storage/CMakeFiles/aquila_storage.dir/pmem_device.cc.o" "gcc" "src/storage/CMakeFiles/aquila_storage.dir/pmem_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aquila_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmx/CMakeFiles/aquila_vmx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_storage.dir/async_io.cc.o"
+  "CMakeFiles/aquila_storage.dir/async_io.cc.o.d"
+  "CMakeFiles/aquila_storage.dir/block_device.cc.o"
+  "CMakeFiles/aquila_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/aquila_storage.dir/nt_memcpy.cc.o"
+  "CMakeFiles/aquila_storage.dir/nt_memcpy.cc.o.d"
+  "CMakeFiles/aquila_storage.dir/nvme_device.cc.o"
+  "CMakeFiles/aquila_storage.dir/nvme_device.cc.o.d"
+  "CMakeFiles/aquila_storage.dir/pmem_device.cc.o"
+  "CMakeFiles/aquila_storage.dir/pmem_device.cc.o.d"
+  "libaquila_storage.a"
+  "libaquila_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_util.dir/cpu.cc.o"
+  "CMakeFiles/aquila_util.dir/cpu.cc.o.d"
+  "CMakeFiles/aquila_util.dir/histogram.cc.o"
+  "CMakeFiles/aquila_util.dir/histogram.cc.o.d"
+  "CMakeFiles/aquila_util.dir/sim_clock.cc.o"
+  "CMakeFiles/aquila_util.dir/sim_clock.cc.o.d"
+  "libaquila_util.a"
+  "libaquila_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_vma.dir/vma_tree.cc.o"
+  "CMakeFiles/aquila_vma.dir/vma_tree.cc.o.d"
+  "libaquila_vma.a"
+  "libaquila_vma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_vma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmx/cost_model.cc" "src/vmx/CMakeFiles/aquila_vmx.dir/cost_model.cc.o" "gcc" "src/vmx/CMakeFiles/aquila_vmx.dir/cost_model.cc.o.d"
+  "/root/repo/src/vmx/ept.cc" "src/vmx/CMakeFiles/aquila_vmx.dir/ept.cc.o" "gcc" "src/vmx/CMakeFiles/aquila_vmx.dir/ept.cc.o.d"
+  "/root/repo/src/vmx/hypervisor.cc" "src/vmx/CMakeFiles/aquila_vmx.dir/hypervisor.cc.o" "gcc" "src/vmx/CMakeFiles/aquila_vmx.dir/hypervisor.cc.o.d"
+  "/root/repo/src/vmx/ipi.cc" "src/vmx/CMakeFiles/aquila_vmx.dir/ipi.cc.o" "gcc" "src/vmx/CMakeFiles/aquila_vmx.dir/ipi.cc.o.d"
+  "/root/repo/src/vmx/vcpu.cc" "src/vmx/CMakeFiles/aquila_vmx.dir/vcpu.cc.o" "gcc" "src/vmx/CMakeFiles/aquila_vmx.dir/vcpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aquila_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

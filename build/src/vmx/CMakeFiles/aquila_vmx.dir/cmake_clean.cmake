@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_vmx.dir/cost_model.cc.o"
+  "CMakeFiles/aquila_vmx.dir/cost_model.cc.o.d"
+  "CMakeFiles/aquila_vmx.dir/ept.cc.o"
+  "CMakeFiles/aquila_vmx.dir/ept.cc.o.d"
+  "CMakeFiles/aquila_vmx.dir/hypervisor.cc.o"
+  "CMakeFiles/aquila_vmx.dir/hypervisor.cc.o.d"
+  "CMakeFiles/aquila_vmx.dir/ipi.cc.o"
+  "CMakeFiles/aquila_vmx.dir/ipi.cc.o.d"
+  "CMakeFiles/aquila_vmx.dir/vcpu.cc.o"
+  "CMakeFiles/aquila_vmx.dir/vcpu.cc.o.d"
+  "libaquila_vmx.a"
+  "libaquila_vmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_vmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

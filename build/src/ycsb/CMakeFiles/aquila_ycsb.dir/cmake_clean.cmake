@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aquila_ycsb.dir/runner.cc.o"
+  "CMakeFiles/aquila_ycsb.dir/runner.cc.o.d"
+  "CMakeFiles/aquila_ycsb.dir/workload.cc.o"
+  "CMakeFiles/aquila_ycsb.dir/workload.cc.o.d"
+  "libaquila_ycsb.a"
+  "libaquila_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aquila_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvs/CMakeFiles/aquila_kvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/aquila_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxsim/CMakeFiles/aquila_linuxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aquila_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/aquila_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/aquila_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aquila_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aquila_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vma/CMakeFiles/aquila_vma.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmx/CMakeFiles/aquila_vmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aquila_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

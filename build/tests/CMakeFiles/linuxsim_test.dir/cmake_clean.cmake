@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linuxsim_test.dir/linuxsim_test.cc.o"
+  "CMakeFiles/linuxsim_test.dir/linuxsim_test.cc.o.d"
+  "linuxsim_test"
+  "linuxsim_test.pdb"
+  "linuxsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linuxsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vma_test.dir/vma_test.cc.o"
+  "CMakeFiles/vma_test.dir/vma_test.cc.o.d"
+  "vma_test"
+  "vma_test.pdb"
+  "vma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/vmx_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/blob_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/vma_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/kvs_test[1]_include.cmake")
+include("/root/repo/build/tests/linuxsim_test[1]_include.cmake")
+include("/root/repo/build/tests/ycsb_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/trap_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
