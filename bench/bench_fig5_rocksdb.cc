@@ -52,7 +52,7 @@ Dataset LoadDataset(const char* kind, uint64_t records) {
   YcsbRunner runner(db->get(), load, YcsbRunner::Options{});
   Status load_status = runner.Load();
   if (!load_status.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", load_status.ToString().c_str());
+    AQUILA_LOG(ERROR, "load failed: %s", load_status.ToString().c_str());
     AQUILA_CHECK(false);
   }
   AQUILA_CHECK((*db)->Flush().ok());

@@ -18,6 +18,9 @@
 #include "src/storage/host_device.h"
 #include "src/storage/nvme_device.h"
 #include "src/storage/pmem_device.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+#include "src/util/logging.h"
 
 namespace aquila {
 namespace bench {
@@ -122,6 +125,45 @@ inline void PrintHeader(const char* title) {
 inline double CyclesToUs(uint64_t cycles) {
   return static_cast<double>(cycles) / static_cast<double>(GlobalCostModel().cycles_per_us);
 }
+
+// End-of-run telemetry exposition, controlled by environment variables:
+//   AQUILA_METRICS=1       print the registry's Prometheus-style text dump
+//   AQUILA_TRACE=<path>    arm the tracer at startup and write a Chrome
+//                          trace (open in ui.perfetto.dev) at exit
+inline void ReportTelemetry() {
+  if (const char* metrics = std::getenv("AQUILA_METRICS");
+      metrics != nullptr && *metrics != '\0' && *metrics != '0') {
+    std::fputs(telemetry::Registry().ToText().c_str(), stdout);
+  }
+  const char* trace_path = std::getenv("AQUILA_TRACE");
+  if (trace_path == nullptr || *trace_path == '\0') {
+    return;
+  }
+  std::string json = telemetry::Tracer::DumpChromeTrace(GlobalCostModel().cycles_per_us);
+  std::FILE* f = std::fopen(trace_path, "w");
+  if (f == nullptr) {
+    AQUILA_LOG(ERROR, "cannot write trace file %s", trace_path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  AQUILA_LOG(INFO, "wrote %zu-byte Chrome trace to %s (open in ui.perfetto.dev)",
+             json.size(), trace_path);
+}
+
+// Arms tracing when AQUILA_TRACE is set and reports telemetry at exit.
+// Instantiated once per benchmark binary via the inline variable below.
+struct TelemetryBenchInit {
+  TelemetryBenchInit() {
+    const char* trace_path = std::getenv("AQUILA_TRACE");
+    if (trace_path != nullptr && *trace_path != '\0') {
+      telemetry::Tracer::SetEnabled(true);
+    }
+    std::atexit(+[] { ReportTelemetry(); });
+  }
+};
+
+inline TelemetryBenchInit g_telemetry_bench_init;
 
 }  // namespace bench
 }  // namespace aquila

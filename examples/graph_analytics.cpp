@@ -29,7 +29,7 @@ int main() {
   StatusOr<MemoryMap*> map =
       runtime.Map(&backing, device.capacity_bytes(), kProtRead | kProtWrite);
   if (!map.ok()) {
-    std::fprintf(stderr, "map failed: %s\n", map.status().ToString().c_str());
+    AQUILA_LOG(ERROR, "map failed: %s", map.status().ToString().c_str());
     return 1;
   }
 

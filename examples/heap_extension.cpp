@@ -29,7 +29,7 @@ int main() {
   StatusOr<MemoryMap*> map =
       runtime.MapTransparent(&backing, device.capacity_bytes(), kProtRead | kProtWrite);
   if (!map.ok()) {
-    std::fprintf(stderr, "transparent map failed: %s\n", map.status().ToString().c_str());
+    AQUILA_LOG(ERROR, "transparent map failed: %s", map.status().ToString().c_str());
     return 1;
   }
 
@@ -63,7 +63,7 @@ int main() {
   // Durability still works: msync, then check the device.
   counters[7] = 777;
   if (Status status = (*map)->Sync(0, device.capacity_bytes()); !status.ok()) {
-    std::fprintf(stderr, "msync failed: %s\n", status.ToString().c_str());
+    AQUILA_LOG(ERROR, "msync failed: %s", status.ToString().c_str());
     return 1;
   }
   uint64_t on_device;

@@ -21,7 +21,7 @@ int main() {
 
   auto store = Blobstore::Format(ThisVcpu(), &device, Blobstore::Options{});
   if (!store.ok()) {
-    std::fprintf(stderr, "format failed: %s\n", store.status().ToString().c_str());
+    AQUILA_LOG(ERROR, "format failed: %s", store.status().ToString().c_str());
     return 1;
   }
   BlobNamespace ns(store->get());
@@ -44,7 +44,7 @@ int main() {
   db_options.name = "/exampledb";
   StatusOr<std::unique_ptr<LsmDb>> db = LsmDb::Open(db_options);
   if (!db.ok()) {
-    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    AQUILA_LOG(ERROR, "open failed: %s", db.status().ToString().c_str());
     return 1;
   }
 
@@ -57,12 +57,12 @@ int main() {
   run_options.thread_init = [&runtime] { runtime.EnterThread(); };
   YcsbRunner runner(db->get(), workload, run_options);
   if (Status status = runner.Load(); !status.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    AQUILA_LOG(ERROR, "load failed: %s", status.ToString().c_str());
     return 1;
   }
   StatusOr<YcsbReport> report = runner.Run();
   if (!report.ok()) {
-    std::fprintf(stderr, "run failed: %s\n", report.status().ToString().c_str());
+    AQUILA_LOG(ERROR, "run failed: %s", report.status().ToString().c_str());
     return 1;
   }
   std::printf("YCSB-B over Aquila mmio: %s\n", report->ToString().c_str());

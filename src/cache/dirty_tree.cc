@@ -1,9 +1,29 @@
 #include "src/cache/dirty_tree.h"
 
+#include "src/telemetry/scoped_timer.h"
+
 namespace aquila {
+
+#if AQUILA_TELEMETRY_ENABLED
+namespace {
+// Real-TSC timers: these are spinlock-protected software sections executed
+// for real, with no SimClock in scope.
+Histogram* DirtyInsertHist() {
+  static Histogram* hist =
+      telemetry::Registry().GetHistogram("aquila.cache.dirty_insert_tsc");
+  return hist;
+}
+Histogram* DirtyCollectHist() {
+  static Histogram* hist =
+      telemetry::Registry().GetHistogram("aquila.cache.dirty_collect_tsc");
+  return hist;
+}
+}  // namespace
+#endif
 
 void DirtyTreeSet::Insert(int core, DirtyItem* item) {
   AQUILA_DCHECK(core >= 0 && core < CoreRegistry::kMaxCores);
+  AQUILA_TELEMETRY_ONLY(telemetry::ScopedTscTimer timer(DirtyInsertHist()));
   item->owner_core = static_cast<int16_t>(core);
   PerCore& pc = cores_[core];
   std::lock_guard<SpinLock> guard(pc.lock);
@@ -24,6 +44,7 @@ void DirtyTreeSet::Remove(DirtyItem* item) {
 }
 
 size_t DirtyTreeSet::CollectBatch(int start_core, size_t max, DirtyItem** out) {
+  AQUILA_TELEMETRY_ONLY(telemetry::ScopedTscTimer timer(DirtyCollectHist()));
   size_t n = 0;
   for (int i = 0; i < CoreRegistry::kMaxCores && n < max; i++) {
     PerCore& pc = cores_[(start_core + i) % CoreRegistry::kMaxCores];

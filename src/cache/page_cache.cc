@@ -14,6 +14,17 @@ PageCache::PageCache(Hypervisor* hypervisor, int guest, Vcpu& vcpu, const Option
   AQUILA_CHECK(options_.capacity_pages <= options_.max_pages);
   Status status = Grow(vcpu, options_.capacity_pages);
   AQUILA_CHECK(status.ok());
+
+  metrics_.AddCounter("aquila.cache.lookups", stats_.lookups);
+  metrics_.AddCounter("aquila.cache.lookup_hits", stats_.lookup_hits);
+  metrics_.AddCounter("aquila.cache.evictions", stats_.evictions);
+  metrics_.AddCounter("aquila.cache.clock_sweeps", stats_.clock_sweeps);
+  metrics_.AddGauge("aquila.cache.capacity_pages", [this] { return capacity_pages(); });
+  metrics_.AddCounter("aquila.freelist.core_hits", freelist_.stats().core_hits);
+  metrics_.AddCounter("aquila.freelist.numa_hits", freelist_.stats().numa_hits);
+  metrics_.AddCounter("aquila.freelist.remote_hits", freelist_.stats().remote_hits);
+  metrics_.AddCounter("aquila.freelist.batch_moves", freelist_.stats().batch_moves);
+  metrics_.AddGauge("aquila.freelist.free_frames", [this] { return freelist_.ApproxFree(); });
 }
 
 bool PageCache::Lookup(uint64_t key, FrameId* frame) {

@@ -26,6 +26,7 @@
 #include "src/cache/dirty_tree.h"
 #include "src/cache/freelist.h"
 #include "src/cache/lockfree_hash.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/bitops.h"
 #include "src/vmx/hypervisor.h"
 
@@ -141,6 +142,8 @@ class PageCache {
   Stats stats_;
   SpinLock grow_lock_;
   std::vector<std::unique_ptr<GpaRange>> ranges_;
+  // Last member: callbacks read stats_/freelist_, so they unregister first.
+  telemetry::CallbackGroup metrics_;
 };
 
 }  // namespace aquila

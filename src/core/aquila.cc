@@ -15,6 +15,20 @@ Aquila::Aquila(const Options& options)
       fabric_(options.ipi_send_path) {
   EnterThread();
   cache_ = std::make_unique<PageCache>(&hypervisor_, guest_, ThisVcpu(), options_.cache);
+
+  metrics_.AddCounter("aquila.core.major_faults", fault_stats_.major_faults);
+  metrics_.AddCounter("aquila.core.minor_faults", fault_stats_.minor_faults);
+  metrics_.AddCounter("aquila.core.write_upgrades", fault_stats_.write_upgrades);
+  metrics_.AddCounter("aquila.core.evict_batches", fault_stats_.evict_batches);
+  metrics_.AddCounter("aquila.core.evicted_pages", fault_stats_.evicted_pages);
+  metrics_.AddCounter("aquila.core.writeback_pages", fault_stats_.writeback_pages);
+  metrics_.AddCounter("aquila.core.readahead_pages", fault_stats_.readahead_pages);
+  metrics_.Add("aquila.tlb.hits", telemetry::MetricKind::kCounter,
+               [this] { return tlb_.hits(); });
+  metrics_.Add("aquila.tlb.misses", telemetry::MetricKind::kCounter,
+               [this] { return tlb_.misses(); });
+  metrics_.Add("aquila.tlb.shootdown_rounds", telemetry::MetricKind::kCounter,
+               [this] { return tlb_.shootdowns(); });
 }
 
 Aquila::~Aquila() {

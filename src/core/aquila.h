@@ -23,6 +23,7 @@
 #include "src/core/mmio.h"
 #include "src/mem/page_table.h"
 #include "src/mem/tlb.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/spinlock.h"
 #include "src/vma/vma_tree.h"
 #include "src/vmx/hypervisor.h"
@@ -113,6 +114,8 @@ class Aquila : public MmioEngine {
   std::vector<std::unique_ptr<AquilaMap>> maps_;
   std::atomic<uint64_t> next_mapping_id_{1};
   std::atomic<bool> trap_mode_used_{false};
+  // Last member: callbacks read the stats above, so they unregister first.
+  telemetry::CallbackGroup metrics_;
 };
 
 }  // namespace aquila

@@ -5,11 +5,30 @@
 #include <vector>
 
 #include "src/core/trap_driver.h"
+#include "src/telemetry/scoped_timer.h"
 #include "src/util/bitops.h"
 
 namespace aquila {
 
 namespace {
+
+#if AQUILA_TELEMETRY_ENABLED
+// Fault-path latency histograms, classified at handler exit (a fault only
+// learns whether it was major, minor, or a write upgrade at the end).
+struct FaultMetrics {
+  Histogram* fault_major = telemetry::Registry().GetHistogram("aquila.core.fault_major_cycles");
+  Histogram* fault_minor = telemetry::Registry().GetHistogram("aquila.core.fault_minor_cycles");
+  Histogram* fault_upgrade =
+      telemetry::Registry().GetHistogram("aquila.core.fault_upgrade_cycles");
+  Histogram* evict_batch = telemetry::Registry().GetHistogram("aquila.core.evict_batch_cycles");
+  Histogram* msync = telemetry::Registry().GetHistogram("aquila.core.msync_cycles");
+};
+
+const FaultMetrics& GetFaultMetrics() {
+  static FaultMetrics metrics;
+  return metrics;
+}
+#endif
 
 // Frames claimed for writeback, sorted by device offset before issuing.
 struct WritebackItem {
@@ -199,6 +218,7 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   // and handled entirely in non-root ring 0 — no protection-domain switch.
   runtime_->fabric().Absorb(vcpu.clock(), vcpu.core());
   vcpu.ChargeRing0Exception();
+  AQUILA_TELEMETRY_ONLY(const uint64_t fault_start = vcpu.clock().Now());
 
   PageCache& cache = runtime_->cache();
   uint64_t page = vaddr >> kPageShift;
@@ -222,6 +242,9 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
       TrapDriver::UpgradeRealMapping(vaddr);
     }
     runtime_->fault_stats().write_upgrades.fetch_add(1, std::memory_order_relaxed);
+    AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(GetFaultMetrics().fault_upgrade,
+                                                     telemetry::TraceEventType::kFaultUpgrade,
+                                                     vcpu.clock(), fault_start, vaddr));
     return frame;
   }
 
@@ -260,6 +283,9 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
           TrapDriver::InstallRealMapping(runtime_, vaddr, f.gpa, write);
         }
         runtime_->fault_stats().minor_faults.fetch_add(1, std::memory_order_relaxed);
+        AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(
+            GetFaultMetrics().fault_minor, telemetry::TraceEventType::kFaultMinor, vcpu.clock(),
+            fault_start, vaddr));
         return frame;
       }
       backoff.Pause();  // eviction or reuse in flight; re-validate
@@ -291,6 +317,9 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   if (advice_.load(std::memory_order_relaxed) == Advice::kSequential) {
     ReadAhead(vcpu, file_page);
   }
+  AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(GetFaultMetrics().fault_major,
+                                                   telemetry::TraceEventType::kFaultMajor,
+                                                   vcpu.clock(), fault_start, vaddr));
   return frame;
 }
 
@@ -391,6 +420,7 @@ size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
   PageCache& cache = runtime_->cache();
   FaultStats& stats = runtime_->fault_stats();
   stats.evict_batches.fetch_add(1, std::memory_order_relaxed);
+  AQUILA_TELEMETRY_ONLY(const uint64_t evict_start = vcpu.clock().Now());
 
   std::vector<FrameId> victims(cache.eviction_batch());
   size_t n;
@@ -477,6 +507,9 @@ size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
     cache.FreeFrame(core, frame);
   }
   stats.evicted_pages.fetch_add(to_free.size(), std::memory_order_relaxed);
+  AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(GetFaultMetrics().evict_batch,
+                                                   telemetry::TraceEventType::kEvictBatch,
+                                                   vcpu.clock(), evict_start, to_free.size()));
   return to_free.size();
 }
 
@@ -544,6 +577,7 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
   }
   Vcpu& vcpu = ThisVcpu();
   PageCache& cache = runtime_->cache();
+  AQUILA_TELEMETRY_ONLY(const uint64_t msync_start = vcpu.clock().Now());
 
   // Claim dirty frames of this mapping from the per-core trees.
   std::vector<FrameId> collected;
@@ -605,6 +639,10 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
   for (FrameId frame : claimed) {
     cache.frame(frame).state.store(FrameState::kResident, std::memory_order_release);
   }
+  AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(GetFaultMetrics().msync,
+                                                   telemetry::TraceEventType::kMsync,
+                                                   vcpu.clock(), msync_start,
+                                                   writeback.size()));
   return Status::Ok();
 }
 

@@ -10,6 +10,7 @@
 
 #include "src/core/aquila.h"
 #include "src/core/mmio_region.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/bitops.h"
 #include "src/util/logging.h"
 
@@ -22,6 +23,11 @@ std::array<std::atomic<Aquila*>, kMaxRuntimes> g_runtimes{};
 std::atomic<uint64_t> g_handled_faults{0};
 std::atomic<bool> g_installed{false};
 struct sigaction g_previous_action;
+
+// Pre-registered in Install(): the registry's get-or-create takes a lock and
+// may allocate, neither of which is legal inside the SIGSEGV handler.
+std::atomic<Histogram*> g_fault_hist{nullptr};
+std::atomic<telemetry::Counter*> g_real_faults{nullptr};
 
 // Each thread that can fault on a trap mapping gets its own signal stack:
 // the handler runs the full fault path (eviction, writeback, device model),
@@ -82,8 +88,18 @@ void SigsegvHandler(int signo, siginfo_t* info, void* context) {
     if (!map->transparent()) {
       continue;
     }
+    AQUILA_TELEMETRY_ONLY(const uint64_t trap_start = ThisVcpu().clock().Now());
     if (map->HandleTrapFault(vaddr, write).ok()) {
       g_handled_faults.fetch_add(1, std::memory_order_relaxed);
+#if AQUILA_TELEMETRY_ENABLED
+      // No trace-ring writes here: the ring registration path allocates.
+      if (telemetry::Counter* real_faults = g_real_faults.load(std::memory_order_acquire)) {
+        real_faults->Add();
+      }
+      if (Histogram* hist = g_fault_hist.load(std::memory_order_acquire)) {
+        hist->Record(ThisVcpu().clock().Now() - trap_start);
+      }
+#endif
       return;  // translation installed; the instruction restarts
     }
   }
@@ -99,6 +115,12 @@ void TrapDriver::Install() {
     return;
   }
   EnsureThreadSignalStack();
+#if AQUILA_TELEMETRY_ENABLED
+  g_fault_hist.store(telemetry::Registry().GetHistogram("aquila.trap.fault_cycles"),
+                     std::memory_order_release);
+  g_real_faults.store(telemetry::Registry().GetCounter("aquila.trap.real_faults"),
+                      std::memory_order_release);
+#endif
   struct sigaction action{};
   action.sa_sigaction = SigsegvHandler;
   action.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_NODEFER;

@@ -10,6 +10,12 @@ BlockCache::BlockCache(const Options& options)
       per_shard_capacity_(options.capacity_bytes / options.shards),
       shards_(options.shards) {
   AQUILA_CHECK(options.shards > 0);
+
+  metrics_.AddCounter("aquila.kvs.block_cache_hits", stats_.hits);
+  metrics_.AddCounter("aquila.kvs.block_cache_misses", stats_.misses);
+  metrics_.AddCounter("aquila.kvs.block_cache_inserts", stats_.inserts);
+  metrics_.AddCounter("aquila.kvs.block_cache_evictions", stats_.evictions);
+  metrics_.AddGauge("aquila.kvs.block_cache_bytes", [this] { return UsedBytes(); });
 }
 
 BlockCache::Shard& BlockCache::ShardFor(uint64_t key) {

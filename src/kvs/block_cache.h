@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/telemetry/metrics.h"
 #include "src/util/sim_clock.h"
 #include "src/util/spinlock.h"
 
@@ -78,6 +79,8 @@ class BlockCache {
   uint64_t per_shard_capacity_;
   std::vector<Shard> shards_;
   Stats stats_;
+  // Last member: callbacks read stats_, so they unregister first.
+  telemetry::CallbackGroup metrics_;
 };
 
 }  // namespace aquila

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "src/kvs/coding.h"
+#include "src/telemetry/scoped_timer.h"
 #include "src/util/logging.h"
+#include "src/vmx/vcpu.h"
 
 namespace aquila {
 
@@ -23,6 +25,13 @@ void EncodeWalRecord(std::string* out, ValueType type, const Slice& key, const S
 LsmDb::LsmDb(const Options& options) : options_(options) {
   levels_.resize(options_.max_levels);
   memtable_ = std::make_shared<MemTable>();
+
+  metrics_.AddCounter("aquila.kvs.gets", stats_.gets);
+  metrics_.AddCounter("aquila.kvs.puts", stats_.puts);
+  metrics_.AddCounter("aquila.kvs.memtable_hits", stats_.memtable_hits);
+  metrics_.AddCounter("aquila.kvs.flushes", stats_.flushes);
+  metrics_.AddCounter("aquila.kvs.compactions", stats_.compactions);
+  metrics_.AddCounter("aquila.kvs.bytes_compacted", stats_.bytes_compacted);
 }
 
 LsmDb::~LsmDb() {
@@ -195,6 +204,8 @@ Status LsmDb::FlushMemTableLocked() {
     return Status::Ok();
   }
   stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  AQUILA_TELEMETRY_ONLY(telemetry::TraceSpan span(telemetry::TraceEventType::kMemtableFlush,
+                                                  ThisVcpu().clock()));
   uint64_t file_number = next_file_number_.fetch_add(1, std::memory_order_relaxed);
   StatusOr<std::unique_ptr<WritableFile>> file =
       options_.env->NewWritableFile(SstPath(file_number));
@@ -284,6 +295,12 @@ Status LsmDb::MaybeCompactLocked() {
 
 Status LsmDb::CompactLevelLocked(int level) {
   stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+#if AQUILA_TELEMETRY_ENABLED
+  static Histogram* compaction_hist =
+      telemetry::Registry().GetHistogram("aquila.kvs.compaction_cycles");
+  const SimClock& clock = ThisVcpu().clock();
+  const uint64_t compact_start = clock.Now();
+#endif
   int target = level + 1;
   AQUILA_CHECK(target < options_.max_levels);
 
@@ -355,6 +372,9 @@ Status LsmDb::CompactLevelLocked(int level) {
   for (const TableMeta& table : target_inputs) {
     (void)options_.env->DeleteFile(SstPath(table.file_number));
   }
+  AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(compaction_hist,
+                                                   telemetry::TraceEventType::kCompaction,
+                                                   clock, compact_start, level));
   return WriteManifest();
 }
 

@@ -20,6 +20,7 @@
 #include "src/kvs/kv_store.h"
 #include "src/kvs/memtable.h"
 #include "src/kvs/sst.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/spinlock.h"
 
 namespace aquila {
@@ -103,6 +104,9 @@ class LsmDb : public KvStore {
   // Version state: L0 newest-first; L1+ sorted, non-overlapping.
   mutable RwSpinLock version_lock_;
   std::vector<std::vector<TableMeta>> levels_;
+
+  // Last member: callbacks read stats_, so they unregister first.
+  telemetry::CallbackGroup metrics_;
 };
 
 }  // namespace aquila

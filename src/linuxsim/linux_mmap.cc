@@ -15,6 +15,14 @@ LinuxMmapEngine::LinuxMmapEngine(const Options& options) : options_(options) {
   for (uint64_t i = 0; i < options_.cache_pages; i++) {
     free_pages_.push_back(pool_.get() + i * kPageSize);
   }
+
+  metrics_.AddCounter("aquila.linuxsim.major_faults", stats_.major_faults);
+  metrics_.AddCounter("aquila.linuxsim.minor_faults", stats_.minor_faults);
+  metrics_.AddCounter("aquila.linuxsim.dirty_marks", stats_.dirty_marks);
+  metrics_.AddCounter("aquila.linuxsim.evicted_pages", stats_.evicted_pages);
+  metrics_.AddCounter("aquila.linuxsim.writeback_pages", stats_.writeback_pages);
+  metrics_.AddCounter("aquila.linuxsim.readahead_pages", stats_.readahead_pages);
+  metrics_.AddGauge("aquila.linuxsim.resident_pages", [this] { return resident_pages_; });
 }
 
 LinuxMmapEngine::~LinuxMmapEngine() {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/core/mmio.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/sim_clock.h"
 #include "src/vma/vma_tree.h"
 #include "src/vmx/vcpu.h"
@@ -119,6 +120,9 @@ class LinuxMmapEngine : public MmioEngine {
   std::list<PageEntry*> global_lru_;   // front = oldest
 
   std::vector<std::unique_ptr<LinuxMap>> maps_;
+
+  // Last member: callbacks read stats_, so they unregister first.
+  telemetry::CallbackGroup metrics_;
 };
 
 class LinuxMap : public MemoryMap {

@@ -1,5 +1,7 @@
 #include "src/mem/tlb.h"
 
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/scoped_timer.h"
 #include "src/vmx/cost_model.h"
 
 namespace aquila {
@@ -36,6 +38,14 @@ void TlbSet::Shootdown(SimClock& clock, int initiator_core, int active_cores,
                        std::span<const uint64_t> vpns, PostedIpiFabric& fabric) {
   const CostModel& costs = GlobalCostModel();
   shootdowns_.fetch_add(1, std::memory_order_relaxed);
+#if AQUILA_TELEMETRY_ENABLED
+  static Histogram* shootdown_hist =
+      telemetry::Registry().GetHistogram("aquila.tlb.shootdown_cycles");
+  static telemetry::Counter* shootdown_pages =
+      telemetry::Registry().GetCounter("aquila.tlb.shootdown_pages");
+  shootdown_pages->Add(vpns.size());
+  const uint64_t start_cycles = clock.Now();
+#endif
 
   if (active_cores > CoreRegistry::kMaxCores) {
     active_cores = CoreRegistry::kMaxCores;
@@ -58,6 +68,10 @@ void TlbSet::Shootdown(SimClock& clock, int initiator_core, int active_cores,
       fabric.Send(clock, core, per_core_cost);
     }
   }
+#if AQUILA_TELEMETRY_ENABLED
+  telemetry::RecordSpanSince(shootdown_hist, telemetry::TraceEventType::kShootdown, clock,
+                             start_cycles, vpns.size());
+#endif
 }
 
 }  // namespace aquila

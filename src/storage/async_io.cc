@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/telemetry/scoped_timer.h"
 #include "src/util/bitops.h"
 #include "src/util/logging.h"
 
@@ -47,6 +48,17 @@ StatusOr<uint32_t> AsyncIoRing::Submit(Vcpu& vcpu) {
   if (pending_.empty()) {
     return 0u;
   }
+#if AQUILA_TELEMETRY_ENABLED
+  static telemetry::Counter* ring_submits =
+      telemetry::Registry().GetCounter("aquila.storage.ring_submits");
+  static telemetry::Counter* ring_sqes =
+      telemetry::Registry().GetCounter("aquila.storage.ring_sqes");
+  static Histogram* ring_latency =
+      telemetry::Registry().GetHistogram("aquila.storage.ring_latency_cycles");
+  ring_submits->Add();
+  ring_sqes->Add(pending_.size());
+  const uint64_t submit_start = vcpu.clock().Now();
+#endif
   // ONE kernel entry for the whole batch.
   vcpu.ChargeSyscall();
   uint32_t submitted = 0;
@@ -59,6 +71,8 @@ StatusOr<uint32_t> AsyncIoRing::Submit(Vcpu& vcpu) {
       std::memcpy(sqe.buffer, controller_->flash() + sqe.offset, sqe.bytes);
     }
     uint64_t ready_at = controller_->ReserveMedia(vcpu.clock().Now(), sqe.opcode, sqe.bytes);
+    // Submit-to-completion latency as the application would measure it.
+    AQUILA_TELEMETRY_ONLY(ring_latency->Record(ready_at - submit_start));
     // Find a free CQ slot (capacity guaranteed by the Prepare bound).
     bool placed = false;
     for (InFlight& entry : ring_) {
@@ -73,6 +87,12 @@ StatusOr<uint32_t> AsyncIoRing::Submit(Vcpu& vcpu) {
     submitted++;
   }
   pending_.clear();
+#if AQUILA_TELEMETRY_ENABLED
+  if (telemetry::Tracer::Enabled()) {
+    telemetry::Tracer::Record(telemetry::TraceEventType::kRingSubmit, submit_start,
+                              vcpu.clock().Now() - submit_start, submitted);
+  }
+#endif
   return submitted;
 }
 

@@ -1,19 +1,104 @@
 #include "src/storage/block_device.h"
 
+#include "src/telemetry/scoped_timer.h"
+
 namespace aquila {
+
+#if AQUILA_TELEMETRY_ENABLED
+namespace {
+
+// Shared across every device instance; per-device breakdown stays available
+// through stats() while the registry reports runtime-wide latency.
+struct DeviceHistograms {
+  Histogram* read = telemetry::Registry().GetHistogram("aquila.storage.read_cycles");
+  Histogram* write = telemetry::Registry().GetHistogram("aquila.storage.write_cycles");
+  Histogram* read_batch =
+      telemetry::Registry().GetHistogram("aquila.storage.read_batch_cycles");
+  Histogram* write_batch =
+      telemetry::Registry().GetHistogram("aquila.storage.write_batch_cycles");
+};
+
+const DeviceHistograms& GetDeviceHistograms() {
+  static DeviceHistograms histograms;
+  return histograms;
+}
+
+}  // namespace
+#endif
+
+BlockDevice::BlockDevice() {
+  metrics_.AddCounter("aquila.storage.reads", stats_.reads);
+  metrics_.AddCounter("aquila.storage.writes", stats_.writes);
+  metrics_.AddCounter("aquila.storage.bytes_read", stats_.bytes_read);
+  metrics_.AddCounter("aquila.storage.bytes_written", stats_.bytes_written);
+}
+
+Status BlockDevice::Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
+  AQUILA_TELEMETRY_ONLY(const uint64_t start = vcpu.clock().Now());
+  Status status = DoRead(vcpu, offset, dst);
+  if (status.ok()) {
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(dst.size(), std::memory_order_relaxed);
+    AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(GetDeviceHistograms().read,
+                                                     telemetry::TraceEventType::kDeviceRead,
+                                                     vcpu.clock(), start, dst.size()));
+  }
+  return status;
+}
+
+Status BlockDevice::Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) {
+  AQUILA_TELEMETRY_ONLY(const uint64_t start = vcpu.clock().Now());
+  Status status = DoWrite(vcpu, offset, src);
+  if (status.ok()) {
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_written.fetch_add(src.size(), std::memory_order_relaxed);
+    AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(GetDeviceHistograms().write,
+                                                     telemetry::TraceEventType::kDeviceWrite,
+                                                     vcpu.clock(), start, src.size()));
+  }
+  return status;
+}
 
 Status BlockDevice::WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
                                std::span<const uint8_t* const> pages, uint64_t page_bytes) {
-  for (size_t i = 0; i < offsets.size(); i++) {
-    AQUILA_RETURN_IF_ERROR(Write(vcpu, offsets[i], std::span(pages[i], page_bytes)));
+  AQUILA_TELEMETRY_ONLY(const uint64_t start = vcpu.clock().Now());
+  Status status = DoWriteBatch(vcpu, offsets, pages, page_bytes);
+  if (status.ok()) {
+    stats_.writes.fetch_add(offsets.size(), std::memory_order_relaxed);
+    stats_.bytes_written.fetch_add(offsets.size() * page_bytes, std::memory_order_relaxed);
+    AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(
+        GetDeviceHistograms().write_batch, telemetry::TraceEventType::kDeviceWriteBatch,
+        vcpu.clock(), start, offsets.size()));
   }
-  return Status::Ok();
+  return status;
 }
 
 Status BlockDevice::ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
                               std::span<uint8_t* const> pages, uint64_t page_bytes) {
+  AQUILA_TELEMETRY_ONLY(const uint64_t start = vcpu.clock().Now());
+  Status status = DoReadBatch(vcpu, offsets, pages, page_bytes);
+  if (status.ok()) {
+    stats_.reads.fetch_add(offsets.size(), std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(offsets.size() * page_bytes, std::memory_order_relaxed);
+    AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(
+        GetDeviceHistograms().read_batch, telemetry::TraceEventType::kDeviceReadBatch,
+        vcpu.clock(), start, offsets.size()));
+  }
+  return status;
+}
+
+Status BlockDevice::DoWriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                                 std::span<const uint8_t* const> pages, uint64_t page_bytes) {
   for (size_t i = 0; i < offsets.size(); i++) {
-    AQUILA_RETURN_IF_ERROR(Read(vcpu, offsets[i], std::span(pages[i], page_bytes)));
+    AQUILA_RETURN_IF_ERROR(DoWrite(vcpu, offsets[i], std::span(pages[i], page_bytes)));
+  }
+  return Status::Ok();
+}
+
+Status BlockDevice::DoReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                                std::span<uint8_t* const> pages, uint64_t page_bytes) {
+  for (size_t i = 0; i < offsets.size(); i++) {
+    AQUILA_RETURN_IF_ERROR(DoRead(vcpu, offsets[i], std::span(pages[i], page_bytes)));
   }
   return Status::Ok();
 }

@@ -10,6 +10,13 @@
 // Devices are shared resources: channel bandwidth is modeled with a
 // SerializedResource, so concurrent readers observe queueing exactly like a
 // saturated Optane drive.
+//
+// The interface is non-virtual (NVI): Read/Write/ReadBatch/WriteBatch do
+// per-call accounting (DeviceStats, registry latency histograms, trace
+// events) and dispatch to the protected DoRead/DoWrite/... hooks concrete
+// devices implement. Stacked devices (HostIoDevice) call the public entry
+// points of their inner device, so a request is counted once per layer it
+// crosses — the registry sums the layers into runtime-wide totals.
 #ifndef AQUILA_SRC_STORAGE_BLOCK_DEVICE_H_
 #define AQUILA_SRC_STORAGE_BLOCK_DEVICE_H_
 
@@ -17,6 +24,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/telemetry/metrics.h"
 #include "src/util/status.h"
 #include "src/vmx/vcpu.h"
 
@@ -31,6 +39,7 @@ struct DeviceStats {
 
 class BlockDevice {
  public:
+  BlockDevice();
   virtual ~BlockDevice() = default;
 
   virtual const char* name() const = 0;
@@ -38,17 +47,17 @@ class BlockDevice {
 
   // Synchronous I/O. `offset` and sizes must be 512-byte aligned (all
   // callers use 4 KB pages). Blocking time is charged to `vcpu`.
-  virtual Status Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) = 0;
-  virtual Status Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) = 0;
+  Status Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst);
+  Status Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src);
 
   // Batched write path used by the eviction writeback: devices that support
-  // queueing overlap the batch; the default loops over Write.
-  virtual Status WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
-                            std::span<const uint8_t* const> pages, uint64_t page_bytes);
+  // queueing overlap the batch; the default loops over DoWrite.
+  Status WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                    std::span<const uint8_t* const> pages, uint64_t page_bytes);
 
-  // Batched read path used by read-ahead. Default loops over Read.
-  virtual Status ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
-                           std::span<uint8_t* const> pages, uint64_t page_bytes);
+  // Batched read path used by read-ahead. Default loops over DoRead.
+  Status ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                   std::span<uint8_t* const> pages, uint64_t page_bytes);
 
   // Flushes volatile device buffers (durability barrier for msync).
   virtual Status Flush(Vcpu& vcpu) { return Status::Ok(); }
@@ -56,16 +65,20 @@ class BlockDevice {
   const DeviceStats& stats() const { return stats_; }
 
  protected:
-  void CountRead(uint64_t bytes) {
-    stats_.reads.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
-  }
-  void CountWrite(uint64_t bytes) {
-    stats_.writes.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
-  }
+  // Device implementations. Success accounting is done by the public
+  // wrappers; implementations only move data and charge simulated time.
+  virtual Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) = 0;
+  virtual Status DoWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) = 0;
+  virtual Status DoWriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                              std::span<const uint8_t* const> pages, uint64_t page_bytes);
+  virtual Status DoReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                             std::span<uint8_t* const> pages, uint64_t page_bytes);
 
   DeviceStats stats_;
+
+ private:
+  // Last member: the callbacks read stats_, so they unregister first.
+  telemetry::CallbackGroup metrics_;
 };
 
 }  // namespace aquila

@@ -29,44 +29,31 @@ class HostIoDevice : public BlockDevice {
   }
   uint64_t capacity_bytes() const override { return inner_->capacity_bytes(); }
 
-  Status Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override {
+  Status Flush(Vcpu& vcpu) override {
     ChargeEntry(vcpu);
-    Status status = inner_->Read(vcpu, offset, dst);
-    if (status.ok()) {
-      CountRead(dst.size());
-    }
-    return status;
+    return inner_->Flush(vcpu);
   }
 
-  Status Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override {
+ protected:
+  Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override {
     ChargeEntry(vcpu);
-    Status status = inner_->Write(vcpu, offset, src);
-    if (status.ok()) {
-      CountWrite(src.size());
-    }
-    return status;
+    return inner_->Read(vcpu, offset, dst);
   }
 
-  Status WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
-                    std::span<const uint8_t* const> pages, uint64_t page_bytes) override {
+  Status DoWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override {
+    ChargeEntry(vcpu);
+    return inner_->Write(vcpu, offset, src);
+  }
+
+  Status DoWriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                      std::span<const uint8_t* const> pages, uint64_t page_bytes) override {
     // One kernel entry covers the whole batch (writev/io_submit style), but
     // the kernel path is still paid per request.
     ChargeEntry(vcpu);
     for (size_t i = 1; i < offsets.size(); i++) {
       vcpu.clock().Charge(CostCategory::kSyscall, GlobalCostModel().kernel_io_path);
     }
-    Status status = inner_->WriteBatch(vcpu, offsets, pages, page_bytes);
-    if (status.ok()) {
-      for (size_t i = 0; i < offsets.size(); i++) {
-        CountWrite(page_bytes);
-      }
-    }
-    return status;
-  }
-
-  Status Flush(Vcpu& vcpu) override {
-    ChargeEntry(vcpu);
-    return inner_->Flush(vcpu);
+    return inner_->WriteBatch(vcpu, offsets, pages, page_bytes);
   }
 
  private:

@@ -145,14 +145,14 @@ bool LbaAligned(uint64_t offset, uint64_t size) {
 
 }  // namespace
 
-Status NvmeDevice::Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
+Status NvmeDevice::DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
   if (!LbaAligned(offset, dst.size())) {
     // Block devices speak whole LBAs; bounce unaligned requests (the kernel
     // and SPDK helpers do the same for callers without O_DIRECT alignment).
     uint64_t lo = AlignDown(offset, NvmeController::kLbaSize);
     uint64_t hi = AlignUp(offset + dst.size(), NvmeController::kLbaSize);
     std::vector<uint8_t> bounce(hi - lo);
-    AQUILA_RETURN_IF_ERROR(Read(vcpu, lo, std::span(bounce)));
+    AQUILA_RETURN_IF_ERROR(DoRead(vcpu, lo, std::span(bounce)));
     std::memcpy(dst.data(), bounce.data() + (offset - lo), dst.size());
     return Status::Ok();
   }
@@ -163,11 +163,10 @@ Status NvmeDevice::Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
   if (!cid.ok()) {
     return cid.status();
   }
-  CountRead(dst.size());
   return qp.Wait(vcpu, *cid);
 }
 
-Status NvmeDevice::Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) {
+Status NvmeDevice::DoWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) {
   if (!LbaAligned(offset, src.size())) {
     // Read-modify-write the partial head/tail blocks.
     uint64_t lo = AlignDown(offset, NvmeController::kLbaSize);
@@ -176,9 +175,9 @@ Status NvmeDevice::Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> s
       return Status::InvalidArgument("NVMe write beyond capacity");
     }
     std::vector<uint8_t> bounce(hi - lo);
-    AQUILA_RETURN_IF_ERROR(Read(vcpu, lo, std::span(bounce)));
+    AQUILA_RETURN_IF_ERROR(DoRead(vcpu, lo, std::span(bounce)));
     std::memcpy(bounce.data() + (offset - lo), src.data(), src.size());
-    return Write(vcpu, lo, std::span<const uint8_t>(bounce));
+    return DoWrite(vcpu, lo, std::span<const uint8_t>(bounce));
   }
   NvmeQueuePair& qp = QueueForThisCore();
   NvmeCommand cmd{NvmeOpcode::kWrite, offset / NvmeController::kLbaSize,
@@ -188,12 +187,11 @@ Status NvmeDevice::Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> s
   if (!cid.ok()) {
     return cid.status();
   }
-  CountWrite(src.size());
   return qp.Wait(vcpu, *cid);
 }
 
-Status NvmeDevice::ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
-                             std::span<uint8_t* const> pages, uint64_t page_bytes) {
+Status NvmeDevice::DoReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                               std::span<uint8_t* const> pages, uint64_t page_bytes) {
   NvmeQueuePair& qp = QueueForThisCore();
   for (size_t i = 0; i < offsets.size(); i++) {
     NvmeCommand cmd{NvmeOpcode::kRead, offsets[i] / NvmeController::kLbaSize,
@@ -206,13 +204,12 @@ Status NvmeDevice::ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
         return cid.status();
       }
     }
-    CountRead(page_bytes);
   }
   return qp.WaitAll(vcpu);
 }
 
-Status NvmeDevice::WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
-                              std::span<const uint8_t* const> pages, uint64_t page_bytes) {
+Status NvmeDevice::DoWriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                                std::span<const uint8_t* const> pages, uint64_t page_bytes) {
   NvmeQueuePair& qp = QueueForThisCore();
   for (size_t i = 0; i < offsets.size(); i++) {
     NvmeCommand cmd{NvmeOpcode::kWrite, offsets[i] / NvmeController::kLbaSize,
@@ -227,7 +224,6 @@ Status NvmeDevice::WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
         return cid.status();
       }
     }
-    CountWrite(page_bytes);
   }
   return qp.WaitAll(vcpu);
 }

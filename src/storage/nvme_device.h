@@ -130,12 +130,13 @@ class NvmeDevice : public BlockDevice {
   const char* name() const override { return "nvme"; }
   uint64_t capacity_bytes() const override { return controller_->capacity_bytes(); }
 
-  Status Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override;
-  Status Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override;
-  Status WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
-                    std::span<const uint8_t* const> pages, uint64_t page_bytes) override;
-  Status ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
-                   std::span<uint8_t* const> pages, uint64_t page_bytes) override;
+ protected:
+  Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override;
+  Status DoWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override;
+  Status DoWriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                      std::span<const uint8_t* const> pages, uint64_t page_bytes) override;
+  Status DoReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
+                     std::span<uint8_t* const> pages, uint64_t page_bytes) override;
 
  private:
   NvmeQueuePair& QueueForThisCore();

@@ -41,7 +41,7 @@ uint64_t PmemDevice::CopyCostCycles(uint64_t bytes) const {
   return cost;
 }
 
-Status PmemDevice::Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
+Status PmemDevice::DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
   AQUILA_RETURN_IF_ERROR(CheckRange(offset, dst.size()));
   // Only the transfer occupies the shared channel; the access latency
   // overlaps across concurrent readers.
@@ -57,11 +57,10 @@ Status PmemDevice::Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
   } else {
     std::memcpy(dst.data(), base_ + offset, dst.size());
   }
-  CountRead(dst.size());
   return Status::Ok();
 }
 
-Status PmemDevice::Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) {
+Status PmemDevice::DoWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) {
   AQUILA_RETURN_IF_ERROR(CheckRange(offset, src.size()));
   uint64_t transfer =
       options_.channel_cycles_per_4k * ((src.size() + kPageSize - 1) / kPageSize);
@@ -74,7 +73,6 @@ Status PmemDevice::Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> s
   } else {
     std::memcpy(base_ + offset, src.data(), src.size());
   }
-  CountWrite(src.size());
   return Status::Ok();
 }
 

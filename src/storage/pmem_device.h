@@ -51,15 +51,16 @@ class PmemDevice : public BlockDevice {
   const char* name() const override { return "pmem"; }
   uint64_t capacity_bytes() const override { return options_.capacity_bytes; }
 
-  Status Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override;
-  Status Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override;
-
   // Direct load/store window onto the medium (the DAX mapping).
   uint8_t* dax_base() { return base_; }
   const uint8_t* dax_base() const { return base_; }
 
   CopyFlavor copy_flavor() const { return options_.copy_flavor; }
   void set_copy_flavor(CopyFlavor flavor) { options_.copy_flavor = flavor; }
+
+ protected:
+  Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override;
+  Status DoWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override;
 
  private:
   uint64_t CopyCostCycles(uint64_t bytes) const;

@@ -1,0 +1,153 @@
+#include "src/telemetry/trace.h"
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "src/util/cpu.h"
+
+namespace aquila {
+namespace telemetry {
+
+namespace {
+
+struct ThreadRing {
+  std::array<TraceEvent, Tracer::kRingCapacity> events;
+  // Total events recorded by the owning thread; slot = recorded % capacity.
+  // Single writer (the owner); readers (dump/collect) tolerate tearing on
+  // the event payloads.
+  std::atomic<uint64_t> recorded{0};
+  int tid = 0;
+};
+
+std::mutex& RingsMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+// shared_ptr so a ring outlives its thread (events remain dumpable after
+// worker threads join).
+std::vector<std::shared_ptr<ThreadRing>>& Rings() {
+  static auto* rings = new std::vector<std::shared_ptr<ThreadRing>>();
+  return *rings;
+}
+
+ThreadRing& LocalRing() {
+  static std::atomic<int> next_tid{0};
+  thread_local std::shared_ptr<ThreadRing> ring;
+  if (ring == nullptr) {
+    ring = std::make_shared<ThreadRing>();
+    std::lock_guard<std::mutex> lock(RingsMutex());
+    ring->tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+    Rings().push_back(ring);
+  }
+  return *ring;
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+const char* TraceEventName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kFaultMajor: return "fault.major";
+    case TraceEventType::kFaultMinor: return "fault.minor";
+    case TraceEventType::kFaultUpgrade: return "fault.upgrade";
+    case TraceEventType::kEvictBatch: return "evict.batch";
+    case TraceEventType::kMsync: return "msync";
+    case TraceEventType::kShootdown: return "tlb.shootdown";
+    case TraceEventType::kVmcall: return "vmx.vmcall";
+    case TraceEventType::kEptFault: return "vmx.ept_fault";
+    case TraceEventType::kDeviceRead: return "device.read";
+    case TraceEventType::kDeviceWrite: return "device.write";
+    case TraceEventType::kDeviceReadBatch: return "device.read_batch";
+    case TraceEventType::kDeviceWriteBatch: return "device.write_batch";
+    case TraceEventType::kCompaction: return "kvs.compaction";
+    case TraceEventType::kMemtableFlush: return "kvs.memtable_flush";
+    case TraceEventType::kRingSubmit: return "io_ring.submit";
+    case TraceEventType::kRealTrap: return "trap.real_fault";
+    case TraceEventType::kTypeCount: break;
+  }
+  return "unknown";
+}
+
+void Tracer::SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+void Tracer::Record(TraceEventType type, uint64_t start_cycles, uint64_t duration_cycles,
+                    uint64_t arg) {
+  if (!Enabled()) {
+    return;
+  }
+  ThreadRing& ring = LocalRing();
+  uint64_t n = ring.recorded.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring.events[n % kRingCapacity];
+  slot.start_cycles = start_cycles;
+  slot.duration_cycles = duration_cycles;
+  slot.arg = arg;
+  slot.type = type;
+  slot.core = static_cast<uint16_t>(CoreRegistry::CurrentCore());
+  ring.recorded.store(n + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::CollectAll() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(RingsMutex());
+  for (const auto& ring : Rings()) {
+    uint64_t n = ring->recorded.load(std::memory_order_acquire);
+    uint64_t retained = n < kRingCapacity ? n : kRingCapacity;
+    uint64_t first = n - retained;
+    for (uint64_t i = first; i < n; i++) {
+      out.push_back(ring->events[i % kRingCapacity]);
+    }
+  }
+  return out;
+}
+
+uint64_t Tracer::TotalRecorded() {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(RingsMutex());
+  for (const auto& ring : Rings()) {
+    total += ring->recorded.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(RingsMutex());
+  for (const auto& ring : Rings()) {
+    ring->recorded.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string Tracer::DumpChromeTrace(uint64_t cycles_per_us) {
+  if (cycles_per_us == 0) {
+    cycles_per_us = 1;
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(RingsMutex());
+  for (const auto& ring : Rings()) {
+    uint64_t n = ring->recorded.load(std::memory_order_acquire);
+    uint64_t retained = n < kRingCapacity ? n : kRingCapacity;
+    for (uint64_t i = n - retained; i < n; i++) {
+      const TraceEvent& e = ring->events[i % kRingCapacity];
+      char buf[256];
+      int len = std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"name\":\"%s\",\"cat\":\"aquila\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"arg\":%llu,\"core\":%u}}",
+          first ? "" : ",", TraceEventName(e.type),
+          static_cast<double>(e.start_cycles) / static_cast<double>(cycles_per_us),
+          static_cast<double>(e.duration_cycles) / static_cast<double>(cycles_per_us),
+          ring->tid, static_cast<unsigned long long>(e.arg), e.core);
+      out.append(buf, len);
+      first = false;
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace aquila

@@ -1,0 +1,122 @@
+// Per-thread ring-buffer event tracer with Chrome trace-event export.
+//
+// Each thread records typed events (fault begin/end, eviction batches, TLB
+// shootdowns, vmcalls, device I/O, compactions) into a fixed-size private
+// ring: recording is two plain stores and one relaxed atomic bump — no
+// allocation, no locks, overwrite-oldest when full — so it is safe on the
+// fault path. Timestamps are simulated cycles (the runtime's native
+// timebase, see src/util/sim_clock.h).
+//
+// Tracing is off by default; Tracer::SetEnabled(true) arms it (benchmarks
+// arm it when AQUILA_TRACE=<path> is set, see bench/common.h).
+// DumpChromeTrace() renders every thread's ring as Chrome trace_event JSON
+// ("ph":"X" complete events) loadable in Perfetto / chrome://tracing.
+#ifndef AQUILA_SRC_TELEMETRY_TRACE_H_
+#define AQUILA_SRC_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/telemetry_config.h"
+#include "src/util/sim_clock.h"
+
+namespace aquila {
+namespace telemetry {
+
+enum class TraceEventType : uint8_t {
+  kFaultMajor = 0,
+  kFaultMinor,
+  kFaultUpgrade,
+  kEvictBatch,
+  kMsync,
+  kShootdown,
+  kVmcall,
+  kEptFault,
+  kDeviceRead,
+  kDeviceWrite,
+  kDeviceReadBatch,
+  kDeviceWriteBatch,
+  kCompaction,
+  kMemtableFlush,
+  kRingSubmit,
+  kRealTrap,
+  kTypeCount,
+};
+
+const char* TraceEventName(TraceEventType type);
+
+struct TraceEvent {
+  uint64_t start_cycles = 0;
+  uint64_t duration_cycles = 0;
+  uint64_t arg = 0;  // event-specific payload (batch size, bytes, ...)
+  TraceEventType type = TraceEventType::kFaultMajor;
+  uint16_t core = 0;
+};
+
+class Tracer {
+ public:
+  // Events retained per thread; older events are overwritten.
+  static constexpr size_t kRingCapacity = 4096;
+
+  static void SetEnabled(bool on);
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends one event to the calling thread's ring (no-op when disabled).
+  static void Record(TraceEventType type, uint64_t start_cycles, uint64_t duration_cycles,
+                     uint64_t arg = 0);
+
+  // All retained events, per-thread oldest-first. Events recorded
+  // concurrently with collection may be torn; collection is for
+  // post-run/export use.
+  static std::vector<TraceEvent> CollectAll();
+
+  // Chrome trace-event JSON ({"traceEvents":[...]}); `cycles_per_us`
+  // converts simulated cycles to the microsecond timestamps the format
+  // wants (pass GlobalCostModel().cycles_per_us).
+  static std::string DumpChromeTrace(uint64_t cycles_per_us = 2400);
+
+  // Drops all retained events (test/benchmark phase boundaries).
+  static void Reset();
+
+  // Total events ever recorded (monotonic, survives ring wraparound).
+  static uint64_t TotalRecorded();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+// RAII span: captures the simulated clock at construction and records one
+// complete event at destruction. Compiles to nothing when telemetry is off.
+class TraceSpan {
+ public:
+#if AQUILA_TELEMETRY_ENABLED
+  TraceSpan(TraceEventType type, const SimClock& clock, uint64_t arg = 0)
+      : type_(type), clock_(&clock), start_(clock.Now()), arg_(arg) {}
+  ~TraceSpan() {
+    if (Tracer::Enabled()) {
+      Tracer::Record(type_, start_, clock_->Now() - start_, arg_);
+    }
+  }
+  void set_arg(uint64_t arg) { arg_ = arg; }
+
+ private:
+  TraceEventType type_;
+  const SimClock* clock_;
+  uint64_t start_;
+  uint64_t arg_;
+#else
+  TraceSpan(TraceEventType, const SimClock&, uint64_t = 0) {}
+  void set_arg(uint64_t) {}
+#endif
+
+ public:
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+}  // namespace telemetry
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_TELEMETRY_TRACE_H_

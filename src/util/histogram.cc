@@ -78,6 +78,8 @@ void Histogram::Reset() {
 
 uint64_t Histogram::Count() const { return count_.load(std::memory_order_relaxed); }
 
+uint64_t Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
 double Histogram::Mean() const {
   uint64_t n = Count();
   if (n == 0) {
@@ -107,7 +109,9 @@ uint64_t Histogram::Percentile(double q) const {
   for (int i = 0; i < kBuckets; i++) {
     seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen >= target) {
-      return std::min(BucketMidpoint(i), Max());
+      // Clamp into the observed range: a bucket midpoint can under-shoot
+      // Min() (single sample at the top of its bucket) or over-shoot Max().
+      return std::clamp(BucketMidpoint(i), Min(), Max());
     }
   }
   return Max();

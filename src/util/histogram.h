@@ -1,7 +1,7 @@
 // Log-bucketed latency histogram with percentile queries.
 //
 // Layout mirrors HdrHistogram's idea at much lower resolution: values are
-// bucketed by (exponent, 16 linear sub-buckets), giving <= ~6% relative error
+// bucketed by (exponent, 8 linear sub-buckets), giving <= ~6% relative error
 // per bucket, which is ample for avg/p99/p99.9 reporting. Recording is a
 // single relaxed atomic increment so one histogram can be shared by many
 // workers, and histograms are mergeable for per-thread recording.
@@ -28,20 +28,25 @@ class Histogram {
   void Reset();
 
   uint64_t Count() const;
+  uint64_t Sum() const;
   double Mean() const;
   uint64_t Min() const;
   uint64_t Max() const;
 
-  // Value at quantile q in [0, 1], e.g. 0.999 for p99.9.
+  // Value at quantile q in [0, 1], e.g. 0.999 for p99.9. Returns 0 on an
+  // empty histogram; otherwise the result is clamped to [Min(), Max()], so
+  // bucket-midpoint error never reports a value outside the observed range.
   uint64_t Percentile(double q) const;
 
   // One-line summary: count/mean/p50/p99/p99.9/max.
   std::string Summary() const;
 
  private:
-  static constexpr int kExponents = 44;    // covers up to ~2^44
-  static constexpr int kSubBuckets = 16;
-  static constexpr int kBuckets = kExponents * kSubBuckets;
+  // Values < 16 get exact buckets 0..15; each power-of-two octave above
+  // splits into kSubBuckets linear sub-buckets. Exponents 4..63 cover the
+  // full uint64_t range, so no recordable value lands past the last bucket.
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kBuckets = 16 + (64 - 4) * kSubBuckets;
 
   static int BucketFor(uint64_t value);
   static uint64_t BucketMidpoint(int bucket);

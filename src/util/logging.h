@@ -1,12 +1,23 @@
-// Minimal logging / assertion macros.
+// Logging and assertion macros.
 //
 // AQUILA_CHECK is always on (internal invariants of the runtime must never be
 // compiled out); AQUILA_DCHECK compiles away in NDEBUG builds like assert.
+//
+// AQUILA_LOG(level, fmt, ...) is leveled printf-style logging to stderr:
+//
+//   AQUILA_LOG(INFO, "wrote %zu-byte trace to %s", n, path);
+//
+// Levels are DEBUG < INFO < WARN < ERROR. The runtime threshold defaults to
+// INFO and is read once from the AQUILA_LOG_LEVEL environment variable
+// (DEBUG/INFO/WARN/ERROR/OFF, case-sensitive, or 0-4); tests can override it
+// with SetGlobalLogLevel(). Messages below the threshold cost one branch.
 #ifndef AQUILA_SRC_UTIL_LOGGING_H_
 #define AQUILA_SRC_UTIL_LOGGING_H_
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace aquila {
 
@@ -15,7 +26,84 @@ namespace aquila {
   std::abort();
 }
 
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+namespace internal {
+
+inline LogLevel ParseLogLevel(const char* s) {
+  if (s == nullptr || *s == '\0') {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(s, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "WARN") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "ERROR") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "OFF") == 0) return LogLevel::kOff;
+  if (s[0] >= '0' && s[0] <= '4' && s[1] == '\0') {
+    return static_cast<LogLevel>(s[0] - '0');
+  }
+  return LogLevel::kInfo;
+}
+
+inline LogLevel& GlobalLogLevelSlot() {
+  static LogLevel level = ParseLogLevel(std::getenv("AQUILA_LOG_LEVEL"));
+  return level;
+}
+
+inline char LogLevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo: return 'I';
+    case LogLevel::kWarn: return 'W';
+    default: return 'E';
+  }
+}
+
+inline void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+inline void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  // Basename only: full paths bury the message.
+  const char* base = std::strrchr(file, '/');
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%c %s:%d] %s\n", LogLevelTag(level),
+               base != nullptr ? base + 1 : file, line, buf);
+}
+
+// Tokens the AQUILA_LOG macro pastes (AQUILA_LOG(INFO, ...) -> kLevel_INFO).
+inline constexpr LogLevel kLevel_DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLevel_INFO = LogLevel::kInfo;
+inline constexpr LogLevel kLevel_WARN = LogLevel::kWarn;
+inline constexpr LogLevel kLevel_ERROR = LogLevel::kError;
+
+}  // namespace internal
+
+inline LogLevel GlobalLogLevel() { return internal::GlobalLogLevelSlot(); }
+inline void SetGlobalLogLevel(LogLevel level) { internal::GlobalLogLevelSlot() = level; }
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GlobalLogLevel());
+}
+
 }  // namespace aquila
+
+#define AQUILA_LOG(level, ...)                                                         \
+  do {                                                                                 \
+    if (::aquila::LogEnabled(::aquila::internal::kLevel_##level)) {                    \
+      ::aquila::internal::LogMessage(::aquila::internal::kLevel_##level, __FILE__,     \
+                                     __LINE__, __VA_ARGS__);                           \
+    }                                                                                  \
+  } while (0)
 
 #define AQUILA_CHECK(expr)                               \
   do {                                                   \

@@ -4,6 +4,18 @@
 
 namespace aquila {
 
+PostedIpiFabric::PostedIpiFabric(SendPath path) : send_path_(path) {
+  metrics_.AddCounter("aquila.vmx.ipi_sent", total_sent_);
+  metrics_.AddCounter("aquila.vmx.ipi_throttled", total_throttled_);
+  metrics_.Add("aquila.vmx.ipi_received", telemetry::MetricKind::kCounter, [this] {
+    uint64_t received = 0;
+    for (const Mailbox& box : mailboxes_) {
+      received += box.received.load(std::memory_order_relaxed);
+    }
+    return received;
+  });
+}
+
 void PostedIpiFabric::Send(SimClock& sender, int target_core, uint64_t handler_cycles) {
   AQUILA_CHECK(target_core >= 0 && target_core < CoreRegistry::kMaxCores);
   const CostModel& costs = GlobalCostModel();

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/telemetry/metrics.h"
 #include "src/util/cpu.h"
 #include "src/util/sim_clock.h"
 #include "src/vmx/cost_model.h"
@@ -32,7 +33,7 @@ class PostedIpiFabric {
     kVmexitProtected,  // MSR-write path through the hypervisor (2081 cycles)
   };
 
-  explicit PostedIpiFabric(SendPath path = SendPath::kVmexitProtected) : send_path_(path) {}
+  explicit PostedIpiFabric(SendPath path = SendPath::kVmexitProtected);
 
   // Sends one shootdown-class IPI to `target_core`, charging the sender's
   // clock for the send path and the target's mailbox for the handler.
@@ -72,6 +73,8 @@ class PostedIpiFabric {
   std::array<SenderBucket, CoreRegistry::kMaxCores> buckets_{};
   std::atomic<uint64_t> total_sent_{0};
   std::atomic<uint64_t> total_throttled_{0};
+  // Last member: unregisters before the counters it reads are destroyed.
+  telemetry::CallbackGroup metrics_;
 };
 
 }  // namespace aquila

@@ -2,6 +2,18 @@
 
 namespace aquila {
 
+const VcpuGlobalMetrics& VcpuMetrics() {
+  static VcpuGlobalMetrics metrics{
+      telemetry::Registry().GetCounter("aquila.vmx.ring3_traps"),
+      telemetry::Registry().GetCounter("aquila.vmx.ring0_exceptions"),
+      telemetry::Registry().GetCounter("aquila.vmx.syscalls"),
+      telemetry::Registry().GetCounter("aquila.vmx.vmexits"),
+      telemetry::Registry().GetCounter("aquila.vmx.vmcalls"),
+      telemetry::Registry().GetCounter("aquila.vmx.ept_faults"),
+  };
+  return metrics;
+}
+
 Vcpu& ThisVcpu() {
   static thread_local Vcpu vcpu(CoreRegistry::CurrentCore());
   return vcpu;

@@ -11,11 +11,26 @@
 
 #include <cstdint>
 
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/util/cpu.h"
 #include "src/util/sim_clock.h"
 #include "src/vmx/cost_model.h"
 
 namespace aquila {
+
+// Process-wide privilege-transition counters (vCPUs are per-thread and die
+// with their threads, so the registry aggregates here instead of per-Vcpu
+// callbacks). Defined in vcpu.cc.
+struct VcpuGlobalMetrics {
+  telemetry::Counter* ring3_traps;
+  telemetry::Counter* ring0_exceptions;
+  telemetry::Counter* syscalls;
+  telemetry::Counter* vmexits;
+  telemetry::Counter* vmcalls;
+  telemetry::Counter* ept_faults;
+};
+const VcpuGlobalMetrics& VcpuMetrics();
 
 enum class CpuMode {
   kHostUser,   // VMX root, ring 3 (normal Linux application)
@@ -47,24 +62,28 @@ class Vcpu {
   // kernel and back (1287 cycles, excluding the handler body).
   void ChargeRing3Trap() {
     counters_.ring3_traps++;
+    VcpuMetrics().ring3_traps->Add();
     clock_.Charge(CostCategory::kTrap, GlobalCostModel().ring3_trap);
   }
 
   // Aquila: exception taken and returned within non-root ring 0 (552 cycles).
   void ChargeRing0Exception() {
     counters_.ring0_exceptions++;
+    VcpuMetrics().ring0_exceptions->Add();
     clock_.Charge(CostCategory::kTrap, GlobalCostModel().ring0_exception);
   }
 
   // Host syscall entry/exit pair (explicit read/write I/O path).
   void ChargeSyscall() {
     counters_.syscalls++;
+    VcpuMetrics().syscalls->Add();
     clock_.Charge(CostCategory::kSyscall, GlobalCostModel().syscall_entry_exit);
   }
 
   // vmexit + vmentry round trip.
   void ChargeVmexit() {
     counters_.vmexits++;
+    VcpuMetrics().vmexits->Add();
     clock_.Charge(CostCategory::kVmExit, GlobalCostModel().vmexit_roundtrip);
   }
 
@@ -72,7 +91,10 @@ class Vcpu {
   void ChargeVmcall() {
     counters_.vmcalls++;
     counters_.vmexits++;
+    VcpuMetrics().vmcalls->Add();
+    VcpuMetrics().vmexits->Add();
     const CostModel& costs = GlobalCostModel();
+    telemetry::TraceSpan span(telemetry::TraceEventType::kVmcall, clock_);
     clock_.Charge(CostCategory::kVmExit, costs.vmexit_roundtrip + costs.vmcall_dispatch);
   }
 
@@ -80,6 +102,9 @@ class Vcpu {
   void ChargeEptFault() {
     counters_.ept_faults++;
     counters_.vmexits++;
+    VcpuMetrics().ept_faults->Add();
+    VcpuMetrics().vmexits->Add();
+    telemetry::TraceSpan span(telemetry::TraceEventType::kEptFault, clock_);
     clock_.Charge(CostCategory::kVmExit, GlobalCostModel().ept_fault);
   }
 

@@ -1,0 +1,321 @@
+// Tests for src/telemetry: registry metrics and exposition, callback
+// aggregation + RAII lifetime, scoped timers, the per-thread trace ring
+// (including wraparound), Chrome trace export, and an end-to-end check that
+// one registry snapshot covers every instrumented subsystem.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/blob/blob_namespace.h"
+#include "src/core/aquila.h"
+#include "src/core/backing.h"
+#include "src/kvs/block_cache.h"
+#include "src/kvs/env.h"
+#include "src/kvs/lsm_db.h"
+#include "src/storage/pmem_device.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/scoped_timer.h"
+#include "src/telemetry/trace.h"
+#include "src/util/sim_clock.h"
+
+namespace aquila {
+namespace {
+
+using telemetry::MetricKind;
+using telemetry::Registry;
+using telemetry::TraceEventType;
+using telemetry::Tracer;
+
+// --- MetricsRegistry ------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterAddAndSnapshot) {
+  telemetry::Counter* counter = Registry().GetCounter("aquila.test.reg_counter");
+  // Get-or-create: the same name yields the same stable pointer.
+  EXPECT_EQ(counter, Registry().GetCounter("aquila.test.reg_counter"));
+  counter->Reset();
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->Value(), 42u);
+
+  telemetry::MetricsSnapshot snap = Registry().Snapshot();
+  const telemetry::MetricSample* sample = snap.Find("aquila.test.reg_counter");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricKind::kCounter);
+  EXPECT_EQ(sample->value, 42u);
+}
+
+TEST(MetricsRegistryTest, ToTextAndToJsonRenderMetrics) {
+  Registry().GetCounter("aquila.test.expo_counter")->Reset();
+  Registry().GetCounter("aquila.test.expo_counter")->Add(7);
+  Histogram* hist = Registry().GetHistogram("aquila.test.expo_hist");
+  hist->Reset();
+  hist->Record(100);
+
+  std::string text = Registry().ToText();
+  EXPECT_NE(text.find("# TYPE aquila_test_expo_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("aquila_test_expo_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aquila_test_expo_hist summary"), std::string::npos);
+  EXPECT_NE(text.find("aquila_test_expo_hist_count 1"), std::string::npos);
+
+  std::string json = Registry().ToJson();
+  EXPECT_NE(json.find("\"aquila.test.expo_counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"aquila.test.expo_hist\":{\"count\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, SameNameCallbacksAreSummed) {
+  std::atomic<uint64_t> a{10};
+  std::atomic<uint64_t> b{32};
+  {
+    telemetry::CallbackGroup group_a;
+    telemetry::CallbackGroup group_b;
+    group_a.AddCounter("aquila.test.summed_counter", a);
+    group_b.AddCounter("aquila.test.summed_counter", b);
+    const telemetry::MetricsSnapshot snap = Registry().Snapshot();
+    const telemetry::MetricSample* sample = snap.Find("aquila.test.summed_counter");
+    ASSERT_NE(sample, nullptr);
+    EXPECT_EQ(sample->value, 42u);
+  }
+  // Group destruction unregisters: the name disappears from snapshots.
+  EXPECT_EQ(Registry().Snapshot().Find("aquila.test.summed_counter"), nullptr);
+}
+
+TEST(MetricsRegistryTest, GaugeCallbackReadsLiveValue) {
+  uint64_t live = 5;
+  telemetry::CallbackGroup group;
+  group.AddGauge("aquila.test.live_gauge", [&live] { return live; });
+  ASSERT_NE(Registry().Snapshot().Find("aquila.test.live_gauge"), nullptr);
+  EXPECT_EQ(Registry().Snapshot().Find("aquila.test.live_gauge")->value, 5u);
+  live = 9;
+  EXPECT_EQ(Registry().Snapshot().Find("aquila.test.live_gauge")->value, 9u);
+}
+
+TEST(MetricsRegistryTest, ValidNameEnforcesConvention) {
+  EXPECT_TRUE(telemetry::MetricsRegistry::ValidName("aquila.core.major_faults"));
+  EXPECT_TRUE(telemetry::MetricsRegistry::ValidName("aquila.cache.dirty_insert_tsc"));
+  EXPECT_TRUE(telemetry::MetricsRegistry::ValidName("aquila.kvs.block_cache_hits"));
+  EXPECT_FALSE(telemetry::MetricsRegistry::ValidName("aquila.core"));        // two segments
+  EXPECT_FALSE(telemetry::MetricsRegistry::ValidName("core.major_faults"));  // wrong root
+  EXPECT_FALSE(telemetry::MetricsRegistry::ValidName("aquila.Core.faults")); // uppercase
+  EXPECT_FALSE(telemetry::MetricsRegistry::ValidName("aquila..faults"));     // empty segment
+  EXPECT_FALSE(telemetry::MetricsRegistry::ValidName(""));
+}
+
+TEST(MetricsRegistryTest, ResetOwnedZeroesCountersAndHistograms) {
+  telemetry::Counter* counter = Registry().GetCounter("aquila.test.reset_counter");
+  Histogram* hist = Registry().GetHistogram("aquila.test.reset_hist");
+  counter->Add(3);
+  hist->Record(50);
+  Registry().ResetOwned();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(hist->Count(), 0u);
+}
+
+// --- Scoped timers --------------------------------------------------------------
+
+TEST(ScopedTimerTest, RecordsSimClockDelta) {
+  Histogram* hist = Registry().GetHistogram("aquila.test.timer_cycles");
+  hist->Reset();
+  SimClock clock;
+  clock.Charge(CostCategory::kUserWork, 100);  // pre-span time is not counted
+  {
+    telemetry::ScopedTimer timer(hist, clock);
+    clock.Charge(CostCategory::kUserWork, 500);
+  }
+  ASSERT_EQ(hist->Count(), 1u);
+  EXPECT_EQ(hist->Min(), 500u);
+  EXPECT_EQ(hist->Max(), 500u);
+
+  const telemetry::MetricsSnapshot snap = Registry().Snapshot();
+  const telemetry::MetricSample* sample = snap.Find("aquila.test.timer_cycles");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricKind::kHistogram);
+  EXPECT_EQ(sample->digest.count, 1u);
+  EXPECT_EQ(sample->digest.min, 500u);
+}
+
+TEST(ScopedTimerTest, TscTimerRecordsSomething) {
+  Histogram* hist = Registry().GetHistogram("aquila.test.tsc_cycles");
+  hist->Reset();
+  {
+    telemetry::ScopedTscTimer timer(hist);
+  }
+  EXPECT_EQ(hist->Count(), 1u);
+}
+
+TEST(ScopedTimerTest, RecordSpanSinceRecordsHistogramAndTrace) {
+  Histogram* hist = Registry().GetHistogram("aquila.test.span_cycles");
+  hist->Reset();
+  Tracer::SetEnabled(true);
+  Tracer::Reset();
+  SimClock clock;
+  const uint64_t start = clock.Now();
+  clock.Charge(CostCategory::kUserWork, 250);
+  telemetry::RecordSpanSince(hist, TraceEventType::kMsync, clock, start, 17);
+  EXPECT_EQ(hist->Count(), 1u);
+  EXPECT_EQ(hist->Max(), 250u);
+  std::vector<telemetry::TraceEvent> events = Tracer::CollectAll();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEventType::kMsync);
+  EXPECT_EQ(events[0].duration_cycles, 250u);
+  EXPECT_EQ(events[0].arg, 17u);
+  Tracer::Reset();
+  Tracer::SetEnabled(false);
+}
+
+// --- Trace ring -----------------------------------------------------------------
+
+TEST(TracerTest, DisabledRecordIsDropped) {
+  Tracer::SetEnabled(false);
+  Tracer::Reset();
+  const uint64_t before = Tracer::TotalRecorded();
+  Tracer::Record(TraceEventType::kVmcall, 1, 2, 3);
+  EXPECT_EQ(Tracer::TotalRecorded(), before);
+  EXPECT_TRUE(Tracer::CollectAll().empty());
+}
+
+TEST(TracerTest, TraceSpanRecordsCompleteEvent) {
+  Tracer::SetEnabled(true);
+  Tracer::Reset();
+  SimClock clock;
+  clock.Charge(CostCategory::kUserWork, 100);
+  {
+    telemetry::TraceSpan span(TraceEventType::kShootdown, clock, 7);
+    clock.Charge(CostCategory::kUserWork, 250);
+  }
+  std::vector<telemetry::TraceEvent> events = Tracer::CollectAll();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEventType::kShootdown);
+  EXPECT_EQ(events[0].start_cycles, 100u);
+  EXPECT_EQ(events[0].duration_cycles, 250u);
+  EXPECT_EQ(events[0].arg, 7u);
+  Tracer::Reset();
+  Tracer::SetEnabled(false);
+}
+
+TEST(TracerTest, RingWraparoundKeepsNewestEvents) {
+  Tracer::SetEnabled(true);
+  Tracer::Reset();
+  const uint64_t extra = 10;
+  for (uint64_t i = 0; i < Tracer::kRingCapacity + extra; i++) {
+    Tracer::Record(TraceEventType::kVmcall, i, 1, i);
+  }
+  EXPECT_EQ(Tracer::TotalRecorded(), Tracer::kRingCapacity + extra);
+  std::vector<telemetry::TraceEvent> events = Tracer::CollectAll();
+  ASSERT_EQ(events.size(), Tracer::kRingCapacity);
+  // The oldest `extra` events were overwritten; retention is oldest-first.
+  EXPECT_EQ(events.front().arg, extra);
+  EXPECT_EQ(events.back().arg, Tracer::kRingCapacity + extra - 1);
+  Tracer::Reset();
+  Tracer::SetEnabled(false);
+}
+
+TEST(TracerTest, DumpChromeTraceIsStructurallyValid) {
+  Tracer::SetEnabled(true);
+  Tracer::Reset();
+  Tracer::Record(TraceEventType::kFaultMajor, 2400, 2400, 0xabc);
+  Tracer::Record(TraceEventType::kDeviceRead, 4800, 1200, 4096);
+  std::string json = Tracer::DumpChromeTrace(/*cycles_per_us=*/2400);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fault.major\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"device.read\""), std::string::npos);
+  // 2400 cycles at 2400 cycles/us = 1 microsecond.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  Tracer::Reset();
+  Tracer::SetEnabled(false);
+}
+
+// --- End-to-end coverage --------------------------------------------------------
+
+// Exercises the full runtime (faults, evictions, device I/O, TLB, KVS) and
+// asserts ONE exposition call reports metrics from every major subsystem.
+TEST(TelemetryCoverageTest, OneSnapshotCoversAllSubsystems) {
+  // An Aquila runtime small enough that touching 8 MB forces evictions.
+  PmemDevice::Options dev_options;
+  dev_options.capacity_bytes = 64ull << 20;
+  auto device = std::make_unique<PmemDevice>(dev_options);
+
+  Aquila::Options options;
+  options.hypervisor.host_memory_bytes = 256ull << 20;
+  options.hypervisor.chunk_size = 1ull << 20;
+  options.cache.capacity_pages = 1024;  // 4 MB cache
+  options.cache.max_pages = 4096;
+  options.cache.eviction_batch = 64;
+  options.cache.freelist.core_queue_threshold = 64;
+  options.cache.freelist.move_batch = 32;
+  auto runtime = std::make_unique<Aquila>(options);
+
+  constexpr uint64_t kMapBytes = 16ull << 20;
+  DeviceBacking backing(device.get(), 0, kMapBytes);
+  StatusOr<MemoryMap*> map = runtime->Map(&backing, kMapBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  for (uint64_t page = 0; page < (8ull << 20) / kPageSize; page++) {
+    (*map)->TouchWrite(page * kPageSize);
+  }
+  (*map)->TouchRead(0);  // second touch of a resident page: TLB traffic
+  ASSERT_TRUE(runtime->Unmap(*map).ok());
+
+  // A small LSM store over a blobstore on a second device.
+  PmemDevice::Options kvs_dev_options;
+  kvs_dev_options.capacity_bytes = 256ull << 20;
+  auto kvs_device = std::make_unique<PmemDevice>(kvs_dev_options);
+  Blobstore::Options bs_options;
+  bs_options.cluster_size = 64 * 1024;
+  bs_options.metadata_bytes = 4ull << 20;
+  auto store = Blobstore::Format(ThisVcpu(), kvs_device.get(), bs_options);
+  ASSERT_TRUE(store.ok());
+  BlobNamespace ns(store->get());
+  KvsEnv::Options env_options;
+  env_options.store = store->get();
+  env_options.ns = &ns;
+  env_options.read_path = ReadPath::kDirectIo;
+  KvsEnv env(env_options);
+  BlockCache cache(BlockCache::Options{});
+  LsmDb::Options db_options;
+  db_options.env = &env;
+  db_options.block_cache = &cache;
+  db_options.memtable_bytes = 64 * 1024;
+  auto db = LsmDb::Open(db_options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE((*db)->Put("key" + std::to_string(i), std::string(100, 'v')).ok());
+  }
+  std::string value;
+  bool found;
+  ASSERT_TRUE((*db)->Get("key7", &value, &found).ok());
+
+  // One exposition call; every subsystem must appear.
+  std::string text = Registry().ToText();
+  for (const char* needle : {
+           "aquila_core_major_faults",     // core fault path
+           "aquila_core_evicted_pages",    // core eviction path
+           "aquila_cache_lookups",         // page cache
+           "aquila_freelist_free_frames",  // freelist gauge
+           "aquila_tlb_hits",              // TLB
+           "aquila_vmx_ring0_exceptions",  // vCPU trap accounting
+           "aquila_storage_reads",         // block devices
+           "aquila_kvs_puts",              // LSM KV store
+           "aquila_kvs_block_cache_hits",  // KVS block cache
+       }) {
+    EXPECT_NE(text.find(needle), std::string::npos) << "missing metric: " << needle;
+  }
+
+  // And the instrumented paths actually fired.
+  const telemetry::MetricsSnapshot snap = Registry().Snapshot();
+  EXPECT_GT(snap.Find("aquila.core.major_faults")->value, 0u);
+  EXPECT_GT(snap.Find("aquila.core.evicted_pages")->value, 0u);
+  EXPECT_GT(snap.Find("aquila.storage.reads")->value, 0u);
+  EXPECT_GT(snap.Find("aquila.kvs.puts")->value, 1999u);
+  EXPECT_GT(snap.Find("aquila.core.fault_major_cycles")->digest.count, 0u);
+  EXPECT_GT(snap.Find("aquila.storage.read_cycles")->digest.count, 0u);
+}
+
+}  // namespace
+}  // namespace aquila

@@ -71,8 +71,70 @@ TEST(HistogramTest, ConcurrentRecording) {
 TEST(HistogramTest, EmptyHistogram) {
   Histogram h;
   EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
   EXPECT_EQ(h.Percentile(0.99), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
   EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ZeroValueIsCounted) {
+  Histogram h;
+  h.Record(0);
+  h.Record(0);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, MergeWithEmptyPreservesMinMax) {
+  Histogram a, empty;
+  a.Record(10);
+  a.Record(500);
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(a.Min(), 10u);
+  EXPECT_EQ(a.Max(), 500u);
+  // Merging into an empty histogram adopts the source's extremes.
+  Histogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_EQ(b.Min(), 10u);
+  EXPECT_EQ(b.Max(), 500u);
+}
+
+TEST(HistogramTest, HugeValuesStayInRange) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX - 1);
+  h.Record(1);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), UINT64_MAX);
+  // Bucket midpoints near the top octave would overshoot the observed range
+  // without clamping; every quantile must stay within [Min(), Max()].
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    uint64_t v = h.Percentile(q);
+    EXPECT_GE(v, h.Min()) << q;
+    EXPECT_LE(v, h.Max()) << q;
+  }
+}
+
+TEST(HistogramTest, SumAndResetBehave) {
+  Histogram h;
+  h.Record(100);
+  h.Record(250);
+  EXPECT_EQ(h.Sum(), 350u);
+  EXPECT_NEAR(h.Mean(), 175.0, 0.01);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  h.Record(7);
+  EXPECT_EQ(h.Min(), 7u);
+  EXPECT_EQ(h.Max(), 7u);
 }
 
 TEST(RngTest, UniformRange) {
