@@ -101,7 +101,7 @@ void RunConfig(Dataset& ds, const char* mode, uint64_t cache_bytes, int threads)
   StatusOr<YcsbReport> report = runner.Run();
   AQUILA_CHECK(report.ok());
   std::printf("%-6s %-10s thr=%-2d | %8.1f kops/s | avg %7.2f us | p99 %8.2f | p99.9 %8.2f\n",
-              ds.device->kind.c_str(), mode, threads, report->throughput_kops,
+              ds.device->kind, mode, threads, report->throughput_kops,
               report->avg_latency_us, report->p99_latency_us, report->p999_latency_us);
   if (std::getenv("AQUILA_BENCH_VERBOSE") != nullptr) {
     std::printf("    breakdown/op: %s\n",

@@ -15,6 +15,7 @@
 #include "src/blob/blob_namespace.h"
 #include "src/core/aquila.h"
 #include "src/linuxsim/linux_mmap.h"
+#include "src/storage/fault_device.h"
 #include "src/storage/host_device.h"
 #include "src/storage/nvme_device.h"
 #include "src/storage/pmem_device.h"
@@ -39,13 +40,63 @@ inline uint64_t Scaled(uint64_t base) { return static_cast<uint64_t>(base * Scal
 // One simulated storage device of either kind, with both the direct-access
 // path and the host-kernel-mediated path.
 struct TestDevice {
-  std::string kind;  // "pmem" or "nvme"
+  const char* kind = "";  // "pmem" or "nvme"
   std::unique_ptr<PmemDevice> pmem;
   std::unique_ptr<NvmeController> nvme_ctrl;
   std::unique_ptr<NvmeDevice> nvme;
+  std::unique_ptr<FaultInjectingDevice> faults;  // set iff AQUILA_FAULT_SEED
   std::unique_ptr<HostIoDevice> host;  // syscall-mediated access to `direct`
   BlockDevice* direct = nullptr;       // direct (SPDK / DAX) access
+
+  // Devices (and their callback metrics) are torn down before the atexit
+  // AQUILA_METRICS dump, so an injection run reports its tally here.
+  ~TestDevice() {
+    if (faults == nullptr) {
+      return;
+    }
+    const FaultInjectingDevice::FaultStats& fs = faults->fault_stats();
+    const DeviceStats& s = faults->stats();
+    std::printf(
+        "[fault-injection] %s: injected %llu (%llu read / %llu write / %llu "
+        "flush), retries %llu, gave up %llu\n",
+        kind,
+        static_cast<unsigned long long>(fs.total_injected.load()),
+        static_cast<unsigned long long>(fs.injected_read_errors.load()),
+        static_cast<unsigned long long>(fs.injected_write_errors.load()),
+        static_cast<unsigned long long>(fs.injected_flush_errors.load()),
+        static_cast<unsigned long long>(s.io_retries.load()),
+        static_cast<unsigned long long>(s.io_gave_up.load()));
+  }
 };
+
+inline double EnvRate(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) {
+    return 0.0;
+  }
+  double v = std::atof(s);
+  return v >= 0.0 && v < 1.0 ? v : 0.0;
+}
+
+// When AQUILA_FAULT_SEED is set, interposes a FaultInjectingDevice between
+// the medium and every consumer so benchmarks run against a flaky device:
+//   AQUILA_FAULT_SEED=<n>        arm injection with a reproducible schedule
+//   AQUILA_FAULT_READ_ERR=<p>    per-read error probability (default 0)
+//   AQUILA_FAULT_WRITE_ERR=<p>   per-write error probability (default 0)
+// Retries/give-ups surface in the AQUILA_METRICS=1 dump as
+// aquila.storage.io_retries / io_gave_up / injected_faults.
+inline void MaybeInjectFaults(TestDevice* dev) {
+  const char* seed = std::getenv("AQUILA_FAULT_SEED");
+  if (seed == nullptr || *seed == '\0') {
+    return;
+  }
+  FaultInjectingDevice::Options options;
+  options.seed = std::strtoull(seed, nullptr, 10);
+  options.read_error_rate = EnvRate("AQUILA_FAULT_READ_ERR");
+  options.write_error_rate = EnvRate("AQUILA_FAULT_WRITE_ERR");
+  dev->faults = std::make_unique<FaultInjectingDevice>(dev->direct, options);
+  dev->direct = dev->faults.get();
+}
 
 inline std::unique_ptr<TestDevice> MakePmem(uint64_t capacity,
                                             CopyFlavor flavor = CopyFlavor::kStreaming) {
@@ -56,6 +107,7 @@ inline std::unique_ptr<TestDevice> MakePmem(uint64_t capacity,
   options.copy_flavor = flavor;
   dev->pmem = std::make_unique<PmemDevice>(options);
   dev->direct = dev->pmem.get();
+  MaybeInjectFaults(dev.get());
   dev->host = std::make_unique<HostIoDevice>(dev->direct, HostIoDevice::EntryPath::kSyscall);
   return dev;
 }
@@ -68,6 +120,7 @@ inline std::unique_ptr<TestDevice> MakeNvme(uint64_t capacity) {
   dev->nvme_ctrl = std::make_unique<NvmeController>(options);
   dev->nvme = std::make_unique<NvmeDevice>(dev->nvme_ctrl.get());
   dev->direct = dev->nvme.get();
+  MaybeInjectFaults(dev.get());
   dev->host = std::make_unique<HostIoDevice>(dev->direct, HostIoDevice::EntryPath::kSyscall);
   return dev;
 }

@@ -4,25 +4,40 @@
 #include <cstring>
 
 #include "src/util/bitops.h"
+#include "src/util/crc32c.h"
 #include "src/util/logging.h"
 
 namespace aquila {
 namespace {
 
 constexpr uint64_t kMagic = 0x4151554232303231ull;  // "AQUB2021"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
+// Two superblock slots (pages 0 and 1) alternate by generation parity; the
+// newest one whose CRC verifies wins at Load(). `payload_crc` covers the
+// metadata payload in this generation's payload slot; `crc` covers the
+// superblock itself (computed with the field zeroed). Must stay last.
 struct Superblock {
   uint64_t magic;
   uint32_t version;
-  uint32_t reserved;
+  uint32_t slot;
+  uint64_t generation;
   uint64_t cluster_size;
   uint64_t metadata_bytes;
   uint64_t total_clusters;
   uint64_t next_id;
   uint64_t metadata_payload_bytes;
+  uint32_t payload_crc;
+  uint32_t crc;
 };
 static_assert(sizeof(Superblock) <= kPageSize);
+static_assert(sizeof(Superblock) == 72);  // packed: CRC covers every byte
+
+uint32_t SuperblockCrc(const Superblock& sb) {
+  Superblock copy = sb;
+  copy.crc = 0;
+  return Crc32c(&copy, sizeof(copy));
+}
 
 class Writer {
  public:
@@ -85,8 +100,14 @@ void Blobstore::BlobRecord::RebuildPrefix() {
 Blobstore::Blobstore(BlockDevice* device, const Options& options)
     : device_(device), options_(options) {
   total_clusters_ = device_->capacity_bytes() / options_.cluster_size;
+  payload_capacity_ = AlignUp(options_.metadata_bytes, kPageSize);
+  // Two superblock pages + two payload slots, rounded up to clusters.
   metadata_clusters_ =
-      AlignUp(options_.metadata_bytes + kPageSize, options_.cluster_size) / options_.cluster_size;
+      AlignUp(2 * kPageSize + 2 * payload_capacity_, options_.cluster_size) /
+      options_.cluster_size;
+  if (metadata_clusters_ > total_clusters_) {
+    metadata_clusters_ = total_clusters_;  // Format() rejects this geometry
+  }
   cluster_bitmap_.assign(total_clusters_, false);
   for (uint64_t c = 0; c < metadata_clusters_; c++) {
     cluster_bitmap_[c] = true;
@@ -103,30 +124,80 @@ StatusOr<std::unique_ptr<Blobstore>> Blobstore::Format(Vcpu& vcpu, BlockDevice* 
     return Status::InvalidArgument("device too small for blobstore");
   }
   auto store = std::unique_ptr<Blobstore>(new Blobstore(device, options));
+  if (store->free_clusters_ == 0) {
+    return Status::InvalidArgument("metadata region leaves no data clusters");
+  }
   AQUILA_RETURN_IF_ERROR(store->Sync(vcpu));
   return store;
 }
 
 StatusOr<std::unique_ptr<Blobstore>> Blobstore::Load(Vcpu& vcpu, BlockDevice* device) {
-  std::vector<uint8_t> page(kPageSize);
-  AQUILA_RETURN_IF_ERROR(device->Read(vcpu, 0, std::span(page)));
-  Superblock sb;
-  std::memcpy(&sb, page.data(), sizeof(sb));
-  if (sb.magic != kMagic || sb.version != kVersion) {
+  // Read both superblock slots and keep the candidates whose self-CRC
+  // verifies, newest generation first.
+  Superblock slots[2];
+  bool valid[2] = {false, false};
+  for (uint32_t s = 0; s < 2; s++) {
+    std::vector<uint8_t> page(kPageSize);
+    if (!device->Read(vcpu, s * kPageSize, std::span(page)).ok()) {
+      continue;
+    }
+    std::memcpy(&slots[s], page.data(), sizeof(Superblock));
+    valid[s] = slots[s].magic == kMagic && slots[s].version == kVersion &&
+               slots[s].slot == s && SuperblockCrc(slots[s]) == slots[s].crc;
+  }
+  if (!valid[0] && !valid[1]) {
     return Status::FailedPrecondition("no blobstore on device");
   }
-  Options options;
-  options.cluster_size = sb.cluster_size;
-  options.metadata_bytes = sb.metadata_bytes;
-  auto store = std::unique_ptr<Blobstore>(new Blobstore(device, options));
-  store->next_id_ = sb.next_id;
-  if (sb.metadata_payload_bytes != 0) {
-    std::vector<uint8_t> payload(AlignUp(sb.metadata_payload_bytes, kPageSize));
-    AQUILA_RETURN_IF_ERROR(device->Read(vcpu, kPageSize, std::span(payload)));
-    AQUILA_RETURN_IF_ERROR(store->DeserializeMetadata(
-        std::span(payload.data(), sb.metadata_payload_bytes)));
+
+  // Try the newest valid generation; if its payload fails its checksum
+  // (torn mid-Sync despite the flush barrier — e.g. a lying device), fall
+  // back to the older one, whose payload slot that Sync never touched.
+  uint32_t order[2];
+  int candidates = 0;
+  if (valid[0] && valid[1]) {
+    order[0] = slots[0].generation >= slots[1].generation ? 0 : 1;
+    order[1] = 1 - order[0];
+    candidates = 2;
+  } else {
+    order[0] = valid[0] ? 0 : 1;
+    candidates = 1;
   }
-  return store;
+
+  Status last_error = Status::IoError("blobstore metadata unreadable");
+  for (int i = 0; i < candidates; i++) {
+    const Superblock& sb = slots[order[i]];
+    Options options;
+    options.cluster_size = sb.cluster_size;
+    options.metadata_bytes = sb.metadata_bytes;
+    auto store = std::unique_ptr<Blobstore>(new Blobstore(device, options));
+    store->next_id_ = sb.next_id;
+    store->generation_ = sb.generation;
+    if (sb.metadata_payload_bytes != 0) {
+      if (sb.metadata_payload_bytes > store->payload_capacity_) {
+        last_error = Status::IoError("blobstore payload larger than its slot");
+        continue;
+      }
+      std::vector<uint8_t> payload(AlignUp(sb.metadata_payload_bytes, kPageSize));
+      uint64_t payload_off = 2 * kPageSize + sb.slot * store->payload_capacity_;
+      Status status = device->Read(vcpu, payload_off, std::span(payload));
+      if (!status.ok()) {
+        last_error = status;
+        continue;
+      }
+      if (Crc32c(payload.data(), sb.metadata_payload_bytes) != sb.payload_crc) {
+        last_error = Status::IoError("blobstore metadata checksum mismatch");
+        continue;
+      }
+      status = store->DeserializeMetadata(
+          std::span(payload.data(), sb.metadata_payload_bytes));
+      if (!status.ok()) {
+        last_error = status;
+        continue;
+      }
+    }
+    return store;
+  }
+  return last_error;
 }
 
 std::vector<uint8_t> Blobstore::SerializeMetadata() const {
@@ -204,22 +275,44 @@ Status Blobstore::Sync(Vcpu& vcpu) {
     payload = SerializeMetadata();
     next_id = next_id_;
   }
-  if (kPageSize + payload.size() > metadata_clusters_ * options_.cluster_size) {
+  if (payload.size() > payload_capacity_) {
     return Status::OutOfSpace("blobstore metadata region full");
   }
-  std::vector<uint8_t> page(kPageSize, 0);
-  Superblock sb{kMagic,           kVersion,
-                0,                options_.cluster_size,
-                options_.metadata_bytes, total_clusters_,
-                next_id,          payload.size()};
-  std::memcpy(page.data(), &sb, sizeof(sb));
-  AQUILA_RETURN_IF_ERROR(device_->Write(vcpu, 0, std::span<const uint8_t>(page)));
+  uint64_t payload_bytes = payload.size();
+  uint32_t payload_crc = Crc32c(payload.data(), payload_bytes);
+
+  // Write the NEXT generation into the slot the current superblock does not
+  // reference, so a crash at any point preserves the previous generation.
+  uint64_t next_gen = generation_ + 1;
+  uint32_t slot = static_cast<uint32_t>(next_gen % 2);
   if (!payload.empty()) {
     payload.resize(AlignUp(payload.size(), kPageSize), 0);
     AQUILA_RETURN_IF_ERROR(
-        device_->Write(vcpu, kPageSize, std::span<const uint8_t>(payload)));
+        device_->Write(vcpu, 2 * kPageSize + slot * payload_capacity_,
+                       std::span<const uint8_t>(payload)));
   }
-  return device_->Flush(vcpu);
+  // Payload must be durable before the superblock that points at it.
+  AQUILA_RETURN_IF_ERROR(device_->Flush(vcpu));
+
+  Superblock sb{};
+  sb.magic = kMagic;
+  sb.version = kVersion;
+  sb.slot = slot;
+  sb.generation = next_gen;
+  sb.cluster_size = options_.cluster_size;
+  sb.metadata_bytes = options_.metadata_bytes;
+  sb.total_clusters = total_clusters_;
+  sb.next_id = next_id;
+  sb.metadata_payload_bytes = payload_bytes;
+  sb.payload_crc = payload_crc;
+  sb.crc = SuperblockCrc(sb);
+  std::vector<uint8_t> page(kPageSize, 0);
+  std::memcpy(page.data(), &sb, sizeof(sb));
+  AQUILA_RETURN_IF_ERROR(
+      device_->Write(vcpu, slot * kPageSize, std::span<const uint8_t>(page)));
+  AQUILA_RETURN_IF_ERROR(device_->Flush(vcpu));
+  generation_ = next_gen;
+  return Status::Ok();
 }
 
 StatusOr<std::vector<Blobstore::Extent>> Blobstore::AllocateClusters(uint64_t count) {

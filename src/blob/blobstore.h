@@ -8,10 +8,17 @@
 // buffering — Aquila's DRAM cache is the only cache; contrast BlobFS).
 //
 // On-device layout (cluster_size-aligned):
-//   cluster 0 ..            : superblock + serialized metadata region
+//   page 0, page 1          : superblock slots A/B (alternating generations)
+//   2 pages ..              : metadata payload slots A/B
 //   data clusters           : allocated to blobs as extents
 // Metadata is kept in memory and serialized on Sync(); Load() replays it,
 // so blobstores survive "remounts" of the same device.
+//
+// Crash consistency: Sync() writes the payload slot for the NEXT generation,
+// flushes, then publishes the matching superblock (CRC32C over both) and
+// flushes again. A crash anywhere in that sequence leaves the previous
+// generation's superblock + payload intact, so Load() always recovers the
+// newest generation whose checksums verify.
 #ifndef AQUILA_SRC_BLOB_BLOBSTORE_H_
 #define AQUILA_SRC_BLOB_BLOBSTORE_H_
 
@@ -106,6 +113,8 @@ class Blobstore {
   Options options_;
   uint64_t total_clusters_ = 0;
   uint64_t metadata_clusters_ = 0;
+  uint64_t payload_capacity_ = 0;  // bytes per metadata payload slot
+  uint64_t generation_ = 0;        // of the last durable Sync; slot = gen % 2
 
   mutable RwSpinLock lock_;
   std::vector<bool> cluster_bitmap_;  // true = allocated

@@ -23,6 +23,7 @@ Aquila::Aquila(const Options& options)
   metrics_.AddCounter("aquila.core.evicted_pages", fault_stats_.evicted_pages);
   metrics_.AddCounter("aquila.core.writeback_pages", fault_stats_.writeback_pages);
   metrics_.AddCounter("aquila.core.readahead_pages", fault_stats_.readahead_pages);
+  metrics_.AddCounter("aquila.core.writeback_errors", fault_stats_.writeback_errors);
   metrics_.Add("aquila.tlb.hits", telemetry::MetricKind::kCounter,
                [this] { return tlb_.hits(); });
   metrics_.Add("aquila.tlb.misses", telemetry::MetricKind::kCounter,

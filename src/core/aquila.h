@@ -16,6 +16,7 @@
 #ifndef AQUILA_SRC_CORE_AQUILA_H_
 #define AQUILA_SRC_CORE_AQUILA_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -41,6 +42,9 @@ struct FaultStats {
   std::atomic<uint64_t> evicted_pages{0};
   std::atomic<uint64_t> writeback_pages{0};
   std::atomic<uint64_t> readahead_pages{0};
+  // Writeback batches that failed after the device's retry budget. Feeds
+  // the per-mapping degradation counter (Options::writeback_failure_limit).
+  std::atomic<uint64_t> writeback_errors{0};
 };
 
 class Aquila : public MmioEngine {
@@ -55,6 +59,17 @@ class Aquila : public MmioEngine {
     uint32_t readahead_pages = 8;
     // Cores participating in shootdowns; defaults to all registered cores.
     int active_cores = 0;
+    // Consecutive writeback failures (each already past the device retry
+    // budget) before a mapping degrades to read-only. Mirrors how the
+    // kernel remounts a filesystem read-only after repeated EIO.
+    uint32_t writeback_failure_limit = 3;
+    // Invoked from the trap driver's signal handler when a REAL fault on a
+    // transparent mapping cannot be resolved because of an I/O error — the
+    // analog of the SIGBUS the kernel raises for a failed mmap read. The
+    // handler typically siglongjmps; if it returns (or is unset) the fault
+    // falls through to the default disposition and the process dies, just
+    // like an unhandled SIGBUS.
+    std::function<void(uint64_t vaddr, const Status& status)> sigbus_handler;
   };
 
   explicit Aquila(const Options& options);

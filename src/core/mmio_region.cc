@@ -128,8 +128,14 @@ Status AquilaMap::TearDown() {
     frames.push_back(frame);
   }
 
-  AQUILA_RETURN_IF_ERROR(IssueWriteback(vcpu, writeback));
-  AQUILA_RETURN_IF_ERROR(backing_->Flush(vcpu));
+  // A writeback error at teardown loses the unwritten dirty data (there is
+  // nowhere left to requeue it — the mapping is going away), but it must
+  // not leak frames, TLB entries, or the VA range: capture the first
+  // failure, finish the teardown, and report it to the caller.
+  Status result = IssueWriteback(vcpu, writeback);
+  if (result.ok()) {
+    result = backing_->Flush(vcpu);
+  }
 
   uint32_t batch = runtime_->options().shootdown_batch;
   for (size_t i = 0; i < vpns.size(); i += batch) {
@@ -145,7 +151,32 @@ Status AquilaMap::TearDown() {
     TrapDriver::ReleaseRange(transparent_base_, vma_.page_count * kPageSize);
     transparent_base_ = nullptr;
   }
-  return Status::Ok();
+  return result;
+}
+
+void AquilaMap::NoteWritebackResult(bool ok) {
+  if (ok) {
+    writeback_failures_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  runtime_->fault_stats().writeback_errors.fetch_add(1, std::memory_order_relaxed);
+  uint32_t failures = writeback_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (failures >= runtime_->options().writeback_failure_limit) {
+    degraded_.store(true, std::memory_order_release);
+  }
+}
+
+void AquilaMap::RestoreDirtyFrame(Vcpu& vcpu, FrameId frame, uint64_t sort_key) {
+  // The frame was claimed for eviction (PTE and cache mapping removed, dirty
+  // bit cleared) but its data never reached the device. Dropping it would be
+  // silent corruption, so put it back: the next access takes a minor fault
+  // and the next writeback retries.
+  PageCache& cache = runtime_->cache();
+  Frame& f = cache.frame(frame);
+  AQUILA_CHECK(cache.InsertMapping(f.key, frame));
+  cache.MarkDirty(vcpu.core(), frame, sort_key);
+  f.referenced.store(1, std::memory_order_relaxed);
+  f.state.store(FrameState::kResident, std::memory_order_release);
 }
 
 Status AquilaMap::HandleTrapFault(uint64_t vaddr, bool write) {
@@ -171,6 +202,11 @@ StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write) 
   }
   if (write && (vma_.prot & kProtWrite) == 0) {
     return Status::FailedPrecondition("write to read-only mapping");
+  }
+  if (write && degraded_.load(std::memory_order_acquire)) {
+    // Repeated writeback failures demoted the mapping: accepting more dirty
+    // data would only grow the set of pages that can never be cleaned.
+    return Status::IoError("mapping degraded to read-only after writeback failures");
   }
   Vcpu& vcpu = ThisVcpu();
   uint64_t page = vma_.start_page + (offset >> kPageShift);
@@ -486,13 +522,24 @@ size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
       std::sort(writeback.begin(), writeback.end());
     }
     Status status = IssueWriteback(vcpu, writeback);
-    AQUILA_CHECK(status.ok());
-    stats.writeback_pages.fetch_add(writeback.size(), std::memory_order_relaxed);
+    NoteWritebackResult(status.ok());
+    if (status.ok()) {
+      stats.writeback_pages.fetch_add(writeback.size(), std::memory_order_relaxed);
+      for (const WritebackItem& item : writeback) {
+        to_free.push_back(item.frame);
+      }
+    } else {
+      // The device rejected the batch even after its retry budget. The
+      // victims return to the cache dirty; eviction makes less progress
+      // this round and the fault path may retry with other victims.
+      // (Degradation is charged to the mapping driving the eviction, like
+      // reclaim-context EIO on Linux.)
+      for (const WritebackItem& item : writeback) {
+        RestoreDirtyFrame(vcpu, item.frame, item.sort_key);
+      }
+    }
     for (uint64_t page : locked_dirty_pages) {
       UnlockPage(page);
-    }
-    for (const WritebackItem& item : writeback) {
-      to_free.push_back(item.frame);
     }
   }
 
@@ -632,8 +679,28 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
                               std::span(vpns.data() + i, n), runtime_->fabric());
   }
 
-  AQUILA_RETURN_IF_ERROR(IssueWriteback(vcpu, writeback));
-  AQUILA_RETURN_IF_ERROR(backing_->Flush(vcpu));
+  Status status = IssueWriteback(vcpu, writeback);
+  if (status.ok()) {
+    status = backing_->Flush(vcpu);
+  }
+  if (!writeback.empty()) {
+    NoteWritebackResult(status.ok());
+  }
+  if (!status.ok()) {
+    // msync failed: nothing was durably acknowledged. Re-mark every claimed
+    // frame dirty (they are still mapped; only the PTEs were write-protected)
+    // so the data survives for a retry, then surface the EIO to the caller.
+    {
+      ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
+      for (const WritebackItem& item : writeback) {
+        cache.MarkDirty(vcpu.core(), item.frame, item.sort_key);
+      }
+    }
+    for (FrameId frame : claimed) {
+      cache.frame(frame).state.store(FrameState::kResident, std::memory_order_release);
+    }
+    return status;
+  }
   runtime_->fault_stats().writeback_pages.fetch_add(writeback.size(),
                                                     std::memory_order_relaxed);
   for (FrameId frame : claimed) {
@@ -710,12 +777,24 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
           to_free.push_back(frame);
         }
       }
-      AQUILA_RETURN_IF_ERROR(IssueWriteback(vcpu, writeback));
+      Status wb_status = Status::Ok();
+      if (!writeback.empty()) {
+        wb_status = IssueWriteback(vcpu, writeback);
+        NoteWritebackResult(wb_status.ok());
+      }
+      if (wb_status.ok()) {
+        for (const WritebackItem& item : writeback) {
+          to_free.push_back(item.frame);
+        }
+      } else {
+        // Failed pages stay cached and dirty; madvise reports the EIO but
+        // the clean pages below are still dropped.
+        for (const WritebackItem& item : writeback) {
+          RestoreDirtyFrame(vcpu, item.frame, item.sort_key);
+        }
+      }
       for (uint64_t page : locked_pages) {
         UnlockPage(page);
-      }
-      for (const WritebackItem& item : writeback) {
-        to_free.push_back(item.frame);
       }
       uint32_t batch = runtime_->options().shootdown_batch;
       for (size_t i = 0; i < vpns.size(); i += batch) {
@@ -726,7 +805,7 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
       for (FrameId frame : to_free) {
         cache.FreeFrame(vcpu.core(), frame);
       }
-      return Status::Ok();
+      return wb_status;
     }
   }
   return Status::InvalidArgument("unknown advice");

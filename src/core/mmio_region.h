@@ -42,8 +42,15 @@ class AquilaMap : public MemoryMap {
   uint8_t* data() { return transparent_base_; }
   // Called by the SIGSEGV handler: resolves the fault at `vaddr` and
   // installs a real translation. Returns non-OK for addresses outside the
-  // mapping (the handler then falls through to the default disposition).
+  // mapping (the handler then falls through to the default disposition) or
+  // kIoError when the backing device failed — the handler then raises the
+  // SIGBUS analog (Options::sigbus_handler) instead of crashing outright.
   Status HandleTrapFault(uint64_t vaddr, bool write);
+
+  // True once repeated writeback failures have demoted the mapping to
+  // read-only (writes fault with kIoError; reads of resident/clean pages
+  // still work). Cleared when a later writeback succeeds before the limit.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
 
   const Vma& vma() const { return vma_; }
   uint64_t mapping_id() const { return vma_.mapping_id; }
@@ -80,6 +87,13 @@ class AquilaMap : public MemoryMap {
   // Fills `frame` for (vaddr,key) from the backing and publishes it.
   Status FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint64_t key, bool write);
 
+  // Records the outcome of a writeback batch: failures count toward the
+  // degradation limit, a success resets the count.
+  void NoteWritebackResult(bool ok);
+  // Re-publishes a claimed-but-unwritten dirty frame after a writeback
+  // failure: mapping re-inserted, frame re-marked dirty and resident.
+  void RestoreDirtyFrame(Vcpu& vcpu, FrameId frame, uint64_t sort_key);
+
   // Internal setup/teardown used by Aquila::Map/Unmap.
   Status Install();
   Status TearDown();
@@ -90,6 +104,8 @@ class AquilaMap : public MemoryMap {
   Vma vma_;
   std::atomic<Advice> advice_{Advice::kNormal};
   uint8_t* transparent_base_ = nullptr;  // set for trap-mode mappings
+  std::atomic<uint32_t> writeback_failures_{0};
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace aquila

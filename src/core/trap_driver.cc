@@ -89,7 +89,8 @@ void SigsegvHandler(int signo, siginfo_t* info, void* context) {
       continue;
     }
     AQUILA_TELEMETRY_ONLY(const uint64_t trap_start = ThisVcpu().clock().Now());
-    if (map->HandleTrapFault(vaddr, write).ok()) {
+    Status status = map->HandleTrapFault(vaddr, write);
+    if (status.ok()) {
       g_handled_faults.fetch_add(1, std::memory_order_relaxed);
 #if AQUILA_TELEMETRY_ENABLED
       // No trace-ring writes here: the ring registration path allocates.
@@ -101,6 +102,18 @@ void SigsegvHandler(int signo, siginfo_t* info, void* context) {
       }
 #endif
       return;  // translation installed; the instruction restarts
+    }
+    if (status.code() == StatusCode::kIoError) {
+      // The mapping is ours but the backing device failed — the analog of
+      // the SIGBUS the kernel raises when an mmap read hits EIO. Give the
+      // application its shot (it typically siglongjmps out); if the handler
+      // returns or is unset, fall through to the default disposition and
+      // die, matching unhandled SIGBUS.
+      const auto& sigbus = runtime->options().sigbus_handler;
+      if (sigbus) {
+        sigbus(vaddr, status);
+      }
+      break;
     }
   }
   FallThrough(signo, info, context);

@@ -18,6 +18,10 @@ inline void PutFixed64(std::string* dst, uint64_t v) {
   dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
+// In-place overwrite of an already-appended fixed32 (e.g. patching a
+// checksum computed after the payload was serialized).
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+
 inline uint32_t DecodeFixed32(const char* p) {
   uint32_t v;
   std::memcpy(&v, p, sizeof(v));

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/util/bitops.h"
+#include "src/util/crc32c.h"
 #include "src/util/logging.h"
 
 namespace aquila {
@@ -19,7 +20,15 @@ struct Super {
   uint64_t next_index_page;
   uint64_t log_head;
   uint64_t entries;
+  uint32_t crc;  // CRC32C of this struct with crc zeroed
+  uint32_t reserved;
 };
+
+uint32_t SuperCrc(const Super& super) {
+  Super copy = super;
+  copy.crc = 0;
+  return Crc32c(&copy, sizeof(copy));
+}
 
 struct Slot {
   uint8_t klen;
@@ -89,7 +98,11 @@ KreonDb::KreonDb(MemoryMap* map, const Options& options) : map_(map), options_(o
   log_base_ = index_pages_ * kNodeBytes;
 }
 
-KreonDb::~KreonDb() { (void)Persist(); }
+KreonDb::~KreonDb() {
+  if (opened_) {
+    (void)Persist();
+  }
+}
 
 StatusOr<std::unique_ptr<KreonDb>> KreonDb::Open(MemoryMap* map, const Options& options) {
   if (map->length() < 64 * kNodeBytes) {
@@ -104,6 +117,7 @@ StatusOr<std::unique_ptr<KreonDb>> KreonDb::Open(MemoryMap* map, const Options& 
   } else {
     AQUILA_RETURN_IF_ERROR(db->Format());
   }
+  db->opened_ = true;
   return db;
 }
 
@@ -123,6 +137,9 @@ Status KreonDb::Recover() {
   Super super{};
   AQUILA_RETURN_IF_ERROR(
       map_->Read(0, std::span(reinterpret_cast<uint8_t*>(&super), sizeof(super))));
+  if (SuperCrc(super) != super.crc) {
+    return Status::IoError("corrupt Kreon superblock");
+  }
   root_page_ = super.root_page;
   next_index_page_ = super.next_index_page;
   log_head_ = super.log_head;
@@ -134,7 +151,8 @@ Status KreonDb::Recover() {
 }
 
 Status KreonDb::WriteSuper() {
-  Super super{kKreonMagic, root_page_, next_index_page_, log_head_, entries_};
+  Super super{kKreonMagic, root_page_, next_index_page_, log_head_, entries_, 0, 0};
+  super.crc = SuperCrc(super);
   return map_->Write(0, std::span(reinterpret_cast<const uint8_t*>(&super), sizeof(super)));
 }
 

@@ -85,6 +85,10 @@ class KreonDb : public KvStore {
   uint64_t log_head_ = 0;
   uint64_t entries_ = 0;
   uint64_t puts_since_sync_ = 0;
+  // Set once Format()/Recover() succeeds. A failed Open must not Persist()
+  // from the destructor: that would overwrite the (possibly corrupt but
+  // diagnosable) superblock with default-constructed state.
+  bool opened_ = false;
 };
 
 }  // namespace aquila

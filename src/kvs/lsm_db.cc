@@ -4,6 +4,7 @@
 
 #include "src/kvs/coding.h"
 #include "src/telemetry/scoped_timer.h"
+#include "src/util/crc32c.h"
 #include "src/util/logging.h"
 #include "src/vmx/vcpu.h"
 
@@ -11,13 +12,21 @@ namespace aquila {
 
 namespace {
 
-// WAL record: fixed32 klen | fixed32 vlen | u8 type | key | value.
+// WAL record: fixed32 crc | fixed32 klen | fixed32 vlen | u8 type | key |
+// value, where crc is CRC32C over everything after the crc field. Recovery
+// truncates the log at the first record whose checksum fails, so a torn or
+// bit-flipped tail cannot resurrect garbage (only unacknowledged records
+// past the tear are lost).
 void EncodeWalRecord(std::string* out, ValueType type, const Slice& key, const Slice& value) {
+  size_t crc_pos = out->size();
+  PutFixed32(out, 0);  // patched below
   PutFixed32(out, static_cast<uint32_t>(key.size()));
   PutFixed32(out, static_cast<uint32_t>(value.size()));
   out->push_back(static_cast<char>(type));
   out->append(key.data(), key.size());
   out->append(value.data(), value.size());
+  uint32_t crc = Crc32c(out->data() + crc_pos + 4, out->size() - crc_pos - 4);
+  EncodeFixed32(out->data() + crc_pos, crc);
 }
 
 }  // namespace
@@ -115,14 +124,18 @@ StatusOr<std::unique_ptr<LsmDb>> LsmDb::Open(const Options& options) {
       AQUILA_RETURN_IF_ERROR((*wal)->Read(0, size, data.data(), &result));
       const char* p = result.data();
       const char* limit = p + result.size();
-      while (static_cast<size_t>(limit - p) >= 9) {
-        uint32_t klen = DecodeFixed32(p);
-        uint32_t vlen = DecodeFixed32(p + 4);
-        ValueType type = static_cast<ValueType>(p[8]);
-        p += 9;
-        if (static_cast<size_t>(limit - p) < klen + vlen) {
+      while (static_cast<size_t>(limit - p) >= 13) {
+        uint32_t crc = DecodeFixed32(p);
+        uint32_t klen = DecodeFixed32(p + 4);
+        uint32_t vlen = DecodeFixed32(p + 8);
+        if (static_cast<size_t>(limit - p) - 13 < static_cast<uint64_t>(klen) + vlen) {
           break;  // torn tail record
         }
+        if (Crc32c(p + 4, 9 + static_cast<uint64_t>(klen) + vlen) != crc) {
+          break;  // corrupt record: truncate the log here
+        }
+        ValueType type = static_cast<ValueType>(p[12]);
+        p += 13;
         uint64_t seq = db->sequence_.fetch_add(1);
         db->memtable_->Add(seq, type, Slice(p, klen), Slice(p + klen, vlen));
         p += klen + vlen;
@@ -177,6 +190,14 @@ Status LsmDb::Put(const Slice& key, const Slice& value) {
 
 Status LsmDb::Delete(const Slice& key) {
   return WriteInternal(ValueType::kDeletion, key, Slice());
+}
+
+Status LsmDb::SyncWal() {
+  std::lock_guard<std::mutex> guard(write_mu_);
+  if (wal_ == nullptr) {
+    return Status::Ok();
+  }
+  return wal_->Sync();
 }
 
 Status LsmDb::WriteInternal(ValueType type, const Slice& key, const Slice& value) {

@@ -63,6 +63,11 @@ class LsmDb : public KvStore {
   // Forces the memtable out to L0.
   Status Flush();
 
+  // Durability barrier: flushes WAL buffers to the device and fsyncs. Puts
+  // issued before a successful SyncWal survive a crash (given the backing
+  // store's own metadata is synced); later puts may be lost.
+  Status SyncWal();
+
   const Stats& stats() const { return stats_; }
   int NumLevelFiles(int level) const;
   uint64_t TotalSstBytes() const;

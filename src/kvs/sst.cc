@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/kvs/coding.h"
+#include "src/util/crc32c.h"
 #include "src/util/logging.h"
 
 namespace aquila {
@@ -67,9 +68,12 @@ void SstBuilder::FlushBlock() {
   if (pending_block_.empty()) {
     return;
   }
+  // Index entries record the payload size; a fixed32 CRC32C trailer follows
+  // each data block on disk (leveldb-style per-block checksum).
   PutLengthPrefixedSlice(&index_, pending_last_key_);
   PutFixed64(&index_, offset_);
   PutFixed64(&index_, pending_block_.size());
+  PutFixed32(&pending_block_, Crc32c(pending_block_.data(), pending_block_.size()));
   Status status = file_->Append(pending_block_);
   if (!status.ok()) {
     status_ = status;
@@ -178,15 +182,19 @@ StatusOr<std::shared_ptr<const std::string>> SstReader::ReadBlock(size_t block_i
       return cached;
     }
   }
-  auto block = std::make_shared<std::string>(entry.size, '\0');
+  auto block = std::make_shared<std::string>(entry.size + 4, '\0');
   Slice result;
-  AQUILA_RETURN_IF_ERROR(file_->Read(entry.offset, entry.size, block->data(), &result));
-  if (result.size() != entry.size) {
+  AQUILA_RETURN_IF_ERROR(file_->Read(entry.offset, entry.size + 4, block->data(), &result));
+  if (result.size() != entry.size + 4) {
     return Status::IoError("short SST block read");
   }
   if (result.data() != block->data()) {
     block->assign(result.data(), result.size());
   }
+  if (Crc32c(block->data(), entry.size) != DecodeFixed32(block->data() + entry.size)) {
+    return Status::IoError("SST block checksum mismatch");
+  }
+  block->resize(entry.size);  // drop the CRC trailer; callers see payload only
   std::shared_ptr<const std::string> shared = std::move(block);
   if (cache_ != nullptr) {
     cache_->Insert(file_id_, entry.offset, shared);

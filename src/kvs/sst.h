@@ -2,9 +2,11 @@
 // (§5: fixed-size files of sorted blocks with index and bloom filter).
 //
 // Layout:
-//   [data block]*  entries: varint klen | varint vlen | fixed64 tag | k | v
+//   [data block]*  entries: varint klen | varint vlen | fixed64 tag | k | v,
+//                  followed by a fixed32 CRC32C of the block payload
 //   [filter block] bloom over user keys
 //   [index block]  per data block: length-prefixed last_key | off | size
+//                  (size counts the payload, not the CRC trailer)
 //   [footer]       index/filter locations + magic (fixed 40 bytes)
 // Entries are in internal-key order: user key ascending, sequence number
 // descending — a point Get stops at the first entry for its user key.

@@ -22,6 +22,7 @@ LinuxMmapEngine::LinuxMmapEngine(const Options& options) : options_(options) {
   metrics_.AddCounter("aquila.linuxsim.evicted_pages", stats_.evicted_pages);
   metrics_.AddCounter("aquila.linuxsim.writeback_pages", stats_.writeback_pages);
   metrics_.AddCounter("aquila.linuxsim.readahead_pages", stats_.readahead_pages);
+  metrics_.AddCounter("aquila.linuxsim.writeback_errors", stats_.writeback_errors);
   metrics_.AddGauge("aquila.linuxsim.resident_pages", [this] { return resident_pages_; });
 }
 
@@ -85,14 +86,19 @@ uint8_t* LinuxMmapEngine::AllocPageLocked(Vcpu& vcpu) {
 
 void LinuxMmapEngine::TouchLruLocked(PageEntry* entry) { entry->referenced = true; }
 
-void LinuxMmapEngine::DropEntryLocked(Vcpu& vcpu, PageEntry* entry, bool write_dirty) {
+Status LinuxMmapEngine::DropEntryLocked(Vcpu& vcpu, PageEntry* entry, bool write_dirty) {
   if (entry->dirty && write_dirty) {
     const uint8_t* data = entry->data;
     uint64_t offset = entry->file_page * kPageSize;
     Status status = entry->owner->backing_->WritePages(
         vcpu, std::span<const uint64_t>(&offset, 1), std::span<const uint8_t* const>(&data, 1),
         kPageSize);
-    AQUILA_CHECK(status.ok());
+    if (!status.ok()) {
+      // The page stays resident and dirty; a future writeback retries.
+      stats_.writeback_errors.fetch_add(1, std::memory_order_relaxed);
+      entry->referenced = true;
+      return status;
+    }
     stats_.writeback_pages.fetch_add(1, std::memory_order_relaxed);
     dirty_pages_--;
   } else if (entry->dirty) {
@@ -104,6 +110,7 @@ void LinuxMmapEngine::DropEntryLocked(Vcpu& vcpu, PageEntry* entry, bool write_d
   free_pages_.push_back(entry->data);
   resident_pages_--;
   delete entry;
+  return Status::Ok();
 }
 
 void LinuxMmapEngine::EvictLocked(Vcpu& vcpu, uint64_t target_pages) {
@@ -126,7 +133,9 @@ void LinuxMmapEngine::EvictLocked(Vcpu& vcpu, uint64_t target_pages) {
     // Eviction takes the victim file's tree lock to unhook the page.
     entry->owner->tree_lock_.Acquire(vcpu.clock(), CostCategory::kCacheMgmt,
                                      options_.tree_lock_cycles);
-    DropEntryLocked(vcpu, entry, /*write_dirty=*/true);
+    if (!DropEntryLocked(vcpu, entry, /*write_dirty=*/true).ok()) {
+      continue;  // stays resident and dirty; referenced gives a second chance
+    }
     evicted++;
   }
   stats_.evicted_pages.fetch_add(evicted, std::memory_order_relaxed);
@@ -149,7 +158,12 @@ void LinuxMmapEngine::WritebackLocked(Vcpu& vcpu, uint64_t max_pages) {
     Status status = entry->owner->backing_->WritePages(
         vcpu, std::span<const uint64_t>(&offset, 1), std::span<const uint8_t* const>(&data, 1),
         kPageSize);
-    AQUILA_CHECK(status.ok());
+    if (!status.ok()) {
+      // Leave the page dirty and stop cleaning this round; the page stays
+      // in the cache and msync will surface the error to the application.
+      stats_.writeback_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
     entry->dirty = false;
     entry->owner->writable_.erase(entry->file_page);
     dirty_pages_--;
@@ -165,7 +179,15 @@ LinuxMap::~LinuxMap() {
   Vcpu& vcpu = ThisVcpu();
   std::lock_guard<std::mutex> guard(engine_->mu_);
   while (!pages_.empty()) {
-    engine_->DropEntryLocked(vcpu, pages_.begin()->second, /*write_dirty=*/true);
+    PageEntry* entry = pages_.begin()->second;
+    if (!engine_->DropEntryLocked(vcpu, entry, /*write_dirty=*/true).ok()) {
+      // The mapping is going away: the dirty data has nowhere to live, so
+      // drop it without writeback (matching munmap after EIO) rather than
+      // spinning on a dead device.
+      AQUILA_LOG(WARN, "munmap: dropping dirty page %llu after writeback failure",
+                 static_cast<unsigned long long>(entry->file_page));
+      (void)engine_->DropEntryLocked(vcpu, entry, /*write_dirty=*/false);
+    }
   }
 }
 
@@ -247,11 +269,15 @@ StatusOr<LinuxMap::PageEntry*> LinuxMap::ResolveLocked(Vcpu& vcpu, uint64_t file
     buffers.push_back(data);
     fresh.push_back(entry);
   }
-  AQUILA_CHECK(!fresh.empty());
+  if (fresh.empty()) {
+    // The faulting page itself lies beyond the end of the file: Linux
+    // delivers SIGBUS for such accesses. Callers see it as an I/O error.
+    return Status::IoError("mmap access beyond end of file (SIGBUS)");
+  }
   Status status = backing_->ReadPages(vcpu, offsets, buffers, kPageSize);
   if (!status.ok()) {
     for (PageEntry* entry : fresh) {
-      engine_->DropEntryLocked(vcpu, entry, false);
+      (void)engine_->DropEntryLocked(vcpu, entry, false);
     }
     return status;
   }
@@ -369,7 +395,19 @@ Status LinuxMap::Sync(uint64_t offset, uint64_t length) {
     buffers.push_back(entry->data);
   }
   if (!offsets.empty()) {
-    AQUILA_RETURN_IF_ERROR(backing_->WritePages(vcpu, offsets, buffers, kPageSize));
+    Status status = backing_->WritePages(vcpu, offsets, buffers, kPageSize);
+    if (!status.ok()) {
+      // msync failed: nothing was acknowledged. Re-mark the pages dirty so
+      // the data survives for a retry, then report the EIO.
+      engine_->stats_.writeback_errors.fetch_add(1, std::memory_order_relaxed);
+      for (PageEntry* entry : dirty) {
+        if (!entry->dirty) {
+          entry->dirty = true;
+          engine_->dirty_pages_++;
+        }
+      }
+      return status;
+    }
     engine_->stats_.writeback_pages.fetch_add(offsets.size(), std::memory_order_relaxed);
   }
   return backing_->Flush(vcpu);
@@ -407,10 +445,14 @@ Status LinuxMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
           victims.push_back(entry);
         }
       }
+      Status result = Status::Ok();
       for (PageEntry* entry : victims) {
-        engine_->DropEntryLocked(vcpu, entry, /*write_dirty=*/true);
+        Status status = engine_->DropEntryLocked(vcpu, entry, /*write_dirty=*/true);
+        if (!status.ok() && result.ok()) {
+          result = status;  // failed pages stay cached; report the first EIO
+        }
       }
-      return Status::Ok();
+      return result;
     }
   }
   return Status::InvalidArgument("unknown advice");

@@ -84,6 +84,7 @@ class LinuxMmapEngine : public MmioEngine {
     std::atomic<uint64_t> evicted_pages{0};
     std::atomic<uint64_t> writeback_pages{0};
     std::atomic<uint64_t> readahead_pages{0};
+    std::atomic<uint64_t> writeback_errors{0};
   };
   const Stats& stats() const { return stats_; }
   const Options& options() const { return options_; }
@@ -105,7 +106,10 @@ class LinuxMmapEngine : public MmioEngine {
   uint8_t* AllocPageLocked(Vcpu& vcpu);
   void EvictLocked(Vcpu& vcpu, uint64_t target_pages);
   void WritebackLocked(Vcpu& vcpu, uint64_t max_pages);
-  void DropEntryLocked(Vcpu& vcpu, PageEntry* entry, bool write_dirty);
+  // Unhooks and frees `entry`, writing dirty data back first when
+  // `write_dirty`. On writeback failure the entry stays resident and dirty
+  // (the kernel keeps EIO pages in the cache) and the error is returned.
+  Status DropEntryLocked(Vcpu& vcpu, PageEntry* entry, bool write_dirty);
   void TouchLruLocked(PageEntry* entry);
 
   Options options_;

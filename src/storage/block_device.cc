@@ -31,11 +31,60 @@ BlockDevice::BlockDevice() {
   metrics_.AddCounter("aquila.storage.writes", stats_.writes);
   metrics_.AddCounter("aquila.storage.bytes_read", stats_.bytes_read);
   metrics_.AddCounter("aquila.storage.bytes_written", stats_.bytes_written);
+  metrics_.AddCounter("aquila.storage.io_errors", stats_.io_errors);
+  metrics_.AddCounter("aquila.storage.io_retries", stats_.io_retries);
+  metrics_.AddCounter("aquila.storage.io_gave_up", stats_.io_gave_up);
+}
+
+template <typename Op>
+Status BlockDevice::RunWithRetries(Vcpu& vcpu, Op&& op) {
+  uint64_t backoff = retry_policy_.initial_backoff_cycles;
+  for (uint32_t attempt = 1;; attempt++) {
+    Status status = op();
+    if (status.ok() || status.code() != StatusCode::kIoError) {
+      return status;
+    }
+    stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= retry_policy_.max_attempts) {
+      stats_.io_gave_up.fetch_add(1, std::memory_order_relaxed);
+      return status;
+    }
+    // Delayed requeue: the device is left alone for the backoff window.
+    vcpu.clock().Charge(CostCategory::kIdle, backoff);
+    backoff *= retry_policy_.backoff_multiplier;
+    stats_.io_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status BlockDevice::ValidateRange(uint64_t offset, uint64_t size) const {
+  const uint64_t align = io_alignment();
+  if (offset % align != 0 || size % align != 0) {
+    return Status::InvalidArgument("device I/O not aligned to io_alignment()");
+  }
+  if (offset + size < offset || offset + size > capacity_bytes()) {
+    return Status::InvalidArgument("device I/O beyond capacity");
+  }
+  return Status::Ok();
+}
+
+Status BlockDevice::ValidateBatch(std::span<const uint64_t> offsets,
+                                  uint64_t page_bytes) const {
+  if (page_bytes == 0) {
+    return Status::InvalidArgument("batched device I/O with zero page size");
+  }
+  for (uint64_t offset : offsets) {
+    AQUILA_RETURN_IF_ERROR(ValidateRange(offset, page_bytes));
+  }
+  return Status::Ok();
 }
 
 Status BlockDevice::Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
+  if (dst.empty()) {
+    return Status::Ok();
+  }
+  AQUILA_RETURN_IF_ERROR(ValidateRange(offset, dst.size()));
   AQUILA_TELEMETRY_ONLY(const uint64_t start = vcpu.clock().Now());
-  Status status = DoRead(vcpu, offset, dst);
+  Status status = RunWithRetries(vcpu, [&] { return DoRead(vcpu, offset, dst); });
   if (status.ok()) {
     stats_.reads.fetch_add(1, std::memory_order_relaxed);
     stats_.bytes_read.fetch_add(dst.size(), std::memory_order_relaxed);
@@ -47,8 +96,12 @@ Status BlockDevice::Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
 }
 
 Status BlockDevice::Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) {
+  if (src.empty()) {
+    return Status::Ok();
+  }
+  AQUILA_RETURN_IF_ERROR(ValidateRange(offset, src.size()));
   AQUILA_TELEMETRY_ONLY(const uint64_t start = vcpu.clock().Now());
-  Status status = DoWrite(vcpu, offset, src);
+  Status status = RunWithRetries(vcpu, [&] { return DoWrite(vcpu, offset, src); });
   if (status.ok()) {
     stats_.writes.fetch_add(1, std::memory_order_relaxed);
     stats_.bytes_written.fetch_add(src.size(), std::memory_order_relaxed);
@@ -61,8 +114,13 @@ Status BlockDevice::Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> 
 
 Status BlockDevice::WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
                                std::span<const uint8_t* const> pages, uint64_t page_bytes) {
+  if (offsets.empty()) {
+    return Status::Ok();
+  }
+  AQUILA_RETURN_IF_ERROR(ValidateBatch(offsets, page_bytes));
   AQUILA_TELEMETRY_ONLY(const uint64_t start = vcpu.clock().Now());
-  Status status = DoWriteBatch(vcpu, offsets, pages, page_bytes);
+  Status status =
+      RunWithRetries(vcpu, [&] { return DoWriteBatch(vcpu, offsets, pages, page_bytes); });
   if (status.ok()) {
     stats_.writes.fetch_add(offsets.size(), std::memory_order_relaxed);
     stats_.bytes_written.fetch_add(offsets.size() * page_bytes, std::memory_order_relaxed);
@@ -75,8 +133,13 @@ Status BlockDevice::WriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
 
 Status BlockDevice::ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
                               std::span<uint8_t* const> pages, uint64_t page_bytes) {
+  if (offsets.empty()) {
+    return Status::Ok();
+  }
+  AQUILA_RETURN_IF_ERROR(ValidateBatch(offsets, page_bytes));
   AQUILA_TELEMETRY_ONLY(const uint64_t start = vcpu.clock().Now());
-  Status status = DoReadBatch(vcpu, offsets, pages, page_bytes);
+  Status status =
+      RunWithRetries(vcpu, [&] { return DoReadBatch(vcpu, offsets, pages, page_bytes); });
   if (status.ok()) {
     stats_.reads.fetch_add(offsets.size(), std::memory_order_relaxed);
     stats_.bytes_read.fetch_add(offsets.size() * page_bytes, std::memory_order_relaxed);
@@ -85,6 +148,10 @@ Status BlockDevice::ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
         vcpu.clock(), start, offsets.size()));
   }
   return status;
+}
+
+Status BlockDevice::Flush(Vcpu& vcpu) {
+  return RunWithRetries(vcpu, [&] { return DoFlush(vcpu); });
 }
 
 Status BlockDevice::DoWriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,

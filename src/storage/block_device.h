@@ -11,12 +11,16 @@
 // SerializedResource, so concurrent readers observe queueing exactly like a
 // saturated Optane drive.
 //
-// The interface is non-virtual (NVI): Read/Write/ReadBatch/WriteBatch do
-// per-call accounting (DeviceStats, registry latency histograms, trace
-// events) and dispatch to the protected DoRead/DoWrite/... hooks concrete
-// devices implement. Stacked devices (HostIoDevice) call the public entry
-// points of their inner device, so a request is counted once per layer it
-// crosses — the registry sums the layers into runtime-wide totals.
+// The interface is non-virtual (NVI): Read/Write/ReadBatch/WriteBatch/Flush
+// do per-call accounting (DeviceStats, registry latency histograms, trace
+// events), validate the request against the device's declared geometry
+// (io_alignment(), capacity_bytes()), retry transient I/O errors with
+// bounded exponential backoff (RetryPolicy, charged to the simulated
+// clock), and dispatch to the protected DoRead/DoWrite/... hooks concrete
+// devices implement. Stacked devices (HostIoDevice, FaultInjectingDevice)
+// call the public entry points of their inner device, so a request is
+// counted once per layer it crosses — the registry sums the layers into
+// runtime-wide totals.
 #ifndef AQUILA_SRC_STORAGE_BLOCK_DEVICE_H_
 #define AQUILA_SRC_STORAGE_BLOCK_DEVICE_H_
 
@@ -35,6 +39,22 @@ struct DeviceStats {
   std::atomic<uint64_t> writes{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  // Failure handling (see RetryPolicy): attempts that returned kIoError,
+  // re-attempts issued after backoff, and requests that exhausted the
+  // attempt budget.
+  std::atomic<uint64_t> io_errors{0};
+  std::atomic<uint64_t> io_retries{0};
+  std::atomic<uint64_t> io_gave_up{0};
+};
+
+// Bounded exponential backoff for transient device errors. Only
+// StatusCode::kIoError is considered transient; anything else (bad
+// arguments, out of space) fails immediately. Backoff time models the
+// driver's delayed requeue and is charged to the calling vCPU as idle time.
+struct RetryPolicy {
+  uint32_t max_attempts = 3;              // total tries per request (>= 1)
+  uint64_t initial_backoff_cycles = 20'000;
+  uint32_t backoff_multiplier = 2;
 };
 
 class BlockDevice {
@@ -45,8 +65,16 @@ class BlockDevice {
   virtual const char* name() const = 0;
   virtual uint64_t capacity_bytes() const = 0;
 
-  // Synchronous I/O. `offset` and sizes must be 512-byte aligned (all
-  // callers use 4 KB pages). Blocking time is charged to `vcpu`.
+  // Required alignment for offsets and sizes at this interface. Devices
+  // that accept byte-granular requests (pmem is byte-addressable; the NVMe
+  // model bounces partial LBAs internally, like the kernel's
+  // read-modify-write) return 1. The default is the classic 512-byte
+  // sector contract. Misaligned or out-of-range requests fail with
+  // kInvalidArgument in the public wrappers — uniformly, not per device.
+  virtual uint64_t io_alignment() const { return 512; }
+
+  // Synchronous I/O. Blocking time is charged to `vcpu`. Empty requests
+  // succeed without touching the device.
   Status Read(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst);
   Status Write(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src);
 
@@ -60,9 +88,12 @@ class BlockDevice {
                    std::span<uint8_t* const> pages, uint64_t page_bytes);
 
   // Flushes volatile device buffers (durability barrier for msync).
-  virtual Status Flush(Vcpu& vcpu) { return Status::Ok(); }
+  Status Flush(Vcpu& vcpu);
 
   const DeviceStats& stats() const { return stats_; }
+
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
 
  protected:
   // Device implementations. Success accounting is done by the public
@@ -73,10 +104,19 @@ class BlockDevice {
                               std::span<const uint8_t* const> pages, uint64_t page_bytes);
   virtual Status DoReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
                              std::span<uint8_t* const> pages, uint64_t page_bytes);
+  virtual Status DoFlush(Vcpu& vcpu) { return Status::Ok(); }
 
   DeviceStats stats_;
 
  private:
+  // Runs `op` under the retry policy, charging backoff to `vcpu`.
+  template <typename Op>
+  Status RunWithRetries(Vcpu& vcpu, Op&& op);
+
+  Status ValidateRange(uint64_t offset, uint64_t size) const;
+  Status ValidateBatch(std::span<const uint64_t> offsets, uint64_t page_bytes) const;
+
+  RetryPolicy retry_policy_;
   // Last member: the callbacks read stats_, so they unregister first.
   telemetry::CallbackGroup metrics_;
 };

@@ -1,0 +1,228 @@
+#include "src/storage/fault_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/sim_clock.h"
+
+namespace aquila {
+
+namespace {
+
+bool Scheduled(const std::vector<uint64_t>& triggers, uint64_t attempt) {
+  return std::find(triggers.begin(), triggers.end(), attempt) != triggers.end();
+}
+
+}  // namespace
+
+FaultInjectingDevice::FaultInjectingDevice(BlockDevice* inner, const Options& options)
+    : inner_(inner), options_(options), rng_(options.seed) {
+  metrics_.AddCounter("aquila.storage.injected_faults", fault_stats_.total_injected);
+}
+
+bool FaultInjectingDevice::ShouldFail(OpKind kind, uint64_t req_size,
+                                      uint64_t* spike_cycles, uint64_t* torn_prefix) {
+  *spike_cycles = 0;
+  *torn_prefix = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  uint64_t attempt = 0;
+  double rate = 0.0;
+  switch (kind) {
+    case OpKind::kRead:
+      attempt = ++read_attempts_;
+      rate = options_.read_error_rate;
+      break;
+    case OpKind::kWrite:
+      attempt = ++write_attempts_;
+      rate = options_.write_error_rate;
+      break;
+    case OpKind::kFlush:
+      attempt = ++flush_attempts_;
+      rate = options_.flush_error_rate;
+      break;
+  }
+
+  const std::vector<uint64_t>& triggers = kind == OpKind::kRead    ? options_.fail_reads
+                                          : kind == OpKind::kWrite ? options_.fail_writes
+                                                                   : options_.fail_flushes;
+  bool fail = Scheduled(triggers, attempt);
+  // The probability draw happens whenever a rate is configured so the rng
+  // stream stays aligned across runs regardless of which branch fires.
+  if (rate > 0.0 && rng_.NextDouble() < rate) {
+    fail = true;
+  }
+
+  if (fail) {
+    if (kind == OpKind::kWrite && options_.torn_writes && req_size > 0) {
+      const uint64_t align = io_alignment();
+      *torn_prefix = rng_.Uniform(req_size) / align * align;
+    }
+    return true;
+  }
+  if (options_.latency_spike_rate > 0.0 && rng_.NextDouble() < options_.latency_spike_rate) {
+    *spike_cycles = options_.latency_spike_cycles;
+  }
+  return false;
+}
+
+Status FaultInjectingDevice::DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
+  if (offline()) {
+    return Status::IoError("device offline (power cut)");
+  }
+  uint64_t spike = 0, torn = 0;
+  if (ShouldFail(OpKind::kRead, dst.size(), &spike, &torn)) {
+    fault_stats_.injected_read_errors.fetch_add(1, std::memory_order_relaxed);
+    fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected read error");
+  }
+  if (spike != 0) {
+    fault_stats_.latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    vcpu.clock().Charge(CostCategory::kDeviceIo, spike);
+  }
+  AQUILA_RETURN_IF_ERROR(inner_->Read(vcpu, offset, dst));
+  if (options_.buffer_unflushed_writes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    OverlayPatchLocked(offset, dst);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingDevice::DoWrite(Vcpu& vcpu, uint64_t offset,
+                                     std::span<const uint8_t> src) {
+  if (offline()) {
+    return Status::IoError("device offline (power cut)");
+  }
+  uint64_t spike = 0, torn = 0;
+  if (ShouldFail(OpKind::kWrite, src.size(), &spike, &torn)) {
+    if (torn != 0) {
+      fault_stats_.torn_writes.fetch_add(1, std::memory_order_relaxed);
+      if (options_.buffer_unflushed_writes) {
+        std::lock_guard<std::mutex> lock(mu_);
+        OverlayInsertLocked(offset, src.first(torn));
+      } else {
+        // Best effort: the prefix reaches the medium even though the
+        // request as a whole is reported failed.
+        (void)inner_->Write(vcpu, offset, src.first(torn));
+      }
+    }
+    fault_stats_.injected_write_errors.fetch_add(1, std::memory_order_relaxed);
+    fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected write error");
+  }
+  if (spike != 0) {
+    fault_stats_.latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    vcpu.clock().Charge(CostCategory::kDeviceIo, spike);
+  }
+  if (options_.buffer_unflushed_writes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    OverlayInsertLocked(offset, src);
+    // Charge the transfer as if it hit the device's volatile write cache.
+    vcpu.clock().Charge(CostCategory::kDeviceIo, 1);
+    return Status::Ok();
+  }
+  return inner_->Write(vcpu, offset, src);
+}
+
+Status FaultInjectingDevice::DoFlush(Vcpu& vcpu) {
+  if (offline()) {
+    return Status::IoError("device offline (power cut)");
+  }
+  uint64_t spike = 0, torn = 0;
+  if (ShouldFail(OpKind::kFlush, 0, &spike, &torn)) {
+    fault_stats_.injected_flush_errors.fetch_add(1, std::memory_order_relaxed);
+    fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected flush error");
+  }
+  if (spike != 0) {
+    fault_stats_.latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    vcpu.clock().Charge(CostCategory::kDeviceIo, spike);
+  }
+  if (options_.buffer_unflushed_writes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    AQUILA_RETURN_IF_ERROR(ApplyOverlayLocked(vcpu));
+  }
+  return inner_->Flush(vcpu);
+}
+
+void FaultInjectingDevice::PowerCut() {
+  std::lock_guard<std::mutex> lock(mu_);
+  overlay_.clear();
+  offline_.store(true, std::memory_order_release);
+}
+
+void FaultInjectingDevice::Revive() { offline_.store(false, std::memory_order_release); }
+
+void FaultInjectingDevice::set_read_error_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.read_error_rate = rate;
+}
+
+void FaultInjectingDevice::set_write_error_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.write_error_rate = rate;
+}
+
+void FaultInjectingDevice::OverlayInsertLocked(uint64_t offset, std::span<const uint8_t> src) {
+  if (src.empty()) {
+    return;
+  }
+  const uint64_t end = offset + src.size();
+  // Trim the extent starting before `offset` that overlaps the new range.
+  auto it = overlay_.lower_bound(offset);
+  if (it != overlay_.begin()) {
+    auto prev = std::prev(it);
+    const uint64_t prev_end = prev->first + prev->second.size();
+    if (prev_end > offset) {
+      if (prev_end > end) {
+        std::vector<uint8_t> tail(prev->second.begin() + static_cast<ptrdiff_t>(end - prev->first),
+                                  prev->second.end());
+        overlay_.emplace(end, std::move(tail));
+      }
+      prev->second.resize(offset - prev->first);
+    }
+  }
+  // Drop or split extents starting inside the new range.
+  it = overlay_.lower_bound(offset);
+  while (it != overlay_.end() && it->first < end) {
+    const uint64_t it_end = it->first + it->second.size();
+    if (it_end <= end) {
+      it = overlay_.erase(it);
+    } else {
+      std::vector<uint8_t> tail(it->second.begin() + static_cast<ptrdiff_t>(end - it->first),
+                                it->second.end());
+      overlay_.erase(it);
+      overlay_.emplace(end, std::move(tail));
+      break;
+    }
+  }
+  overlay_.emplace(offset, std::vector<uint8_t>(src.begin(), src.end()));
+}
+
+void FaultInjectingDevice::OverlayPatchLocked(uint64_t offset, std::span<uint8_t> dst) const {
+  const uint64_t end = offset + dst.size();
+  auto it = overlay_.upper_bound(offset);
+  if (it != overlay_.begin()) {
+    --it;
+  }
+  for (; it != overlay_.end() && it->first < end; ++it) {
+    const uint64_t it_end = it->first + it->second.size();
+    if (it_end <= offset) {
+      continue;
+    }
+    const uint64_t lo = std::max(offset, it->first);
+    const uint64_t hi = std::min(end, it_end);
+    std::memcpy(dst.data() + (lo - offset), it->second.data() + (lo - it->first), hi - lo);
+  }
+}
+
+Status FaultInjectingDevice::ApplyOverlayLocked(Vcpu& vcpu) {
+  auto it = overlay_.begin();
+  while (it != overlay_.end()) {
+    AQUILA_RETURN_IF_ERROR(inner_->Write(vcpu, it->first, it->second));
+    it = overlay_.erase(it);
+  }
+  return Status::Ok();
+}
+
+}  // namespace aquila

@@ -1,0 +1,150 @@
+// Fault-injecting BlockDevice decorator.
+//
+// Wraps any device and injects failures according to a seeded, reproducible
+// schedule so the recovery machinery above the storage layer (retry policy,
+// mmio degraded mode, WAL/superblock recovery) can be exercised
+// deterministically:
+//
+//   - per-op error probability for reads / writes / flushes,
+//   - exact Nth-op triggers (fail exactly the 3rd write, the 1st flush, ...),
+//   - torn writes: a random prefix of the request reaches the medium before
+//     the error is reported (models a partial sector write at power loss),
+//   - latency spikes: occasional extra device time without an error,
+//   - power-cut mode: with `buffer_unflushed_writes`, writes are held in a
+//     volatile overlay until Flush() — PowerCut() discards the overlay and
+//     takes the device offline, so only flushed data survives, exactly like
+//     a disk write cache losing power.
+//
+// The decorator sits below the retry loop of its own NVI wrappers: each
+// retry attempt re-rolls the schedule, so a transient (probabilistic or
+// Nth-op) fault is observed once and the retry succeeds, while a persistent
+// fault (offline device) exhausts the attempt budget and surfaces to the
+// caller. Stack it under HostIoDevice to model kernel-path I/O errors, or
+// use it directly for the paper's user-space device paths.
+#ifndef AQUILA_SRC_STORAGE_FAULT_DEVICE_H_
+#define AQUILA_SRC_STORAGE_FAULT_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/storage/block_device.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+
+class FaultInjectingDevice : public BlockDevice {
+ public:
+  struct Options {
+    // Seed for the injection schedule; identical seeds + identical request
+    // streams reproduce identical faults.
+    uint64_t seed = 1;
+
+    // Probability in [0, 1) that an individual read/write/flush attempt
+    // fails with kIoError.
+    double read_error_rate = 0.0;
+    double write_error_rate = 0.0;
+    double flush_error_rate = 0.0;
+
+    // Exact triggers: fail the Nth read/write/flush attempt (1-based,
+    // counted per category across the device's lifetime). Retries count as
+    // new attempts, so {3, 4} fails one write and its first retry.
+    std::vector<uint64_t> fail_reads;
+    std::vector<uint64_t> fail_writes;
+    std::vector<uint64_t> fail_flushes;
+
+    // When a write fails, first let a random prefix of it reach the medium
+    // (torn write). Applies to both probabilistic and Nth-op write faults.
+    bool torn_writes = false;
+
+    // Probability that an op completes but takes `latency_spike_cycles`
+    // longer (tail-latency injection, charged to kDeviceIo).
+    double latency_spike_rate = 0.0;
+    uint64_t latency_spike_cycles = 1'000'000;
+
+    // Hold writes in a volatile overlay until Flush() applies them to the
+    // inner device. Required for PowerCut() to have teeth: without it the
+    // inner device has already absorbed every write.
+    bool buffer_unflushed_writes = false;
+  };
+
+  struct FaultStats {
+    std::atomic<uint64_t> injected_read_errors{0};
+    std::atomic<uint64_t> injected_write_errors{0};
+    std::atomic<uint64_t> injected_flush_errors{0};
+    std::atomic<uint64_t> torn_writes{0};
+    std::atomic<uint64_t> latency_spikes{0};
+    // Sum of the above error categories; exported to the telemetry
+    // registry so fault runs are visible next to io_retries/io_gave_up.
+    std::atomic<uint64_t> total_injected{0};
+  };
+
+  FaultInjectingDevice(BlockDevice* inner, const Options& options);
+
+  const char* name() const override { return "fault"; }
+  uint64_t capacity_bytes() const override { return inner_->capacity_bytes(); }
+  uint64_t io_alignment() const override { return inner_->io_alignment(); }
+
+  // Simulates power loss: unflushed buffered writes are discarded and the
+  // device goes offline (every subsequent op fails with kIoError until
+  // Revive()). The inner device retains exactly the data that had been
+  // Flush()ed.
+  void PowerCut();
+
+  // Brings the device back online after PowerCut(). The overlay stays
+  // empty: this models reattaching the medium after reboot.
+  void Revive();
+
+  bool offline() const { return offline_.load(std::memory_order_acquire); }
+
+  // Runtime adjustment of the probabilistic schedule: scenarios where a
+  // device degrades or heals mid-run.
+  void set_read_error_rate(double rate);
+  void set_write_error_rate(double rate);
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+ protected:
+  Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override;
+  Status DoWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override;
+  Status DoFlush(Vcpu& vcpu) override;
+  // Batch hooks intentionally not overridden: the base-class default loops
+  // over the virtual DoRead/DoWrite, so per-page injection (and per-attempt
+  // schedule advance under retries) falls out for free.
+
+ private:
+  enum class OpKind { kRead, kWrite, kFlush };
+
+  // Advances the schedule for one attempt; returns true when this attempt
+  // must fail. Rolls the latency-spike dice (successful ops only) and, for
+  // failing writes in torn mode, the length of the prefix that still
+  // reaches the medium (a multiple of io_alignment()).
+  bool ShouldFail(OpKind kind, uint64_t req_size, uint64_t* spike_cycles,
+                  uint64_t* torn_prefix);
+
+  // Overlay helpers (mu_ held).
+  void OverlayInsertLocked(uint64_t offset, std::span<const uint8_t> src);
+  void OverlayPatchLocked(uint64_t offset, std::span<uint8_t> dst) const;
+  Status ApplyOverlayLocked(Vcpu& vcpu);
+
+  BlockDevice* inner_;
+  Options options_;
+  FaultStats fault_stats_;
+  std::atomic<bool> offline_{false};
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  uint64_t read_attempts_ = 0;
+  uint64_t write_attempts_ = 0;
+  uint64_t flush_attempts_ = 0;
+  // Unflushed writes, keyed by device offset. Extents never overlap:
+  // inserts trim/split existing entries.
+  std::map<uint64_t, std::vector<uint8_t>> overlay_;
+
+  telemetry::CallbackGroup metrics_;
+};
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_STORAGE_FAULT_DEVICE_H_

@@ -28,13 +28,14 @@ class HostIoDevice : public BlockDevice {
     return path_ == EntryPath::kSyscall ? "host-syscall" : "host-vmcall";
   }
   uint64_t capacity_bytes() const override { return inner_->capacity_bytes(); }
+  uint64_t io_alignment() const override { return inner_->io_alignment(); }
 
-  Status Flush(Vcpu& vcpu) override {
+ protected:
+  Status DoFlush(Vcpu& vcpu) override {
     ChargeEntry(vcpu);
     return inner_->Flush(vcpu);
   }
 
- protected:
   Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override {
     ChargeEntry(vcpu);
     return inner_->Read(vcpu, offset, dst);

@@ -129,6 +129,9 @@ class NvmeDevice : public BlockDevice {
 
   const char* name() const override { return "nvme"; }
   uint64_t capacity_bytes() const override { return controller_->capacity_bytes(); }
+  // Byte-granular at this interface: partial LBAs are bounced internally
+  // (read-modify-write), exactly like the kernel's block layer.
+  uint64_t io_alignment() const override { return 1; }
 
  protected:
   Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override;

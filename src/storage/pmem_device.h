@@ -50,6 +50,8 @@ class PmemDevice : public BlockDevice {
 
   const char* name() const override { return "pmem"; }
   uint64_t capacity_bytes() const override { return options_.capacity_bytes; }
+  // Persistent memory is byte-addressable (DAX loads/stores).
+  uint64_t io_alignment() const override { return 1; }
 
   // Direct load/store window onto the medium (the DAX mapping).
   uint8_t* dax_base() { return base_; }

@@ -1,0 +1,61 @@
+#include "src/util/crc32c.h"
+
+namespace aquila {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+struct Tables {
+  uint32_t t[8][256];
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; k++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; i++) {
+      for (int j = 1; j < 8; j++) {
+        t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tab = GetTables();
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = tab.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    n--;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    word ^= crc;
+    crc = tab.t[7][word & 0xff] ^ tab.t[6][(word >> 8) & 0xff] ^
+          tab.t[5][(word >> 16) & 0xff] ^ tab.t[4][(word >> 24) & 0xff] ^
+          tab.t[3][(word >> 32) & 0xff] ^ tab.t[2][(word >> 40) & 0xff] ^
+          tab.t[1][(word >> 48) & 0xff] ^ tab.t[0][(word >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = tab.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    n--;
+  }
+  return ~crc;
+}
+
+}  // namespace aquila

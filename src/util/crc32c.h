@@ -1,0 +1,22 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
+// persistent structure: WAL records, SST blocks, the blobstore superblock
+// and the Kreon superblock. Software slicing-by-8 implementation (the
+// container may lack SSE4.2; correctness matters here, not throughput).
+#ifndef AQUILA_SRC_UTIL_CRC32C_H_
+#define AQUILA_SRC_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aquila {
+
+// Extends `crc` (the running checksum of bytes seen so far, 0 initially)
+// with `n` more bytes.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+// Checksum of one contiguous buffer.
+inline uint32_t Crc32c(const void* data, size_t n) { return Crc32cExtend(0, data, n); }
+
+}  // namespace aquila
+
+#endif  // AQUILA_SRC_UTIL_CRC32C_H_

@@ -203,6 +203,61 @@ TEST(HostDeviceTest, VmcallPathMoreExpensiveThanSyscall) {
   EXPECT_EQ(b.counters().vmcalls, 1u);
 }
 
+// A minimal sector-granular device (keeps the base-class 512-byte
+// io_alignment contract) for validating the public-wrapper checks.
+class SectorDevice : public BlockDevice {
+ public:
+  explicit SectorDevice(uint64_t capacity) : data_(capacity, 0) {}
+  const char* name() const override { return "sector"; }
+  uint64_t capacity_bytes() const override { return data_.size(); }
+
+ protected:
+  Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override {
+    std::memcpy(dst.data(), data_.data() + offset, dst.size());
+    return Status::Ok();
+  }
+  Status DoWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override {
+    std::memcpy(data_.data() + offset, src.data(), src.size());
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+TEST(BlockDeviceValidationTest, MisalignedRequestsRejected) {
+  SectorDevice dev(1 << 20);
+  Vcpu vcpu(10);
+  std::vector<uint8_t> buf(512);
+  EXPECT_EQ(dev.io_alignment(), 512u);
+  // Misaligned offset and misaligned size both fail up front with
+  // kInvalidArgument — no retries, no device I/O.
+  EXPECT_EQ(dev.Read(vcpu, 13, std::span(buf)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dev.Write(vcpu, 512, std::span<const uint8_t>(buf).first(100)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dev.stats().reads.load(), 0u);
+  EXPECT_EQ(dev.stats().io_errors.load(), 0u);
+  // Out of range is kInvalidArgument too, not a device error.
+  EXPECT_EQ(dev.Read(vcpu, dev.capacity_bytes(), std::span(buf)).code(),
+            StatusCode::kInvalidArgument);
+  // Aligned requests pass.
+  EXPECT_TRUE(dev.Write(vcpu, 1024, std::span<const uint8_t>(buf)).ok());
+  EXPECT_TRUE(dev.Read(vcpu, 1024, std::span(buf)).ok());
+}
+
+TEST(BlockDeviceValidationTest, ByteAddressableDevicesAcceptUnaligned) {
+  PmemDevice::Options options;
+  options.capacity_bytes = 1ull << 20;
+  PmemDevice pmem(options);
+  EXPECT_EQ(pmem.io_alignment(), 1u);
+  Vcpu vcpu(11);
+  std::vector<uint8_t> buf(100, 0x3C);
+  EXPECT_TRUE(pmem.Write(vcpu, 13, std::span<const uint8_t>(buf)).ok());
+  std::vector<uint8_t> in(100);
+  EXPECT_TRUE(pmem.Read(vcpu, 13, std::span(in)).ok());
+  EXPECT_EQ(in, buf);
+}
+
 class AsyncIoTest : public ::testing::Test {
  protected:
   AsyncIoTest() {

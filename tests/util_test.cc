@@ -3,16 +3,47 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "src/util/bitops.h"
+#include "src/util/crc32c.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
 #include "src/util/sim_clock.h"
 
 namespace aquila {
 namespace {
+
+TEST(Crc32cTest, KnownAnswers) {
+  // RFC 3720 §B.4 test vector.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const char* data = "memory-mapped I/O on steroids";
+  size_t len = std::strlen(data);
+  uint32_t one_shot = Crc32c(data, len);
+  for (size_t split = 0; split <= len; split++) {
+    uint32_t crc = Crc32cExtend(0, data, split);
+    crc = Crc32cExtend(crc, data + split, len - split);
+    EXPECT_EQ(crc, one_shot) << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  std::vector<uint8_t> buf(64, 0xA5);
+  uint32_t base = Crc32c(buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); i++) {
+    buf[i] ^= 0x01;
+    EXPECT_NE(Crc32c(buf.data(), buf.size()), base) << i;
+    buf[i] ^= 0x01;
+  }
+}
 
 TEST(BitopsTest, AlignmentHelpers) {
   EXPECT_EQ(AlignUp(1, 4096), 4096u);
