@@ -24,23 +24,37 @@ Histogram* DirtyCollectHist() {
 void DirtyTreeSet::Insert(int core, DirtyItem* item) {
   AQUILA_DCHECK(core >= 0 && core < CoreRegistry::kMaxCores);
   AQUILA_TELEMETRY_ONLY(telemetry::ScopedTscTimer timer(DirtyInsertHist()));
-  item->owner_core = static_cast<int16_t>(core);
   PerCore& pc = cores_[core];
   std::lock_guard<SpinLock> guard(pc.lock);
+  // owner_core is published under the tree lock, after which the item is
+  // discoverable by collectors; writing it before the lock would let a racy
+  // Remove lock the *new* core while the node is still being linked.
+  item->owner_core.store(static_cast<int16_t>(core), std::memory_order_relaxed);
   pc.tree.Insert(&item->node);
 }
 
 void DirtyTreeSet::Remove(DirtyItem* item) {
-  int core = item->owner_core;
-  if (core < 0) {
+  // owner_core is only a routing hint outside the lock: a collector may
+  // unlink the item (owner -> -1) between our load and the lock acquisition,
+  // so re-validate under the lock and retry until the hint is stable.
+  while (true) {
+    int core = item->owner_core.load(std::memory_order_acquire);
+    if (core < 0) {
+      return;
+    }
+    PerCore& pc = cores_[core];
+    std::lock_guard<SpinLock> guard(pc.lock);
+    if (item->owner_core.load(std::memory_order_relaxed) != core) {
+      continue;  // moved or unlinked while we were acquiring; re-route
+    }
+    if (item->node.linked) {
+      pc.tree.Remove(&item->node);
+    }
+    // Release keeps the invariant uniform: every unlink publishes -1 with
+    // release so the acquire fast path above is always a full handoff edge.
+    item->owner_core.store(-1, std::memory_order_release);
     return;
   }
-  PerCore& pc = cores_[core];
-  std::lock_guard<SpinLock> guard(pc.lock);
-  if (item->node.linked) {
-    pc.tree.Remove(&item->node);
-  }
-  item->owner_core = -1;
 }
 
 size_t DirtyTreeSet::CollectBatch(int start_core, size_t max, DirtyItem** out) {
@@ -53,7 +67,12 @@ size_t DirtyTreeSet::CollectBatch(int start_core, size_t max, DirtyItem** out) {
       RbNode* node = pc.tree.First();
       pc.tree.Remove(node);
       DirtyItem* item = ItemOf(node);
-      item->owner_core = -1;
+      // Release, not relaxed: collectors run WITHOUT the frame claim that
+      // orders every other dirty-state transition, so this store is the only
+      // happens-before edge between our tree-node writes and a later
+      // re-Insert on another core (which reaches us through Remove's
+      // owner_core acquire fast path when the re-dirtier clears first).
+      item->owner_core.store(-1, std::memory_order_release);
       out[n++] = item;
     }
   }
@@ -71,7 +90,8 @@ void DirtyTreeSet::CollectRange(uint64_t lo, uint64_t hi, std::vector<DirtyItem*
       }
       RbNode* next = RbTree<KeyOf>::Next(node);
       pc.tree.Remove(node);
-      item->owner_core = -1;
+      // Release for the same claim-less handoff reason as CollectBatch.
+      item->owner_core.store(-1, std::memory_order_release);
       out->push_back(item);
       node = next;
     }

@@ -11,6 +11,7 @@
 #define AQUILA_SRC_CACHE_DIRTY_TREE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -22,10 +23,15 @@ namespace aquila {
 
 // The cache frame embeds one of these; DirtyTreeSet is agnostic to the
 // containing type beyond the sort key and node.
+//
+// owner_core is the item's routing word: it names the per-core lock that
+// guards `node` and is itself written only while holding that lock. Readers
+// outside any lock (Remove's first step) use it as a hint and re-validate
+// after locking — hence atomic, not guarded.
 struct DirtyItem {
-  RbNode node;
-  uint64_t sort_key = 0;  // (mapping id, device page offset) packed
-  int16_t owner_core = -1;
+  RbNode node;            // guarded-by: cores_[owner_core].lock in DirtyTreeSet
+  uint64_t sort_key = 0;  // guarded-by: frame owner (set before insert, stable while linked)
+  std::atomic<int16_t> owner_core{-1};
 };
 
 class DirtyTreeSet {

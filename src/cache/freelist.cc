@@ -1,5 +1,7 @@
 #include "src/cache/freelist.h"
 
+#include "src/util/race_injector.h"
+
 namespace aquila {
 
 void FrameStack::Push(FrameId frame) { PushChain(frame, frame, 1); }
@@ -8,6 +10,7 @@ void FrameStack::PushChain(FrameId first, FrameId last, uint32_t count) {
   uint64_t head = head_.load(std::memory_order_relaxed);
   while (true) {
     next_[last].store(Top(head), std::memory_order_relaxed);
+    AQUILA_RACE_POINT("freelist.push.pre_cas");
     uint64_t desired = Pack(Tag(head) + 1, first);
     if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) {
       size_.fetch_add(count, std::memory_order_relaxed);
@@ -23,7 +26,11 @@ FrameId FrameStack::Pop() {
     if (top == kNil) {
       return kInvalidFrame;
     }
+    // The window between reading next_[top] and the CAS is the classic
+    // Treiber ABA interval; the tag in the packed head is what makes a
+    // pop-push-pop of the same frame fail the CAS. Stretch it under stress.
     uint32_t after = next_[top].load(std::memory_order_relaxed);
+    AQUILA_RACE_POINT("freelist.pop.pre_cas");
     uint64_t desired = Pack(Tag(head) + 1, after);
     if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) {
       size_.fetch_sub(1, std::memory_order_relaxed);
@@ -121,6 +128,10 @@ void TwoLevelFreelist::MaybeOverflow(int core) {
   if (n == 0) {
     return;
   }
+  // Between the pop above and the publish below the batch is invisible to
+  // every queue — ApproxFree transiently understates. Stretch the window so
+  // the stress harness can check the "conservative, never inflated" claim.
+  AQUILA_RACE_POINT("freelist.migrate.pre_publish");
   for (uint32_t i = 0; i + 1 < n; i++) {
     next_[batch[i]].store(batch[i + 1], std::memory_order_relaxed);
   }

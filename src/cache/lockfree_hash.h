@@ -10,7 +10,20 @@
 //  - slot := { atomic key, atomic value };
 //  - insert claims an EMPTY or TOMBSTONE slot by CAS on the key, then
 //    publishes the value (readers briefly spin on kValueUnset);
-//  - remove stores TOMBSTONE into the key; probes continue past tombstones;
+//  - remove unsets the value, THEN stores TOMBSTONE into the key. This store
+//    order is load-bearing: an insert reusing the tombstone claims the key
+//    with an acquire CAS that happens-after the value unset, so a reader that
+//    observes the new key can never observe the removed entry's stale value —
+//    it sees kValueUnset (and waits) or the new value. Probes continue past
+//    tombstones;
+//  - empty slots are never re-created (a removed key only ever becomes a
+//    tombstone), so the first EMPTY slot in a probe chain proves the key is
+//    absent and every scan — insert, lookup, remove — stops there;
+//  - readers that wait out kValueUnset re-validate the key inside the spin
+//    loop: a concurrent remove parks the value at kValueUnset before
+//    tombstoning the key, and a reader that kept spinning without re-checking
+//    the key could wait forever (or return a value for the wrong key once the
+//    slot is reused);
 //  - same-page insert/remove races are excluded by the caller (the fault
 //    handler holds the per-page VMA entry lock), so the table only needs to
 //    be internally consistent across *different* keys.
@@ -51,13 +64,15 @@ class LockFreeHash {
   bool Insert(uint64_t key, uint64_t value) {
     AQUILA_DCHECK(key != kEmptyKey && key != kTombstoneKey);
     uint64_t start = Mix64(key) & mask_;
+    uint64_t probes = 0;
     while (true) {
       uint64_t claim = capacity_;  // sentinel: none found
-      bool saw_empty = false;
       uint64_t index = start;
       for (uint64_t probe = 0; probe < capacity_; probe++, index = (index + 1) & mask_) {
+        probes++;
         uint64_t cur = slots_[index].key.load(std::memory_order_acquire);
         if (cur == key) {
+          RecordInsertProbes(probes);
           return false;
         }
         if (cur == kTombstoneKey) {
@@ -65,21 +80,24 @@ class LockFreeHash {
             claim = index;
           }
         } else if (cur == kEmptyKey) {
+          // An EMPTY slot terminates the chain: empties are never re-created
+          // (Remove only ever writes tombstones), so no matching key can live
+          // past this slot. Claiming here — not probing the rest of the table
+          // — is what keeps inserts O(chain) instead of O(capacity).
           if (claim == capacity_) {
             claim = index;
           }
-          saw_empty = true;
           break;
         }
       }
       AQUILA_CHECK(claim != capacity_);  // table full: capacity must exceed frames
-      (void)saw_empty;
       Slot& slot = slots_[claim];
       uint64_t expected = slot.key.load(std::memory_order_acquire);
       if ((expected == kEmptyKey || expected == kTombstoneKey) &&
           slot.key.compare_exchange_strong(expected, key, std::memory_order_acq_rel)) {
         slot.value.store(value, std::memory_order_release);
         size_.fetch_add(1, std::memory_order_relaxed);
+        RecordInsertProbes(probes);
         return true;
       }
       // A concurrent insert of a different key took the slot; rescan.
@@ -98,7 +116,15 @@ class LockFreeHash {
       if (cur == key) {
         uint64_t v = slot.value.load(std::memory_order_acquire);
         SpinBackoff backoff;
-        while (v == kValueUnset) {  // insert in flight: value not yet published
+        while (v == kValueUnset) {
+          // Either an insert is in flight (value not yet published) or a
+          // remove parked the value at kValueUnset just before tombstoning
+          // the key. Re-validate the key each iteration: without it a racing
+          // Remove leaves this loop spinning until the slot is reused — and a
+          // reuse for a *different* key would then hand back that key's value.
+          if (slot.key.load(std::memory_order_acquire) != key) {
+            return false;  // removed (or reused) while we waited
+          }
           backoff.Pause();
           v = slot.value.load(std::memory_order_acquire);
         }
@@ -124,6 +150,13 @@ class LockFreeHash {
         return false;
       }
       if (cur == key) {
+        // Protocol order matters: park the value at kValueUnset BEFORE
+        // tombstoning the key. An insert that reuses this tombstone claims
+        // the key with an acquire CAS ordered after both stores, so readers
+        // that observe the new key can only observe kValueUnset (and wait
+        // for the insert's publication) — never this entry's stale value.
+        // Readers spinning on kValueUnset re-validate the key (see Lookup),
+        // which bounds their wait when no insert follows.
         slot.value.store(kValueUnset, std::memory_order_release);
         slot.key.store(kTombstoneKey, std::memory_order_release);
         size_.fetch_sub(1, std::memory_order_relaxed);
@@ -136,16 +169,39 @@ class LockFreeHash {
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
   uint64_t capacity() const { return capacity_; }
 
+  // Probe-length accounting for the insert path (the only non-wait-free op:
+  // a scan that fails to stop at the first empty slot degrades to
+  // O(capacity) and this is how the regression test catches it). Inserts run
+  // on the miss path only, so two relaxed adds per insert cost nothing the
+  // paper's hit-path scalability claim cares about.
+  struct ProbeStats {
+    uint64_t insert_calls = 0;
+    uint64_t insert_probes = 0;  // total slots examined across all inserts
+  };
+  ProbeStats probe_stats() const {
+    ProbeStats s;
+    s.insert_calls = insert_calls_.load(std::memory_order_relaxed);
+    s.insert_probes = insert_probes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   struct Slot {
     std::atomic<uint64_t> key{kEmptyKey};
     std::atomic<uint64_t> value{kValueUnset};
   };
 
-  uint64_t capacity_;
-  uint64_t mask_;
-  std::unique_ptr<Slot[]> slots_;
+  void RecordInsertProbes(uint64_t probes) {
+    insert_calls_.fetch_add(1, std::memory_order_relaxed);
+    insert_probes_.fetch_add(probes, std::memory_order_relaxed);
+  }
+
+  uint64_t capacity_;                // guarded-by: immutable after construction
+  uint64_t mask_;                    // guarded-by: immutable after construction
+  std::unique_ptr<Slot[]> slots_;    // guarded-by: immutable after construction
   std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> insert_calls_{0};
+  std::atomic<uint64_t> insert_probes_{0};
 };
 
 }  // namespace aquila

@@ -1,6 +1,7 @@
 #include "src/cache/page_cache.h"
 
 #include "src/util/logging.h"
+#include "src/util/race_injector.h"
 
 namespace aquila {
 
@@ -44,10 +45,15 @@ bool PageCache::RemoveMapping(uint64_t key) { return hash_.Remove(key); }
 
 uint8_t* PageCache::FrameData(Vcpu& vcpu, FrameId id) {
   Frame& f = frames_[id];
-  if (f.data == nullptr) {
-    f.data = hypervisor_->ResolveGpa(vcpu, guest_, f.gpa);
+  uint8_t* data = f.data.load(std::memory_order_acquire);
+  if (data == nullptr) {
+    // Racing resolvers are fine: ResolveGpa is idempotent (the EPT mapping is
+    // established under the hypervisor's locks), so both compute the same
+    // pointer and the second store is a no-op.
+    data = hypervisor_->ResolveGpa(vcpu, guest_, f.gpa);
+    f.data.store(data, std::memory_order_release);
   }
-  return f.data;
+  return data;
 }
 
 FrameId PageCache::AllocFrame(Vcpu& vcpu, int core) {
@@ -57,6 +63,7 @@ FrameId PageCache::AllocFrame(Vcpu& vcpu, int core) {
   }
   Frame& f = frames_[id];
   AQUILA_DCHECK(f.state.load(std::memory_order_relaxed) == FrameState::kFree);
+  AQUILA_RACE_POINT("page_cache.alloc.pre_filling");
   f.state.store(FrameState::kFilling, std::memory_order_relaxed);
   f.referenced.store(1, std::memory_order_relaxed);
   return id;
@@ -64,10 +71,12 @@ FrameId PageCache::AllocFrame(Vcpu& vcpu, int core) {
 
 void PageCache::FreeFrame(int core, FrameId id) {
   Frame& f = frames_[id];
-  f.key = 0;
-  f.vaddr = 0;
+  f.key.store(0, std::memory_order_relaxed);
+  f.vaddr.store(0, std::memory_order_relaxed);
   f.dirty.store(0, std::memory_order_relaxed);
+  AQUILA_RACE_POINT("page_cache.free.pre_publish");
   f.state.store(FrameState::kFree, std::memory_order_release);
+  AQUILA_RACE_POINT("page_cache.free.pre_freelist");
   freelist_.Free(core, id);
 }
 
@@ -91,6 +100,7 @@ size_t PageCache::SelectVictims(size_t max, FrameId* out) {
     if (f.referenced.exchange(0, std::memory_order_relaxed) != 0) {
       continue;  // second chance
     }
+    AQUILA_RACE_POINT("page_cache.sweep.pre_claim");
     FrameState expected = FrameState::kResident;
     if (f.state.compare_exchange_strong(expected, FrameState::kEvicting,
                                         std::memory_order_acq_rel)) {
@@ -103,8 +113,15 @@ size_t PageCache::SelectVictims(size_t max, FrameId* out) {
 
 void PageCache::MarkDirty(int core, FrameId id, uint64_t sort_key) {
   Frame& f = frames_[id];
-  f.dirty.store(1, std::memory_order_relaxed);
+  // The dirty flag's 0 -> 1 edge owns the tree insertion. Losing the race
+  // (e.g. msync's restore path vs. a write-upgrade fault that re-dirtied the
+  // page right after the shootdown) means the item is already linked with
+  // the same sort key; inserting again would corrupt the RB tree.
+  if (f.dirty.exchange(1, std::memory_order_acq_rel) != 0) {
+    return;
+  }
   f.dirty_item.sort_key = sort_key;
+  AQUILA_RACE_POINT("page_cache.mark_dirty.pre_insert");
   dirty_.Insert(core, &f.dirty_item);
 }
 
@@ -153,10 +170,12 @@ Status PageCache::Grow(Vcpu& vcpu, uint64_t add_pages) {
   range->base_gpa = *gpa;
   range->first_frame = static_cast<FrameId>(current);
   range->frame_count = static_cast<uint32_t>(add_pages);
+  // gpa is written here, before AddFrames' release publication hands the
+  // frames to other cores, and never again — hence plain (see Frame).
   for (uint64_t i = 0; i < add_pages; i++) {
     Frame& f = frames_[current + i];
     f.gpa = *gpa + i * kPageSize;
-    f.data = nullptr;
+    f.data.store(nullptr, std::memory_order_relaxed);
     f.state.store(FrameState::kFree, std::memory_order_relaxed);
   }
   ranges_.push_back(std::move(range));
@@ -189,7 +208,7 @@ StatusOr<uint64_t> PageCache::Shrink(Vcpu& vcpu, uint64_t remove_pages) {
           if (status.ok()) {
             range->released = true;
             for (uint32_t i = 0; i < range->frame_count; i++) {
-              frames_[range->first_frame + i].data = nullptr;
+              frames_[range->first_frame + i].data.store(nullptr, std::memory_order_relaxed);
             }
           }
         }

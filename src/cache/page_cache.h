@@ -40,15 +40,25 @@ enum class FrameState : uint32_t {
   kOffline,    // removed by a cache shrink
 };
 
+// Frame identity fields follow an ownership-handoff protocol rather than a
+// lock: key/vaddr are written by whoever owns the frame in a transient state
+// (kFilling / kEvicting) and published by the release store of kResident;
+// claimants (evictors, msync, the minor-fault pin) acquire ownership with a
+// CAS kResident -> kEvicting/kFilling before touching them. They are atomics
+// because *unclaimed* readers exist by design — the clock sweep and eviction
+// classify candidates by key/vaddr before deciding to claim, and tolerate
+// stale values by re-validating after the claim CAS.
 struct Frame {
   std::atomic<FrameState> state{FrameState::kFree};
   std::atomic<uint8_t> referenced{0};  // clock ref bit, set on fault
   std::atomic<uint8_t> dirty{0};
-  uint64_t key = 0;    // hash key while resident
-  uint64_t vaddr = 0;  // mapped guest-virtual page address while resident
-  uint64_t gpa = 0;
-  uint8_t* data = nullptr;  // resolved host pointer (EPT walk cached)
-  DirtyItem dirty_item;     // embeds the RB node + device-offset sort key
+  std::atomic<uint64_t> key{0};    // hash key while resident
+  std::atomic<uint64_t> vaddr{0};  // mapped guest-virtual page; 0 = readahead
+  uint64_t gpa = 0;                // guarded-by: written once under grow_lock_ before
+                                   // the frame is published through the freelist
+  std::atomic<uint8_t*> data{nullptr};  // resolved host pointer (EPT walk cached);
+                                        // lazily resolved, idempotent, monotone
+  DirtyItem dirty_item;  // guarded-by: owner core's DirtyTreeSet lock (+ frame claim)
 };
 
 class PageCache {
@@ -99,7 +109,8 @@ class PageCache {
   size_t SelectVictims(size_t max, FrameId* out);
 
   // --- Dirty tracking --------------------------------------------------------------
-  // 0 -> 1 transition done by the caller under the page entry lock.
+  // Idempotent: the dirty flag's 0 -> 1 edge (atomic exchange) decides which
+  // caller links the item; an already-dirty frame is left untouched.
   void MarkDirty(int core, FrameId id, uint64_t sort_key);
   void ClearDirty(FrameId id);
   size_t CollectDirtyBatch(int start_core, size_t max, FrameId* out);
@@ -122,11 +133,11 @@ class PageCache {
 
  private:
   struct GpaRange {
-    uint64_t base_gpa = 0;
-    FrameId first_frame = 0;
-    uint32_t frame_count = 0;
+    uint64_t base_gpa = 0;      // guarded-by: immutable after Grow publishes the range
+    FrameId first_frame = 0;    // guarded-by: immutable after Grow publishes the range
+    uint32_t frame_count = 0;   // guarded-by: immutable after Grow publishes the range
     std::atomic<uint32_t> offline_frames{0};
-    bool released = false;
+    bool released = false;      // guarded-by: grow_lock_
   };
 
   Hypervisor* hypervisor_;

@@ -114,7 +114,8 @@ Status AquilaMap::TearDown() {
         }
       }
     }
-    if (f.state.load(std::memory_order_acquire) != FrameState::kEvicting || f.key != key) {
+    if (f.state.load(std::memory_order_acquire) != FrameState::kEvicting ||
+        f.key.load(std::memory_order_relaxed) != key) {
       continue;
     }
     (void)runtime_->page_table().Remove(vaddr);
@@ -173,7 +174,7 @@ void AquilaMap::RestoreDirtyFrame(Vcpu& vcpu, FrameId frame, uint64_t sort_key) 
   // and the next writeback retries.
   PageCache& cache = runtime_->cache();
   Frame& f = cache.frame(frame);
-  AQUILA_CHECK(cache.InsertMapping(f.key, frame));
+  AQUILA_CHECK(cache.InsertMapping(f.key.load(std::memory_order_relaxed), frame));
   cache.MarkDirty(vcpu.core(), frame, sort_key);
   f.referenced.store(1, std::memory_order_relaxed);
   f.state.store(FrameState::kResident, std::memory_order_release);
@@ -288,10 +289,14 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   // Minor-fault path: the page may already be in the cache (read-ahead or
   // a prior mapping). Frames without a translation (read-ahead) can be
   // evicted concurrently — an evictor for a *mapped* page would need our
-  // entry lock — so re-validate with a lookup loop: either we observe the
-  // frame resident under our key, or the mapping disappears and we fall
-  // through to the major-fault path. The wait itself stays outside the
-  // measured scopes (it is host-scheduling noise, not modeled work).
+  // entry lock, but a read-ahead frame is evictable lock-free — so the frame
+  // must be PINNED before we touch it: claim kResident -> kFilling (which
+  // makes every evictor's claim CAS fail), re-validate the key under
+  // ownership, and only then install the translation and republish. Checking
+  // state/key and then writing unpinned would let an evictor free the frame
+  // under our feet and leave the PTE pointing at a recycled frame. The wait
+  // itself stays outside the measured scopes (it is host-scheduling noise,
+  // not modeled work).
   {
     SpinBackoff backoff;
     while (true) {
@@ -304,10 +309,20 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
         break;
       }
       Frame& f = cache.frame(frame);
-      FrameState state = f.state.load(std::memory_order_acquire);
-      if (state == FrameState::kResident && f.key == key) {
+      FrameState expected = FrameState::kResident;
+      if (f.state.compare_exchange_strong(expected, FrameState::kFilling,
+                                          std::memory_order_acq_rel)) {
+        if (f.key.load(std::memory_order_relaxed) != key) {
+          // Between the lookup and the pin the frame was evicted, freed, and
+          // refilled for a different page (a refill for OUR key is impossible
+          // — it would need the entry lock we hold). Unpin and retry: the
+          // next lookup misses and takes the major-fault path.
+          f.state.store(FrameState::kResident, std::memory_order_release);
+          backoff.Pause();
+          continue;
+        }
         ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
-        f.vaddr = vaddr;
+        f.vaddr.store(vaddr, std::memory_order_relaxed);
         uint64_t flags =
             write ? (Pte::kWritable | Pte::kDirty | Pte::kAccessed) : Pte::kAccessed;
         AQUILA_CHECK(runtime_->page_table().Install(
@@ -318,13 +333,14 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
         if (transparent_base_ != nullptr) {
           TrapDriver::InstallRealMapping(runtime_, vaddr, f.gpa, write);
         }
+        f.state.store(FrameState::kResident, std::memory_order_release);
         runtime_->fault_stats().minor_faults.fetch_add(1, std::memory_order_relaxed);
         AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(
             GetFaultMetrics().fault_minor, telemetry::TraceEventType::kFaultMinor, vcpu.clock(),
             fault_start, vaddr));
         return frame;
       }
-      backoff.Pause();  // eviction or reuse in flight; re-validate
+      backoff.Pause();  // eviction, fill, or msync in flight; re-validate
     }
   }
 
@@ -377,8 +393,11 @@ Status AquilaMap::FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint
   }
 
   ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
-  f.key = key;
-  f.vaddr = vaddr;
+  // Identity writes happen while the frame is kFilling (owned by us); the
+  // release store of kResident below is the publication point that makes
+  // them visible to claimants.
+  f.key.store(key, std::memory_order_relaxed);
+  f.vaddr.store(vaddr, std::memory_order_relaxed);
   uint64_t flags = write ? (Pte::kWritable | Pte::kDirty | Pte::kAccessed) : Pte::kAccessed;
   AQUILA_CHECK(
       runtime_->page_table().Install(vaddr, static_cast<uint64_t>(frame) << kPageShift, flags));
@@ -424,8 +443,10 @@ void AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
       break;  // never evict for read-ahead
     }
     Frame& f = cache.frame(frame);
-    f.key = key;
-    f.vaddr = 0;  // no translation yet: the actual access takes a minor fault
+    f.key.store(key, std::memory_order_relaxed);
+    // No translation yet: the actual access takes a minor fault. vaddr == 0
+    // is also what marks the frame evictable without the entry lock.
+    f.vaddr.store(0, std::memory_order_relaxed);
     offsets.push_back(next_file_page * kPageSize);
     buffers.push_back(cache.FrameData(vcpu, frame));
     frames.push_back(frame);
@@ -439,7 +460,7 @@ void AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
   for (size_t i = 0; i < frames.size(); i++) {
     Frame& f = cache.frame(frames[i]);
     if (status.ok()) {
-      AQUILA_CHECK(cache.InsertMapping(f.key, frames[i]));
+      AQUILA_CHECK(cache.InsertMapping(f.key.load(std::memory_order_relaxed), frames[i]));
       f.state.store(FrameState::kResident, std::memory_order_release);
     } else {
       cache.FreeFrame(vcpu.core(), frames[i]);
@@ -480,14 +501,20 @@ size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
     for (size_t i = 0; i < n; i++) {
       FrameId frame = victims[i];
       Frame& f = cache.frame(frame);
-      uint64_t page = f.vaddr >> kPageShift;
+      // The claim CAS in SelectVictims (acquire) synchronizes with the
+      // publisher's kResident release store, so the identity fields read
+      // below are the published values; we own them until the frame is
+      // freed or republished.
+      uint64_t vaddr = f.vaddr.load(std::memory_order_relaxed);
+      uint64_t fkey = f.key.load(std::memory_order_relaxed);
+      uint64_t page = vaddr >> kPageShift;
       Vma* vma;
-      if (f.vaddr == 0 || !runtime_->vma_tree().TryLockEntry(page, &vma)) {
+      if (vaddr == 0 || !runtime_->vma_tree().TryLockEntry(page, &vma)) {
         // Read-ahead frame with no translation yet, or a fault in flight on
         // that page: give it a second chance.
-        if (f.vaddr == 0) {
+        if (vaddr == 0) {
           // Read-ahead page: evictable without a translation or a lock.
-          cache.RemoveMapping(f.key);
+          cache.RemoveMapping(fkey);
           to_free.push_back(frame);
           continue;
         }
@@ -495,17 +522,17 @@ size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
         f.state.store(FrameState::kResident, std::memory_order_release);
         continue;
       }
-      (void)runtime_->page_table().Remove(f.vaddr);
-      cache.RemoveMapping(f.key);
+      (void)runtime_->page_table().Remove(vaddr);
+      cache.RemoveMapping(fkey);
       auto* owner = static_cast<AquilaMap*>(vma->backing);
       if (owner->transparent_base_ != nullptr) {
-        TrapDriver::RemoveRealMapping(f.vaddr);
+        TrapDriver::RemoveRealMapping(vaddr);
       }
       vpns.push_back(page);
       if (f.dirty.load(std::memory_order_relaxed) != 0) {
         cache.ClearDirty(frame);
         auto* map = owner;
-        uint64_t file_offset = FilePageOfKey(f.key) * kPageSize;
+        uint64_t file_offset = FilePageOfKey(fkey) * kPageSize;
         writeback.push_back(WritebackItem{f.dirty_item.sort_key, file_offset,
                                           cache.FrameData(vcpu, frame), map->backing_, frame});
         locked_dirty_pages.push_back(page);  // stays locked until written
@@ -642,31 +669,67 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
   std::vector<FrameId> claimed;
   for (FrameId frame : collected) {
     Frame& f = cache.frame(frame);
-    uint64_t file_page = FilePageOfKey(f.key);
+    // Claim the frame BEFORE reading its identity: the unlinked dirty item
+    // proves nothing about the frame itself, which a concurrent evictor may
+    // have already claimed, written back, freed — and the freelist may have
+    // recycled it for a different page. Classifying (or re-marking) on the
+    // stale key would write the new page's data to the old page's device
+    // offset. kFilling is transient (a fill or a minor-fault pin), so wait
+    // it out; kEvicting/kFree/kOffline mean another owner took over the
+    // writeback responsibility, so skip.
+    bool owned = false;
+    SpinBackoff backoff;
+    while (true) {
+      FrameState expected = FrameState::kResident;
+      if (f.state.compare_exchange_strong(expected, FrameState::kEvicting,
+                                          std::memory_order_acq_rel)) {
+        owned = true;
+        break;
+      }
+      if (expected != FrameState::kFilling) {
+        break;
+      }
+      backoff.Pause();
+    }
+    if (!owned) {
+      continue;
+    }
+    // Re-validate identity under ownership. A recycled frame that now
+    // belongs to another mapping (or was cleaned) is not ours to sync.
+    uint64_t fkey = f.key.load(std::memory_order_relaxed);
+    uint64_t file_page = FilePageOfKey(fkey);
+    if (f.dirty.load(std::memory_order_relaxed) == 0 ||
+        fkey != MakeKey(vma_.mapping_id, file_page)) {
+      f.state.store(FrameState::kResident, std::memory_order_release);
+      continue;
+    }
     if (file_page < first_page || file_page > last_page) {
-      // Outside the msync range: keep it dirty.
+      // Outside the msync range: keep it dirty. ClearDirty-then-MarkDirty
+      // (rather than a bare insert) stays correct even when the frame was
+      // recycled within this mapping and its item already re-linked.
       ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
-      cache.MarkDirty(vcpu.core(), frame, f.dirty_item.sort_key);
+      cache.ClearDirty(frame);
+      cache.MarkDirty(vcpu.core(), frame, SortKey(file_page * kPageSize));
+      f.state.store(FrameState::kResident, std::memory_order_release);
       continue;
     }
-    // Claim against evictors; if an evictor already owns it, it will write
-    // the page back itself.
-    FrameState expected = FrameState::kResident;
-    if (!f.state.compare_exchange_strong(expected, FrameState::kEvicting,
-                                         std::memory_order_acq_rel)) {
-      continue;
-    }
-    f.dirty.store(0, std::memory_order_relaxed);
+    // ClearDirty (not a bare flag store) unlinks the item if a recycled
+    // incarnation re-inserted it, keeping flag and tree consistent.
+    cache.ClearDirty(frame);
     // Write-protect so future stores re-fault and re-mark dirty.
-    std::atomic<uint64_t>* pte = runtime_->page_table().WalkExisting(f.vaddr);
+    uint64_t fvaddr = f.vaddr.load(std::memory_order_relaxed);
+    std::atomic<uint64_t>* pte =
+        fvaddr != 0 ? runtime_->page_table().WalkExisting(fvaddr) : nullptr;
     if (pte != nullptr) {
       pte->fetch_and(~(Pte::kWritable | Pte::kDirty), std::memory_order_acq_rel);
       if (transparent_base_ != nullptr && Pte::Present(pte->load(std::memory_order_relaxed))) {
-        TrapDriver::DowngradeRealMapping(f.vaddr);
+        TrapDriver::DowngradeRealMapping(fvaddr);
       }
     }
-    vpns.push_back(f.vaddr >> kPageShift);
-    writeback.push_back(WritebackItem{f.dirty_item.sort_key, file_page * kPageSize,
+    if (fvaddr != 0) {
+      vpns.push_back(fvaddr >> kPageShift);
+    }
+    writeback.push_back(WritebackItem{SortKey(file_page * kPageSize), file_page * kPageSize,
                                       cache.FrameData(vcpu, frame), backing_, frame});
     claimed.push_back(frame);
   }
@@ -761,10 +824,20 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
           UnlockPage(page);
           continue;
         }
-        (void)runtime_->page_table().Remove(f.vaddr);
+        if (f.key.load(std::memory_order_relaxed) != key) {
+          // A read-ahead frame (evictable without our entry lock) was freed
+          // and recycled between the lookup and the claim; it is not ours.
+          f.state.store(FrameState::kResident, std::memory_order_release);
+          UnlockPage(page);
+          continue;
+        }
+        uint64_t fvaddr = f.vaddr.load(std::memory_order_relaxed);
+        if (fvaddr != 0) {
+          (void)runtime_->page_table().Remove(fvaddr);
+        }
         cache.RemoveMapping(key);
-        if (transparent_base_ != nullptr) {
-          TrapDriver::RemoveRealMapping(f.vaddr);
+        if (transparent_base_ != nullptr && fvaddr != 0) {
+          TrapDriver::RemoveRealMapping(fvaddr);
         }
         vpns.push_back(page);
         if (f.dirty.load(std::memory_order_relaxed) != 0) {

@@ -8,6 +8,8 @@ namespace aquila {
 namespace {
 
 struct BfsFunctor {
+  // guarded-by: immutable after construction; per-slot writes serialized by
+  // winning the visited[dst] CAS (exactly one writer per vertex).
   WordArray* parents;
   std::atomic<uint8_t>* visited;
 

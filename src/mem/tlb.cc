@@ -2,6 +2,7 @@
 
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/scoped_timer.h"
+#include "src/util/race_injector.h"
 #include "src/vmx/cost_model.h"
 
 namespace aquila {
@@ -17,12 +18,14 @@ TlbSet::LookupResult TlbSet::Lookup(int core, uint64_t vpn) const {
 }
 
 void TlbSet::Insert(int core, uint64_t vpn, bool writable) {
+  AQUILA_RACE_POINT("tlb.insert.pre_store");
   cores_[core].entries[SlotFor(vpn)].store(Pack(vpn, writable), std::memory_order_relaxed);
 }
 
 void TlbSet::InvalidatePage(int core, uint64_t vpn) {
   std::atomic<uint64_t>& slot = cores_[core].entries[SlotFor(vpn)];
   uint64_t packed = slot.load(std::memory_order_relaxed);
+  AQUILA_RACE_POINT("tlb.invalidate.pre_store");
   if ((packed & 1u) != 0 && (packed >> 2) == vpn) {
     slot.store(0, std::memory_order_relaxed);
   }

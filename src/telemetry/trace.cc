@@ -13,12 +13,12 @@ namespace telemetry {
 namespace {
 
 struct ThreadRing {
+  // guarded-by: owning thread (single writer); readers (dump/collect)
+  // tolerate tearing on the event payloads by design.
   std::array<TraceEvent, Tracer::kRingCapacity> events;
   // Total events recorded by the owning thread; slot = recorded % capacity.
-  // Single writer (the owner); readers (dump/collect) tolerate tearing on
-  // the event payloads.
   std::atomic<uint64_t> recorded{0};
-  int tid = 0;
+  int tid = 0;  // guarded-by: written once under RingsMutex() at registration
 };
 
 std::mutex& RingsMutex() {

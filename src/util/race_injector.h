@@ -1,0 +1,105 @@
+// Seeded schedule perturbation for the concurrency stress harness.
+//
+// `AQUILA_RACE_POINT("subsystem.site")` marks a state transition whose
+// neighborhood is interesting to interleave: the instant before a frame is
+// published/claimed, between a freelist pop and its push, between clearing a
+// frame's identity and its kFree store. In normal builds the macro compiles
+// to nothing — zero code, zero branch, no string in the binary. Configured
+// with -DAQUILA_RACE_INJECT=ON, each point randomly yields the thread or
+// burns a short random pause window, widening exactly the windows a data
+// race needs, so the stress tests (and TSan) hit interleavings that an
+// uninstrumented scheduler on a small host would almost never produce.
+//
+// The schedule is reproducible: AQUILA_RACE_SEED=<n> seeds a per-thread
+// xorshift stream (thread streams are decorrelated by arrival order, which
+// is itself deterministic for a fixed test). AQUILA_RACE_ONEIN=<n> tunes the
+// perturbation rate (default 8: one point in eight perturbs).
+#ifndef AQUILA_SRC_UTIL_RACE_INJECTOR_H_
+#define AQUILA_SRC_UTIL_RACE_INJECTOR_H_
+
+#if AQUILA_RACE_INJECT
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+#include "src/util/cpu.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+namespace race {
+
+struct Config {
+  uint64_t seed = 1;
+  uint32_t one_in = 8;  // perturb one point in `one_in`
+};
+
+inline const Config& GlobalConfig() {
+  static const Config config = [] {
+    Config c;
+    if (const char* s = std::getenv("AQUILA_RACE_SEED"); s != nullptr && *s != '\0') {
+      c.seed = std::strtoull(s, nullptr, 10);
+    }
+    if (const char* s = std::getenv("AQUILA_RACE_ONEIN"); s != nullptr && *s != '\0') {
+      uint64_t v = std::strtoull(s, nullptr, 10);
+      if (v > 0) {
+        c.one_in = static_cast<uint32_t>(v);
+      }
+    }
+    return c;
+  }();
+  return config;
+}
+
+inline std::atomic<uint64_t>& PerturbCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+inline uint64_t SiteHash(const char* site) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char* p = site; *p != '\0'; p++) {
+    hash ^= static_cast<uint8_t>(*p);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// Perturbs the schedule at `site` with probability 1/one_in: half the
+// perturbations yield (force a reschedule on a loaded host), half spin a
+// random sub-microsecond window (stretch the racy interval without a
+// context switch). The site string feeds the stream so distinct points in
+// the same thread diverge even when hit back-to-back.
+inline void Perturb(const char* site) {
+  static std::atomic<uint64_t> next_thread{0};
+  thread_local Rng rng(GlobalConfig().seed * 0x9e3779b97f4a7c15ull +
+                       (next_thread.fetch_add(1, std::memory_order_relaxed) + 1) *
+                           0xbf58476d1ce4e5b9ull);
+  uint64_t roll = rng.Next() ^ SiteHash(site);
+  if (roll % GlobalConfig().one_in != 0) {
+    return;
+  }
+  PerturbCount().fetch_add(1, std::memory_order_relaxed);
+  if (roll & 0x100) {
+    std::this_thread::yield();
+  } else {
+    uint32_t spins = static_cast<uint32_t>((roll >> 16) & 0xff);
+    for (uint32_t i = 0; i < spins; i++) {
+      CpuRelax();
+    }
+  }
+}
+
+}  // namespace race
+}  // namespace aquila
+
+#define AQUILA_RACE_POINT(site) ::aquila::race::Perturb(site)
+
+#else  // !AQUILA_RACE_INJECT
+
+#define AQUILA_RACE_POINT(site) ((void)0)
+
+#endif  // AQUILA_RACE_INJECT
+
+#endif  // AQUILA_SRC_UTIL_RACE_INJECTOR_H_

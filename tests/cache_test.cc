@@ -121,6 +121,46 @@ TEST(LockFreeHashTest, TombstoneReuse) {
   EXPECT_EQ(hash.size(), 0u);
 }
 
+// Regression guard for the early-stop invariant: an insert scan terminates
+// at the first EMPTY slot (empties are never re-created), so probe lengths
+// are O(probe chain), never O(capacity). If someone breaks the early stop —
+// e.g. by continuing the scan past EMPTY "just in case" — these bounds blow
+// up from single digits to the table size and the test fails loudly.
+TEST(LockFreeHashTest, InsertProbeLengthStopsAtFirstEmpty) {
+  LockFreeHash hash(1024);
+  LockFreeHash::ProbeStats before = hash.probe_stats();
+  ASSERT_TRUE(hash.Insert(0x42, 1));
+  LockFreeHash::ProbeStats after = hash.probe_stats();
+  EXPECT_EQ(after.insert_calls - before.insert_calls, 1u);
+  // Empty table: the home slot is EMPTY, one probe total.
+  EXPECT_EQ(after.insert_probes - before.insert_probes, 1u);
+
+  // A tombstone does not reopen the scan: reinsert after remove probes the
+  // tombstoned home slot plus the EMPTY slot behind it, nothing more.
+  ASSERT_TRUE(hash.Remove(0x42));
+  before = hash.probe_stats();
+  ASSERT_TRUE(hash.Insert(0x42, 2));
+  after = hash.probe_stats();
+  EXPECT_LE(after.insert_probes - before.insert_probes, 2u);
+
+  // At the production load factor (0.5) the MEAN probe length stays small
+  // even with heavy tombstone churn; ~capacity/2 here would mean the scan
+  // stopped honoring EMPTY slots.
+  LockFreeHash big(2048);
+  for (uint64_t k = 1; k <= 1024; k++) {
+    ASSERT_TRUE(big.Insert(k, k));
+  }
+  for (int round = 0; round < 20; round++) {
+    for (uint64_t k = 1; k <= 1024; k += 2) {
+      ASSERT_TRUE(big.Remove(k));
+      ASSERT_TRUE(big.Insert(k, k));
+    }
+  }
+  LockFreeHash::ProbeStats s = big.probe_stats();
+  ASSERT_GT(s.insert_calls, 0u);
+  EXPECT_LT(s.insert_probes / s.insert_calls, 8u);
+}
+
 TEST(LockFreeHashTest, ConcurrentDisjointKeys) {
   LockFreeHash hash(1 << 16);
   constexpr int kThreads = 8;
