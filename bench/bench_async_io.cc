@@ -12,10 +12,18 @@
 // throughput, but raises per-request latency (a request waits for its
 // batch); SPDK removes the kernel entirely; mmio wins once the working set
 // caches.
+//
+// The DeviceQueue sweep at the end drives the unified submission/completion
+// API at queue depths 1/8/32 and writes BENCH_async_pipeline.json
+// (throughput + p99 per depth) as the perf trajectory for future PRs.
+// `--smoke` shrinks the run for CI.
 #include <cinttypes>
+#include <cstring>
+#include <vector>
 
 #include "bench/common.h"
 #include "src/storage/async_io.h"
+#include "src/storage/device_queue.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
 
@@ -47,16 +55,69 @@ Row Finish(Histogram& latency, uint64_t ops, uint64_t elapsed, const CostBreakdo
   return row;
 }
 
+// Random 4K reads through the unified DeviceQueue API at a fixed queue
+// depth, keeping the queue saturated. Latency is end-to-end per request
+// (submit to reap), so deeper queues trade p99 for throughput.
+Row RunQueueDepth(uint32_t depth, uint64_t ops, uint64_t data_bytes) {
+  auto device = MakeNvme(data_bytes);
+  std::unique_ptr<DeviceQueue> queue = device->direct->CreateQueue(depth);
+  Vcpu& vcpu = ThisVcpu();
+  Histogram latency;
+  Rng rng(100 + depth);
+  const uint64_t pages = data_bytes / kPageSize;
+  std::vector<std::vector<uint8_t>> buffers(depth, std::vector<uint8_t>(kPageSize));
+  std::vector<uint32_t> free_bufs;
+  for (uint32_t i = 0; i < depth; i++) {
+    free_bufs.push_back(i);
+  }
+  std::vector<DeviceQueue::Completion> completions;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t start = vcpu.clock().Now();
+  CostBreakdown before = vcpu.clock().Breakdown();
+  while (completed < ops) {
+    while (submitted < ops && !free_bufs.empty()) {
+      uint32_t buf = free_bufs.back();
+      Status status = queue->SubmitRead(vcpu, rng.Uniform(pages) * kPageSize,
+                                        std::span(buffers[buf]), buf);
+      if (!status.ok()) {
+        AQUILA_CHECK(status.code() == StatusCode::kOutOfSpace);
+        break;
+      }
+      free_bufs.pop_back();
+      submitted++;
+    }
+    completions.clear();
+    if (queue->Poll(vcpu, &completions) == 0 && queue->in_flight() > 0) {
+      (void)queue->WaitMin(vcpu, 1, &completions);
+    }
+    uint64_t now = vcpu.clock().Now();
+    for (const DeviceQueue::Completion& c : completions) {
+      AQUILA_CHECK(c.status.ok());
+      latency.Record(now - c.submit_at);
+      free_bufs.push_back(static_cast<uint32_t>(c.user_data));
+      completed++;
+    }
+  }
+  return Finish(latency, ops, vcpu.clock().Now() - start, vcpu.clock().Breakdown() - before);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace aquila
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aquila;
   using namespace aquila::bench;
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
   PrintHeader("I/O configurations (paper §3.3 future work): random 4K reads, NVMe");
-  const uint64_t kDataBytes = Scaled(64ull << 20);
-  const uint64_t kOps = Scaled(4000);
+  const uint64_t kDataBytes = smoke ? (8ull << 20) : Scaled(64ull << 20);
+  const uint64_t kOps = smoke ? 512 : Scaled(4000);
   const uint64_t kPages = kDataBytes / kPageSize;
 
   // --- synchronous pread through the host kernel -------------------------------
@@ -82,7 +143,7 @@ int main() {
   // --- io_uring: batches of 32 ----------------------------------------------------
   {
     auto device = MakeNvme(kDataBytes);
-    AsyncIoRing ring(device->nvme_ctrl.get(), AsyncIoRing::Options{});
+    AsyncIoRing ring(*device->direct, AsyncIoRing::Options{});
     Vcpu& vcpu = ThisVcpu();
     Histogram latency;
     Rng rng(2);
@@ -157,5 +218,35 @@ int main() {
 
   std::printf("\nexpected shape: io_uring > sync in IOPS and CPU/op but worse per-request "
               "latency; spdk removes kernel cycles; mmio amortizes to ~zero on hits\n");
+
+  // --- DeviceQueue sweep: BENCH_async_pipeline.json ----------------------------------
+  PrintHeader("DeviceQueue sweep: random 4K reads at queue depth 1/8/32");
+  const uint32_t kDepths[] = {1, 8, 32};
+  std::vector<Row> sweep;
+  for (uint32_t depth : kDepths) {
+    Row row = RunQueueDepth(depth, kOps, kDataBytes);
+    char label[32];
+    std::snprintf(label, sizeof(label), "queue-depth-%u", depth);
+    Print(label, row);
+    sweep.push_back(row);
+  }
+
+  const char* json_path = "BENCH_async_pipeline.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  AQUILA_CHECK(f != nullptr);
+  std::fprintf(f, "{\n  \"bench\": \"async_pipeline\",\n  \"workload\": "
+                  "\"random 4K reads, NVMe DeviceQueue\",\n  \"smoke\": %s,\n  \"ops\": %" PRIu64
+                  ",\n  \"sweep\": [\n",
+               smoke ? "true" : "false", kOps);
+  for (size_t i = 0; i < sweep.size(); i++) {
+    std::fprintf(f,
+                 "    {\"queue_depth\": %u, \"kiops\": %.1f, \"avg_us\": %.2f, "
+                 "\"p99_us\": %.2f, \"cpu_cycles_per_op\": %.0f}%s\n",
+                 kDepths[i], sweep[i].kiops, sweep[i].avg_us, sweep[i].p99_us,
+                 sweep[i].cpu_cycles_per_op, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
   return 0;
 }

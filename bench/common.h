@@ -125,9 +125,23 @@ inline std::unique_ptr<TestDevice> MakeNvme(uint64_t capacity) {
   return dev;
 }
 
-// Standard Aquila runtime for a given cache size.
-inline std::unique_ptr<Aquila> MakeAquila(uint64_t cache_bytes, int active_cores = 0) {
+// Standard Aquila runtime for a given cache size. The async overlapped
+// writeback/readahead pipeline (Options::async_writeback) is off by default,
+// matching the library default; set AQUILA_ASYNC_WRITEBACK=1 to turn it on
+// for any benchmark, and AQUILA_ASYNC_QUEUE_DEPTH=<n> to size the
+// per-mapping device queue (default 32).
+inline Aquila::Options AquilaOptions(uint64_t cache_bytes, int active_cores = 0) {
   Aquila::Options options;
+  if (const char* async = std::getenv("AQUILA_ASYNC_WRITEBACK");
+      async != nullptr && *async != '\0' && *async != '0') {
+    options.async_writeback = true;
+  }
+  if (const char* depth = std::getenv("AQUILA_ASYNC_QUEUE_DEPTH"); depth != nullptr) {
+    int n = std::atoi(depth);
+    if (n >= 1) {
+      options.async_queue_depth = static_cast<uint32_t>(n);
+    }
+  }
   options.hypervisor.host_memory_bytes = 4ull << 30;
   options.hypervisor.chunk_size = 4ull << 20;
   options.cache.capacity_pages = cache_bytes / kPageSize;
@@ -139,7 +153,11 @@ inline std::unique_ptr<Aquila> MakeAquila(uint64_t cache_bytes, int active_cores
       static_cast<uint32_t>(options.cache.capacity_pages / 64 + 16);
   options.cache.freelist.move_batch = options.cache.freelist.core_queue_threshold / 2 + 1;
   options.active_cores = active_cores;
-  return std::make_unique<Aquila>(options);
+  return options;
+}
+
+inline std::unique_ptr<Aquila> MakeAquila(uint64_t cache_bytes, int active_cores = 0) {
+  return std::make_unique<Aquila>(AquilaOptions(cache_bytes, active_cores));
 }
 
 inline std::unique_ptr<LinuxMmapEngine> MakeLinuxMmap(uint64_t cache_bytes) {

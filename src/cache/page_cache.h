@@ -33,11 +33,14 @@
 namespace aquila {
 
 enum class FrameState : uint32_t {
-  kFree = 0,   // in a freelist queue
-  kFilling,    // claimed by a fault, I/O in flight
-  kResident,   // mapped, in the hash table
-  kEvicting,   // claimed by an evictor
-  kOffline,    // removed by a cache shrink
+  kFree = 0,     // in a freelist queue
+  kFilling,      // claimed by a fault, I/O in flight
+  kResident,     // mapped, in the hash table
+  kEvicting,     // claimed by an evictor
+  kWritingBack,  // dirty contents in flight to the device (async writeback);
+                 // still in the hash table so faulters wait instead of
+                 // re-reading a stale page from the device
+  kOffline,      // removed by a cache shrink
 };
 
 // Frame identity fields follow an ownership-handoff protocol rather than a

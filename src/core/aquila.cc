@@ -143,6 +143,11 @@ StatusOr<MemoryMap*> Aquila::Remap(MemoryMap* map, uint64_t new_length) {
   }
 
   AQUILA_RETURN_IF_ERROR(vma_tree_.Remove(&old_map->vma_));
+  // The old mapping is destroyed below without TearDown (its frames carry
+  // over); any writebacks still in flight on its engine must reap first.
+  if (old_map->engine_ != nullptr) {
+    (void)old_map->engine_->Drain(vcpu);
+  }
   for (size_t i = 0; i < old_vpns.size(); i += options_.shootdown_batch) {
     size_t n = std::min<size_t>(options_.shootdown_batch, old_vpns.size() - i);
     tlb_.Shootdown(vcpu.clock(), vcpu.core(), active_cores(),
@@ -190,6 +195,30 @@ StatusOr<MemoryMap*> Aquila::MapTransparent(Backing* backing, uint64_t length, i
   std::lock_guard<SpinLock> guard(maps_lock_);
   maps_.push_back(std::move(map));
   return static_cast<MemoryMap*>(raw);
+}
+
+size_t Aquila::HarvestAsyncWritebacks(Vcpu& vcpu, bool wait_for_one) {
+  if (!options_.async_writeback) {
+    return 0;
+  }
+  // maps_lock_ held across the whole sweep so Unmap cannot destroy a mapping
+  // mid-harvest. Lock order: entry locks -> maps_lock_ -> engine lock.
+  std::lock_guard<SpinLock> guard(maps_lock_);
+  size_t freed = 0;
+  for (auto& map : maps_) {
+    if (map->engine_ != nullptr) {
+      freed += map->engine_->Harvest(vcpu);
+    }
+  }
+  if (freed == 0 && wait_for_one) {
+    for (auto& map : maps_) {
+      if (map->engine_ != nullptr && map->engine_->in_flight() > 0) {
+        freed += map->engine_->WaitOne(vcpu);
+        break;
+      }
+    }
+  }
+  return freed;
 }
 
 Status Aquila::GrowCache(uint64_t add_bytes) {

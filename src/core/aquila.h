@@ -63,6 +63,16 @@ class Aquila : public MmioEngine {
     // budget) before a mapping degrades to read-only. Mirrors how the
     // kernel remounts a filesystem read-only after repeated EIO.
     uint32_t writeback_failure_limit = 3;
+    // Asynchronous overlapped writeback/readahead: eviction submits its
+    // offset-sorted dirty batch on the backing device's queue and continues
+    // fault handling while the device works; dirty frames sit in
+    // kWritingBack until their completions reap on the fault path. Devices
+    // without queueing fall back to a synchronous-emulation shim (same
+    // semantics, no overlap). Off by default: writeback completes
+    // synchronously exactly as before.
+    bool async_writeback = false;
+    // Per-mapping device queue depth for the async engine.
+    uint32_t async_queue_depth = 32;
     // Invoked from the trap driver's signal handler when a REAL fault on a
     // transparent mapping cannot be resolved because of an I/O error — the
     // analog of the SIGBUS the kernel raises for a failed mmap read. The
@@ -97,6 +107,13 @@ class Aquila : public MmioEngine {
   // Dynamic cache resizing (operation ⑤): interacts with the hypervisor.
   Status GrowCache(uint64_t add_bytes);
   StatusOr<uint64_t> ShrinkCache(uint64_t remove_bytes);
+
+  // Reaps ready async writeback/fill completions across every mapping;
+  // returns the number of frames released to the freelist. With
+  // `wait_for_one`, when nothing is ready, advances simulated time until one
+  // in-flight completion reaps (the fault path's backstop when every frame
+  // is in kWritingBack). No-op (returns 0) when async writeback is off.
+  size_t HarvestAsyncWritebacks(Vcpu& vcpu, bool wait_for_one = false);
 
   // --- Introspection ----------------------------------------------------------
   Hypervisor& hypervisor() { return hypervisor_; }

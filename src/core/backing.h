@@ -37,6 +37,20 @@ class Backing {
   // order follows the physical layout.
   virtual uint64_t DeviceOffset(uint64_t offset) const = 0;
 
+  // The block device under this backing: where the async writeback engine
+  // gets its DeviceQueue. DeviceOffset() translates into this device's
+  // address space.
+  virtual BlockDevice* device() = 0;
+
+  // Strict per-page translation for direct DeviceQueue submission. Unlike
+  // DeviceOffset() — a sort key, which may fall back to the file offset —
+  // this fails when the page has no device extent yet (an unallocated blob
+  // cluster), so the caller can route the I/O through WritePages/ReadPages,
+  // which allocate.
+  virtual StatusOr<uint64_t> TranslateForQueue(uint64_t offset) const {
+    return DeviceOffset(offset);
+  }
+
   virtual Status Flush(Vcpu& vcpu) = 0;
 };
 
@@ -65,7 +79,7 @@ class DeviceBacking : public Backing {
 
   Status Flush(Vcpu& vcpu) override { return device_->Flush(vcpu); }
 
-  BlockDevice* device() { return device_; }
+  BlockDevice* device() override { return device_; }
 
  private:
   BlockDevice* device_;
@@ -95,7 +109,13 @@ class BlobBacking : public Backing {
     return dev.ok() ? *dev : offset;
   }
 
+  StatusOr<uint64_t> TranslateForQueue(uint64_t offset) const override {
+    return store_->TranslateOffset(blob_, offset);
+  }
+
   Status Flush(Vcpu& vcpu) override { return store_->device()->Flush(vcpu); }
+
+  BlockDevice* device() override { return store_->device(); }
 
   BlobId blob() const { return blob_; }
 

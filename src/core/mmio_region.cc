@@ -30,40 +30,6 @@ const FaultMetrics& GetFaultMetrics() {
 }
 #endif
 
-// Frames claimed for writeback, sorted by device offset before issuing.
-struct WritebackItem {
-  uint64_t sort_key;
-  uint64_t file_offset;
-  const uint8_t* data;
-  Backing* backing;
-  FrameId frame;
-
-  bool operator<(const WritebackItem& other) const { return sort_key < other.sort_key; }
-};
-
-// Issues the (sorted) items grouped per backing in one batched call each.
-Status IssueWriteback(Vcpu& vcpu, std::vector<WritebackItem>& items) {
-  std::sort(items.begin(), items.end());
-  size_t i = 0;
-  while (i < items.size()) {
-    size_t j = i;
-    while (j < items.size() && items[j].backing == items[i].backing) {
-      j++;
-    }
-    std::vector<uint64_t> offsets;
-    std::vector<const uint8_t*> pages;
-    offsets.reserve(j - i);
-    pages.reserve(j - i);
-    for (size_t k = i; k < j; k++) {
-      offsets.push_back(items[k].file_offset);
-      pages.push_back(items[k].data);
-    }
-    AQUILA_RETURN_IF_ERROR(items[i].backing->WritePages(vcpu, offsets, pages, kPageSize));
-    i = j;
-  }
-  return Status::Ok();
-}
-
 }  // namespace
 
 AquilaMap::AquilaMap(Aquila* runtime, Backing* backing, uint64_t length, int prot)
@@ -72,6 +38,10 @@ AquilaMap::AquilaMap(Aquila* runtime, Backing* backing, uint64_t length, int pro
   vma_.prot = prot;
   vma_.mapping_id = runtime_->next_mapping_id_.fetch_add(1, std::memory_order_relaxed);
   vma_.backing = this;
+  if (runtime_->options().async_writeback) {
+    engine_ = std::make_unique<AsyncWritebackEngine>(runtime_, this,
+                                                     runtime_->options().async_queue_depth);
+  }
 }
 
 Status AquilaMap::Install() {
@@ -89,8 +59,15 @@ Status AquilaMap::TearDown() {
   // unreachable; afterwards the sweep below cannot race with new faults.
   AQUILA_RETURN_IF_ERROR(runtime_->vma_tree().Remove(&vma_));
 
+  // Reap every async writeback/fill still in flight: completions free their
+  // frames or restore failures dirty-in-place, where the sweep below
+  // re-collects them for the final synchronous pass.
+  if (engine_ != nullptr) {
+    (void)engine_->Drain(vcpu);
+  }
+
   PageCache& cache = runtime_->cache();
-  std::vector<WritebackItem> writeback;
+  WritebackPlanner planner;
   std::vector<uint64_t> vpns;
   std::vector<FrameId> frames;
   for (uint64_t i = 0; i < vma_.page_count; i++) {
@@ -107,6 +84,11 @@ Status AquilaMap::TearDown() {
     while (!f.state.compare_exchange_weak(expected, FrameState::kEvicting,
                                           std::memory_order_acq_rel)) {
       if (expected != FrameState::kResident) {
+        if (engine_ != nullptr && expected == FrameState::kWritingBack) {
+          // A concurrent evictor submitted this page between our drain and
+          // the claim; reap until its completion resolves the frame.
+          (void)engine_->WaitOne(vcpu);
+        }
         CpuRelax();
         expected = FrameState::kResident;
         if (!cache.Lookup(key, &frame)) {
@@ -123,8 +105,8 @@ Status AquilaMap::TearDown() {
     vpns.push_back(page);
     if (f.dirty.load(std::memory_order_relaxed) != 0) {
       cache.ClearDirty(frame);
-      writeback.push_back(WritebackItem{SortKey(i * kPageSize), i * kPageSize,
-                                        cache.FrameData(vcpu, frame), backing_, frame});
+      planner.Add(WritebackItem{SortKey(i * kPageSize), i * kPageSize,
+                                cache.FrameData(vcpu, frame), backing_, frame, this});
     }
     frames.push_back(frame);
   }
@@ -133,7 +115,7 @@ Status AquilaMap::TearDown() {
   // nowhere left to requeue it — the mapping is going away), but it must
   // not leak frames, TLB entries, or the VA range: capture the first
   // failure, finish the teardown, and report it to the caller.
-  Status result = IssueWriteback(vcpu, writeback);
+  Status result = planner.SubmitSync(vcpu);
   if (result.ok()) {
     result = backing_->Flush(vcpu);
   }
@@ -155,8 +137,8 @@ Status AquilaMap::TearDown() {
   return result;
 }
 
-void AquilaMap::NoteWritebackResult(bool ok) {
-  if (ok) {
+void AquilaMap::NoteWritebackResult(const Status& status) {
+  if (status.ok()) {
     writeback_failures_.store(0, std::memory_order_relaxed);
     return;
   }
@@ -167,14 +149,18 @@ void AquilaMap::NoteWritebackResult(bool ok) {
   }
 }
 
-void AquilaMap::RestoreDirtyFrame(Vcpu& vcpu, FrameId frame, uint64_t sort_key) {
-  // The frame was claimed for eviction (PTE and cache mapping removed, dirty
-  // bit cleared) but its data never reached the device. Dropping it would be
-  // silent corruption, so put it back: the next access takes a minor fault
-  // and the next writeback retries.
+void AquilaMap::RestoreDirtyFrame(Vcpu& vcpu, FrameId frame, uint64_t sort_key,
+                                  bool reinsert_mapping) {
+  // The frame was claimed for writeback (PTE removed, dirty bit cleared) but
+  // its data never reached the device. Dropping it would be silent
+  // corruption, so put it back: the next access takes a minor fault and the
+  // next writeback retries. The synchronous path removed the cache mapping
+  // when claiming and re-inserts it here; the async path kept it.
   PageCache& cache = runtime_->cache();
   Frame& f = cache.frame(frame);
-  AQUILA_CHECK(cache.InsertMapping(f.key.load(std::memory_order_relaxed), frame));
+  if (reinsert_mapping) {
+    AQUILA_CHECK(cache.InsertMapping(f.key.load(std::memory_order_relaxed), frame));
+  }
   cache.MarkDirty(vcpu.core(), frame, sort_key);
   f.referenced.store(1, std::memory_order_relaxed);
   f.state.store(FrameState::kResident, std::memory_order_release);
@@ -306,6 +292,28 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
         found = cache.Lookup(key, &frame);
       }
       if (!found) {
+        if (engine_ != nullptr) {
+          // An async read-ahead fill for this page may be in flight —
+          // invisible until its completion publishes it into the hash. Wait
+          // it out instead of issuing a duplicate device read, then re-check:
+          // the fill may also have been published by a concurrent harvester
+          // between our lookup and the engine lock.
+          bool drained = engine_->AwaitFill(vcpu, key);
+          bool hit;
+          {
+            ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+            hit = cache.Lookup(key, &frame);
+          }
+          if (hit) {
+            if (drained && advice_.load(std::memory_order_relaxed) == Advice::kSequential) {
+              // Landing on a page we had to wait for means the stream caught
+              // up with the prefetcher: re-arm the window now (the minor-
+              // fault path below won't), like the kernel's readahead marker.
+              (void)ReadAhead(vcpu, file_page);
+            }
+            continue;
+          }
+        }
         break;
       }
       Frame& f = cache.frame(frame);
@@ -340,12 +348,20 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
             fault_start, vaddr));
         return frame;
       }
+      if (engine_ != nullptr && expected == FrameState::kWritingBack) {
+        // Async writeback in flight on this page: reap completions, advancing
+        // simulated time when nothing is ready yet. The frame either frees —
+        // the retry then refills the now-durable page from the device — or
+        // returns resident on a write failure, where the pin CAS succeeds.
+        (void)engine_->WaitOne(vcpu);
+      }
       backoff.Pause();  // eviction, fill, or msync in flight; re-validate
     }
   }
 
-  // Major fault: allocate a frame, evicting synchronously when the cache is
-  // full (§3.2: batch of 512).
+  // Major fault: allocate a frame, evicting when the cache is full (§3.2:
+  // batch of 512 — written back synchronously, or submitted to the device
+  // queue with completions reaped as fault handling continues).
   while (true) {
     {
       ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
@@ -354,7 +370,16 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
     if (frame != kInvalidFrame) {
       break;
     }
-    if (EvictBatch(vcpu) == 0) {
+    // Ready async completions hand frames back without any device waiting.
+    if (runtime_->HarvestAsyncWritebacks(vcpu) > 0) {
+      continue;
+    }
+    StatusOr<size_t> evicted = EvictBatch(vcpu);
+    if (!evicted.ok()) {
+      return evicted.status();
+    }
+    if (*evicted == 0 &&
+        runtime_->HarvestAsyncWritebacks(vcpu, /*wait_for_one=*/true) == 0) {
       CpuRelax();  // every frame busy; another thread is making progress
     }
   }
@@ -367,7 +392,7 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   runtime_->fault_stats().major_faults.fetch_add(1, std::memory_order_relaxed);
 
   if (advice_.load(std::memory_order_relaxed) == Advice::kSequential) {
-    ReadAhead(vcpu, file_page);
+    (void)ReadAhead(vcpu, file_page);  // best effort: a failed prefetch is not a fault error
   }
   AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(GetFaultMetrics().fault_major,
                                                    telemetry::TraceEventType::kFaultMajor,
@@ -412,7 +437,7 @@ Status AquilaMap::FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint
   return Status::Ok();
 }
 
-void AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
+Status AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
   PageCache& cache = runtime_->cache();
   uint32_t window = runtime_->options().readahead_pages;
   std::vector<uint64_t> offsets;
@@ -420,8 +445,21 @@ void AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
   std::vector<FrameId> frames;
   std::vector<uint64_t> pages;
 
-  for (uint32_t i = 1; i <= window; i++) {
-    uint64_t next_file_page = file_page + i;
+  uint64_t first = file_page + 1;
+  const uint64_t last = file_page + window;
+  const bool track_stream =
+      engine_ != nullptr && advice_.load(std::memory_order_relaxed) == Advice::kSequential;
+  if (track_stream) {
+    // Async fills are invisible to the hash until published; start past the
+    // high-water mark so a re-armed window extends the stream instead of
+    // resubmitting fills still in flight.
+    first = std::max(first, next_readahead_.load(std::memory_order_relaxed));
+    if (first > last) {
+      return Status::Ok();
+    }
+  }
+  uint64_t advance_to = last + 1;
+  for (uint64_t next_file_page = first; next_file_page <= last; next_file_page++) {
     if (next_file_page >= vma_.page_count ||
         (next_file_page + 1) * kPageSize > backing_->size_bytes()) {
       break;
@@ -440,20 +478,43 @@ void AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
     FrameId frame = cache.AllocFrame(vcpu, vcpu.core());
     if (frame == kInvalidFrame) {
       UnlockPage(page);
-      break;  // never evict for read-ahead
+      advance_to = next_file_page;  // not covered; eligible for the next window
+      break;                        // never evict for read-ahead
     }
     Frame& f = cache.frame(frame);
     f.key.store(key, std::memory_order_relaxed);
     // No translation yet: the actual access takes a minor fault. vaddr == 0
     // is also what marks the frame evictable without the entry lock.
     f.vaddr.store(0, std::memory_order_relaxed);
+    if (engine_ != nullptr) {
+      // Async fill: the frame stays kFilling — invisible to evictors and to
+      // Lookup — until its completion publishes it into the hash. The fault
+      // that wanted the page either finds it published (minor fault) or
+      // waits out the in-flight fill (AwaitFill) rather than duplicating the
+      // read. Submitting under the page's entry lock is what makes that
+      // handshake race-free.
+      Status status = engine_->SubmitFill(vcpu, frame, key, next_file_page * kPageSize);
+      UnlockPage(page);
+      if (!status.ok()) {
+        cache.FreeFrame(vcpu.core(), frame);
+        return status;
+      }
+      continue;
+    }
     offsets.push_back(next_file_page * kPageSize);
     buffers.push_back(cache.FrameData(vcpu, frame));
     frames.push_back(frame);
     pages.push_back(page);
   }
+  if (track_stream) {
+    uint64_t seen = next_readahead_.load(std::memory_order_relaxed);
+    while (seen < advance_to &&
+           !next_readahead_.compare_exchange_weak(seen, advance_to,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
   if (frames.empty()) {
-    return;
+    return Status::Ok();
   }
 
   Status status = backing_->ReadPages(vcpu, offsets, buffers, kPageSize);
@@ -471,13 +532,15 @@ void AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
     runtime_->fault_stats().readahead_pages.fetch_add(frames.size(),
                                                       std::memory_order_relaxed);
   }
+  return status;
 }
 
-size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
+StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
   PageCache& cache = runtime_->cache();
   FaultStats& stats = runtime_->fault_stats();
   stats.evict_batches.fetch_add(1, std::memory_order_relaxed);
   AQUILA_TELEMETRY_ONLY(const uint64_t evict_start = vcpu.clock().Now());
+  const bool async = runtime_->options().async_writeback;
 
   std::vector<FrameId> victims(cache.eviction_batch());
   size_t n;
@@ -486,10 +549,10 @@ size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
     n = cache.SelectVictims(victims.size(), victims.data());
   }
   if (n == 0) {
-    return 0;
+    return size_t{0};
   }
 
-  std::vector<WritebackItem> writeback;
+  WritebackPlanner planner;
   std::vector<uint64_t> locked_dirty_pages;
   std::vector<uint64_t> vpns;
   std::vector<FrameId> to_free;
@@ -523,7 +586,6 @@ size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
         continue;
       }
       (void)runtime_->page_table().Remove(vaddr);
-      cache.RemoveMapping(fkey);
       auto* owner = static_cast<AquilaMap*>(vma->backing);
       if (owner->transparent_base_ != nullptr) {
         TrapDriver::RemoveRealMapping(vaddr);
@@ -531,42 +593,59 @@ size_t AquilaMap::EvictBatch(Vcpu& vcpu) {
       vpns.push_back(page);
       if (f.dirty.load(std::memory_order_relaxed) != 0) {
         cache.ClearDirty(frame);
-        auto* map = owner;
         uint64_t file_offset = FilePageOfKey(fkey) * kPageSize;
-        writeback.push_back(WritebackItem{f.dirty_item.sort_key, file_offset,
-                                          cache.FrameData(vcpu, frame), map->backing_, frame});
-        locked_dirty_pages.push_back(page);  // stays locked until written
+        planner.Add(WritebackItem{f.dirty_item.sort_key, file_offset,
+                                  cache.FrameData(vcpu, frame), owner->backing_, frame,
+                                  owner});
+        if (async) {
+          // Async claim: the cache mapping stays so a faulter finds the frame
+          // and waits out kWritingBack instead of re-reading a page the
+          // device has not acknowledged. The entry lock drops now — the
+          // state alone guards the frame until its completion reaps.
+          f.state.store(FrameState::kWritingBack, std::memory_order_release);
+          UnlockPage(page);
+        } else {
+          cache.RemoveMapping(fkey);
+          locked_dirty_pages.push_back(page);  // stays locked until written
+        }
       } else {
+        cache.RemoveMapping(fkey);
         UnlockPage(page);
         to_free.push_back(frame);
       }
     }
   }
 
-  if (!writeback.empty()) {
-    {
-      ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
-      std::sort(writeback.begin(), writeback.end());
-    }
-    Status status = IssueWriteback(vcpu, writeback);
-    NoteWritebackResult(status.ok());
-    if (status.ok()) {
-      stats.writeback_pages.fetch_add(writeback.size(), std::memory_order_relaxed);
-      for (const WritebackItem& item : writeback) {
-        to_free.push_back(item.frame);
+  if (!planner.empty()) {
+    if (async) {
+      // Submit the offset-sorted batch and return: the device works while
+      // fault handling continues; completions reap on later faults (or in
+      // HarvestAsyncWritebacks when allocation stalls).
+      Status status = planner.SubmitAsync(vcpu);
+      if (!status.ok()) {
+        return status;
       }
     } else {
-      // The device rejected the batch even after its retry budget. The
-      // victims return to the cache dirty; eviction makes less progress
-      // this round and the fault path may retry with other victims.
-      // (Degradation is charged to the mapping driving the eviction, like
-      // reclaim-context EIO on Linux.)
-      for (const WritebackItem& item : writeback) {
-        RestoreDirtyFrame(vcpu, item.frame, item.sort_key);
+      Status status = planner.SubmitSync(vcpu);
+      NoteWritebackResult(status);
+      if (status.ok()) {
+        stats.writeback_pages.fetch_add(planner.size(), std::memory_order_relaxed);
+        for (const WritebackItem& item : planner.items()) {
+          to_free.push_back(item.frame);
+        }
+      } else {
+        // The device rejected the batch even after its retry budget. The
+        // victims return to the cache dirty; eviction makes less progress
+        // this round and the fault path may retry with other victims.
+        // (Degradation is charged to the mapping driving the eviction, like
+        // reclaim-context EIO on Linux.)
+        for (const WritebackItem& item : planner.items()) {
+          RestoreDirtyFrame(vcpu, item.frame, item.sort_key, /*reinsert_mapping=*/true);
+        }
       }
-    }
-    for (uint64_t page : locked_dirty_pages) {
-      UnlockPage(page);
+      for (uint64_t page : locked_dirty_pages) {
+        UnlockPage(page);
+      }
     }
   }
 
@@ -653,6 +732,14 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
   PageCache& cache = runtime_->cache();
   AQUILA_TELEMETRY_ONLY(const uint64_t msync_start = vcpu.clock().Now());
 
+  // msync promises durability, so the async pipeline must empty first: reap
+  // every in-flight writeback of this mapping. Failures restore their pages
+  // dirty, the collection below re-claims them, and the synchronous pass
+  // surfaces the EIO.
+  if (engine_ != nullptr) {
+    (void)engine_->Drain(vcpu);
+  }
+
   // Claim dirty frames of this mapping from the per-core trees.
   std::vector<FrameId> collected;
   uint64_t lo = vma_.mapping_id << 40;
@@ -664,7 +751,7 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
 
   uint64_t first_page = offset >> kPageShift;
   uint64_t last_page = (offset + length - 1) >> kPageShift;
-  std::vector<WritebackItem> writeback;
+  WritebackPlanner planner;
   std::vector<uint64_t> vpns;
   std::vector<FrameId> claimed;
   for (FrameId frame : collected) {
@@ -729,8 +816,8 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
     if (fvaddr != 0) {
       vpns.push_back(fvaddr >> kPageShift);
     }
-    writeback.push_back(WritebackItem{SortKey(file_page * kPageSize), file_page * kPageSize,
-                                      cache.FrameData(vcpu, frame), backing_, frame});
+    planner.Add(WritebackItem{SortKey(file_page * kPageSize), file_page * kPageSize,
+                              cache.FrameData(vcpu, frame), backing_, frame, this});
     claimed.push_back(frame);
   }
 
@@ -742,12 +829,12 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
                               std::span(vpns.data() + i, n), runtime_->fabric());
   }
 
-  Status status = IssueWriteback(vcpu, writeback);
+  Status status = planner.SubmitSync(vcpu);
   if (status.ok()) {
     status = backing_->Flush(vcpu);
   }
-  if (!writeback.empty()) {
-    NoteWritebackResult(status.ok());
+  if (!planner.empty()) {
+    NoteWritebackResult(status);
   }
   if (!status.ok()) {
     // msync failed: nothing was durably acknowledged. Re-mark every claimed
@@ -755,7 +842,7 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
     // so the data survives for a retry, then surface the EIO to the caller.
     {
       ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
-      for (const WritebackItem& item : writeback) {
+      for (const WritebackItem& item : planner.items()) {
         cache.MarkDirty(vcpu.core(), item.frame, item.sort_key);
       }
     }
@@ -764,7 +851,7 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
     }
     return status;
   }
-  runtime_->fault_stats().writeback_pages.fetch_add(writeback.size(),
+  runtime_->fault_stats().writeback_pages.fetch_add(planner.size(),
                                                     std::memory_order_relaxed);
   for (FrameId frame : claimed) {
     cache.frame(frame).state.store(FrameState::kResident, std::memory_order_release);
@@ -772,7 +859,7 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
   AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(GetFaultMetrics().msync,
                                                    telemetry::TraceEventType::kMsync,
                                                    vcpu.clock(), msync_start,
-                                                   writeback.size()));
+                                                   planner.size()));
   return Status::Ok();
 }
 
@@ -790,18 +877,19 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
       uint64_t first = offset >> kPageShift;
       uint64_t last = std::min((offset + length - 1) >> kPageShift, vma_.page_count - 1);
       if (first > 0) {
-        ReadAhead(vcpu, first - 1);
+        (void)ReadAhead(vcpu, first - 1);  // best effort, like the fault path
       }
       for (uint64_t file_page = first; file_page < last;
            file_page += runtime_->options().readahead_pages) {
-        ReadAhead(vcpu, file_page);
+        (void)ReadAhead(vcpu, file_page);
       }
       return Status::Ok();
     }
     case Advice::kDontNeed: {
       uint64_t first = offset >> kPageShift;
       uint64_t last = std::min((offset + length - 1) >> kPageShift, vma_.page_count - 1);
-      std::vector<WritebackItem> writeback;
+      const bool async = engine_ != nullptr;
+      WritebackPlanner planner;
       std::vector<uint64_t> vpns;
       std::vector<FrameId> to_free;
       std::vector<uint64_t> locked_pages;
@@ -835,39 +923,53 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
         if (fvaddr != 0) {
           (void)runtime_->page_table().Remove(fvaddr);
         }
-        cache.RemoveMapping(key);
         if (transparent_base_ != nullptr && fvaddr != 0) {
           TrapDriver::RemoveRealMapping(fvaddr);
         }
         vpns.push_back(page);
         if (f.dirty.load(std::memory_order_relaxed) != 0) {
           cache.ClearDirty(frame);
-          writeback.push_back(WritebackItem{f.dirty_item.sort_key, file_page * kPageSize,
-                                            cache.FrameData(vcpu, frame), backing_, frame});
-          locked_pages.push_back(page);
+          planner.Add(WritebackItem{f.dirty_item.sort_key, file_page * kPageSize,
+                                    cache.FrameData(vcpu, frame), backing_, frame, this});
+          if (async) {
+            // As in eviction: the cache mapping stays so a re-fault waits out
+            // kWritingBack; the completion drops the mapping and the frame.
+            f.state.store(FrameState::kWritingBack, std::memory_order_release);
+            UnlockPage(page);
+          } else {
+            cache.RemoveMapping(key);
+            locked_pages.push_back(page);
+          }
         } else {
+          cache.RemoveMapping(key);
           UnlockPage(page);
           to_free.push_back(frame);
         }
       }
       Status wb_status = Status::Ok();
-      if (!writeback.empty()) {
-        wb_status = IssueWriteback(vcpu, writeback);
-        NoteWritebackResult(wb_status.ok());
-      }
-      if (wb_status.ok()) {
-        for (const WritebackItem& item : writeback) {
-          to_free.push_back(item.frame);
+      if (!planner.empty()) {
+        if (async) {
+          wb_status = planner.SubmitAsync(vcpu);
+        } else {
+          wb_status = planner.SubmitSync(vcpu);
+          NoteWritebackResult(wb_status);
+          if (wb_status.ok()) {
+            runtime_->fault_stats().writeback_pages.fetch_add(planner.size(),
+                                                              std::memory_order_relaxed);
+            for (const WritebackItem& item : planner.items()) {
+              to_free.push_back(item.frame);
+            }
+          } else {
+            // Failed pages stay cached and dirty; madvise reports the EIO but
+            // the clean pages below are still dropped.
+            for (const WritebackItem& item : planner.items()) {
+              RestoreDirtyFrame(vcpu, item.frame, item.sort_key, /*reinsert_mapping=*/true);
+            }
+          }
+          for (uint64_t page : locked_pages) {
+            UnlockPage(page);
+          }
         }
-      } else {
-        // Failed pages stay cached and dirty; madvise reports the EIO but
-        // the clean pages below are still dropped.
-        for (const WritebackItem& item : writeback) {
-          RestoreDirtyFrame(vcpu, item.frame, item.sort_key);
-        }
-      }
-      for (uint64_t page : locked_pages) {
-        UnlockPage(page);
       }
       uint32_t batch = runtime_->options().shootdown_batch;
       for (size_t i = 0; i < vpns.size(); i += batch) {

@@ -15,8 +15,10 @@
 #define AQUILA_SRC_CORE_MMIO_REGION_H_
 
 #include <atomic>
+#include <memory>
 
 #include "src/core/aquila.h"
+#include "src/core/writeback.h"
 
 namespace aquila {
 
@@ -58,6 +60,8 @@ class AquilaMap : public MemoryMap {
 
  private:
   friend class Aquila;
+  friend class WritebackPlanner;
+  friend class AsyncWritebackEngine;
 
   // Result of one page access: pointer valid until UnlockPage.
   struct PageRef {
@@ -80,19 +84,28 @@ class AquilaMap : public MemoryMap {
 
   // Fault handling (entry lock held). Returns the resident frame.
   StatusOr<FrameId> HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write);
-  // Installs readahead pages following `file_page` (best effort).
-  void ReadAhead(Vcpu& vcpu, uint64_t file_page);
-  // Synchronous batched eviction; returns frames freed.
-  size_t EvictBatch(Vcpu& vcpu);
+  // Installs readahead pages following `file_page` (best effort: callers may
+  // ignore the status — it reports the first fill that could not be issued).
+  Status ReadAhead(Vcpu& vcpu, uint64_t file_page);
+  // Batched eviction (synchronous writeback, or submission to the async
+  // engines). Returns frames freed now — async mode frees dirty victims
+  // later, when their completions reap. Non-OK only when the submission
+  // machinery itself fails; I/O errors are charged via NoteWritebackResult.
+  StatusOr<size_t> EvictBatch(Vcpu& vcpu);
   // Fills `frame` for (vaddr,key) from the backing and publishes it.
   Status FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint64_t key, bool write);
 
-  // Records the outcome of a writeback batch: failures count toward the
-  // degradation limit, a success resets the count.
-  void NoteWritebackResult(bool ok);
+  // Records the outcome of one writeback batch (sync) or completion (async):
+  // failures count toward the degradation limit, a success resets the count.
+  void NoteWritebackResult(const Status& status);
   // Re-publishes a claimed-but-unwritten dirty frame after a writeback
-  // failure: mapping re-inserted, frame re-marked dirty and resident.
-  void RestoreDirtyFrame(Vcpu& vcpu, FrameId frame, uint64_t sort_key);
+  // failure: frame re-marked dirty and resident. `reinsert_mapping` is true
+  // on the synchronous path (which removed the cache mapping when claiming)
+  // and false on the async path (which keeps it for waiting faulters).
+  void RestoreDirtyFrame(Vcpu& vcpu, FrameId frame, uint64_t sort_key, bool reinsert_mapping);
+
+  // The async pipeline, present iff Options::async_writeback.
+  AsyncWritebackEngine* writeback_engine() { return engine_.get(); }
 
   // Internal setup/teardown used by Aquila::Map/Unmap.
   Status Install();
@@ -106,6 +119,11 @@ class AquilaMap : public MemoryMap {
   uint8_t* transparent_base_ = nullptr;  // set for trap-mode mappings
   std::atomic<uint32_t> writeback_failures_{0};
   std::atomic<bool> degraded_{false};
+  std::unique_ptr<AsyncWritebackEngine> engine_;  // iff Options::async_writeback
+  // High-water mark of async-prefetched file pages (sequential streams): an
+  // in-flight fill is invisible to the cache hash, so without it a re-armed
+  // window would resubmit every fill still in the queue.
+  std::atomic<uint64_t> next_readahead_{0};
 };
 
 }  // namespace aquila

@@ -1,7 +1,6 @@
 #include "src/storage/async_io.h"
 
 #include <algorithm>
-#include <cstring>
 
 #include "src/telemetry/scoped_timer.h"
 #include "src/util/bitops.h"
@@ -9,42 +8,52 @@
 
 namespace aquila {
 
-AsyncIoRing::AsyncIoRing(NvmeController* controller, const Options& options)
-    : controller_(controller), options_(options), ring_(options.queue_depth) {
-  for (InFlight& entry : ring_) {
-    entry.done = true;
+AsyncIoRing::AsyncIoRing(BlockDevice& device, const Options& options)
+    : options_(options), capacity_bytes_(device.capacity_bytes()) {
+  if (device.supports_queueing()) {
+    queue_ = device.CreateQueue(options.queue_depth);
+  } else {
+    queue_status_ = Status::Unimplemented(
+        "device does not support queueing; an async ring over a synchronous "
+        "device would fabricate overlap the medium cannot deliver");
   }
 }
 
+Status AsyncIoRing::CheckQueue() const {
+  return queue_ == nullptr ? queue_status_ : Status::Ok();
+}
+
 Status AsyncIoRing::PrepareRead(uint64_t offset, std::span<uint8_t> dst, uint64_t user_data) {
-  if (pending_.size() + in_flight_ >= options_.queue_depth) {
+  AQUILA_RETURN_IF_ERROR(CheckQueue());
+  if (pending_.size() + queue_->in_flight() >= options_.queue_depth) {
     return Status::OutOfSpace("submission ring full");
   }
-  if (!IsAligned(offset, NvmeController::kLbaSize) ||
-      !IsAligned(dst.size(), NvmeController::kLbaSize) ||
-      offset + dst.size() > controller_->capacity_bytes()) {
+  const uint64_t align = queue_->io_alignment();
+  if (!IsAligned(offset, align) || !IsAligned(dst.size(), align) ||
+      offset + dst.size() > capacity_bytes_) {
     return Status::InvalidArgument("unaligned or out-of-range read");
   }
-  pending_.push_back(Sqe{NvmeOpcode::kRead, offset, dst.data(), dst.size(), user_data});
+  pending_.push_back(Sqe{false, offset, dst.data(), dst.size(), user_data});
   return Status::Ok();
 }
 
 Status AsyncIoRing::PrepareWrite(uint64_t offset, std::span<const uint8_t> src,
                                  uint64_t user_data) {
-  if (pending_.size() + in_flight_ >= options_.queue_depth) {
+  AQUILA_RETURN_IF_ERROR(CheckQueue());
+  if (pending_.size() + queue_->in_flight() >= options_.queue_depth) {
     return Status::OutOfSpace("submission ring full");
   }
-  if (!IsAligned(offset, NvmeController::kLbaSize) ||
-      !IsAligned(src.size(), NvmeController::kLbaSize) ||
-      offset + src.size() > controller_->capacity_bytes()) {
+  const uint64_t align = queue_->io_alignment();
+  if (!IsAligned(offset, align) || !IsAligned(src.size(), align) ||
+      offset + src.size() > capacity_bytes_) {
     return Status::InvalidArgument("unaligned or out-of-range write");
   }
-  pending_.push_back(Sqe{NvmeOpcode::kWrite, offset, const_cast<uint8_t*>(src.data()),
-                         src.size(), user_data});
+  pending_.push_back(Sqe{true, offset, const_cast<uint8_t*>(src.data()), src.size(), user_data});
   return Status::Ok();
 }
 
 StatusOr<uint32_t> AsyncIoRing::Submit(Vcpu& vcpu) {
+  AQUILA_RETURN_IF_ERROR(CheckQueue());
   if (pending_.empty()) {
     return 0u;
   }
@@ -53,8 +62,6 @@ StatusOr<uint32_t> AsyncIoRing::Submit(Vcpu& vcpu) {
       telemetry::Registry().GetCounter("aquila.storage.ring_submits");
   static telemetry::Counter* ring_sqes =
       telemetry::Registry().GetCounter("aquila.storage.ring_sqes");
-  static Histogram* ring_latency =
-      telemetry::Registry().GetHistogram("aquila.storage.ring_latency_cycles");
   ring_submits->Add();
   ring_sqes->Add(pending_.size());
   const uint64_t submit_start = vcpu.clock().Now();
@@ -63,27 +70,19 @@ StatusOr<uint32_t> AsyncIoRing::Submit(Vcpu& vcpu) {
   vcpu.ChargeSyscall();
   uint32_t submitted = 0;
   for (const Sqe& sqe : pending_) {
-    // Per-request kernel block-layer work, then the device books media time.
+    // Per-request kernel block-layer work, then the device queue books media
+    // time (the Prepare bound guarantees queue capacity).
     vcpu.clock().Charge(CostCategory::kSyscall, options_.kernel_per_request_cycles);
-    if (sqe.opcode == NvmeOpcode::kWrite) {
-      std::memcpy(controller_->flash() + sqe.offset, sqe.buffer, sqe.bytes);
-    } else {
-      std::memcpy(sqe.buffer, controller_->flash() + sqe.offset, sqe.bytes);
+    Status status =
+        sqe.write
+            ? queue_->SubmitWrite(vcpu, sqe.offset, std::span(sqe.buffer, sqe.bytes),
+                                  sqe.user_data)
+            : queue_->SubmitRead(vcpu, sqe.offset, std::span(sqe.buffer, sqe.bytes),
+                                 sqe.user_data);
+    if (!status.ok()) {
+      pending_.erase(pending_.begin(), pending_.begin() + submitted);
+      return status;
     }
-    uint64_t ready_at = controller_->ReserveMedia(vcpu.clock().Now(), sqe.opcode, sqe.bytes);
-    // Submit-to-completion latency as the application would measure it.
-    AQUILA_TELEMETRY_ONLY(ring_latency->Record(ready_at - submit_start));
-    // Find a free CQ slot (capacity guaranteed by the Prepare bound).
-    bool placed = false;
-    for (InFlight& entry : ring_) {
-      if (entry.done) {
-        entry = InFlight{ready_at, sqe.user_data, false};
-        placed = true;
-        break;
-      }
-    }
-    AQUILA_CHECK(placed);
-    in_flight_++;
     submitted++;
   }
   pending_.clear();
@@ -96,37 +95,39 @@ StatusOr<uint32_t> AsyncIoRing::Submit(Vcpu& vcpu) {
   return submitted;
 }
 
-uint32_t AsyncIoRing::Harvest(Vcpu& vcpu, std::vector<Completion>* out) {
-  uint32_t reaped = 0;
-  uint64_t now = vcpu.clock().Now();
-  for (InFlight& entry : ring_) {
-    if (!entry.done && entry.ready_at <= now) {
-      entry.done = true;
-      in_flight_--;
-      out->push_back(Completion{entry.user_data, Status::Ok()});
-      reaped++;
-    }
+uint32_t AsyncIoRing::Convert(std::vector<DeviceQueue::Completion>& raw,
+                              std::vector<Completion>* out) {
+#if AQUILA_TELEMETRY_ENABLED
+  static Histogram* ring_latency =
+      telemetry::Registry().GetHistogram("aquila.storage.ring_latency_cycles");
+#endif
+  for (DeviceQueue::Completion& c : raw) {
+    // Submit-to-completion latency as the application would measure it.
+    AQUILA_TELEMETRY_ONLY(ring_latency->Record(c.ready_at - c.submit_at));
+    out->push_back(Completion{c.user_data, std::move(c.status)});
   }
-  return reaped;
+  return static_cast<uint32_t>(raw.size());
+}
+
+uint32_t AsyncIoRing::Harvest(Vcpu& vcpu, std::vector<Completion>* out) {
+  if (queue_ == nullptr) {
+    return 0;
+  }
+  std::vector<DeviceQueue::Completion> raw;
+  queue_->Poll(vcpu, &raw);
+  return Convert(raw, out);
 }
 
 Status AsyncIoRing::WaitFor(Vcpu& vcpu, uint32_t min, std::vector<Completion>* out) {
-  if (min > in_flight_ + static_cast<uint32_t>(out->size())) {
+  AQUILA_RETURN_IF_ERROR(CheckQueue());
+  if (min > queue_->in_flight() + static_cast<uint32_t>(out->size())) {
     return Status::InvalidArgument("waiting for more completions than in flight");
   }
   uint32_t have = Harvest(vcpu, out);
   while (have < min) {
-    // Advance to the earliest outstanding completion and reap again (the
-    // application polls shared memory; no syscall on this path).
-    uint64_t next = UINT64_MAX;
-    for (const InFlight& entry : ring_) {
-      if (!entry.done) {
-        next = std::min(next, entry.ready_at);
-      }
-    }
-    AQUILA_CHECK(next != UINT64_MAX);
-    vcpu.clock().AdvanceTo(next, CostCategory::kDeviceIo);
-    have += Harvest(vcpu, out);
+    std::vector<DeviceQueue::Completion> raw;
+    AQUILA_RETURN_IF_ERROR(queue_->WaitMin(vcpu, 1, &raw));
+    have += Convert(raw, out);
   }
   return Status::Ok();
 }

@@ -15,15 +15,21 @@
 //   * the latency cost of batching shows up naturally: an SQE's completion
 //     time is measured from Submit(), not from Prepare().
 //
-// The ring drives any BlockDevice whose medium supports queueing overlap
-// (NvmeController); data moves at submit, completion gates simulated time.
+// The ring drives any BlockDevice through the generic DeviceQueue capability
+// (src/storage/device_queue.h). Devices whose medium cannot overlap queued
+// commands (supports_queueing() == false) are rejected with kUnimplemented —
+// an emulated ring over a synchronous device would report the overlap the
+// device cannot deliver, which is exactly the misconfiguration the error
+// points at.
 #ifndef AQUILA_SRC_STORAGE_ASYNC_IO_H_
 #define AQUILA_SRC_STORAGE_ASYNC_IO_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "src/storage/nvme_device.h"
+#include "src/storage/block_device.h"
+#include "src/storage/device_queue.h"
 #include "src/util/status.h"
 
 namespace aquila {
@@ -42,10 +48,12 @@ class AsyncIoRing {
     Status status;
   };
 
-  AsyncIoRing(NvmeController* controller, const Options& options);
+  AsyncIoRing(BlockDevice& device, const Options& options);
 
   // Queues an operation (no kernel entry, no simulated cost). Fails when the
-  // ring is full; Submit() or Harvest() first.
+  // ring is full (Submit() or Harvest() first), with kUnimplemented when the
+  // device does not support queueing, and with kInvalidArgument for requests
+  // misaligned to the device queue's LBA contract.
   Status PrepareRead(uint64_t offset, std::span<uint8_t> dst, uint64_t user_data);
   Status PrepareWrite(uint64_t offset, std::span<const uint8_t> src, uint64_t user_data);
 
@@ -62,27 +70,26 @@ class AsyncIoRing {
   Status WaitFor(Vcpu& vcpu, uint32_t min, std::vector<Completion>* out);
 
   uint32_t prepared() const { return static_cast<uint32_t>(pending_.size()); }
-  uint32_t in_flight() const { return in_flight_; }
+  uint32_t in_flight() const { return queue_ ? queue_->in_flight() : 0; }
 
  private:
   struct Sqe {
-    NvmeOpcode opcode;
+    bool write;
     uint64_t offset;
     uint8_t* buffer;
     uint64_t bytes;
     uint64_t user_data;
   };
-  struct InFlight {
-    uint64_t ready_at;
-    uint64_t user_data;
-    bool done;
-  };
 
-  NvmeController* controller_;
+  Status CheckQueue() const;
+  uint32_t Convert(std::vector<DeviceQueue::Completion>& raw,
+                   std::vector<Completion>* out);
+
   Options options_;
+  uint64_t capacity_bytes_;
+  std::unique_ptr<DeviceQueue> queue_;  // null when the device can't queue
+  Status queue_status_;                 // kUnimplemented explanation when null
   std::vector<Sqe> pending_;
-  std::vector<InFlight> ring_;
-  uint32_t in_flight_ = 0;
 };
 
 }  // namespace aquila

@@ -1,5 +1,6 @@
 #include "src/storage/block_device.h"
 
+#include "src/storage/device_queue.h"
 #include "src/telemetry/scoped_timer.h"
 
 namespace aquila {
@@ -152,6 +153,10 @@ Status BlockDevice::ReadBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,
 
 Status BlockDevice::Flush(Vcpu& vcpu) {
   return RunWithRetries(vcpu, [&] { return DoFlush(vcpu); });
+}
+
+std::unique_ptr<DeviceQueue> BlockDevice::CreateQueue(uint32_t depth) {
+  return std::make_unique<SyncDeviceQueue>(this, depth);
 }
 
 Status BlockDevice::DoWriteBatch(Vcpu& vcpu, std::span<const uint64_t> offsets,

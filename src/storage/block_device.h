@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "src/telemetry/metrics.h"
@@ -33,6 +34,8 @@
 #include "src/vmx/vcpu.h"
 
 namespace aquila {
+
+class DeviceQueue;
 
 struct DeviceStats {
   std::atomic<uint64_t> reads{0};
@@ -89,6 +92,18 @@ class BlockDevice {
 
   // Flushes volatile device buffers (durability barrier for msync).
   Status Flush(Vcpu& vcpu);
+
+  // --- Queueing capability (src/storage/device_queue.h) ---------------------
+  // True when the device's medium genuinely overlaps queued commands (NVMe):
+  // CreateQueue() then returns a native submission/completion queue whose
+  // completions arrive at media time. The default answers false and
+  // CreateQueue() falls back to the sync-emulation shim — same interface,
+  // each op executed synchronously at submit — so pipeline code runs
+  // unchanged on pmem/host devices. Decorators forward the inner device's
+  // answer (and decorate the queue) unless their own semantics are
+  // incompatible with deferred completion.
+  virtual bool supports_queueing() const { return false; }
+  virtual std::unique_ptr<DeviceQueue> CreateQueue(uint32_t depth);
 
   const DeviceStats& stats() const { return stats_; }
 

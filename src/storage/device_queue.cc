@@ -1,0 +1,130 @@
+#include "src/storage/device_queue.h"
+
+#include "src/storage/block_device.h"
+#include "src/util/logging.h"
+
+namespace aquila {
+
+#if AQUILA_TELEMETRY_ENABLED
+namespace {
+
+// Shared across every queue instance (runtime-wide view); the per-queue
+// depth gauge below keeps individual queues distinguishable by summing.
+struct QueueMetrics {
+  telemetry::Counter* submits =
+      telemetry::Registry().GetCounter("aquila.storage.queue_submits");
+  Histogram* inflight_at_submit =
+      telemetry::Registry().GetHistogram("aquila.storage.queue_inflight_at_submit");
+  Histogram* complete_cycles =
+      telemetry::Registry().GetHistogram("aquila.storage.queue_complete_cycles");
+};
+
+const QueueMetrics& GetQueueMetrics() {
+  static QueueMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+#endif
+
+DeviceQueue::DeviceQueue(uint32_t depth) : depth_(depth == 0 ? 1 : depth) {
+  metrics_.AddGauge("aquila.storage.queue_depth", [this] { return in_flight(); });
+}
+
+void DeviceQueue::NoteSubmit(uint64_t now) {
+  (void)now;
+#if AQUILA_TELEMETRY_ENABLED
+  GetQueueMetrics().submits->Add();
+  GetQueueMetrics().inflight_at_submit->Record(in_flight());
+#endif
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DeviceQueue::NoteComplete(uint64_t now, uint64_t submit_at) {
+  (void)now;
+  (void)submit_at;
+#if AQUILA_TELEMETRY_ENABLED
+  if (submit_at != 0 && now >= submit_at) {
+    GetQueueMetrics().complete_cycles->Record(now - submit_at);
+  }
+#endif
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Status DeviceQueue::WaitMin(Vcpu& vcpu, uint32_t min, std::vector<Completion>* out) {
+  uint32_t have = Poll(vcpu, out);
+  while (have < min) {
+    if (in_flight() == 0) {
+      return Status::InvalidArgument("waiting for more completions than in flight");
+    }
+    uint64_t next = NextReadyAt();
+    AQUILA_CHECK(next != UINT64_MAX);
+    // Busy-poll the completion queue: the wait is device time from the
+    // thread's perspective, exactly like NvmeQueuePair::Wait.
+    vcpu.clock().AdvanceTo(next, CostCategory::kDeviceIo);
+    have += Poll(vcpu, out);
+  }
+  return Status::Ok();
+}
+
+Status DeviceQueue::Drain(Vcpu& vcpu, std::vector<Completion>* out) {
+  while (in_flight() > 0) {
+    AQUILA_RETURN_IF_ERROR(WaitMin(vcpu, 1, out));
+  }
+  return Status::Ok();
+}
+
+SyncDeviceQueue::SyncDeviceQueue(BlockDevice* device, uint32_t depth)
+    : DeviceQueue(depth), device_(device) {}
+
+uint64_t SyncDeviceQueue::io_alignment() const { return device_->io_alignment(); }
+
+Status SyncDeviceQueue::SubmitRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst,
+                                   uint64_t user_data) {
+  if (Full()) {
+    return Status::OutOfSpace("device queue full");
+  }
+  // Execute now through the public entry point (validation, retries, stats,
+  // injection); only kInvalidArgument is a submission error — everything
+  // else is a completed-with-error op and travels in the completion.
+  Status status = device_->Read(vcpu, offset, dst);
+  if (!status.ok() && status.code() == StatusCode::kInvalidArgument) {
+    return status;
+  }
+  uint64_t now = vcpu.clock().Now();
+  NoteSubmit(now);
+  done_.push_back(Completion{user_data, status, now, now});
+  return Status::Ok();
+}
+
+Status SyncDeviceQueue::SubmitWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src,
+                                    uint64_t user_data) {
+  if (Full()) {
+    return Status::OutOfSpace("device queue full");
+  }
+  Status status = device_->Write(vcpu, offset, src);
+  if (!status.ok() && status.code() == StatusCode::kInvalidArgument) {
+    return status;
+  }
+  uint64_t now = vcpu.clock().Now();
+  NoteSubmit(now);
+  done_.push_back(Completion{user_data, status, now, now});
+  return Status::Ok();
+}
+
+uint32_t SyncDeviceQueue::Poll(Vcpu& vcpu, std::vector<Completion>* out) {
+  uint64_t now = vcpu.clock().Now();
+  uint32_t reaped = static_cast<uint32_t>(done_.size());
+  for (Completion& c : done_) {
+    NoteComplete(now, c.submit_at);
+    out->push_back(std::move(c));
+  }
+  done_.clear();
+  return reaped;
+}
+
+uint64_t SyncDeviceQueue::NextReadyAt() const {
+  return done_.empty() ? UINT64_MAX : 0;
+}
+
+}  // namespace aquila

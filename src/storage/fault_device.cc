@@ -145,6 +145,105 @@ Status FaultInjectingDevice::DoFlush(Vcpu& vcpu) {
   return inner_->Flush(vcpu);
 }
 
+std::unique_ptr<DeviceQueue> FaultInjectingDevice::CreateQueue(uint32_t depth) {
+  if (!supports_queueing()) {
+    // Shim over THIS device (not the inner one) so every op still funnels
+    // through DoRead/DoWrite — injection and the write-cache overlay apply.
+    return BlockDevice::CreateQueue(depth);
+  }
+  return std::make_unique<FaultInjectingQueue>(this, inner_->CreateQueue(depth));
+}
+
+FaultInjectingQueue::FaultInjectingQueue(FaultInjectingDevice* device,
+                                         std::unique_ptr<DeviceQueue> inner)
+    : DeviceQueue(inner->depth()), device_(device), inner_(std::move(inner)) {}
+
+void FaultInjectingQueue::BufferFailure(Vcpu& vcpu, uint64_t user_data, Status status) {
+  uint64_t now = vcpu.clock().Now();
+  NoteSubmit(now);
+  failed_.push_back(Completion{user_data, std::move(status), now, now});
+}
+
+Status FaultInjectingQueue::SubmitRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst,
+                                       uint64_t user_data) {
+  if (Full()) {
+    return Status::OutOfSpace("device queue full");
+  }
+  if (device_->offline()) {
+    BufferFailure(vcpu, user_data, Status::IoError("device offline (power cut)"));
+    return Status::Ok();
+  }
+  uint64_t spike = 0, torn = 0;
+  if (device_->ShouldFail(FaultInjectingDevice::OpKind::kRead, dst.size(), &spike, &torn)) {
+    device_->fault_stats_.injected_read_errors.fetch_add(1, std::memory_order_relaxed);
+    device_->fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
+    BufferFailure(vcpu, user_data, Status::IoError("injected read error"));
+    return Status::Ok();
+  }
+  if (spike != 0) {
+    device_->fault_stats_.latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    vcpu.clock().Charge(CostCategory::kDeviceIo, spike);
+  }
+  AQUILA_RETURN_IF_ERROR(inner_->SubmitRead(vcpu, offset, dst, user_data));
+  NoteSubmit(vcpu.clock().Now());
+  return Status::Ok();
+}
+
+Status FaultInjectingQueue::SubmitWrite(Vcpu& vcpu, uint64_t offset,
+                                        std::span<const uint8_t> src, uint64_t user_data) {
+  if (Full()) {
+    return Status::OutOfSpace("device queue full");
+  }
+  if (device_->offline()) {
+    BufferFailure(vcpu, user_data, Status::IoError("device offline (power cut)"));
+    return Status::Ok();
+  }
+  uint64_t spike = 0, torn = 0;
+  if (device_->ShouldFail(FaultInjectingDevice::OpKind::kWrite, src.size(), &spike, &torn)) {
+    if (torn != 0) {
+      device_->fault_stats_.torn_writes.fetch_add(1, std::memory_order_relaxed);
+      // Best effort: the prefix reaches the medium even though the command
+      // is reported failed in its completion.
+      (void)device_->inner_->Write(vcpu, offset, src.first(torn));
+    }
+    device_->fault_stats_.injected_write_errors.fetch_add(1, std::memory_order_relaxed);
+    device_->fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
+    BufferFailure(vcpu, user_data, Status::IoError("injected write error"));
+    return Status::Ok();
+  }
+  if (spike != 0) {
+    device_->fault_stats_.latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    vcpu.clock().Charge(CostCategory::kDeviceIo, spike);
+  }
+  AQUILA_RETURN_IF_ERROR(inner_->SubmitWrite(vcpu, offset, src, user_data));
+  NoteSubmit(vcpu.clock().Now());
+  return Status::Ok();
+}
+
+uint32_t FaultInjectingQueue::Poll(Vcpu& vcpu, std::vector<Completion>* out) {
+  uint64_t now = vcpu.clock().Now();
+  uint32_t reaped = static_cast<uint32_t>(failed_.size());
+  for (Completion& c : failed_) {
+    NoteComplete(now, c.submit_at);
+    out->push_back(std::move(c));
+  }
+  failed_.clear();
+  std::vector<Completion> inner_done;
+  inner_->Poll(vcpu, &inner_done);
+  for (Completion& c : inner_done) {
+    // submit_at == 0: the inner queue already recorded this completion's
+    // latency; only the in-flight count changes at this layer.
+    NoteComplete(now, 0);
+    reaped++;
+    out->push_back(std::move(c));
+  }
+  return reaped;
+}
+
+uint64_t FaultInjectingQueue::NextReadyAt() const {
+  return failed_.empty() ? inner_->NextReadyAt() : 0;
+}
+
 void FaultInjectingDevice::PowerCut() {
   std::lock_guard<std::mutex> lock(mu_);
   overlay_.clear();

@@ -26,10 +26,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "src/storage/block_device.h"
+#include "src/storage/device_queue.h"
 #include "src/util/rng.h"
 
 namespace aquila {
@@ -86,6 +88,19 @@ class FaultInjectingDevice : public BlockDevice {
   uint64_t capacity_bytes() const override { return inner_->capacity_bytes(); }
   uint64_t io_alignment() const override { return inner_->io_alignment(); }
 
+  // Queueing passes through to the inner device, decorated so every
+  // submission rolls the same injection schedule as the synchronous path
+  // (injected failures surface as completed-with-error completions, torn
+  // prefixes still reach the medium). Power-cut buffering is incompatible
+  // with deferred completions — acknowledging a queued write that the
+  // overlay may later discard would break the durability model — so
+  // buffer_unflushed_writes forces the sync-emulation shim, which funnels
+  // each op through DoWrite and the overlay as before.
+  bool supports_queueing() const override {
+    return !options_.buffer_unflushed_writes && inner_->supports_queueing();
+  }
+  std::unique_ptr<DeviceQueue> CreateQueue(uint32_t depth) override;
+
   // Simulates power loss: unflushed buffered writes are discarded and the
   // device goes offline (every subsequent op fails with kIoError until
   // Revive()). The inner device retains exactly the data that had been
@@ -114,6 +129,8 @@ class FaultInjectingDevice : public BlockDevice {
   // schedule advance under retries) falls out for free.
 
  private:
+  friend class FaultInjectingQueue;
+
   enum class OpKind { kRead, kWrite, kFlush };
 
   // Advances the schedule for one attempt; returns true when this attempt
@@ -143,6 +160,36 @@ class FaultInjectingDevice : public BlockDevice {
   std::map<uint64_t, std::vector<uint8_t>> overlay_;
 
   telemetry::CallbackGroup metrics_;
+};
+
+// DeviceQueue decorator for the async path: each submission advances the
+// owning FaultInjectingDevice's seeded schedule exactly like a synchronous
+// attempt. Injected failures never reach the inner queue — they are buffered
+// as immediately-ready completions carrying kIoError (with the torn prefix
+// written through synchronously first), which is how a real drive reports a
+// per-command error in its CQE. There is no retry layer here: requeue-and-
+// retry policy for async I/O belongs to the caller reaping the completion.
+class FaultInjectingQueue : public DeviceQueue {
+ public:
+  FaultInjectingQueue(FaultInjectingDevice* device, std::unique_ptr<DeviceQueue> inner);
+
+  const char* name() const override { return "fault"; }
+  uint64_t io_alignment() const override { return inner_->io_alignment(); }
+
+  Status SubmitRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst,
+                    uint64_t user_data) override;
+  Status SubmitWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src,
+                     uint64_t user_data) override;
+  uint32_t Poll(Vcpu& vcpu, std::vector<Completion>* out) override;
+  uint64_t NextReadyAt() const override;
+
+ private:
+  // Books an injected (or offline) failure as a ready completion.
+  void BufferFailure(Vcpu& vcpu, uint64_t user_data, Status status);
+
+  FaultInjectingDevice* device_;
+  std::unique_ptr<DeviceQueue> inner_;
+  std::vector<Completion> failed_;
 };
 
 }  // namespace aquila

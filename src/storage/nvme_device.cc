@@ -122,7 +122,80 @@ Status NvmeQueuePair::WaitAll(Vcpu& vcpu) {
   return Status::Ok();
 }
 
+NvmeDeviceQueue::NvmeDeviceQueue(NvmeController* controller, uint32_t depth)
+    : DeviceQueue(depth), controller_(controller), slots_(this->depth()) {}
+
+Status NvmeDeviceQueue::Submit(Vcpu& vcpu, NvmeOpcode opcode, uint64_t offset,
+                               uint8_t* buffer, uint64_t bytes, uint64_t user_data) {
+  if (Full()) {
+    return Status::OutOfSpace("device queue full");
+  }
+  if (!IsAligned(offset, NvmeController::kLbaSize) ||
+      !IsAligned(bytes, NvmeController::kLbaSize) || bytes == 0 ||
+      offset + bytes > controller_->capacity_bytes()) {
+    return Status::InvalidArgument("unaligned or out-of-range NVMe submission");
+  }
+  // SPDK submit path: build descriptor, ring doorbell; DMA resolves the
+  // data now, the completion only gates simulated time.
+  vcpu.clock().Charge(CostCategory::kDeviceIo, controller_->options().submit_cost_cycles);
+  if (opcode == NvmeOpcode::kWrite) {
+    std::memcpy(controller_->flash() + offset, buffer, bytes);
+  } else {
+    std::memcpy(buffer, controller_->flash() + offset, bytes);
+  }
+  uint64_t now = vcpu.clock().Now();
+  uint64_t ready_at = controller_->ReserveMedia(now, opcode, bytes);
+  for (Slot& slot : slots_) {
+    if (!slot.in_use) {
+      slot = Slot{true, user_data, now, ready_at};
+      NoteSubmit(now);
+      return Status::Ok();
+    }
+  }
+  return Status::OutOfSpace("device queue full");
+}
+
+Status NvmeDeviceQueue::SubmitRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst,
+                                   uint64_t user_data) {
+  return Submit(vcpu, NvmeOpcode::kRead, offset, dst.data(), dst.size(), user_data);
+}
+
+Status NvmeDeviceQueue::SubmitWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src,
+                                    uint64_t user_data) {
+  return Submit(vcpu, NvmeOpcode::kWrite, offset, const_cast<uint8_t*>(src.data()), src.size(),
+                user_data);
+}
+
+uint32_t NvmeDeviceQueue::Poll(Vcpu& vcpu, std::vector<Completion>* out) {
+  uint32_t reaped = 0;
+  uint64_t now = vcpu.clock().Now();
+  for (Slot& slot : slots_) {
+    if (slot.in_use && slot.ready_at <= now) {
+      slot.in_use = false;
+      vcpu.clock().Charge(CostCategory::kDeviceIo, controller_->options().complete_cost_cycles);
+      NoteComplete(now, slot.submit_at);
+      out->push_back(Completion{slot.user_data, Status::Ok(), slot.submit_at, slot.ready_at});
+      reaped++;
+    }
+  }
+  return reaped;
+}
+
+uint64_t NvmeDeviceQueue::NextReadyAt() const {
+  uint64_t next = UINT64_MAX;
+  for (const Slot& slot : slots_) {
+    if (slot.in_use && slot.ready_at < next) {
+      next = slot.ready_at;
+    }
+  }
+  return next;
+}
+
 NvmeDevice::NvmeDevice(NvmeController* controller) : controller_(controller) {}
+
+std::unique_ptr<DeviceQueue> NvmeDevice::CreateQueue(uint32_t depth) {
+  return std::make_unique<NvmeDeviceQueue>(controller_, depth);
+}
 
 NvmeQueuePair& NvmeDevice::QueueForThisCore() {
   int core = CoreRegistry::CurrentCore();

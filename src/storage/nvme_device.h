@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/storage/block_device.h"
+#include "src/storage/device_queue.h"
 #include "src/util/cpu.h"
 #include "src/util/sim_clock.h"
 #include "src/util/spinlock.h"
@@ -121,6 +122,39 @@ class NvmeQueuePair {
   std::vector<Slot> slots_;
 };
 
+// Native DeviceQueue over one NvmeController: the SPDK queue-pair model
+// behind the generic submission/completion interface. Submit charges the
+// doorbell cost and books media time; Poll charges the per-completion reap
+// cost once the media is done. Single-owner, like NvmeQueuePair.
+class NvmeDeviceQueue : public DeviceQueue {
+ public:
+  NvmeDeviceQueue(NvmeController* controller, uint32_t depth);
+
+  const char* name() const override { return "nvme"; }
+  uint64_t io_alignment() const override { return NvmeController::kLbaSize; }
+
+  Status SubmitRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst,
+                    uint64_t user_data) override;
+  Status SubmitWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src,
+                     uint64_t user_data) override;
+  uint32_t Poll(Vcpu& vcpu, std::vector<Completion>* out) override;
+  uint64_t NextReadyAt() const override;
+
+ private:
+  struct Slot {
+    bool in_use = false;
+    uint64_t user_data = 0;
+    uint64_t submit_at = 0;
+    uint64_t ready_at = 0;
+  };
+
+  Status Submit(Vcpu& vcpu, NvmeOpcode opcode, uint64_t offset, uint8_t* buffer,
+                uint64_t bytes, uint64_t user_data);
+
+  NvmeController* controller_;
+  std::vector<Slot> slots_;
+};
+
 // Synchronous BlockDevice facade over per-core queue pairs (SPDK path: no
 // syscalls, direct device access from non-root ring 0).
 class NvmeDevice : public BlockDevice {
@@ -132,6 +166,9 @@ class NvmeDevice : public BlockDevice {
   // Byte-granular at this interface: partial LBAs are bounced internally
   // (read-modify-write), exactly like the kernel's block layer.
   uint64_t io_alignment() const override { return 1; }
+
+  bool supports_queueing() const override { return true; }
+  std::unique_ptr<DeviceQueue> CreateQueue(uint32_t depth) override;
 
  protected:
   Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override;

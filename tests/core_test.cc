@@ -9,6 +9,7 @@
 
 #include "src/core/aquila.h"
 #include "src/core/mmio_region.h"
+#include "src/storage/nvme_device.h"
 #include "src/storage/pmem_device.h"
 #include "src/util/rng.h"
 
@@ -357,6 +358,205 @@ TEST_F(AquilaTest, BlobBackedMapping) {
   ASSERT_TRUE((*store)->ReadBlob(vcpu, *blob, 128 * 1024, std::span(check)).ok());
   EXPECT_EQ(check, out);
   ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+// --- Async overlapped writeback/readahead pipeline ---------------------------
+//
+// Same runtime, Options::async_writeback = true, over an NVMe backing whose
+// medium genuinely overlaps queued commands. Semantics must match the sync
+// pipeline exactly; only the timing differs.
+class AsyncAquilaTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kDeviceBytes = 64ull << 20;
+  static constexpr uint64_t kCachePages = 1024;  // 4 MB cache
+
+  AsyncAquilaTest() {
+    NvmeController::Options ctrl_options;
+    ctrl_options.capacity_bytes = kDeviceBytes;
+    ctrl_ = std::make_unique<NvmeController>(ctrl_options);
+    device_ = std::make_unique<NvmeDevice>(ctrl_.get());
+
+    Aquila::Options options;
+    options.hypervisor.host_memory_bytes = 256ull << 20;
+    options.hypervisor.chunk_size = 1ull << 20;
+    options.cache.capacity_pages = kCachePages;
+    options.cache.max_pages = kCachePages * 4;
+    options.cache.eviction_batch = 64;
+    options.cache.freelist.core_queue_threshold = 64;
+    options.cache.freelist.move_batch = 32;
+    options.async_writeback = true;
+    options.async_queue_depth = 16;
+    runtime_ = std::make_unique<Aquila>(options);
+  }
+
+  void FillDevice(uint64_t offset, uint64_t bytes) {
+    std::vector<uint8_t> buf(kPageSize);
+    Vcpu& vcpu = ThisVcpu();
+    for (uint64_t page = 0; page < bytes / kPageSize; page++) {
+      for (uint64_t i = 0; i < kPageSize; i++) {
+        buf[i] = PatternAt(offset + page * kPageSize + i);
+      }
+      ASSERT_TRUE(device_->Write(vcpu, offset + page * kPageSize,
+                                 std::span<const uint8_t>(buf)).ok());
+    }
+  }
+
+  uint8_t DeviceByte(uint64_t offset) {
+    std::vector<uint8_t> buf(kPageSize);
+    Vcpu& vcpu = ThisVcpu();
+    uint64_t page_offset = offset & ~(kPageSize - 1);
+    AQUILA_CHECK(device_->Read(vcpu, page_offset, std::span(buf)).ok());
+    return buf[offset - page_offset];
+  }
+
+  static uint8_t PatternAt(uint64_t offset) { return static_cast<uint8_t>(offset * 131 + 17); }
+
+  std::unique_ptr<NvmeController> ctrl_;
+  std::unique_ptr<NvmeDevice> device_;
+  std::unique_ptr<Aquila> runtime_;
+};
+
+TEST_F(AsyncAquilaTest, EvictionRoundTripPreservesData) {
+  // Working set 4x the cache: every page round-trips through the async
+  // writeback pipeline (kWritingBack, completion reap) and back.
+  constexpr uint64_t kBytes = 16ull << 20;
+  FillDevice(0, kBytes);
+  DeviceBacking backing(device_.get(), 0, kBytes);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, kBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+
+  constexpr uint64_t kPages = kBytes / kPageSize;
+  for (uint64_t p = 0; p < kPages; p++) {
+    (*map)->TouchWrite(p * kPageSize);
+  }
+  EXPECT_GT(runtime_->fault_stats().evicted_pages.load(), 0u);
+  EXPECT_GT(runtime_->fault_stats().writeback_pages.load(), 0u);
+
+  for (uint64_t p = 0; p < kPages; p++) {
+    uint64_t off = p * kPageSize;
+    std::vector<uint8_t> buf(16);
+    ASSERT_TRUE((*map)->Read(off, std::span(buf)).ok());
+    ASSERT_EQ(buf[0], static_cast<uint8_t>(PatternAt(off) + 1)) << "page " << p;
+    ASSERT_EQ(buf[1], PatternAt(off + 1)) << "page " << p;
+  }
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+  // Unmap drained the engine: every frame is back on the freelist.
+  EXPECT_EQ(runtime_->cache().ApproxFreeFrames(), kCachePages);
+}
+
+TEST_F(AsyncAquilaTest, MsyncDrainsInFlightWritebacks) {
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  std::vector<uint8_t> out(kPageSize * 3, 0xAB);
+  ASSERT_TRUE((*map)->Write(kPageSize, std::span<const uint8_t>(out)).ok());
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 3u);
+  ASSERT_TRUE((*map)->Sync(kPageSize, out.size()).ok());
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 0u);
+  EXPECT_EQ(DeviceByte(kPageSize), 0xAB);
+  EXPECT_EQ(DeviceByte(kPageSize + out.size() - 1), 0xAB);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AsyncAquilaTest, DontNeedSubmitsAsyncAndRefaultSeesWrittenData) {
+  FillDevice(0, 1 << 20);
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  (*map)->TouchWrite(0);
+  uint8_t written = static_cast<uint8_t>(PatternAt(0) + 1);
+  ASSERT_TRUE((*map)->Advise(0, kPageSize, Advice::kDontNeed).ok());
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 0u);
+  // The page is in kWritingBack (or already reaped): a re-fault must wait
+  // out the in-flight write and then read the acknowledged data back.
+  std::vector<uint8_t> buf(1);
+  ASSERT_TRUE((*map)->Read(0, std::span(buf)).ok());
+  EXPECT_EQ(buf[0], written);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AsyncAquilaTest, ReadAheadFillsPublishOnHarvest) {
+  FillDevice(0, 1 << 20);
+  DeviceBacking backing(device_.get(), 0, 1 << 20);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE((*map)->Advise(0, 1 << 20, Advice::kSequential).ok());
+  EXPECT_TRUE((*map)->TouchRead(0));  // miss: kicks off async fills
+  // msync drains the engine, publishing every completed fill.
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
+  EXPECT_GT(runtime_->fault_stats().readahead_pages.load(), 0u);
+  // The published pages hit as minor faults at most — no device read.
+  uint64_t majors = runtime_->fault_stats().major_faults.load();
+  for (uint64_t p = 1; p <= runtime_->options().readahead_pages; p++) {
+    std::vector<uint8_t> buf(4);
+    ASSERT_TRUE((*map)->Read(p * kPageSize, std::span(buf)).ok());
+    ASSERT_EQ(buf[0], PatternAt(p * kPageSize));
+  }
+  EXPECT_EQ(runtime_->fault_stats().major_faults.load(), majors);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AsyncAquilaTest, SequentialScanAwaitsFillsWithoutDuplicateReads) {
+  // A sequential scan must consume in-flight fills (AwaitFill) and re-arm
+  // the window from the high-water mark — every page is read from the device
+  // exactly once, either by the prefetcher or by a major fault, never both.
+  constexpr uint64_t kBytes = 2ull << 20;  // 512 pages, fits in cache
+  constexpr uint64_t kPages = kBytes / kPageSize;
+  FillDevice(0, kBytes);
+  DeviceBacking backing(device_.get(), 0, kBytes);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, kBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE((*map)->Advise(0, kBytes, Advice::kSequential).ok());
+  for (uint64_t p = 0; p < kPages; p++) {
+    std::vector<uint8_t> buf(2);
+    ASSERT_TRUE((*map)->Read(p * kPageSize, std::span(buf)).ok());
+    ASSERT_EQ(buf[0], PatternAt(p * kPageSize)) << "page " << p;
+  }
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());  // drain any trailing fills
+  FaultStats& stats = runtime_->fault_stats();
+  EXPECT_EQ(stats.major_faults.load() + stats.readahead_pages.load(), kPages);
+  // The stream rides the prefetcher: only a handful of window restarts fault
+  // all the way to the device.
+  EXPECT_LT(stats.major_faults.load(), kPages / 8);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AsyncAquilaTest, MultiThreadedAsyncIntegrity) {
+  constexpr uint64_t kBytes = 8ull << 20;
+  constexpr int kThreads = 8;
+  FillDevice(0, kBytes);
+  DeviceBacking backing(device_.get(), 0, kBytes);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, kBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> corrupt{false};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      runtime_->EnterThread();
+      Rng rng(t * 977 + 3);
+      for (int i = 0; i < 2000; i++) {
+        uint64_t page = rng.Uniform(kBytes / kPageSize);
+        uint64_t off = page * kPageSize + 16 + static_cast<uint64_t>(t);
+        uint8_t value = static_cast<uint8_t>(t * 37 + (page & 0x3f));
+        (*map)->StoreValue<uint8_t>(off, value);
+        if ((*map)->LoadValue<uint8_t>(off) != value) {
+          corrupt.store(true);
+        }
+        uint8_t shared = (*map)->LoadValue<uint8_t>(page * kPageSize + 4000);
+        if (shared != PatternAt(page * kPageSize + 4000)) {
+          corrupt.store(true);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_GT(runtime_->fault_stats().evicted_pages.load(), 0u);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+  EXPECT_EQ(runtime_->cache().ApproxFreeFrames(), kCachePages);
 }
 
 }  // namespace

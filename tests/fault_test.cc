@@ -19,6 +19,7 @@
 #include "src/kvs/sst.h"
 #include "src/linuxsim/linux_mmap.h"
 #include "src/storage/fault_device.h"
+#include "src/storage/nvme_device.h"
 #include "src/storage/pmem_device.h"
 #include "src/util/crc32c.h"
 
@@ -238,6 +239,116 @@ TEST_F(DegradedMmioTest, WritebackSuccessResetsFailureStreak) {
   ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
   ASSERT_TRUE(runtime_->Unmap(*map).ok());
 }
+
+// --- async writeback failure handling -------------------------------------------
+
+// Same degradation ladder as DegradedMmioTest, but the failures arrive as
+// DeviceQueue completions instead of synchronous WritePages errors. Runs in
+// both capability modes: the sync-emulation shim (fault device over pmem,
+// supports_queueing() == false) and the native NVMe queue with injection at
+// the FaultInjectingQueue layer.
+class AsyncDegradedMmioTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    const bool use_nvme = GetParam();
+    BlockDevice* inner;
+    if (use_nvme) {
+      NvmeController::Options copts;
+      copts.capacity_bytes = 64ull << 20;
+      ctrl_ = std::make_unique<NvmeController>(copts);
+      nvme_ = std::make_unique<NvmeDevice>(ctrl_.get());
+      inner = nvme_.get();
+    } else {
+      pmem_ = MakePmem(64ull << 20);
+      inner = pmem_.get();
+    }
+    FaultInjectingDevice::Options fopts;
+    fopts.write_error_rate = 1.0;
+    faults_ = std::make_unique<FaultInjectingDevice>(inner, fopts);
+    ASSERT_EQ(faults_->supports_queueing(), use_nvme);
+
+    Aquila::Options options;
+    options.hypervisor.host_memory_bytes = 256ull << 20;
+    options.cache.capacity_pages = 1024;
+    options.cache.max_pages = 4096;
+    options.cache.eviction_batch = 64;
+    options.async_writeback = true;
+    options.async_queue_depth = 8;
+    runtime_ = std::make_unique<Aquila>(options);
+    backing_ = std::make_unique<DeviceBacking>(faults_.get(), 0, 16ull << 20);
+  }
+
+  // Reaps until the failed writeback's completion restores the page dirty.
+  void ReapUntilRestored() {
+    Vcpu& vcpu = ThisVcpu();
+    for (int i = 0; i < 1000 && runtime_->cache().TotalDirty() == 0; i++) {
+      runtime_->HarvestAsyncWritebacks(vcpu, /*wait_for_one=*/true);
+    }
+    ASSERT_EQ(runtime_->cache().TotalDirty(), 1u);
+  }
+
+  std::unique_ptr<PmemDevice> pmem_;
+  std::unique_ptr<NvmeController> ctrl_;
+  std::unique_ptr<NvmeDevice> nvme_;
+  std::unique_ptr<FaultInjectingDevice> faults_;
+  std::unique_ptr<DeviceBacking> backing_;
+  std::unique_ptr<Aquila> runtime_;
+};
+
+TEST_P(AsyncDegradedMmioTest, CompletionErrorsRestoreDirtyAndDegrade) {
+  StatusOr<MemoryMap*> map = runtime_->Map(backing_.get(), 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  auto* aq_map = static_cast<AquilaMap*>(*map);
+  std::vector<uint8_t> buf(kPageSize, 0x5A);
+  ASSERT_TRUE((*map)->Write(0, std::span<const uint8_t>(buf)).ok());
+
+  uint32_t limit = runtime_->options().writeback_failure_limit;
+  for (uint32_t i = 0; i < limit; i++) {
+    EXPECT_FALSE(aq_map->degraded()) << i;
+    // Submission succeeds — the I/O error travels in the completion.
+    ASSERT_TRUE((*map)->Advise(0, kPageSize, Advice::kDontNeed).ok()) << i;
+    ReapUntilRestored();
+  }
+  EXPECT_TRUE(aq_map->degraded());
+  EXPECT_GE(runtime_->fault_stats().writeback_errors.load(), limit);
+  EXPECT_GT(faults_->fault_stats().injected_write_errors.load(), 0u);
+
+  // Degraded parity with the sync pipeline: writes refused, reads served.
+  EXPECT_EQ((*map)->Write(0, std::span<const uint8_t>(buf)).code(), StatusCode::kIoError);
+  std::vector<uint8_t> in(kPageSize);
+  ASSERT_TRUE((*map)->Read(0, std::span(in)).ok());
+  EXPECT_EQ(in, buf);
+
+  // Unmap surfaces the final (synchronous) writeback failure as a Status.
+  EXPECT_FALSE(runtime_->Unmap(*map).ok());
+}
+
+TEST_P(AsyncDegradedMmioTest, CompletionSuccessResetsFailureStreak) {
+  StatusOr<MemoryMap*> map = runtime_->Map(backing_.get(), 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  auto* aq_map = static_cast<AquilaMap*>(*map);
+  std::vector<uint8_t> buf(kPageSize, 0x11);
+  ASSERT_TRUE((*map)->Write(0, std::span<const uint8_t>(buf)).ok());
+  ASSERT_TRUE((*map)->Advise(0, kPageSize, Advice::kDontNeed).ok());
+  ReapUntilRestored();
+  ASSERT_TRUE((*map)->Advise(0, kPageSize, Advice::kDontNeed).ok());
+  ReapUntilRestored();
+
+  // The device recovers before the limit: the next completion succeeds,
+  // resets the streak, and actually releases the page.
+  faults_->set_write_error_rate(0.0);
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
+  EXPECT_FALSE(aq_map->degraded());
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 0u);
+  ASSERT_TRUE((*map)->Write(0, std::span<const uint8_t>(buf)).ok());
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShimAndNative, AsyncDegradedMmioTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "NvmeQueue" : "SyncShim";
+                         });
 
 // --- linuxsim msync error propagation -------------------------------------------
 

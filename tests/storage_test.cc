@@ -264,13 +264,15 @@ class AsyncIoTest : public ::testing::Test {
     NvmeController::Options options;
     options.capacity_bytes = 64ull << 20;
     ctrl_ = std::make_unique<NvmeController>(options);
+    dev_ = std::make_unique<NvmeDevice>(ctrl_.get());
   }
   std::unique_ptr<NvmeController> ctrl_;
+  std::unique_ptr<NvmeDevice> dev_;
   Vcpu vcpu_{0};
 };
 
 TEST_F(AsyncIoTest, BatchRoundTrip) {
-  AsyncIoRing ring(ctrl_.get(), AsyncIoRing::Options{});
+  AsyncIoRing ring(*dev_, AsyncIoRing::Options{});
   std::vector<std::vector<uint8_t>> out(8, std::vector<uint8_t>(kPageSize));
   for (int i = 0; i < 8; i++) {
     std::fill(out[i].begin(), out[i].end(), static_cast<uint8_t>(i + 1));
@@ -303,7 +305,7 @@ TEST_F(AsyncIoTest, BatchRoundTrip) {
 }
 
 TEST_F(AsyncIoTest, HarvestNeedsNoSyscall) {
-  AsyncIoRing ring(ctrl_.get(), AsyncIoRing::Options{});
+  AsyncIoRing ring(*dev_, AsyncIoRing::Options{});
   std::vector<uint8_t> buf(kPageSize);
   ASSERT_TRUE(ring.PrepareRead(0, std::span(buf), 1).ok());
   ASSERT_TRUE(ring.Submit(vcpu_).ok());
@@ -315,7 +317,7 @@ TEST_F(AsyncIoTest, HarvestNeedsNoSyscall) {
 
 TEST_F(AsyncIoTest, BatchOverlapsDeviceLatency) {
   // 16 reads in one batch must finish far sooner than 16 sync reads.
-  AsyncIoRing ring(ctrl_.get(), AsyncIoRing::Options{});
+  AsyncIoRing ring(*dev_, AsyncIoRing::Options{});
   Vcpu batch_vcpu(8);
   std::vector<std::vector<uint8_t>> bufs(16, std::vector<uint8_t>(kPageSize));
   for (int i = 0; i < 16; i++) {
@@ -339,8 +341,126 @@ TEST_F(AsyncIoTest, BatchOverlapsDeviceLatency) {
   EXPECT_LT(batch_vcpu.clock().Now() * 2, sync_vcpu.clock().Now());
 }
 
+TEST_F(AsyncIoTest, RejectsNonQueueingDevice) {
+  // A pmem medium is byte-addressable: there is no command queue to overlap,
+  // so an io_uring facade over it would fabricate latency hiding. The ring
+  // must reject it up front with kUnimplemented.
+  PmemDevice::Options options;
+  options.capacity_bytes = 1ull << 20;
+  PmemDevice pmem(options);
+  ASSERT_FALSE(pmem.supports_queueing());
+  AsyncIoRing ring(pmem, AsyncIoRing::Options{});
+  std::vector<uint8_t> buf(kPageSize);
+  Status prep = ring.PrepareRead(0, std::span(buf), 0);
+  EXPECT_EQ(prep.code(), StatusCode::kUnimplemented);
+  StatusOr<uint32_t> submitted = ring.Submit(vcpu_);
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kUnimplemented);
+}
+
+class DeviceQueueTest : public ::testing::Test {
+ protected:
+  DeviceQueueTest() {
+    NvmeController::Options options;
+    options.capacity_bytes = 64ull << 20;
+    ctrl_ = std::make_unique<NvmeController>(options);
+    nvme_ = std::make_unique<NvmeDevice>(ctrl_.get());
+    PmemDevice::Options pmem_options;
+    pmem_options.capacity_bytes = 16ull << 20;
+    pmem_ = std::make_unique<PmemDevice>(pmem_options);
+  }
+  std::unique_ptr<NvmeController> ctrl_;
+  std::unique_ptr<NvmeDevice> nvme_;
+  std::unique_ptr<PmemDevice> pmem_;
+  Vcpu vcpu_{0};
+};
+
+TEST_F(DeviceQueueTest, CapabilityMatchesMedium) {
+  EXPECT_TRUE(nvme_->supports_queueing());
+  EXPECT_FALSE(pmem_->supports_queueing());
+  // Every device answers CreateQueue; the fallback is the sync shim.
+  auto native = nvme_->CreateQueue(8);
+  auto shim = pmem_->CreateQueue(8);
+  EXPECT_STRNE(native->name(), "sync-shim");
+  EXPECT_STREQ(shim->name(), "sync-shim");
+}
+
+TEST_F(DeviceQueueTest, SyncShimExecutesAtSubmitAndBuffersCompletion) {
+  auto queue = pmem_->CreateQueue(4);
+  std::vector<uint8_t> out(kPageSize, 0x7E);
+  ASSERT_TRUE(queue->SubmitWrite(vcpu_, 0, std::span<const uint8_t>(out), 42).ok());
+  // Data moved at submit: a synchronous read sees it before any reap.
+  std::vector<uint8_t> in(kPageSize);
+  ASSERT_TRUE(pmem_->Read(vcpu_, 0, std::span(in)).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(queue->in_flight(), 1u);
+  EXPECT_EQ(queue->NextReadyAt(), 0u);  // buffered: already ready
+  std::vector<DeviceQueue::Completion> completions;
+  EXPECT_EQ(queue->Poll(vcpu_, &completions), 1u);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].user_data, 42u);
+  EXPECT_TRUE(completions[0].status.ok());
+  // No overlap to report: the shim completes at its submit timestamp.
+  EXPECT_EQ(completions[0].submit_at, completions[0].ready_at);
+  EXPECT_EQ(queue->in_flight(), 0u);
+}
+
+TEST_F(DeviceQueueTest, NvmeQueueOverlapsCommands) {
+  // qd-16 writes through the queue must beat 16 synchronous writes: the
+  // media latency overlaps, the sync path serializes it.
+  constexpr int kN = 16;
+  auto queue = nvme_->CreateQueue(kN);
+  std::vector<uint8_t> buf(kPageSize, 0x11);
+  Vcpu queued_vcpu(1);
+  for (int i = 0; i < kN; i++) {
+    ASSERT_TRUE(queue->SubmitWrite(queued_vcpu, static_cast<uint64_t>(i) * kPageSize,
+                                   std::span<const uint8_t>(buf), i).ok());
+  }
+  std::vector<DeviceQueue::Completion> completions;
+  ASSERT_TRUE(queue->Drain(queued_vcpu, &completions).ok());
+  ASSERT_EQ(completions.size(), static_cast<size_t>(kN));
+  for (const auto& c : completions) {
+    EXPECT_TRUE(c.status.ok());
+    EXPECT_GT(c.ready_at, c.submit_at);  // the medium took real (simulated) time
+  }
+
+  NvmeController::Options options;
+  options.capacity_bytes = 64ull << 20;
+  NvmeController ctrl2(options);
+  NvmeDevice sync_dev(&ctrl2);
+  Vcpu sync_vcpu(2);
+  for (int i = 0; i < kN; i++) {
+    ASSERT_TRUE(sync_dev.Write(sync_vcpu, static_cast<uint64_t>(i) * kPageSize,
+                               std::span<const uint8_t>(buf)).ok());
+  }
+  EXPECT_LT(queued_vcpu.clock().Now() * 2, sync_vcpu.clock().Now());
+}
+
+TEST_F(DeviceQueueTest, FullQueueReturnsOutOfSpace) {
+  auto queue = nvme_->CreateQueue(2);
+  std::vector<uint8_t> buf(kPageSize);
+  ASSERT_TRUE(queue->SubmitRead(vcpu_, 0, std::span(buf), 0).ok());
+  ASSERT_TRUE(queue->SubmitRead(vcpu_, kPageSize, std::span(buf), 1).ok());
+  Status full = queue->SubmitRead(vcpu_, 2 * kPageSize, std::span(buf), 2);
+  EXPECT_EQ(full.code(), StatusCode::kOutOfSpace);
+  std::vector<DeviceQueue::Completion> completions;
+  ASSERT_TRUE(queue->Drain(vcpu_, &completions).ok());
+  EXPECT_EQ(completions.size(), 2u);
+  EXPECT_TRUE(queue->SubmitRead(vcpu_, 2 * kPageSize, std::span(buf), 2).ok());
+  ASSERT_TRUE(queue->Drain(vcpu_, &completions).ok());
+}
+
+TEST_F(DeviceQueueTest, MisalignedAndOutOfRangeRejectedAtSubmit) {
+  auto queue = nvme_->CreateQueue(4);
+  std::vector<uint8_t> buf(kPageSize);
+  EXPECT_EQ(queue->SubmitRead(vcpu_, 13, std::span(buf), 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(queue->SubmitRead(vcpu_, ctrl_->capacity_bytes(), std::span(buf), 0).ok());
+  EXPECT_EQ(queue->in_flight(), 0u);
+}
+
 TEST_F(AsyncIoTest, RejectsBadRequests) {
-  AsyncIoRing ring(ctrl_.get(), AsyncIoRing::Options{.queue_depth = 2});
+  AsyncIoRing ring(*dev_, AsyncIoRing::Options{.queue_depth = 2});
   std::vector<uint8_t> buf(kPageSize);
   EXPECT_FALSE(ring.PrepareRead(13, std::span(buf), 0).ok());  // unaligned
   EXPECT_FALSE(ring.PrepareRead(ctrl_->capacity_bytes(), std::span(buf), 0).ok());

@@ -25,6 +25,7 @@
 #include "src/cache/page_cache.h"
 #include "src/core/aquila.h"
 #include "src/core/mmio_region.h"
+#include "src/storage/nvme_device.h"
 #include "src/storage/pmem_device.h"
 #include "src/util/cpu.h"
 #include "src/util/rng.h"
@@ -523,6 +524,102 @@ TEST(PipelineStressTest, FaultEvictWritebackShootdownTorture) {
     }
   }
   EXPECT_TRUE(any_written);
+}
+
+// The same fault -> evict -> writeback -> shootdown torture with the async
+// overlapped pipeline on: eviction submits to the NVMe device queue, dirty
+// frames ride in kWritingBack across concurrent faults, completions reap on
+// other threads' fault paths, and msync/unmap drain mid-flight. The TSan
+// variant runs this too (the whole point: the new states and the engine lock
+// must be race-free under adversarial schedules).
+TEST(PipelineStressTest, AsyncFaultEvictWritebackTorture) {
+  constexpr uint64_t kDeviceBytes = 16ull << 20;
+  constexpr uint64_t kCachePages = 1024;  // map is 2x this
+  const int kThreads = StressThreads();
+
+  NvmeController::Options ctrl_options;
+  ctrl_options.capacity_bytes = kDeviceBytes;
+  NvmeController ctrl(ctrl_options);
+  NvmeDevice device(&ctrl);
+  {
+    Vcpu fill_vcpu(0);
+    std::vector<uint8_t> buf(kPageSize);
+    for (uint64_t page = 0; page < kDeviceBytes / kPageSize; page++) {
+      for (uint64_t i = 0; i < kPageSize; i++) {
+        buf[i] = static_cast<uint8_t>((page * kPageSize + i) * 131 + 17);
+      }
+      ASSERT_TRUE(device.Write(fill_vcpu, page * kPageSize,
+                               std::span<const uint8_t>(buf)).ok());
+    }
+  }
+
+  Aquila::Options options;
+  options.hypervisor.host_memory_bytes = 128ull << 20;
+  options.hypervisor.chunk_size = 1ull << 20;
+  options.cache.capacity_pages = kCachePages;
+  options.cache.max_pages = kCachePages * 2;
+  options.cache.eviction_batch = 64;
+  options.cache.freelist.core_queue_threshold = 64;
+  options.cache.freelist.move_batch = 32;
+  options.async_writeback = true;
+  options.async_queue_depth = 32;
+  Aquila runtime(options);
+
+  constexpr uint64_t kBytes = 8ull << 20;  // 2x cache
+  DeviceBacking backing(&device, 0, kBytes);
+  StatusOr<MemoryMap*> map = runtime.Map(&backing, kBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+
+  const uint64_t pages = kBytes / kPageSize;
+  std::atomic<bool> corrupt{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      runtime.EnterThread();
+      Rng rng(t * 7919 + 29);
+      const uint64_t stride = pages / static_cast<uint64_t>(kThreads);
+      const uint64_t slice_lo = t * stride * kPageSize;
+      const uint64_t slice_bytes = stride * kPageSize;
+      for (int i = 0; i < 2000; i++) {
+        uint64_t page = rng.Uniform(pages);
+        uint64_t off = page * kPageSize + 64 + 8 * static_cast<uint64_t>(t);
+        uint64_t value = (static_cast<uint64_t>(t) << 56) | (page * 2654435761ull);
+        (*map)->StoreValue<uint64_t>(off, value);
+        if ((*map)->LoadValue<uint64_t>(off) != value) {
+          corrupt.store(true);
+        }
+        uint64_t probe = rng.Uniform(pages) * kPageSize + 4000;
+        if ((*map)->LoadValue<uint8_t>(probe) !=
+            static_cast<uint8_t>(probe * 131 + 17)) {
+          corrupt.store(true);
+        }
+        if (i % 256 == 255) {
+          ASSERT_TRUE((*map)->Sync(slice_lo, slice_bytes).ok());
+        }
+        if (i % 512 == 511) {
+          ASSERT_TRUE((*map)
+                          ->Advise(slice_lo, slice_bytes / 4, Advice::kDontNeed)
+                          .ok());
+          ASSERT_TRUE((*map)
+                          ->Advise(slice_lo, slice_bytes / 4, Advice::kSequential)
+                          .ok());
+          for (uint64_t p = 0; p < stride / 4; p++) {
+            (*map)->TouchRead(slice_lo + p * kPageSize);
+          }
+        }
+      }
+      ASSERT_TRUE((*map)->Sync(slice_lo, slice_bytes).ok());
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_GT(runtime.fault_stats().evicted_pages.load(), 0u);
+  EXPECT_GT(runtime.fault_stats().writeback_pages.load(), 0u);
+  ASSERT_TRUE(runtime.Unmap(*map).ok());
+  // Unmap drained every engine: the cache must be whole again.
+  EXPECT_EQ(runtime.cache().ApproxFreeFrames(), kCachePages);
 }
 
 }  // namespace
