@@ -453,9 +453,20 @@ Status AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
     // Async fills are invisible to the hash until published; start past the
     // high-water mark so a re-armed window extends the stream instead of
     // resubmitting fills still in flight.
-    first = std::max(first, next_readahead_.load(std::memory_order_relaxed));
-    if (first > last) {
-      return Status::Ok();
+    uint64_t mark = next_readahead_.load(std::memory_order_relaxed);
+    if (first + window < mark) {
+      // Faulting more than a window below the mark means a new stream over
+      // ground already covered (e.g. a second scan of the file): retreat the
+      // mark so the window re-opens here. A monotonic mark would silently
+      // disable readahead at every offset below a previous scan's end. A
+      // duplicate fill racing a straggler from the old stream is benign —
+      // the losing completion is discarded at publication.
+      next_readahead_.compare_exchange_strong(mark, first, std::memory_order_relaxed);
+    } else {
+      first = std::max(first, mark);
+      if (first > last) {
+        return Status::Ok();
+      }
     }
   }
   uint64_t advance_to = last + 1;
@@ -618,13 +629,15 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
 
   if (!planner.empty()) {
     if (async) {
-      // Submit the offset-sorted batch and return: the device works while
-      // fault handling continues; completions reap on later faults (or in
-      // HarvestAsyncWritebacks when allocation stalls).
-      Status status = planner.SubmitAsync(vcpu);
-      if (!status.ok()) {
-        return status;
-      }
+      // Submit the offset-sorted batch: the device works while fault
+      // handling continues; completions reap on later faults (or in
+      // HarvestAsyncWritebacks when allocation stalls). A submission-
+      // machinery rejection is not a fault error: SubmitAsync already
+      // restored every rejected frame dirty-in-place and charged its owner,
+      // so the round just makes less progress — and the shootdown plus
+      // clean-frame release below must still run, because every victim's
+      // PTE (clean or dirty, submitted or restored) is already gone.
+      (void)planner.SubmitAsync(vcpu);
     } else {
       Status status = planner.SubmitSync(vcpu);
       NoteWritebackResult(status);
@@ -740,85 +753,98 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
     (void)engine_->Drain(vcpu);
   }
 
-  // Claim dirty frames of this mapping from the per-core trees.
-  std::vector<FrameId> collected;
-  uint64_t lo = vma_.mapping_id << 40;
-  uint64_t hi = lo | ((1ull << 40) - 1);
-  {
-    ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
-    cache.CollectDirtyRange(lo, hi, &collected);
-  }
-
-  uint64_t first_page = offset >> kPageShift;
-  uint64_t last_page = (offset + length - 1) >> kPageShift;
+  const uint64_t lo = vma_.mapping_id << 40;
+  const uint64_t hi = lo | ((1ull << 40) - 1);
+  const uint64_t first_page = offset >> kPageShift;
+  const uint64_t last_page = (offset + length - 1) >> kPageShift;
   WritebackPlanner planner;
   std::vector<uint64_t> vpns;
   std::vector<FrameId> claimed;
-  for (FrameId frame : collected) {
-    Frame& f = cache.frame(frame);
-    // Claim the frame BEFORE reading its identity: the unlinked dirty item
-    // proves nothing about the frame itself, which a concurrent evictor may
-    // have already claimed, written back, freed — and the freelist may have
-    // recycled it for a different page. Classifying (or re-marking) on the
-    // stale key would write the new page's data to the old page's device
-    // offset. kFilling is transient (a fill or a minor-fault pin), so wait
-    // it out; kEvicting/kFree/kOffline mean another owner took over the
-    // writeback responsibility, so skip.
-    bool owned = false;
-    SpinBackoff backoff;
-    while (true) {
-      FrameState expected = FrameState::kResident;
-      if (f.state.compare_exchange_strong(expected, FrameState::kEvicting,
-                                          std::memory_order_acq_rel)) {
-        owned = true;
-        break;
-      }
-      if (expected != FrameState::kFilling) {
-        break;
-      }
-      backoff.Pause();
-    }
-    if (!owned) {
-      continue;
-    }
-    // Re-validate identity under ownership. A recycled frame that now
-    // belongs to another mapping (or was cleaned) is not ours to sync.
-    uint64_t fkey = f.key.load(std::memory_order_relaxed);
-    uint64_t file_page = FilePageOfKey(fkey);
-    if (f.dirty.load(std::memory_order_relaxed) == 0 ||
-        fkey != MakeKey(vma_.mapping_id, file_page)) {
-      f.state.store(FrameState::kResident, std::memory_order_release);
-      continue;
-    }
-    if (file_page < first_page || file_page > last_page) {
-      // Outside the msync range: keep it dirty. ClearDirty-then-MarkDirty
-      // (rather than a bare insert) stays correct even when the frame was
-      // recycled within this mapping and its item already re-linked.
+  std::vector<FrameId> collected;
+  // Claim dirty frames of this mapping from the per-core trees.
+  auto collect_and_claim = [&] {
+    collected.clear();
+    {
       ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
-      cache.ClearDirty(frame);
-      cache.MarkDirty(vcpu.core(), frame, SortKey(file_page * kPageSize));
-      f.state.store(FrameState::kResident, std::memory_order_release);
-      continue;
+      cache.CollectDirtyRange(lo, hi, &collected);
     }
-    // ClearDirty (not a bare flag store) unlinks the item if a recycled
-    // incarnation re-inserted it, keeping flag and tree consistent.
-    cache.ClearDirty(frame);
-    // Write-protect so future stores re-fault and re-mark dirty.
-    uint64_t fvaddr = f.vaddr.load(std::memory_order_relaxed);
-    std::atomic<uint64_t>* pte =
-        fvaddr != 0 ? runtime_->page_table().WalkExisting(fvaddr) : nullptr;
-    if (pte != nullptr) {
-      pte->fetch_and(~(Pte::kWritable | Pte::kDirty), std::memory_order_acq_rel);
-      if (transparent_base_ != nullptr && Pte::Present(pte->load(std::memory_order_relaxed))) {
-        TrapDriver::DowngradeRealMapping(fvaddr);
+    for (FrameId frame : collected) {
+      Frame& f = cache.frame(frame);
+      // Claim the frame BEFORE reading its identity: the unlinked dirty item
+      // proves nothing about the frame itself, which a concurrent evictor may
+      // have already claimed, written back, freed — and the freelist may have
+      // recycled it for a different page. Classifying (or re-marking) on the
+      // stale key would write the new page's data to the old page's device
+      // offset. kFilling is transient (a fill or a minor-fault pin), so wait
+      // it out; kEvicting/kFree/kOffline mean another owner took over the
+      // writeback responsibility, so skip.
+      bool owned = false;
+      SpinBackoff backoff;
+      while (true) {
+        FrameState expected = FrameState::kResident;
+        if (f.state.compare_exchange_strong(expected, FrameState::kEvicting,
+                                            std::memory_order_acq_rel)) {
+          owned = true;
+          break;
+        }
+        if (expected != FrameState::kFilling) {
+          break;
+        }
+        backoff.Pause();
       }
+      if (!owned) {
+        continue;
+      }
+      // Re-validate identity under ownership. A recycled frame that now
+      // belongs to another mapping (or was cleaned) is not ours to sync.
+      uint64_t fkey = f.key.load(std::memory_order_relaxed);
+      uint64_t file_page = FilePageOfKey(fkey);
+      if (f.dirty.load(std::memory_order_relaxed) == 0 ||
+          fkey != MakeKey(vma_.mapping_id, file_page)) {
+        f.state.store(FrameState::kResident, std::memory_order_release);
+        continue;
+      }
+      if (file_page < first_page || file_page > last_page) {
+        // Outside the msync range: keep it dirty. ClearDirty-then-MarkDirty
+        // (rather than a bare insert) stays correct even when the frame was
+        // recycled within this mapping and its item already re-linked.
+        ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
+        cache.ClearDirty(frame);
+        cache.MarkDirty(vcpu.core(), frame, SortKey(file_page * kPageSize));
+        f.state.store(FrameState::kResident, std::memory_order_release);
+        continue;
+      }
+      // ClearDirty (not a bare flag store) unlinks the item if a recycled
+      // incarnation re-inserted it, keeping flag and tree consistent.
+      cache.ClearDirty(frame);
+      // Write-protect so future stores re-fault and re-mark dirty.
+      uint64_t fvaddr = f.vaddr.load(std::memory_order_relaxed);
+      std::atomic<uint64_t>* pte =
+          fvaddr != 0 ? runtime_->page_table().WalkExisting(fvaddr) : nullptr;
+      if (pte != nullptr) {
+        pte->fetch_and(~(Pte::kWritable | Pte::kDirty), std::memory_order_acq_rel);
+        if (transparent_base_ != nullptr &&
+            Pte::Present(pte->load(std::memory_order_relaxed))) {
+          TrapDriver::DowngradeRealMapping(fvaddr);
+        }
+      }
+      if (fvaddr != 0) {
+        vpns.push_back(fvaddr >> kPageShift);
+      }
+      planner.Add(WritebackItem{SortKey(file_page * kPageSize), file_page * kPageSize,
+                                cache.FrameData(vcpu, frame), backing_, frame, this});
+      claimed.push_back(frame);
     }
-    if (fvaddr != 0) {
-      vpns.push_back(fvaddr >> kPageShift);
-    }
-    planner.Add(WritebackItem{SortKey(file_page * kPageSize), file_page * kPageSize,
-                              cache.FrameData(vcpu, frame), backing_, frame, this});
-    claimed.push_back(frame);
+  };
+  collect_and_claim();
+  // The drain above cannot close the pipeline for good: a concurrent evictor
+  // may have submitted async writebacks of in-range pages since, and those
+  // frames' dirty bits were cleared at claim, so the collection missed them.
+  // Wait them out before promising durability — a success is on the device
+  // before msync returns, a failure is restored dirty-in-place, and the
+  // re-collection claims it for the synchronous pass below.
+  while (engine_ != nullptr && engine_->AwaitWritebacks(vcpu, first_page, last_page)) {
+    collect_and_claim();
   }
 
   // Shoot down stale writable TLB entries before reading page contents.
@@ -871,6 +897,11 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
     case Advice::kRandom:
     case Advice::kSequential:
       advice_.store(advice, std::memory_order_relaxed);
+      if (advice == Advice::kSequential) {
+        // A fresh kSequential hint starts a new stream: re-open the
+        // readahead window wherever the next fault lands.
+        next_readahead_.store(0, std::memory_order_relaxed);
+      }
       return Status::Ok();
     case Advice::kWillNeed: {
       // Prefetch like read-ahead, page by page, never evicting.

@@ -89,8 +89,10 @@ class AquilaMap : public MemoryMap {
   Status ReadAhead(Vcpu& vcpu, uint64_t file_page);
   // Batched eviction (synchronous writeback, or submission to the async
   // engines). Returns frames freed now — async mode frees dirty victims
-  // later, when their completions reap. Non-OK only when the submission
-  // machinery itself fails; I/O errors are charged via NoteWritebackResult.
+  // later, when their completions reap. Writeback failures (sync I/O errors
+  // and async submission rejections alike) are charged via
+  // NoteWritebackResult and reduce the round's progress; they are never
+  // surfaced as a fault error for an unrelated page.
   StatusOr<size_t> EvictBatch(Vcpu& vcpu);
   // Fills `frame` for (vaddr,key) from the backing and publishes it.
   Status FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint64_t key, bool write);

@@ -169,6 +169,30 @@ bool AsyncWritebackEngine::AwaitFill(Vcpu& vcpu, uint64_t key) {
   }
 }
 
+bool AsyncWritebackEngine::AwaitWritebacks(Vcpu& vcpu, uint64_t first_page,
+                                           uint64_t last_page) {
+  std::lock_guard<SpinLock> guard(lock_);
+  bool drained = false;
+  while (true) {
+    bool pending = false;
+    for (const Slot& slot : slots_) {
+      if (slot.kind != Slot::Kind::kWriteback) {
+        continue;
+      }
+      uint64_t file_page = slot.file_offset >> kPageShift;
+      if (file_page >= first_page && file_page <= last_page) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) {
+      return drained;
+    }
+    drained = true;
+    (void)ReapLocked(vcpu, /*wait=*/true);
+  }
+}
+
 size_t AsyncWritebackEngine::WaitOne(Vcpu& vcpu) {
   std::lock_guard<SpinLock> guard(lock_);
   return ReapLocked(vcpu, /*wait=*/true);

@@ -120,6 +120,16 @@ class AsyncWritebackEngine {
   // faulter's own insert (fills are only submitted under the entry lock).
   bool AwaitFill(Vcpu& vcpu, uint64_t key);
 
+  // Waits out every in-flight writeback whose file page lies in
+  // [first_page, last_page], reaping completions as they become ready;
+  // returns true if any such writeback was pending. msync uses this to
+  // close the window where a concurrent evictor submits an async writeback
+  // of an in-range page after msync's drain: the page's dirty bit was
+  // cleared at claim, so the dirty-tree collection cannot see it. A
+  // successful completion is durable before msync returns; a failed one is
+  // restored dirty-in-place, where msync's re-collection claims it.
+  bool AwaitWritebacks(Vcpu& vcpu, uint64_t first_page, uint64_t last_page);
+
   // Advances simulated time until at least one completion is reaped (0 when
   // nothing is in flight). Returns the number of frames released — which can
   // be 0 even after a reap (a failed writeback restores its frame instead).

@@ -180,11 +180,14 @@ Status FaultInjectingQueue::SubmitRead(Vcpu& vcpu, uint64_t offset, std::span<ui
     BufferFailure(vcpu, user_data, Status::IoError("injected read error"));
     return Status::Ok();
   }
-  if (spike != 0) {
-    device_->fault_stats_.latency_spikes.fetch_add(1, std::memory_order_relaxed);
-    vcpu.clock().Charge(CostCategory::kDeviceIo, spike);
-  }
   AQUILA_RETURN_IF_ERROR(inner_->SubmitRead(vcpu, offset, dst, user_data));
+  if (spike != 0) {
+    // The spike is extra media time on this command, not CPU time on the
+    // submitter: it surfaces as a later ready_at when the completion reaps,
+    // so the async path overlaps it like any other device latency.
+    device_->fault_stats_.latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    spike_cycles_[user_data] = spike;
+  }
   NoteSubmit(vcpu.clock().Now());
   return Status::Ok();
 }
@@ -211,11 +214,13 @@ Status FaultInjectingQueue::SubmitWrite(Vcpu& vcpu, uint64_t offset,
     BufferFailure(vcpu, user_data, Status::IoError("injected write error"));
     return Status::Ok();
   }
-  if (spike != 0) {
-    device_->fault_stats_.latency_spikes.fetch_add(1, std::memory_order_relaxed);
-    vcpu.clock().Charge(CostCategory::kDeviceIo, spike);
-  }
   AQUILA_RETURN_IF_ERROR(inner_->SubmitWrite(vcpu, offset, src, user_data));
+  if (spike != 0) {
+    // As in SubmitRead: the spike extends the command's completion, it does
+    // not block the submitter.
+    device_->fault_stats_.latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    spike_cycles_[user_data] = spike;
+  }
   NoteSubmit(vcpu.clock().Now());
   return Status::Ok();
 }
@@ -231,17 +236,45 @@ uint32_t FaultInjectingQueue::Poll(Vcpu& vcpu, std::vector<Completion>* out) {
   std::vector<Completion> inner_done;
   inner_->Poll(vcpu, &inner_done);
   for (Completion& c : inner_done) {
+    auto spike = spike_cycles_.find(c.user_data);
+    if (spike != spike_cycles_.end()) {
+      // The injected spike extended this command's media time; hold the
+      // completion back until the extended deadline passes.
+      c.ready_at += spike->second;
+      spike_cycles_.erase(spike);
+      if (c.ready_at > now) {
+        delayed_.push_back(std::move(c));
+        continue;
+      }
+    }
     // submit_at == 0: the inner queue already recorded this completion's
     // latency; only the in-flight count changes at this layer.
     NoteComplete(now, 0);
     reaped++;
     out->push_back(std::move(c));
   }
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->ready_at <= now) {
+      NoteComplete(now, 0);
+      reaped++;
+      out->push_back(std::move(*it));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   return reaped;
 }
 
 uint64_t FaultInjectingQueue::NextReadyAt() const {
-  return failed_.empty() ? inner_->NextReadyAt() : 0;
+  if (!failed_.empty()) {
+    return 0;
+  }
+  uint64_t next = inner_->NextReadyAt();
+  for (const Completion& c : delayed_) {
+    next = std::min(next, c.ready_at);
+  }
+  return next;
 }
 
 void FaultInjectingDevice::PowerCut() {

@@ -61,7 +61,9 @@ class FaultInjectingDevice : public BlockDevice {
     bool torn_writes = false;
 
     // Probability that an op completes but takes `latency_spike_cycles`
-    // longer (tail-latency injection, charged to kDeviceIo).
+    // longer (tail-latency injection): charged to kDeviceIo on the
+    // synchronous path, added to the command's completion time (ready_at)
+    // on a native device queue.
     double latency_spike_rate = 0.0;
     uint64_t latency_spike_cycles = 1'000'000;
 
@@ -167,8 +169,11 @@ class FaultInjectingDevice : public BlockDevice {
 // attempt. Injected failures never reach the inner queue — they are buffered
 // as immediately-ready completions carrying kIoError (with the torn prefix
 // written through synchronously first), which is how a real drive reports a
-// per-command error in its CQE. There is no retry layer here: requeue-and-
-// retry policy for async I/O belongs to the caller reaping the completion.
+// per-command error in its CQE. Latency spikes extend the affected command's
+// completion time (ready_at) instead of charging the submitter's clock — on
+// a queue, device latency is exactly what the caller overlaps with continued
+// work. There is no retry layer here: requeue-and-retry policy for async I/O
+// belongs to the caller reaping the completion.
 class FaultInjectingQueue : public DeviceQueue {
  public:
   FaultInjectingQueue(FaultInjectingDevice* device, std::unique_ptr<DeviceQueue> inner);
@@ -190,6 +195,11 @@ class FaultInjectingQueue : public DeviceQueue {
   FaultInjectingDevice* device_;
   std::unique_ptr<DeviceQueue> inner_;
   std::vector<Completion> failed_;
+  // Injected latency spikes, keyed by user_data at submit: the extra cycles
+  // are added to the inner completion's ready_at at reap, and completions
+  // whose extended deadline has not passed yet wait in delayed_.
+  std::map<uint64_t, uint64_t> spike_cycles_;
+  std::vector<Completion> delayed_;
 };
 
 }  // namespace aquila

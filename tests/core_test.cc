@@ -3,12 +3,14 @@
 // dynamic cache resizing, and multi-threaded integrity.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "src/core/aquila.h"
 #include "src/core/mmio_region.h"
+#include "src/storage/device_queue.h"
 #include "src/storage/nvme_device.h"
 #include "src/storage/pmem_device.h"
 #include "src/util/rng.h"
@@ -519,6 +521,161 @@ TEST_F(AsyncAquilaTest, SequentialScanAwaitsFillsWithoutDuplicateReads) {
   // all the way to the device.
   EXPECT_LT(stats.major_faults.load(), kPages / 8);
   ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+TEST_F(AsyncAquilaTest, RescanAfterSequentialScanStillPrefetches) {
+  // The readahead high-water mark must retreat when a new stream starts
+  // below it: after a full scan to EOF, a second scan from offset 0 has to
+  // prefetch again instead of degrading every fault to a blocking major.
+  constexpr uint64_t kBytes = 8ull << 20;  // 2048 pages, 2x the cache
+  constexpr uint64_t kPages = kBytes / kPageSize;
+  FillDevice(0, kBytes);
+  DeviceBacking backing(device_.get(), 0, kBytes);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, kBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE((*map)->Advise(0, kBytes, Advice::kSequential).ok());
+  std::vector<uint8_t> buf(2);
+  for (uint64_t p = 0; p < kPages; p++) {
+    ASSERT_TRUE((*map)->Read(p * kPageSize, std::span(buf)).ok());
+  }
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());  // drain trailing fills
+  uint64_t after_first = runtime_->fault_stats().readahead_pages.load();
+  EXPECT_GT(after_first, 0u);
+
+  for (uint64_t p = 0; p < kPages; p++) {
+    ASSERT_TRUE((*map)->Read(p * kPageSize, std::span(buf)).ok());
+    ASSERT_EQ(buf[0], PatternAt(p * kPageSize)) << "page " << p;
+  }
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
+  uint64_t after_second = runtime_->fault_stats().readahead_pages.load();
+  // The first scan evicted the early pages, so the re-scan faults on them —
+  // and must ride the prefetcher again, not fall off the mark.
+  EXPECT_GT(after_second, after_first + 64);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
+// DeviceQueue decorator that rejects the first `budget` write submissions at
+// the machinery level (kInvalidArgument before the command reaches the
+// device), then forwards normally. Models a transient queue rejection.
+class RejectingQueue : public DeviceQueue {
+ public:
+  RejectingQueue(std::unique_ptr<DeviceQueue> inner, std::atomic<int>* budget)
+      : DeviceQueue(inner->depth()), inner_(std::move(inner)), budget_(budget) {}
+
+  const char* name() const override { return "rejecting"; }
+  uint64_t io_alignment() const override { return inner_->io_alignment(); }
+
+  Status SubmitRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst,
+                    uint64_t user_data) override {
+    Status status = inner_->SubmitRead(vcpu, offset, dst, user_data);
+    if (!status.ok()) {
+      return status;
+    }
+    NoteSubmit(vcpu.clock().Now());
+    return Status::Ok();
+  }
+
+  Status SubmitWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src,
+                     uint64_t user_data) override {
+    if (budget_->load(std::memory_order_relaxed) > 0 &&
+        budget_->fetch_sub(1, std::memory_order_relaxed) > 0) {
+      return Status::InvalidArgument("injected submission rejection");
+    }
+    Status status = inner_->SubmitWrite(vcpu, offset, src, user_data);
+    if (!status.ok()) {
+      return status;
+    }
+    NoteSubmit(vcpu.clock().Now());
+    return Status::Ok();
+  }
+
+  uint32_t Poll(Vcpu& vcpu, std::vector<Completion>* out) override {
+    std::vector<Completion> inner_done;
+    inner_->Poll(vcpu, &inner_done);
+    uint64_t now = vcpu.clock().Now();
+    for (Completion& c : inner_done) {
+      NoteComplete(now, 0);
+      out->push_back(std::move(c));
+    }
+    return static_cast<uint32_t>(inner_done.size());
+  }
+
+  uint64_t NextReadyAt() const override { return inner_->NextReadyAt(); }
+
+ private:
+  std::unique_ptr<DeviceQueue> inner_;
+  std::atomic<int>* budget_;
+};
+
+class RejectingDevice : public BlockDevice {
+ public:
+  explicit RejectingDevice(BlockDevice* inner) : inner_(inner) {}
+
+  const char* name() const override { return "rejecting"; }
+  uint64_t capacity_bytes() const override { return inner_->capacity_bytes(); }
+  uint64_t io_alignment() const override { return inner_->io_alignment(); }
+  bool supports_queueing() const override { return inner_->supports_queueing(); }
+  std::unique_ptr<DeviceQueue> CreateQueue(uint32_t depth) override {
+    return std::make_unique<RejectingQueue>(inner_->CreateQueue(depth), &budget_);
+  }
+
+  void set_budget(int n) { budget_.store(n, std::memory_order_relaxed); }
+  int budget() const { return budget_.load(std::memory_order_relaxed); }
+
+ protected:
+  Status DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) override {
+    return inner_->Read(vcpu, offset, dst);
+  }
+  Status DoWrite(Vcpu& vcpu, uint64_t offset, std::span<const uint8_t> src) override {
+    return inner_->Write(vcpu, offset, src);
+  }
+
+ private:
+  BlockDevice* inner_;
+  std::atomic<int> budget_{0};
+};
+
+TEST_F(AsyncAquilaTest, EvictionSubmissionRejectionIsNotAFaultErrorAndLeaksNothing) {
+  // A submission-machinery rejection during async eviction must not surface
+  // as a fault error for the (unrelated) faulting page, must not skip the
+  // batched shootdown, and must not leak the batch's clean victims: the
+  // rejected frame is restored dirty-in-place and retried by a later round.
+  constexpr uint64_t kBytes = 8ull << 20;  // 2x the cache
+  constexpr uint64_t kPages = kBytes / kPageSize;
+  FillDevice(0, kBytes);
+  RejectingDevice rejecting(device_.get());
+  DeviceBacking backing(&rejecting, 0, kBytes);
+  StatusOr<MemoryMap*> map = runtime_->Map(&backing, kBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  rejecting.set_budget(1);  // below writeback_failure_limit: no degradation
+
+  // Mixed clean/dirty working set: the rejected eviction batch contains both
+  // kinds of victims, so the clean-frame release after a rejection is
+  // exercised too.
+  std::vector<uint8_t> one(1);
+  for (uint64_t p = 0; p < kPages; p++) {
+    uint64_t off = p * kPageSize;
+    if (p % 2 == 0) {
+      one[0] = static_cast<uint8_t>(p * 7 + 3);
+      ASSERT_TRUE((*map)->Write(off, std::span<const uint8_t>(one)).ok()) << "page " << p;
+    } else {
+      ASSERT_TRUE((*map)->Read(off, std::span(one)).ok()) << "page " << p;
+    }
+  }
+  EXPECT_EQ(rejecting.budget(), 0);  // the rejection fired
+  EXPECT_GT(runtime_->fault_stats().writeback_errors.load(), 0u);
+  EXPECT_FALSE(static_cast<AquilaMap*>(*map)->degraded());
+
+  // The rejected page's data survived the failed round: verify everything.
+  for (uint64_t p = 0; p < kPages; p++) {
+    uint64_t off = p * kPageSize;
+    ASSERT_TRUE((*map)->Read(off, std::span(one)).ok()) << "page " << p;
+    uint8_t want = p % 2 == 0 ? static_cast<uint8_t>(p * 7 + 3) : PatternAt(off);
+    ASSERT_EQ(one[0], want) << "page " << p;
+  }
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+  // No clean victim leaked from the rejected round.
+  EXPECT_EQ(runtime_->cache().ApproxFreeFrames(), kCachePages);
 }
 
 TEST_F(AsyncAquilaTest, MultiThreadedAsyncIntegrity) {

@@ -117,6 +117,38 @@ TEST(FaultDeviceTest, LatencySpikeChargesDeviceTime) {
   EXPECT_EQ(dev.fault_stats().latency_spikes.load(), 1u);
 }
 
+TEST(FaultDeviceTest, QueueLatencySpikeExtendsCompletionNotSubmitter) {
+  // On a native device queue the spike is extra media time on the command:
+  // it shows up as a later ready_at when the completion reaps, never as CPU
+  // time blocking the submitter (that would defeat the async overlap).
+  NvmeController::Options copts;
+  copts.capacity_bytes = 16ull << 20;
+  NvmeController ctrl(copts);
+  NvmeDevice nvme(&ctrl);
+  FaultInjectingDevice::Options fopts;
+  fopts.latency_spike_rate = 1.0;
+  fopts.latency_spike_cycles = 5'000'000;
+  FaultInjectingDevice dev(&nvme, fopts);
+  ASSERT_TRUE(dev.supports_queueing());
+  auto queue = dev.CreateQueue(4);
+  Vcpu vcpu(0);
+  std::vector<uint8_t> buf(kPageSize);
+  uint64_t before = vcpu.clock().Now();
+  ASSERT_TRUE(queue->SubmitRead(vcpu, 0, std::span(buf), 7).ok());
+  EXPECT_LT(vcpu.clock().Now() - before, fopts.latency_spike_cycles);
+  EXPECT_EQ(dev.fault_stats().latency_spikes.load(), 1u);
+
+  std::vector<DeviceQueue::Completion> done;
+  ASSERT_TRUE(queue->WaitMin(vcpu, 1, &done).ok());
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].status.ok());
+  EXPECT_EQ(done[0].user_data, 7u);
+  EXPECT_GE(done[0].ready_at - done[0].submit_at, fopts.latency_spike_cycles);
+  // With nothing to overlap, waiting out the spiked command advanced the
+  // clock past the extended deadline.
+  EXPECT_GE(vcpu.clock().Now() - before, fopts.latency_spike_cycles);
+}
+
 TEST(FaultDeviceTest, TornWriteLeavesPrefixOnMedium) {
   auto pmem = MakePmem(16ull << 20);
   FaultInjectingDevice::Options fopts;
