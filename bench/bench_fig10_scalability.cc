@@ -24,19 +24,29 @@ struct RunResult {
   double avg_us = 0;
   double p99_us = 0;
   double p999_us = 0;
+  // Simulated cycles charged to CostCategory::kTlbShootdown per op, summed
+  // across threads. Isolates the eviction-path shootdown bill, which the
+  // aggregate avg-us column drowns under device-read cost; this is the column
+  // the broadcast-vs-mask+gen comparison in EXPERIMENTS.md is measured on.
+  double shootdown_cyc_per_op = 0;
 };
 
 // `maps[t]` is the mapping thread t reads from (all equal for shared mode).
+// `thread_init` receives the thread index so engines can pin thread t to
+// core t — CoreRegistry hands out globally incrementing ids, so without the
+// pin a later run's threads sit outside [0, active_cores) and the per-frame
+// cpu_mask would never intersect the shootdown target population.
 RunResult RunThreads(const std::vector<MemoryMap*>& maps, int threads, uint64_t ops_per_thread,
-                     const std::function<void()>& thread_init) {
+                     const std::function<void(int)>& thread_init) {
   Histogram latency;
   std::vector<uint64_t> durations(threads, 0);
+  std::vector<uint64_t> shootdown_cycles(threads, 0);
   uint64_t origin = ThisThreadClock().Now();
   std::vector<std::thread> pool;
   for (int t = 0; t < threads; t++) {
     pool.emplace_back([&, t] {
       if (thread_init) {
-        thread_init();
+        thread_init(t);
       }
       ThisThreadClock().JumpTo(origin);
       MemoryMap* map = maps[t];
@@ -44,6 +54,7 @@ RunResult RunThreads(const std::vector<MemoryMap*>& maps, int threads, uint64_t 
       Rng rng(t * 7919 + 13);
       SimClock& clock = ThisThreadClock();
       uint64_t start = clock.Now();
+      CostBreakdown before = clock.Breakdown();
       uint64_t map_pages = map->length() / kPageSize;
       for (uint64_t i = 0; i < ops_per_thread; i++) {
         uint64_t begin = clock.Now();
@@ -51,6 +62,8 @@ RunResult RunThreads(const std::vector<MemoryMap*>& maps, int threads, uint64_t 
         latency.Record(clock.Now() - begin);
       }
       durations[t] = clock.Now() - start;
+      CostBreakdown delta = clock.Breakdown() - before;
+      shootdown_cycles[t] = delta[CostCategory::kTlbShootdown];
     });
   }
   for (auto& th : pool) {
@@ -66,6 +79,12 @@ RunResult RunThreads(const std::vector<MemoryMap*>& maps, int threads, uint64_t 
   result.avg_us = latency.Mean() / static_cast<double>(cycles_per_us);
   result.p99_us = static_cast<double>(latency.Percentile(0.99)) / cycles_per_us;
   result.p999_us = static_cast<double>(latency.Percentile(0.999)) / cycles_per_us;
+  uint64_t shootdown_total = 0;
+  for (uint64_t c : shootdown_cycles) {
+    shootdown_total += c;
+  }
+  result.shootdown_cyc_per_op =
+      static_cast<double>(shootdown_total) / (static_cast<double>(ops_per_thread) * threads);
   return result;
 }
 
@@ -77,9 +96,9 @@ void RunCase(const char* title, uint64_t shared_data_bytes, uint64_t private_dat
   // (the paper's dataset is far larger than any run's access count).
   uint64_t ops = Scaled(1800);
 
-  std::printf("%-8s %-8s | %10s %9s %9s %9s | %10s %9s %9s %9s | %7s\n", "layout", "threads",
-              "mmap-Mops", "avg-us", "p99", "p99.9", "aqla-Mops", "avg-us", "p99", "p99.9",
-              "speedup");
+  std::printf("%-8s %-8s | %10s %9s %9s %9s | %10s %9s %9s %9s %10s | %7s\n", "layout",
+              "threads", "mmap-Mops", "avg-us", "p99", "p99.9", "aqla-Mops", "avg-us", "p99",
+              "p99.9", "sd-cyc/op", "speedup");
   for (const char* layout : {"shared", "private"}) {
     bool shared = std::string(layout) == "shared";
     for (int threads : thread_counts) {
@@ -107,7 +126,7 @@ void RunCase(const char* title, uint64_t shared_data_bytes, uint64_t private_dat
             maps[t] = *map;
           }
         }
-        linux_result = RunThreads(maps, threads, ops, [&] { engine->EnterThread(); });
+        linux_result = RunThreads(maps, threads, ops, [&](int) { engine->EnterThread(); });
       }
       // --- Aquila ---------------------------------------------------------------
       RunResult aquila_result;
@@ -132,7 +151,10 @@ void RunCase(const char* title, uint64_t shared_data_bytes, uint64_t private_dat
             maps[t] = *map;
           }
         }
-        aquila_result = RunThreads(maps, threads, ops, [&] { runtime->EnterThread(); });
+        aquila_result = RunThreads(maps, threads, ops, [&](int t) {
+          CoreRegistry::SetCurrentCoreForTest(t);
+          runtime->EnterThread();
+        });
         for (MemoryMap* map : maps) {
           if (map != nullptr) {
             (void)runtime->Unmap(map);
@@ -144,11 +166,12 @@ void RunCase(const char* title, uint64_t shared_data_bytes, uint64_t private_dat
           }
         }
       }
-      std::printf("%-8s %-8d | %10.3f %9.2f %9.2f %9.2f | %10.3f %9.2f %9.2f %9.2f | %6.2fx\n",
-                  layout, threads, linux_result.mops, linux_result.avg_us, linux_result.p99_us,
-                  linux_result.p999_us, aquila_result.mops, aquila_result.avg_us,
-                  aquila_result.p99_us, aquila_result.p999_us,
-                  aquila_result.mops / linux_result.mops);
+      std::printf(
+          "%-8s %-8d | %10.3f %9.2f %9.2f %9.2f | %10.3f %9.2f %9.2f %9.2f %10.2f | %6.2fx\n",
+          layout, threads, linux_result.mops, linux_result.avg_us, linux_result.p99_us,
+          linux_result.p999_us, aquila_result.mops, aquila_result.avg_us, aquila_result.p99_us,
+          aquila_result.p999_us, aquila_result.shootdown_cyc_per_op,
+          aquila_result.mops / linux_result.mops);
     }
   }
 }

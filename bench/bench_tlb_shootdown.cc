@@ -1,0 +1,220 @@
+// Targeted TLB-shootdown microbenchmark (DESIGN.md §10).
+//
+// Part 1 — eviction churn: N threads random-read private mappings sized 4x
+// the cache, so every miss evicts and every eviction batch shoots down. The
+// same workload runs under broadcast and mask+gen IPI targeting at 1/4/8
+// cores; the table reports simulated shootdown cycles per evicted page
+// (initiator invalidation + IPI sends + absorbed victim handler time, i.e.
+// the whole CostCategory::kTlbShootdown bill) and IPIs per shootdown. With
+// private streams no remote core ever maps a victim page, so mask+gen should
+// collapse the remote phase entirely while broadcast pays one IPI per other
+// active core.
+//
+// Part 2 — the reused-pages elision on a single thread: a sequential scan
+// with active_cores=4 must elide every remote IPI (aquila.tlb.ipis_elided
+// > 0 and no IPIs sent) because only the scanning core ever inserts
+// translations. The run aborts if elision fails — this is the acceptance
+// gate for the per-frame core mask.
+//
+// Emits BENCH_tlb_shootdown.json; `--smoke` shrinks the run for CI, which
+// keeps a perf trajectory for the shootdown fan-out.
+#include <cinttypes>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+namespace bench {
+namespace {
+
+struct Row {
+  int cores = 0;
+  const char* mode_name = "";
+  double cycles_per_evicted_page = 0;
+  double ipis_per_shootdown = 0;
+  uint64_t shootdowns = 0;
+  uint64_t ipis_sent = 0;
+  uint64_t ipis_elided = 0;
+  uint64_t shootdowns_local = 0;
+  uint64_t evicted_pages = 0;
+};
+
+// Random reads over per-thread private mappings with a 4:1 data:cache ratio.
+Row RunEvictionChurn(ShootdownMaskMode mode, const char* mode_name, int threads,
+                     uint64_t data_bytes_per_thread, uint64_t ops_per_thread) {
+  const uint64_t cache_bytes = data_bytes_per_thread * threads / 4;
+  auto device = MakePmem(data_bytes_per_thread * threads);
+  Aquila::Options options = AquilaOptions(cache_bytes, /*active_cores=*/threads);
+  options.shootdown_mask_mode = mode;
+  auto runtime = std::make_unique<Aquila>(options);
+
+  std::vector<std::unique_ptr<DeviceBacking>> backings;
+  std::vector<MemoryMap*> maps(threads);
+  for (int t = 0; t < threads; t++) {
+    backings.push_back(std::make_unique<DeviceBacking>(
+        device->direct, static_cast<uint64_t>(t) * data_bytes_per_thread,
+        data_bytes_per_thread));
+    auto map = runtime->Map(backings.back().get(), data_bytes_per_thread, kProtRead);
+    AQUILA_CHECK(map.ok());
+    maps[t] = *map;
+  }
+
+  std::atomic<uint64_t> shootdown_cycles{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; t++) {
+    pool.emplace_back([&, t] {
+      // Pin the logical core id so thread t IS core t: the shootdown loop
+      // targets cores [0, active_cores), and the per-frame masks must name
+      // the cores that actually fault, or the comparison would measure the
+      // id-assignment accident of earlier runs in this process.
+      CoreRegistry::SetCurrentCoreForTest(t);
+      runtime->EnterThread();
+      MemoryMap* map = maps[t];
+      (void)map->Advise(0, map->length(), Advice::kRandom);
+      Rng rng(t * 7919 + 13);
+      SimClock& clock = ThisThreadClock();
+      uint64_t map_pages = map->length() / kPageSize;
+      CostBreakdown before = clock.Breakdown();
+      for (uint64_t i = 0; i < ops_per_thread; i++) {
+        map->TouchRead(rng.Uniform(map_pages) * kPageSize + 64);
+      }
+      CostBreakdown delta = clock.Breakdown() - before;
+      shootdown_cycles.fetch_add(delta[CostCategory::kTlbShootdown],
+                                 std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+
+  // Counters captured before Unmap so teardown shootdowns stay out of the row.
+  Row row;
+  row.cores = threads;
+  row.mode_name = mode_name;
+  row.shootdowns = runtime->tlb().shootdowns();
+  row.ipis_sent = runtime->tlb().ipis_sent();
+  row.ipis_elided = runtime->tlb().ipis_elided();
+  row.shootdowns_local = runtime->tlb().shootdowns_local();
+  row.evicted_pages = runtime->fault_stats().evicted_pages.load();
+  if (row.evicted_pages > 0) {
+    row.cycles_per_evicted_page =
+        static_cast<double>(shootdown_cycles.load()) / row.evicted_pages;
+  }
+  if (row.shootdowns > 0) {
+    row.ipis_per_shootdown = static_cast<double>(row.ipis_sent) / row.shootdowns;
+  }
+  for (MemoryMap* map : maps) {
+    AQUILA_CHECK(runtime->Unmap(map).ok());
+  }
+  return row;
+}
+
+// Single-threaded sequential scan with 4 simulated active cores: every
+// eviction shootdown must stay initiator-local under mask+gen. Returns the
+// (elided, local, sent) counters for the JSON record.
+Row RunSeqScanElision(uint64_t data_bytes) {
+  auto device = MakePmem(data_bytes);
+  Aquila::Options options = AquilaOptions(data_bytes / 4, /*active_cores=*/4);
+  options.shootdown_mask_mode = ShootdownMaskMode::kMaskGen;
+  auto runtime = std::make_unique<Aquila>(options);
+  DeviceBacking backing(device->direct, 0, data_bytes);
+  auto map = runtime->Map(&backing, data_bytes, kProtRead);
+  AQUILA_CHECK(map.ok());
+  (void)(*map)->Advise(0, data_bytes, Advice::kSequential);
+  for (uint64_t offset = 0; offset < data_bytes; offset += kPageSize) {
+    (*map)->TouchRead(offset);
+  }
+  Row row;
+  row.cores = 4;
+  row.mode_name = "mask+gen";
+  row.shootdowns = runtime->tlb().shootdowns();
+  row.ipis_sent = runtime->tlb().ipis_sent();
+  row.ipis_elided = runtime->tlb().ipis_elided();
+  row.shootdowns_local = runtime->tlb().shootdowns_local();
+  row.evicted_pages = runtime->fault_stats().evicted_pages.load();
+  AQUILA_CHECK(runtime->Unmap(*map).ok());
+  // The acceptance gate: a lone scanning core must elide every remote IPI.
+  AQUILA_CHECK(row.shootdowns > 0);
+  AQUILA_CHECK(row.ipis_elided > 0);
+  AQUILA_CHECK(row.ipis_sent == 0);
+  AQUILA_CHECK(row.shootdowns_local == row.shootdowns);
+  return row;
+}
+
+void PrintRow(const Row& row) {
+  std::printf("%-10s %5d cores | %10.1f cyc/evicted-page | %6.2f IPIs/shootdown | "
+              "sent %8" PRIu64 "  elided %8" PRIu64 "  local %6" PRIu64 "\n",
+              row.mode_name, row.cores, row.cycles_per_evicted_page, row.ipis_per_shootdown,
+              row.ipis_sent, row.ipis_elided, row.shootdowns_local);
+}
+
+void AppendJsonRow(std::FILE* f, const Row& row, bool last) {
+  std::fprintf(f,
+               "    {\"cores\": %d, \"mode\": \"%s\", \"cycles_per_evicted_page\": %.1f, "
+               "\"ipis_per_shootdown\": %.2f, \"shootdowns\": %" PRIu64
+               ", \"ipis_sent\": %" PRIu64 ", \"ipis_elided\": %" PRIu64
+               ", \"shootdowns_local\": %" PRIu64 ", \"evicted_pages\": %" PRIu64 "}%s\n",
+               row.cores, row.mode_name, row.cycles_per_evicted_page, row.ipis_per_shootdown,
+               row.shootdowns, row.ipis_sent, row.ipis_elided, row.shootdowns_local,
+               row.evicted_pages, last ? "" : ",");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aquila
+
+int main(int argc, char** argv) {
+  using namespace aquila;
+  using namespace aquila::bench;
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const uint64_t kDataPerThread = smoke ? (2ull << 20) : Scaled(8ull << 20);
+  const uint64_t kOpsPerThread = smoke ? 800 : Scaled(4000);
+
+  PrintHeader("TLB shootdown fan-out: private random reads, 4:1 data:cache");
+  const int kCores[] = {1, 4, 8};
+  struct ModeCase {
+    ShootdownMaskMode mode;
+    const char* name;
+  };
+  const ModeCase kModes[] = {{ShootdownMaskMode::kBroadcast, "broadcast"},
+                             {ShootdownMaskMode::kMaskGen, "mask+gen"}};
+  std::vector<Row> sweep;
+  for (int cores : kCores) {
+    for (const ModeCase& mc : kModes) {
+      Row row = RunEvictionChurn(mc.mode, mc.name, cores, kDataPerThread, kOpsPerThread);
+      PrintRow(row);
+      sweep.push_back(row);
+    }
+  }
+
+  PrintHeader("Reused-pages elision: 1 thread sequential scan, active_cores=4");
+  Row seq = RunSeqScanElision(smoke ? (8ull << 20) : Scaled(32ull << 20));
+  PrintRow(seq);
+  std::printf("every shootdown stayed initiator-local (%" PRIu64 " elided IPIs)\n",
+              seq.ipis_elided);
+
+  const char* json_path = "BENCH_tlb_shootdown.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  AQUILA_CHECK(f != nullptr);
+  std::fprintf(f, "{\n  \"bench\": \"tlb_shootdown\",\n  \"workload\": "
+                  "\"private random reads, 4:1 data:cache, eviction churn\",\n"
+                  "  \"smoke\": %s,\n  \"ops_per_thread\": %" PRIu64 ",\n  \"sweep\": [\n",
+               smoke ? "true" : "false", kOpsPerThread);
+  for (size_t i = 0; i < sweep.size(); i++) {
+    AppendJsonRow(f, sweep[i], /*last=*/i + 1 == sweep.size());
+  }
+  std::fprintf(f, "  ],\n  \"seq_scan_single_thread\": [\n");
+  AppendJsonRow(f, seq, /*last=*/true);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

@@ -125,17 +125,39 @@ inline std::unique_ptr<TestDevice> MakeNvme(uint64_t capacity) {
   return dev;
 }
 
+// Parses a shootdown-mode name; falls back to `fallback` on anything else.
+inline ShootdownMaskMode ParseShootdownMode(const char* s, ShootdownMaskMode fallback) {
+  if (s == nullptr) {
+    return fallback;
+  }
+  std::string mode(s);
+  if (mode == "broadcast") {
+    return ShootdownMaskMode::kBroadcast;
+  }
+  if (mode == "mask") {
+    return ShootdownMaskMode::kMask;
+  }
+  if (mode == "mask+gen" || mode == "maskgen" || mode == "mask_gen") {
+    return ShootdownMaskMode::kMaskGen;
+  }
+  return fallback;
+}
+
 // Standard Aquila runtime for a given cache size. The async overlapped
 // writeback/readahead pipeline (Options::async_writeback) is off by default,
 // matching the library default; set AQUILA_ASYNC_WRITEBACK=1 to turn it on
 // for any benchmark, and AQUILA_ASYNC_QUEUE_DEPTH=<n> to size the
-// per-mapping device queue (default 32).
+// per-mapping device queue (default 32). AQUILA_SHOOTDOWN_MODE
+// (broadcast|mask|mask+gen) overrides the shootdown IPI targeting policy
+// (default mask+gen, the library default).
 inline Aquila::Options AquilaOptions(uint64_t cache_bytes, int active_cores = 0) {
   Aquila::Options options;
   if (const char* async = std::getenv("AQUILA_ASYNC_WRITEBACK");
       async != nullptr && *async != '\0' && *async != '0') {
     options.async_writeback = true;
   }
+  options.shootdown_mask_mode = ParseShootdownMode(std::getenv("AQUILA_SHOOTDOWN_MODE"),
+                                                   options.shootdown_mask_mode);
   if (const char* depth = std::getenv("AQUILA_ASYNC_QUEUE_DEPTH"); depth != nullptr) {
     int n = std::atoi(depth);
     if (n >= 1) {

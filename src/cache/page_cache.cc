@@ -74,6 +74,10 @@ void PageCache::FreeFrame(int core, FrameId id) {
   f.key.store(0, std::memory_order_relaxed);
   f.vaddr.store(0, std::memory_order_relaxed);
   f.dirty.store(0, std::memory_order_relaxed);
+  // Recycle resets the shootdown-routing state: the next identity this frame
+  // takes starts with no mapped cores and no insert epoch (DESIGN.md §10).
+  f.cpu_mask.store(0, std::memory_order_relaxed);
+  f.tlb_epoch.store(0, std::memory_order_relaxed);
   AQUILA_RACE_POINT("page_cache.free.pre_publish");
   f.state.store(FrameState::kFree, std::memory_order_release);
   AQUILA_RACE_POINT("page_cache.free.pre_freelist");

@@ -28,6 +28,7 @@
 #include "src/cache/lockfree_hash.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/bitops.h"
+#include "src/util/race_injector.h"
 #include "src/vmx/hypervisor.h"
 
 namespace aquila {
@@ -62,7 +63,33 @@ struct Frame {
   std::atomic<uint8_t*> data{nullptr};  // resolved host pointer (EPT walk cached);
                                         // lazily resolved, idempotent, monotone
   DirtyItem dirty_item;  // guarded-by: owner core's DirtyTreeSet lock (+ frame claim)
+  // mm_cpumask analog (DESIGN.md §10): bit c set <=> core c may hold a TLB
+  // entry for this frame's translation. Grows monotonically while the frame
+  // is in circulation — faulters OR their bit in under the page's VMA entry
+  // lock; shootdown paths read it after claiming the frame (the entry lock /
+  // claim CAS orders publication). Reset only on recycle (FreeFrame), never
+  // on writeback or msync, because unclaimed hit-path readers may be setting
+  // bits concurrently.
+  std::atomic<uint64_t> cpu_mask{0};
+  // Global TLB flush epoch at the frame's most recent Insert (CAS-max so a
+  // slow faulter can never regress it). A core whose whole-TLB flush epoch
+  // exceeds this value cannot hold the translation: the generation elision
+  // input for ShootdownMaskMode::kMaskGen.
+  std::atomic<uint64_t> tlb_epoch{0};
 };
+
+// Publishes a TLB insert on `core` into the frame's shootdown-routing state:
+// called by the fault/hit paths right after TlbSet::Insert, with `epoch` the
+// value Insert returned. Monotone on both fields — safe against concurrent
+// publishers; the caller orders it against eviction via the VMA entry lock.
+inline void NoteTlbInsert(Frame& frame, int core, uint64_t epoch) {
+  AQUILA_RACE_POINT("page_cache.note_insert.pre_mask");
+  frame.cpu_mask.fetch_or(1ull << (core & 63), std::memory_order_relaxed);
+  uint64_t seen = frame.tlb_epoch.load(std::memory_order_relaxed);
+  while (seen < epoch &&
+         !frame.tlb_epoch.compare_exchange_weak(seen, epoch, std::memory_order_relaxed)) {
+  }
+}
 
 class PageCache {
  public:

@@ -30,6 +30,12 @@ Aquila::Aquila(const Options& options)
                [this] { return tlb_.misses(); });
   metrics_.Add("aquila.tlb.shootdown_rounds", telemetry::MetricKind::kCounter,
                [this] { return tlb_.shootdowns(); });
+  metrics_.Add("aquila.tlb.ipis_sent", telemetry::MetricKind::kCounter,
+               [this] { return tlb_.ipis_sent(); });
+  metrics_.Add("aquila.tlb.ipis_elided", telemetry::MetricKind::kCounter,
+               [this] { return tlb_.ipis_elided(); });
+  metrics_.Add("aquila.tlb.shootdowns_local", telemetry::MetricKind::kCounter,
+               [this] { return tlb_.shootdowns_local(); });
 }
 
 Aquila::~Aquila() {
@@ -59,6 +65,14 @@ int Aquila::active_cores() const {
     return options_.active_cores;
   }
   return CoreRegistry::RegisteredCores();
+}
+
+void Aquila::ShootdownPages(Vcpu& vcpu, std::span<const PageShootdown> pages) {
+  for (size_t i = 0; i < pages.size(); i += options_.shootdown_batch) {
+    size_t n = std::min<size_t>(options_.shootdown_batch, pages.size() - i);
+    tlb_.Shootdown(vcpu.clock(), vcpu.core(), active_cores(), pages.subspan(i, n),
+                   fabric_, options_.shootdown_mask_mode);
+  }
 }
 
 StatusOr<MemoryMap*> Aquila::Map(Backing* backing, uint64_t length, int prot) {
@@ -116,7 +130,7 @@ StatusOr<MemoryMap*> Aquila::Remap(MemoryMap* map, uint64_t new_length) {
   // Move resident translations: for every present PTE in the overlapping
   // prefix, re-point the frame at its new virtual address.
   uint64_t move_pages = std::min(old_map->vma_.page_count, new_map->vma_.page_count);
-  std::vector<uint64_t> old_vpns;
+  std::vector<PageShootdown> old_vpns;
   for (uint64_t i = 0; i < move_pages; i++) {
     uint64_t old_page = old_map->vma_.start_page + i;
     Vma* vma = vma_tree_.LockEntry(old_page);
@@ -128,9 +142,13 @@ StatusOr<MemoryMap*> Aquila::Remap(MemoryMap* map, uint64_t new_length) {
     if (Pte::Present(pte)) {
       uint64_t new_vaddr = (new_map->vma_.start_page + i) << kPageShift;
       FrameId frame = static_cast<FrameId>(Pte::Gpa(pte) >> kPageShift);
-      cache_->frame(frame).vaddr = new_vaddr;
+      Frame& f = cache_->frame(frame);
+      f.vaddr = new_vaddr;
       page_table_.Install(new_vaddr, Pte::Gpa(pte), pte & Pte::kFlagsMask & ~Pte::kPresent);
-      old_vpns.push_back(old_page);
+      // Mask/epoch captured under the entry lock, which orders against
+      // fault-path NoteTlbInsert on the same page.
+      old_vpns.push_back({old_page, f.cpu_mask.load(std::memory_order_relaxed),
+                          f.tlb_epoch.load(std::memory_order_relaxed)});
     }
     vma_tree_.UnlockEntry(old_page);
   }
@@ -148,11 +166,7 @@ StatusOr<MemoryMap*> Aquila::Remap(MemoryMap* map, uint64_t new_length) {
   if (old_map->engine_ != nullptr) {
     (void)old_map->engine_->Drain(vcpu);
   }
-  for (size_t i = 0; i < old_vpns.size(); i += options_.shootdown_batch) {
-    size_t n = std::min<size_t>(options_.shootdown_batch, old_vpns.size() - i);
-    tlb_.Shootdown(vcpu.clock(), vcpu.core(), active_cores(),
-                   std::span(old_vpns.data() + i, n), fabric_);
-  }
+  ShootdownPages(vcpu, old_vpns);
 
   MemoryMap* result = new_map.get();
   {

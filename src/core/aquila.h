@@ -59,6 +59,11 @@ class Aquila : public MmioEngine {
     uint32_t readahead_pages = 8;
     // Cores participating in shootdowns; defaults to all registered cores.
     int active_cores = 0;
+    // IPI targeting for shootdown batches (DESIGN.md §10): kBroadcast sends
+    // to every active core (paper §4.1 baseline); kMask skips cores with no
+    // bit in the victims' Frame::cpu_mask; kMaskGen additionally skips cores
+    // whose whole TLB was flushed after the page's last insert.
+    ShootdownMaskMode shootdown_mask_mode = ShootdownMaskMode::kMaskGen;
     // Consecutive writeback failures (each already past the device retry
     // budget) before a mapping degrades to read-only. Mirrors how the
     // kernel remounts a filesystem read-only after repeated EIO.
@@ -127,6 +132,12 @@ class Aquila : public MmioEngine {
   const Options& options() const { return options_; }
   int guest() const { return guest_; }
   int active_cores() const;
+
+  // Shoots down `pages` in Options::shootdown_batch-sized sub-batches under
+  // the configured shootdown_mask_mode, with `vcpu` as the initiator. The
+  // per-page masks/epochs must have been captured from the owning frames
+  // while they were claimed (before FreeFrame could recycle them).
+  void ShootdownPages(Vcpu& vcpu, std::span<const PageShootdown> pages);
 
  private:
   friend class AquilaMap;

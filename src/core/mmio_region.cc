@@ -68,7 +68,7 @@ Status AquilaMap::TearDown() {
 
   PageCache& cache = runtime_->cache();
   WritebackPlanner planner;
-  std::vector<uint64_t> vpns;
+  std::vector<PageShootdown> vpns;
   std::vector<FrameId> frames;
   for (uint64_t i = 0; i < vma_.page_count; i++) {
     uint64_t page = vma_.start_page + i;
@@ -102,7 +102,11 @@ Status AquilaMap::TearDown() {
     }
     (void)runtime_->page_table().Remove(vaddr);
     cache.RemoveMapping(key);
-    vpns.push_back(page);
+    // Mask/epoch read while the frame is claimed (kEvicting): FreeFrame has
+    // not recycled it yet, and the claim CAS ordered any fault-path inserts
+    // for this page before us.
+    vpns.push_back({page, f.cpu_mask.load(std::memory_order_relaxed),
+                    f.tlb_epoch.load(std::memory_order_relaxed)});
     if (f.dirty.load(std::memory_order_relaxed) != 0) {
       cache.ClearDirty(frame);
       planner.Add(WritebackItem{SortKey(i * kPageSize), i * kPageSize,
@@ -120,12 +124,7 @@ Status AquilaMap::TearDown() {
     result = backing_->Flush(vcpu);
   }
 
-  uint32_t batch = runtime_->options().shootdown_batch;
-  for (size_t i = 0; i < vpns.size(); i += batch) {
-    size_t n = std::min<size_t>(batch, vpns.size() - i);
-    runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(),
-                              std::span(vpns.data() + i, n), runtime_->fabric());
-  }
+  runtime_->ShootdownPages(vcpu, vpns);
   int core = vcpu.core();
   for (FrameId frame : frames) {
     cache.FreeFrame(core, frame);
@@ -214,11 +213,14 @@ StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write) 
   if (Pte::Present(pte) && (!write || Pte::Writable(pte))) {
     // Cache hit: translation exists; no software on the real machine. We
     // charge only the hardware walk when the TLB missed.
+    frame = static_cast<FrameId>(Pte::Gpa(pte) >> kPageShift);
     if (!tlb.hit || (write && !tlb.writable)) {
       vcpu.clock().Charge(CostCategory::kPageTable, GlobalCostModel().hardware_walk);
-      runtime_->tlb().Insert(vcpu.core(), page, Pte::Writable(pte));
+      uint64_t epoch = runtime_->tlb().Insert(vcpu.core(), page, Pte::Writable(pte));
+      // Publish under the entry lock: evictors capture the mask only after
+      // their claim CAS, which the same lock orders against this insert.
+      NoteTlbInsert(runtime_->cache().frame(frame), vcpu.core(), epoch);
     }
-    frame = static_cast<FrameId>(Pte::Gpa(pte) >> kPageShift);
     ref.faulted = false;
   } else {
     StatusOr<FrameId> faulted = HandleFault(vcpu, vaddr, write);
@@ -227,7 +229,8 @@ StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write) 
       return faulted.status();
     }
     frame = *faulted;
-    runtime_->tlb().Insert(vcpu.core(), page, write);
+    uint64_t epoch = runtime_->tlb().Insert(vcpu.core(), page, write);
+    NoteTlbInsert(runtime_->cache().frame(frame), vcpu.core(), epoch);
     ref.faulted = true;
   }
   Frame& f = runtime_->cache().frame(frame);
@@ -565,7 +568,7 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
 
   WritebackPlanner planner;
   std::vector<uint64_t> locked_dirty_pages;
-  std::vector<uint64_t> vpns;
+  std::vector<PageShootdown> vpns;
   std::vector<FrameId> to_free;
   vpns.reserve(n);
   to_free.reserve(n);
@@ -601,7 +604,11 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
       if (owner->transparent_base_ != nullptr) {
         TrapDriver::RemoveRealMapping(vaddr);
       }
-      vpns.push_back(page);
+      // Mask/epoch captured while we own the frame (kEvicting) and hold the
+      // entry lock — after this point a completion or FreeFrame may recycle
+      // it, so the routing state must travel with the batch.
+      vpns.push_back({page, f.cpu_mask.load(std::memory_order_relaxed),
+                      f.tlb_epoch.load(std::memory_order_relaxed)});
       if (f.dirty.load(std::memory_order_relaxed) != 0) {
         cache.ClearDirty(frame);
         uint64_t file_offset = FilePageOfKey(fkey) * kPageSize;
@@ -662,11 +669,10 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
     }
   }
 
-  // One batched shootdown for the whole eviction (§4.1).
-  if (!vpns.empty()) {
-    runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(), vpns,
-                              runtime_->fabric());
-  }
+  // One batched shootdown for the whole eviction (§4.1); the masked path
+  // splits it into per-victim-core coalesced IPIs and elides cores that
+  // never mapped any page of the batch.
+  runtime_->ShootdownPages(vcpu, vpns);
 
   int core = vcpu.core();
   for (FrameId frame : to_free) {
@@ -758,7 +764,7 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
   const uint64_t first_page = offset >> kPageShift;
   const uint64_t last_page = (offset + length - 1) >> kPageShift;
   WritebackPlanner planner;
-  std::vector<uint64_t> vpns;
+  std::vector<PageShootdown> vpns;
   std::vector<FrameId> claimed;
   std::vector<FrameId> collected;
   // Claim dirty frames of this mapping from the per-core trees.
@@ -829,7 +835,10 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
         }
       }
       if (fvaddr != 0) {
-        vpns.push_back(fvaddr >> kPageShift);
+        // The mask is read but NOT cleared: the page stays resident, and
+        // unclaimed hit-path readers may be OR-ing bits in concurrently.
+        vpns.push_back({fvaddr >> kPageShift, f.cpu_mask.load(std::memory_order_relaxed),
+                        f.tlb_epoch.load(std::memory_order_relaxed)});
       }
       planner.Add(WritebackItem{SortKey(file_page * kPageSize), file_page * kPageSize,
                                 cache.FrameData(vcpu, frame), backing_, frame, this});
@@ -848,12 +857,7 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
   }
 
   // Shoot down stale writable TLB entries before reading page contents.
-  uint32_t batch = runtime_->options().shootdown_batch;
-  for (size_t i = 0; i < vpns.size(); i += batch) {
-    size_t n = std::min<size_t>(batch, vpns.size() - i);
-    runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(),
-                              std::span(vpns.data() + i, n), runtime_->fabric());
-  }
+  runtime_->ShootdownPages(vcpu, vpns);
 
   Status status = planner.SubmitSync(vcpu);
   if (status.ok()) {
@@ -921,7 +925,7 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
       uint64_t last = std::min((offset + length - 1) >> kPageShift, vma_.page_count - 1);
       const bool async = engine_ != nullptr;
       WritebackPlanner planner;
-      std::vector<uint64_t> vpns;
+      std::vector<PageShootdown> vpns;
       std::vector<FrameId> to_free;
       std::vector<uint64_t> locked_pages;
       for (uint64_t file_page = first; file_page <= last; file_page++) {
@@ -957,7 +961,9 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
         if (transparent_base_ != nullptr && fvaddr != 0) {
           TrapDriver::RemoveRealMapping(fvaddr);
         }
-        vpns.push_back(page);
+        // Captured under the claim + entry lock, before FreeFrame can recycle.
+        vpns.push_back({page, f.cpu_mask.load(std::memory_order_relaxed),
+                        f.tlb_epoch.load(std::memory_order_relaxed)});
         if (f.dirty.load(std::memory_order_relaxed) != 0) {
           cache.ClearDirty(frame);
           planner.Add(WritebackItem{f.dirty_item.sort_key, file_page * kPageSize,
@@ -1002,12 +1008,7 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
           }
         }
       }
-      uint32_t batch = runtime_->options().shootdown_batch;
-      for (size_t i = 0; i < vpns.size(); i += batch) {
-        size_t n = std::min<size_t>(batch, vpns.size() - i);
-        runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(),
-                                  std::span(vpns.data() + i, n), runtime_->fabric());
-      }
+      runtime_->ShootdownPages(vcpu, vpns);
       for (FrameId frame : to_free) {
         cache.FreeFrame(vcpu.core(), frame);
       }
@@ -1028,7 +1029,7 @@ Status AquilaMap::Protect(int prot) {
     return Status::Ok();
   }
   // Downgrade: clear W on every present PTE and shoot down stale entries.
-  std::vector<uint64_t> vpns;
+  std::vector<PageShootdown> vpns;
   for (uint64_t i = 0; i < vma_.page_count; i++) {
     uint64_t vaddr = (vma_.start_page + i) << kPageShift;
     std::atomic<uint64_t>* pte = runtime_->page_table().WalkExisting(vaddr);
@@ -1040,15 +1041,15 @@ Status AquilaMap::Protect(int prot) {
       if (transparent_base_ != nullptr) {
         TrapDriver::DowngradeRealMapping(vaddr);
       }
-      vpns.push_back(vma_.start_page + i);
+      // The frame stays resident and unclaimed here; the mask read is
+      // conservative — a faulter racing the downgrade re-reads the PTE we
+      // just cleared and can only insert a read-only entry.
+      Frame& f = runtime_->cache().frame(static_cast<FrameId>(Pte::Gpa(old) >> kPageShift));
+      vpns.push_back({vma_.start_page + i, f.cpu_mask.load(std::memory_order_relaxed),
+                      f.tlb_epoch.load(std::memory_order_relaxed)});
     }
   }
-  uint32_t batch = runtime_->options().shootdown_batch;
-  for (size_t i = 0; i < vpns.size(); i += batch) {
-    size_t n = std::min<size_t>(batch, vpns.size() - i);
-    runtime_->tlb().Shootdown(vcpu.clock(), vcpu.core(), runtime_->active_cores(),
-                              std::span(vpns.data() + i, n), runtime_->fabric());
-  }
+  runtime_->ShootdownPages(vcpu, vpns);
   return Status::Ok();
 }
 

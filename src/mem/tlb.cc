@@ -1,5 +1,7 @@
 #include "src/mem/tlb.h"
 
+#include <vector>
+
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/scoped_timer.h"
 #include "src/util/race_injector.h"
@@ -17,9 +19,17 @@ TlbSet::LookupResult TlbSet::Lookup(int core, uint64_t vpn) const {
   return LookupResult{false, false};
 }
 
-void TlbSet::Insert(int core, uint64_t vpn, bool writable) {
+uint64_t TlbSet::Insert(int core, uint64_t vpn, bool writable) {
+  // Read the epoch BEFORE publishing the entry: a FlushCore racing in
+  // between wipes the slot we are about to fill, and the stale entry we then
+  // store is exactly what the pre-flush epoch admits — the frame's CAS-max
+  // keeps the insert visible to the generation check, so the shootdown still
+  // targets this core. The reverse order could stamp a post-flush epoch on
+  // an entry the flush missed, eliding an IPI the core still needs.
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   AQUILA_RACE_POINT("tlb.insert.pre_store");
   cores_[core].entries[SlotFor(vpn)].store(Pack(vpn, writable), std::memory_order_relaxed);
+  return epoch;
 }
 
 void TlbSet::InvalidatePage(int core, uint64_t vpn) {
@@ -35,10 +45,55 @@ void TlbSet::FlushCore(int core) {
   for (auto& slot : cores_[core].entries) {
     slot.store(0, std::memory_order_relaxed);
   }
+  // Epoch advances strictly after the wipe: an entry inserted mid-wipe
+  // carries the pre-bump epoch, so the generation check (strict >) still
+  // sends this core an IPI for it. CAS-max because two concurrent flushes of
+  // the same core may publish out of order — the epoch must never go
+  // backwards (understating the flush point is conservative: at worst an
+  // elidable IPI is sent anyway).
+  uint64_t flushed_at = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  AQUILA_RACE_POINT("tlb.flush.pre_epoch_publish");
+  std::atomic<uint64_t>& mark = flush_epochs_[core].flushed;
+  uint64_t seen = mark.load(std::memory_order_relaxed);
+  while (seen < flushed_at &&
+         !mark.compare_exchange_weak(seen, flushed_at, std::memory_order_relaxed)) {
+  }
+}
+
+bool TlbSet::CoreNeedsPage(int core, const PageShootdown& page,
+                           ShootdownMaskMode mode) const {
+  if (mode == ShootdownMaskMode::kBroadcast) {
+    return true;
+  }
+  if ((page.cpu_mask & (1ull << (core & 63))) == 0) {
+    return false;  // core never installed a translation for this page
+  }
+  if (mode == ShootdownMaskMode::kMaskGen &&
+      flush_epochs_[core].flushed.load(std::memory_order_relaxed) > page.tlb_epoch) {
+    return false;  // whole TLB flushed since the page's last insert
+  }
+  return true;
 }
 
 void TlbSet::Shootdown(SimClock& clock, int initiator_core, int active_cores,
                        std::span<const uint64_t> vpns, PostedIpiFabric& fabric) {
+  std::vector<PageShootdown> pages(vpns.size());
+  for (size_t i = 0; i < vpns.size(); i++) {
+    pages[i].vpn = vpns[i];  // default mask/epoch: all cores, never flushed
+  }
+  Shootdown(clock, initiator_core, active_cores, pages, fabric,
+            ShootdownMaskMode::kBroadcast);
+}
+
+void TlbSet::Shootdown(SimClock& clock, int initiator_core, int active_cores,
+                       std::span<const PageShootdown> pages, PostedIpiFabric& fabric,
+                       ShootdownMaskMode mode) {
+  if (pages.empty()) {
+    return;  // no IPIs, no counters, no histogram sample for an empty batch
+  }
+  if (active_cores > CoreRegistry::kMaxCores) {
+    active_cores = CoreRegistry::kMaxCores;
+  }
   const CostModel& costs = GlobalCostModel();
   shootdowns_.fetch_add(1, std::memory_order_relaxed);
 #if AQUILA_TELEMETRY_ENABLED
@@ -46,34 +101,68 @@ void TlbSet::Shootdown(SimClock& clock, int initiator_core, int active_cores,
       telemetry::Registry().GetHistogram("aquila.tlb.shootdown_cycles");
   static telemetry::Counter* shootdown_pages =
       telemetry::Registry().GetCounter("aquila.tlb.shootdown_pages");
-  shootdown_pages->Add(vpns.size());
+  shootdown_pages->Add(pages.size());
   const uint64_t start_cycles = clock.Now();
 #endif
 
-  if (active_cores > CoreRegistry::kMaxCores) {
-    active_cores = CoreRegistry::kMaxCores;
+  // Initiator phase: the whole batch is invalidated locally (the initiator
+  // removed the PTEs; its own TLB must not outlive them). A batch whose
+  // per-page cost exceeds one full flush is applied as a flush so the
+  // simulated TLB state matches the charged cost.
+  uint64_t local_cost = pages.size() * costs.tlb_invalidate_page;
+  if (local_cost > costs.tlb_full_flush) {
+    local_cost = costs.tlb_full_flush;
+    FlushCore(initiator_core);
+  } else {
+    for (const PageShootdown& page : pages) {
+      InvalidatePage(initiator_core, page.vpn);
+    }
   }
+  clock.Charge(CostCategory::kTlbShootdown, local_cost);
 
-  // The handler on every core (initiator included) invalidates the batch; a
-  // large batch is cheaper as a full flush.
-  uint64_t per_core_cost = vpns.size() * costs.tlb_invalidate_page;
-  if (per_core_cost > costs.tlb_full_flush) {
-    per_core_cost = costs.tlb_full_flush;
-  }
-
+  // Remote phase: one coalesced IPI per victim core, covering only the batch
+  // pages whose mask (and, under kMaskGen, flush generation) name it. Cores
+  // with no surviving page are elided entirely.
+  bool any_remote = false;
   for (int core = 0; core < active_cores; core++) {
-    for (uint64_t vpn : vpns) {
-      InvalidatePage(core, vpn);
-    }
     if (core == initiator_core) {
-      clock.Charge(CostCategory::kTlbShootdown, per_core_cost);
-    } else {
-      fabric.Send(clock, core, per_core_cost);
+      continue;
     }
+    size_t count = 0;
+    for (const PageShootdown& page : pages) {
+      if (CoreNeedsPage(core, page, mode)) {
+        count++;
+      }
+    }
+    if (count == 0) {
+      ipis_elided_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    any_remote = true;
+    uint64_t handler_cost = count * costs.tlb_invalidate_page;
+    if (handler_cost > costs.tlb_full_flush) {
+      handler_cost = costs.tlb_full_flush;
+      // The victim's handler resolves the clamped batch as one full flush —
+      // which also advances its flush epoch, feeding the kMaskGen elision
+      // for every page it still holds.
+      FlushCore(core);
+    } else {
+      for (const PageShootdown& page : pages) {
+        if (CoreNeedsPage(core, page, mode)) {
+          InvalidatePage(core, page.vpn);
+        }
+      }
+    }
+    AQUILA_RACE_POINT("tlb.shootdown.pre_send");
+    fabric.Send(clock, core, handler_cost);
+    ipis_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!any_remote) {
+    shootdowns_local_.fetch_add(1, std::memory_order_relaxed);
   }
 #if AQUILA_TELEMETRY_ENABLED
   telemetry::RecordSpanSince(shootdown_hist, telemetry::TraceEventType::kShootdown, clock,
-                             start_cycles, vpns.size());
+                             start_cycles, pages.size());
 #endif
 }
 

@@ -1,4 +1,5 @@
-// Per-core software TLBs with batched shootdown (§3.1, §4.1).
+// Per-core software TLBs with batched, core-mask-tracked shootdown
+// (§3.1, §4.1; fan-out model in DESIGN.md §10).
 //
 // The TLBs are *statistical*: translations are always re-validated against
 // the page table (whose PTE dirty/present bits are authoritative), so a
@@ -11,6 +12,22 @@
 // whole batch through the posted-IPI fabric (vmexit-protected send path,
 // §4.1). The remote handler cost scales with the batch size and is charged
 // to the victim core's mailbox.
+//
+// Fan-out reduction (mm_cpumask analog): each cache frame tracks the set of
+// cores that installed a translation for it (Frame::cpu_mask) plus the
+// global flush epoch at its last insert (Frame::tlb_epoch). The masked
+// Shootdown overload uses both to shrink the IPI fan-out from
+// O(active_cores) to O(cores-that-mapped-it):
+//   - a core with no bit in any page of the batch is skipped entirely;
+//   - with ShootdownMaskMode::kMaskGen, a core whose whole TLB was flushed
+//     after a page's last insert is skipped for that page (the reused-pages
+//     elision; see PAPERS.md "Skip TLB flushes for reused pages");
+//   - when every surviving target is the initiator itself, the remote phase
+//     is fully elided (the common case for private streams).
+// Both the mask and the epoch are conservative under races (an insert
+// racing a concurrent flush or shootdown may leave a stale-but-benign entry
+// behind); because the TLB is statistical, the failure mode is a
+// mis-accounted hit, never corruption — see DESIGN.md §10.
 #ifndef AQUILA_SRC_MEM_TLB_H_
 #define AQUILA_SRC_MEM_TLB_H_
 
@@ -25,6 +42,23 @@
 
 namespace aquila {
 
+// How Shootdown picks its IPI targets (Options::shootdown_mask_mode).
+enum class ShootdownMaskMode : uint8_t {
+  kBroadcast,  // one IPI per active core, the paper's §4.1 baseline
+  kMask,       // skip cores with no bit in the batch's per-page cpu masks
+  kMaskGen,    // kMask, plus skip cores fully flushed since a page's insert
+};
+
+// One page of a masked shootdown batch: the vpn to invalidate plus the
+// routing state captured from the owning frame while the caller held its
+// claim. The defaults (all cores, never-flushed) make an entry equivalent to
+// a broadcast shootdown of that page.
+struct PageShootdown {
+  uint64_t vpn = 0;
+  uint64_t cpu_mask = ~0ull;   // cores whose TLB may cache this translation
+  uint64_t tlb_epoch = ~0ull;  // global flush epoch at the page's last insert
+};
+
 class TlbSet {
  public:
   // Entries per core. Direct-mapped; sized like a big L2 STLB.
@@ -38,26 +72,53 @@ class TlbSet {
   // Statistical lookup for virtual page number `vpn` on `core`.
   LookupResult Lookup(int core, uint64_t vpn) const;
 
-  // Fills the entry after a walk. `writable` caches the PTE W bit.
-  void Insert(int core, uint64_t vpn, bool writable);
+  // Fills the entry after a walk. `writable` caches the PTE W bit. Returns
+  // the current global flush epoch so the caller can stamp the owning
+  // frame's tlb_epoch (the kMaskGen elision input).
+  uint64_t Insert(int core, uint64_t vpn, bool writable);
 
   // Local single-page invalidation (invlpg analog).
   void InvalidatePage(int core, uint64_t vpn);
 
-  // Drops every entry on `core`.
+  // Drops every entry on `core` and advances its flush epoch: pages whose
+  // last insert predates the flush need no IPI to this core afterwards.
   void FlushCore(int core);
 
-  // Invalidates `vpns` on all cores. The initiator (`initiator_core`, whose
-  // clock is `clock`) pays per-page local invalidations plus one IPI per
-  // remote core; each remote core is charged the handler cost via the
-  // fabric. `active_cores` bounds the shootdown fan-out (the paper tracks
-  // which cores may cache the mapping via the shared page table).
+  // Broadcast compatibility wrapper: invalidates `vpns` on all active cores
+  // exactly like a masked shootdown whose every page carries the default
+  // (all-ones) mask.
   void Shootdown(SimClock& clock, int initiator_core, int active_cores,
                  std::span<const uint64_t> vpns, PostedIpiFabric& fabric);
+
+  // Masked batched shootdown. The initiator (`initiator_core`, whose clock
+  // is `clock`) always invalidates the whole batch locally and pays for it;
+  // each remaining core in [0, active_cores) receives one coalesced IPI
+  // covering only the batch pages whose mask names it (per `mode`), charged
+  // through the fabric. Cores with no surviving page are elided. A batch
+  // whose per-core cost exceeds one full flush is applied as FlushCore on
+  // that core (so simulated TLB state matches the charged cost) and bumps
+  // its flush epoch. Empty batches are free: no IPI, no histogram sample.
+  void Shootdown(SimClock& clock, int initiator_core, int active_cores,
+                 std::span<const PageShootdown> pages, PostedIpiFabric& fabric,
+                 ShootdownMaskMode mode);
+
+  // Global flush epoch (bumped by every FlushCore) and the epoch at which
+  // `core` last had its whole TLB flushed.
+  uint64_t CurrentEpoch() const { return epoch_.load(std::memory_order_relaxed); }
+  uint64_t CoreFlushEpoch(int core) const {
+    return flush_epochs_[core].flushed.load(std::memory_order_relaxed);
+  }
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t shootdowns() const { return shootdowns_.load(std::memory_order_relaxed); }
+  // Fan-out accounting: IPIs actually sent by shootdowns, remote cores
+  // skipped (mask or generation), and shootdowns that stayed fully local.
+  uint64_t ipis_sent() const { return ipis_sent_.load(std::memory_order_relaxed); }
+  uint64_t ipis_elided() const { return ipis_elided_.load(std::memory_order_relaxed); }
+  uint64_t shootdowns_local() const {
+    return shootdowns_local_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Packed entry: (vpn << 2) | (writable << 1) | valid. vpn of ~0 unused.
@@ -69,12 +130,24 @@ class TlbSet {
     std::array<std::atomic<uint64_t>, kEntries> entries{};
   };
 
+  struct alignas(kCacheLineSize) CoreEpoch {
+    std::atomic<uint64_t> flushed{0};
+  };
+
   static int SlotFor(uint64_t vpn) { return static_cast<int>(vpn) & (kEntries - 1); }
 
+  // True when `core` must invalidate `page` under `mode`.
+  bool CoreNeedsPage(int core, const PageShootdown& page, ShootdownMaskMode mode) const;
+
   std::array<CoreTlb, CoreRegistry::kMaxCores> cores_{};
+  std::array<CoreEpoch, CoreRegistry::kMaxCores> flush_epochs_{};
+  std::atomic<uint64_t> epoch_{0};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> shootdowns_{0};
+  std::atomic<uint64_t> ipis_sent_{0};
+  std::atomic<uint64_t> ipis_elided_{0};
+  std::atomic<uint64_t> shootdowns_local_{0};
 };
 
 }  // namespace aquila

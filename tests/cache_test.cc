@@ -455,6 +455,38 @@ TEST_F(PageCacheTest, ShrinkReleasesWholeGrant) {
   EXPECT_EQ(hv_->granted_bytes(guest_), 0u);
 }
 
+TEST_F(PageCacheTest, TlbInsertNoteAccumulatesMaskAndEpoch) {
+  FrameId f = cache_->AllocFrame(vcpu_, 0);
+  Frame& frame = cache_->frame(f);
+  EXPECT_EQ(frame.cpu_mask.load(), 0u);
+  EXPECT_EQ(frame.tlb_epoch.load(), 0u);
+  NoteTlbInsert(frame, 0, /*epoch=*/3);
+  NoteTlbInsert(frame, 5, /*epoch=*/7);
+  EXPECT_EQ(frame.cpu_mask.load(), (1ull << 0) | (1ull << 5));
+  EXPECT_EQ(frame.tlb_epoch.load(), 7u);
+  // The epoch is a CAS-max: a slow publisher cannot regress it, and the mask
+  // only grows (like Linux mm_cpumask) while the frame stays in circulation.
+  NoteTlbInsert(frame, 5, /*epoch=*/2);
+  EXPECT_EQ(frame.tlb_epoch.load(), 7u);
+  EXPECT_EQ(frame.cpu_mask.load(), (1ull << 0) | (1ull << 5));
+  // Core ids wrap mod 64 into the mask, matching the shootdown's targeting.
+  NoteTlbInsert(frame, 64 + 9, /*epoch=*/7);
+  EXPECT_EQ(frame.cpu_mask.load(), (1ull << 0) | (1ull << 5) | (1ull << 9));
+  cache_->FreeFrame(0, f);
+}
+
+TEST_F(PageCacheTest, RecycleResetsShootdownRoutingState) {
+  FrameId f = cache_->AllocFrame(vcpu_, 0);
+  Frame& frame = cache_->frame(f);
+  NoteTlbInsert(frame, 3, /*epoch=*/11);
+  ASSERT_NE(frame.cpu_mask.load(), 0u);
+  cache_->FreeFrame(0, f);
+  // The next identity this frame takes must start with no mapped cores:
+  // stale bits would send IPIs for cores that never saw the new page.
+  EXPECT_EQ(frame.cpu_mask.load(), 0u);
+  EXPECT_EQ(frame.tlb_epoch.load(), 0u);
+}
+
 TEST_F(PageCacheTest, DirtyBookkeeping) {
   FrameId f = cache_->AllocFrame(vcpu_, 0);
   cache_->frame(f).state.store(FrameState::kResident);

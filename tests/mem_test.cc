@@ -154,6 +154,148 @@ TEST(TlbTest, ShootdownInvalidatesAllCores) {
   EXPECT_GT(clock.Now(), 0u);
 }
 
+TEST(TlbTest, MaskedShootdownSkipsUnmappedCores) {
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  SimClock clock;
+  tlb.Insert(0, 7, true);
+  tlb.Insert(2, 7, true);
+  tlb.Insert(3, 42, true);  // unrelated page on an unmapped core survives
+  std::vector<PageShootdown> pages = {{7, /*cpu_mask=*/0b0101, /*tlb_epoch=*/0}};
+  tlb.Shootdown(clock, /*initiator=*/0, /*active_cores=*/4, pages, fabric,
+                ShootdownMaskMode::kMask);
+  EXPECT_FALSE(tlb.Lookup(0, 7).hit);
+  EXPECT_FALSE(tlb.Lookup(2, 7).hit);
+  EXPECT_TRUE(tlb.Lookup(3, 42).hit);
+  // Only core 2 is a remote target; cores 1 and 3 have no bit in the mask.
+  EXPECT_EQ(fabric.TotalSent(), 1u);
+  EXPECT_EQ(tlb.ipis_sent(), 1u);
+  EXPECT_EQ(tlb.ipis_elided(), 2u);
+  EXPECT_EQ(tlb.shootdowns_local(), 0u);
+}
+
+TEST(TlbTest, InitiatorOnlyMaskElidesRemotePhase) {
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  SimClock clock;
+  tlb.Insert(0, 7, true);
+  std::vector<PageShootdown> pages = {{7, /*cpu_mask=*/0b0001, /*tlb_epoch=*/0}};
+  tlb.Shootdown(clock, /*initiator=*/0, /*active_cores=*/4, pages, fabric,
+                ShootdownMaskMode::kMask);
+  EXPECT_FALSE(tlb.Lookup(0, 7).hit);
+  EXPECT_EQ(fabric.TotalSent(), 0u);
+  EXPECT_EQ(tlb.ipis_elided(), 3u);
+  EXPECT_EQ(tlb.shootdowns_local(), 1u);
+  // The initiator still pays its local invalidation.
+  EXPECT_GT(clock.Now(), 0u);
+}
+
+TEST(TlbTest, GenerationElidesCoresFlushedAfterInsert) {
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  SimClock clock;
+  tlb.Insert(0, 7, true);
+  uint64_t insert_epoch = tlb.Insert(1, 7, true);
+  // Core 1's whole TLB is flushed after the insert: it cannot hold the
+  // translation any more, so kMaskGen skips the IPI even though the mask
+  // names it...
+  tlb.FlushCore(1);
+  EXPECT_GT(tlb.CoreFlushEpoch(1), insert_epoch);
+  std::vector<PageShootdown> pages = {{7, /*cpu_mask=*/0b0011, insert_epoch}};
+  tlb.Shootdown(clock, /*initiator=*/0, /*active_cores=*/4, pages, fabric,
+                ShootdownMaskMode::kMaskGen);
+  EXPECT_EQ(fabric.TotalSent(), 0u);
+  EXPECT_EQ(tlb.shootdowns_local(), 1u);
+
+  // ...while plain kMask still pays it (the mask alone cannot know).
+  TlbSet tlb2;
+  PostedIpiFabric fabric2;
+  uint64_t epoch2 = tlb2.Insert(1, 7, true);
+  tlb2.FlushCore(1);
+  std::vector<PageShootdown> pages2 = {{7, /*cpu_mask=*/0b0011, epoch2}};
+  tlb2.Shootdown(clock, /*initiator=*/0, /*active_cores=*/4, pages2, fabric2,
+                 ShootdownMaskMode::kMask);
+  EXPECT_EQ(fabric2.TotalSent(), 1u);
+}
+
+TEST(TlbTest, GenerationNeverElidesInsertAfterFlush) {
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  SimClock clock;
+  tlb.FlushCore(1);
+  // The insert happens AFTER the flush: flush_epoch == insert_epoch, and the
+  // strict > comparison must keep the IPI.
+  uint64_t insert_epoch = tlb.Insert(1, 7, true);
+  EXPECT_EQ(tlb.CoreFlushEpoch(1), insert_epoch);
+  std::vector<PageShootdown> pages = {{7, /*cpu_mask=*/0b0010, insert_epoch}};
+  tlb.Shootdown(clock, /*initiator=*/0, /*active_cores=*/4, pages, fabric,
+                ShootdownMaskMode::kMaskGen);
+  EXPECT_EQ(fabric.TotalSent(), 1u);
+  EXPECT_FALSE(tlb.Lookup(1, 7).hit);
+}
+
+TEST(TlbTest, EmptyBatchIsFree) {
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  SimClock clock;
+  tlb.Shootdown(clock, 0, 8, std::span<const uint64_t>(), fabric);
+  std::vector<PageShootdown> none;
+  tlb.Shootdown(clock, 0, 8, none, fabric, ShootdownMaskMode::kMaskGen);
+  EXPECT_EQ(tlb.shootdowns(), 0u);
+  EXPECT_EQ(fabric.TotalSent(), 0u);
+  EXPECT_EQ(clock.Now(), 0u);
+}
+
+TEST(TlbTest, ClampedBatchFullFlushesVictims) {
+  const CostModel& costs = GlobalCostModel();
+  // Enough pages that per-core invalidation cost exceeds one full flush.
+  size_t batch = costs.tlb_full_flush / costs.tlb_invalidate_page + 2;
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  SimClock clock;
+  // Unrelated entries: the charged cost is a full flush, so the simulated
+  // TLB state must lose them too (cost/behavior match).
+  tlb.Insert(0, 100000, true);
+  tlb.Insert(1, 100000, true);
+  std::vector<PageShootdown> pages;
+  for (size_t i = 0; i < batch; i++) {
+    pages.push_back({i, /*cpu_mask=*/0b0011, /*tlb_epoch=*/0});
+  }
+  tlb.Shootdown(clock, /*initiator=*/0, /*active_cores=*/2, pages, fabric,
+                ShootdownMaskMode::kMask);
+  EXPECT_FALSE(tlb.Lookup(0, 100000).hit);
+  EXPECT_FALSE(tlb.Lookup(1, 100000).hit);
+  // The victims' flush epochs advanced: later kMaskGen shootdowns of pages
+  // inserted before this batch need no IPI to them.
+  EXPECT_GT(tlb.CoreFlushEpoch(0), 0u);
+  EXPECT_GT(tlb.CoreFlushEpoch(1), 0u);
+  EXPECT_EQ(fabric.TotalSent(), 1u);
+}
+
+TEST(TlbTest, ActiveCoresClampedToMaxCores) {
+  TlbSet tlb;
+  PostedIpiFabric fabric;
+  SimClock clock;
+  std::vector<uint64_t> vpns = {7};
+  tlb.Shootdown(clock, 0, CoreRegistry::kMaxCores + 100, vpns, fabric);
+  EXPECT_EQ(fabric.TotalSent(), static_cast<uint64_t>(CoreRegistry::kMaxCores - 1));
+}
+
+TEST(TlbTest, InsertReturnsCurrentEpochAndFlushAdvancesIt) {
+  TlbSet tlb;
+  uint64_t e0 = tlb.Insert(0, 7, false);
+  EXPECT_EQ(e0, tlb.CurrentEpoch());
+  tlb.FlushCore(0);
+  tlb.FlushCore(3);
+  EXPECT_EQ(tlb.CurrentEpoch(), e0 + 2);
+  uint64_t e1 = tlb.Insert(0, 7, false);
+  EXPECT_EQ(e1, e0 + 2);
+  // Per-core flush marks track where each core last flushed.
+  EXPECT_EQ(tlb.CoreFlushEpoch(0), e0 + 1);
+  EXPECT_EQ(tlb.CoreFlushEpoch(3), e0 + 2);
+  EXPECT_EQ(tlb.CoreFlushEpoch(1), 0u);
+}
+
 TEST(TlbTest, BatchedShootdownCheaperThanPerPage) {
   const CostModel& costs = GlobalCostModel();
   PostedIpiFabric fabric;

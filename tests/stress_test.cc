@@ -526,6 +526,91 @@ TEST(PipelineStressTest, FaultEvictWritebackShootdownTorture) {
   EXPECT_TRUE(any_written);
 }
 
+// Mask-publication ordering torture (DESIGN.md §10): fault-path
+// NoteTlbInsert races eviction/madvise shootdowns that capture each victim
+// frame's cpu_mask/tlb_epoch, under mask+gen targeting with more simulated
+// active cores than worker threads so both the mask and the generation
+// elisions fire constantly. Data integrity proves no shootdown was lost to a
+// mis-captured mask (the TLB is statistical, so a stale *entry* is benign,
+// but a stale *byte* would mean the eviction pipeline broke); the counter
+// invariants pin the fan-out accounting. The TSan variant runs this too —
+// the mask protocol is lock-free by design and must be exactly-annotated
+// atomics all the way down.
+TEST(PipelineStressTest, MaskedShootdownVsFaultInsertTorture) {
+  constexpr uint64_t kDeviceBytes = 16ull << 20;
+  constexpr uint64_t kCachePages = 1024;  // map is 2x this
+  const int kThreads = StressThreads();
+  const int kActiveCores = CoreRegistry::kMaxCores / 4;  // 16 > kThreads
+
+  PmemDevice::Options dev_options;
+  dev_options.capacity_bytes = kDeviceBytes;
+  PmemDevice device(dev_options);
+  for (uint64_t i = 0; i < kDeviceBytes; i++) {
+    device.dax_base()[i] = static_cast<uint8_t>(i * 197 + 5);
+  }
+
+  Aquila::Options options;
+  options.hypervisor.host_memory_bytes = 128ull << 20;
+  options.hypervisor.chunk_size = 1ull << 20;
+  options.cache.capacity_pages = kCachePages;
+  options.cache.max_pages = kCachePages * 2;
+  options.cache.eviction_batch = 64;
+  options.cache.freelist.core_queue_threshold = 64;
+  options.cache.freelist.move_batch = 32;
+  options.active_cores = kActiveCores;
+  options.shootdown_mask_mode = ShootdownMaskMode::kMaskGen;
+  Aquila runtime(options);
+
+  constexpr uint64_t kBytes = 8ull << 20;  // 2x cache: constant eviction
+  DeviceBacking backing(&device, 0, kBytes);
+  StatusOr<MemoryMap*> map = runtime.Map(&backing, kBytes, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+
+  const uint64_t pages = kBytes / kPageSize;
+  std::atomic<bool> corrupt{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      runtime.EnterThread();
+      Rng rng(t * 9973 + 7);
+      const uint64_t stride = pages / static_cast<uint64_t>(kThreads);
+      const uint64_t slice_lo = t * stride * kPageSize;
+      for (int i = 0; i < 3000; i++) {
+        // Hot re-faulting: reads re-Insert TLB entries (setting mask bits)
+        // on pages an evictor may be capturing the mask of right now.
+        uint64_t probe = rng.Uniform(pages) * kPageSize + 512;
+        if ((*map)->LoadValue<uint8_t>(probe) !=
+            static_cast<uint8_t>((probe)*197 + 5)) {
+          corrupt.store(true);
+        }
+        if (i % 128 == 127) {
+          // madvise(DONTNEED) over a private slice quarter: the third
+          // shootdown path capturing masks under claim + entry lock.
+          ASSERT_TRUE((*map)
+                          ->Advise(slice_lo, stride * kPageSize / 4, Advice::kDontNeed)
+                          .ok());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_GT(runtime.fault_stats().evicted_pages.load(), 0u);
+  const uint64_t shootdowns = runtime.tlb().shootdowns();
+  EXPECT_GT(shootdowns, 0u);
+  // With 4x more simulated cores than faulting threads, most remote targets
+  // never mapped anything: the mask protocol must elide them.
+  EXPECT_GT(runtime.tlb().ipis_elided(), 0u);
+  // Every remote core of every non-empty batch is either sent-to or elided;
+  // at least active_cores-1 remotes exist per shootdown (exactly that many
+  // when the initiator lies inside [0, active_cores)).
+  EXPECT_GE(runtime.tlb().ipis_sent() + runtime.tlb().ipis_elided(),
+            shootdowns * static_cast<uint64_t>(kActiveCores - 1));
+  ASSERT_TRUE(runtime.Unmap(*map).ok());
+}
+
 // The same fault -> evict -> writeback -> shootdown torture with the async
 // overlapped pipeline on: eviction submits to the NVMe device queue, dirty
 // frames ride in kWritingBack across concurrent faults, completions reap on

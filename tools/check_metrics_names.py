@@ -10,6 +10,9 @@ Scans src/ and bench/ for string literals that look like metric names
      *instances* of a subsystem may report the same name (the registry sums
      same-name callbacks), but the defining call site must be unique so a
      grep for a metric always lands in one place.
+  3. Names that docs/dashboards depend on (REQUIRED_NAMES) must exist:
+     deleting or renaming one is a breaking telemetry change and fails here
+     until the expectation list is updated alongside the consumers.
 
 Usage: check_metrics_names.py [repo_root]
 Exits nonzero with a report on any violation.
@@ -24,6 +27,18 @@ SCAN_DIRS = ("src", "bench")
 EXTENSIONS = (".h", ".cc", ".cpp")
 CANDIDATE_RE = re.compile(r'"(aquila\.[^"\\]+)"')
 VALID_RE = re.compile(r"^aquila(\.[a-z0-9_]+){2,}$")
+
+# Metric names external consumers rely on (EXPERIMENTS.md trajectories,
+# BENCH_*.json emitters, DESIGN.md). Keep sorted.
+REQUIRED_NAMES = frozenset({
+    "aquila.tlb.hits",
+    "aquila.tlb.ipis_elided",
+    "aquila.tlb.ipis_sent",
+    "aquila.tlb.misses",
+    "aquila.tlb.shootdown_rounds",
+    "aquila.tlb.shootdowns_local",
+    "aquila.vmx.ipi_sent",
+})
 
 
 def strip_comments(text: str) -> str:
@@ -66,6 +81,10 @@ def main() -> int:
             where = ", ".join(f"{p}:{n}" for p, n in sites)
             print(f"duplicate defining literal for {name!r}: {where}")
             status = 1
+    for name in sorted(REQUIRED_NAMES - occurrences.keys()):
+        print(f"required metric name {name!r} not found in "
+              f"{'/'.join(SCAN_DIRS)} — update consumers before removing it")
+        status = 1
     if status == 0:
         print(f"check_metrics_names: {len(occurrences)} metric names OK")
     return status
