@@ -231,22 +231,19 @@ int main(int argc, char** argv) {
     sweep.push_back(row);
   }
 
-  const char* json_path = "BENCH_async_pipeline.json";
-  std::FILE* f = std::fopen(json_path, "w");
-  AQUILA_CHECK(f != nullptr);
-  std::fprintf(f, "{\n  \"bench\": \"async_pipeline\",\n  \"workload\": "
-                  "\"random 4K reads, NVMe DeviceQueue\",\n  \"smoke\": %s,\n  \"ops\": %" PRIu64
-                  ",\n  \"sweep\": [\n",
-               smoke ? "true" : "false", kOps);
+  BenchJsonWriter json("async_pipeline", smoke, /*threads=*/1);
+  json.AddMeta("workload", "\"random 4K reads, NVMe DeviceQueue\"");
+  json.AddMeta("ops", std::to_string(kOps));
+  json.BeginSection("sweep");
   for (size_t i = 0; i < sweep.size(); i++) {
-    std::fprintf(f,
-                 "    {\"queue_depth\": %u, \"kiops\": %.1f, \"avg_us\": %.2f, "
-                 "\"p99_us\": %.2f, \"cpu_cycles_per_op\": %.0f}%s\n",
-                 kDepths[i], sweep[i].kiops, sweep[i].avg_us, sweep[i].p99_us,
-                 sweep[i].cpu_cycles_per_op, i + 1 < sweep.size() ? "," : "");
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"queue_depth\": %u, \"kiops\": %.1f, \"avg_us\": %.2f, "
+                  "\"p99_us\": %.2f, \"cpu_cycles_per_op\": %.0f}",
+                  kDepths[i], sweep[i].kiops, sweep[i].avg_us, sweep[i].p99_us,
+                  sweep[i].cpu_cycles_per_op);
+    json.AddRow(buf);
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", json_path);
+  json.Write();
   return 0;
 }

@@ -151,15 +151,17 @@ void PrintRow(const Row& row) {
               row.ipis_sent, row.ipis_elided, row.shootdowns_local);
 }
 
-void AppendJsonRow(std::FILE* f, const Row& row, bool last) {
-  std::fprintf(f,
-               "    {\"cores\": %d, \"mode\": \"%s\", \"cycles_per_evicted_page\": %.1f, "
-               "\"ipis_per_shootdown\": %.2f, \"shootdowns\": %" PRIu64
-               ", \"ipis_sent\": %" PRIu64 ", \"ipis_elided\": %" PRIu64
-               ", \"shootdowns_local\": %" PRIu64 ", \"evicted_pages\": %" PRIu64 "}%s\n",
-               row.cores, row.mode_name, row.cycles_per_evicted_page, row.ipis_per_shootdown,
-               row.shootdowns, row.ipis_sent, row.ipis_elided, row.shootdowns_local,
-               row.evicted_pages, last ? "" : ",");
+std::string JsonRow(const Row& row) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"cores\": %d, \"mode\": \"%s\", \"cycles_per_evicted_page\": %.1f, "
+                "\"ipis_per_shootdown\": %.2f, \"shootdowns\": %" PRIu64
+                ", \"ipis_sent\": %" PRIu64 ", \"ipis_elided\": %" PRIu64
+                ", \"shootdowns_local\": %" PRIu64 ", \"evicted_pages\": %" PRIu64 "}",
+                row.cores, row.mode_name, row.cycles_per_evicted_page, row.ipis_per_shootdown,
+                row.shootdowns, row.ipis_sent, row.ipis_elided, row.shootdowns_local,
+                row.evicted_pages);
+  return buf;
 }
 
 }  // namespace
@@ -201,20 +203,15 @@ int main(int argc, char** argv) {
   std::printf("every shootdown stayed initiator-local (%" PRIu64 " elided IPIs)\n",
               seq.ipis_elided);
 
-  const char* json_path = "BENCH_tlb_shootdown.json";
-  std::FILE* f = std::fopen(json_path, "w");
-  AQUILA_CHECK(f != nullptr);
-  std::fprintf(f, "{\n  \"bench\": \"tlb_shootdown\",\n  \"workload\": "
-                  "\"private random reads, 4:1 data:cache, eviction churn\",\n"
-                  "  \"smoke\": %s,\n  \"ops_per_thread\": %" PRIu64 ",\n  \"sweep\": [\n",
-               smoke ? "true" : "false", kOpsPerThread);
-  for (size_t i = 0; i < sweep.size(); i++) {
-    AppendJsonRow(f, sweep[i], /*last=*/i + 1 == sweep.size());
+  BenchJsonWriter json("tlb_shootdown", smoke, /*threads=*/8);
+  json.AddMeta("workload", "\"private random reads, 4:1 data:cache, eviction churn\"");
+  json.AddMeta("ops_per_thread", std::to_string(kOpsPerThread));
+  json.BeginSection("sweep");
+  for (const Row& row : sweep) {
+    json.AddRow(JsonRow(row));
   }
-  std::fprintf(f, "  ],\n  \"seq_scan_single_thread\": [\n");
-  AppendJsonRow(f, seq, /*last=*/true);
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", json_path);
+  json.BeginSection("seq_scan_single_thread");
+  json.AddRow(JsonRow(seq));
+  json.Write();
   return 0;
 }

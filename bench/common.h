@@ -9,8 +9,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/blob/blob_namespace.h"
 #include "src/core/aquila.h"
@@ -20,6 +23,7 @@
 #include "src/storage/nvme_device.h"
 #include "src/storage/pmem_device.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
 #include "src/telemetry/trace.h"
 #include "src/util/logging.h"
 
@@ -149,7 +153,11 @@ inline ShootdownMaskMode ParseShootdownMode(const char* s, ShootdownMaskMode fal
 // for any benchmark, and AQUILA_ASYNC_QUEUE_DEPTH=<n> to size the
 // per-mapping device queue (default 32). AQUILA_SHOOTDOWN_MODE
 // (broadcast|mask|mask+gen) overrides the shootdown IPI targeting policy
-// (default mask+gen, the library default).
+// (default mask+gen, the library default). Observability knobs:
+// AQUILA_SPAN_SAMPLE=<n> samples 1-in-n requests into the span collector,
+// AQUILA_SLOW_TRACE_US=<us> keeps whole trees for sampled requests slower
+// than that, and AQUILA_STATS_PORT=<p> serves /metrics, /metrics.json,
+// /traces and /slow on 127.0.0.1:<p> (0 picks an ephemeral port).
 inline Aquila::Options AquilaOptions(uint64_t cache_bytes, int active_cores = 0) {
   Aquila::Options options;
   if (const char* async = std::getenv("AQUILA_ASYNC_WRITEBACK");
@@ -163,6 +171,21 @@ inline Aquila::Options AquilaOptions(uint64_t cache_bytes, int active_cores = 0)
     if (n >= 1) {
       options.async_queue_depth = static_cast<uint32_t>(n);
     }
+  }
+  if (const char* sample = std::getenv("AQUILA_SPAN_SAMPLE"); sample != nullptr) {
+    int n = std::atoi(sample);
+    if (n >= 1) {
+      options.span_sample_every = static_cast<uint32_t>(n);
+    }
+  }
+  if (const char* slow = std::getenv("AQUILA_SLOW_TRACE_US"); slow != nullptr) {
+    int n = std::atoi(slow);
+    if (n >= 0) {
+      options.slow_trace_us = static_cast<uint32_t>(n);
+    }
+  }
+  if (const char* port = std::getenv("AQUILA_STATS_PORT"); port != nullptr && *port != '\0') {
+    options.stats_server_port = std::atoi(port);
   }
   options.hypervisor.host_memory_bytes = 4ull << 30;
   options.hypervisor.chunk_size = 4ull << 20;
@@ -219,6 +242,130 @@ inline double CyclesToUs(uint64_t cycles) {
   return static_cast<double>(cycles) / static_cast<double>(GlobalCostModel().cycles_per_us);
 }
 
+#ifndef AQUILA_GIT_REV
+#define AQUILA_GIT_REV "unknown"
+#endif
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Unified envelope for every BENCH_*.json artifact (schema aquila-bench-v1).
+// Each benchmark wraps its row arrays in the same metadata header — bench
+// name, git revision, UTC timestamp, thread count, smoke flag, and the
+// AQUILA_* environment knobs that shaped the run — so tools/bench_compare.py
+// can diff any two artifacts without bench-specific parsing.
+//
+// Usage:
+//   BenchJsonWriter json("tlb_shootdown", smoke, /*threads=*/8);
+//   json.AddMeta("ops_per_thread", std::to_string(ops));
+//   json.BeginSection("sweep");
+//   json.AddRow("{\"cores\": 4, ...}");   // pre-formatted JSON object
+//   json.Write();                         // -> BENCH_tlb_shootdown.json
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(const char* bench, bool smoke, int threads)
+      : bench_(bench), smoke_(smoke), threads_(threads) {}
+
+  // Extra bench-specific metadata; `json_value` is a raw JSON value
+  // (already quoted if a string).
+  void AddMeta(const char* key, const std::string& json_value) {
+    meta_.emplace_back(key, json_value);
+  }
+
+  // Subsequent AddRow calls append to this named array under "rows".
+  void BeginSection(const char* name) { sections_.push_back({name, {}}); }
+
+  // `json_object` is one pre-formatted JSON object (no trailing comma).
+  void AddRow(const std::string& json_object) {
+    AQUILA_CHECK(!sections_.empty());
+    sections_.back().second.push_back(json_object);
+  }
+
+  // Writes BENCH_<bench>.json in the working directory.
+  void Write() const {
+    std::string path = std::string("BENCH_") + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    AQUILA_CHECK(f != nullptr);
+    char timestamp[32] = "unknown";
+    std::time_t now = std::time(nullptr);
+    struct tm utc;
+    if (gmtime_r(&now, &utc) != nullptr) {
+      std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema\": \"aquila-bench-v1\",\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"git_rev\": \"%s\",\n"
+                 "  \"timestamp_utc\": \"%s\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"smoke\": %s,\n",
+                 JsonEscape(bench_).c_str(), JsonEscape(AQUILA_GIT_REV).c_str(), timestamp,
+                 threads_, smoke_ ? "true" : "false");
+    // The knobs that change what a benchmark measures; unset ones are
+    // omitted so a diff flags configuration drift between two runs.
+    static const char* const kKnobs[] = {
+        "AQUILA_BENCH_SCALE",       "AQUILA_ASYNC_WRITEBACK", "AQUILA_ASYNC_QUEUE_DEPTH",
+        "AQUILA_SHOOTDOWN_MODE",    "AQUILA_SPAN_SAMPLE",     "AQUILA_SLOW_TRACE_US",
+        "AQUILA_STATS_PORT",        "AQUILA_FAULT_SEED",      "AQUILA_FAULT_READ_ERR",
+        "AQUILA_FAULT_WRITE_ERR",
+    };
+    std::fprintf(f, "  \"options\": {");
+    bool first = true;
+    for (const char* knob : kKnobs) {
+      const char* v = std::getenv(knob);
+      if (v == nullptr || *v == '\0') {
+        continue;
+      }
+      std::fprintf(f, "%s\"%s\": \"%s\"", first ? "" : ", ", knob, JsonEscape(v).c_str());
+      first = false;
+    }
+    std::fprintf(f, "},\n");
+    for (const auto& [key, value] : meta_) {
+      std::fprintf(f, "  \"%s\": %s,\n", JsonEscape(key).c_str(), value.c_str());
+    }
+    std::fprintf(f, "  \"rows\": {\n");
+    for (size_t s = 0; s < sections_.size(); s++) {
+      const auto& [name, rows] = sections_[s];
+      std::fprintf(f, "    \"%s\": [\n", JsonEscape(name).c_str());
+      for (size_t i = 0; i < rows.size(); i++) {
+        std::fprintf(f, "      %s%s\n", rows[i].c_str(), i + 1 == rows.size() ? "" : ",");
+      }
+      std::fprintf(f, "    ]%s\n", s + 1 == sections_.size() ? "" : ",");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string bench_;
+  bool smoke_;
+  int threads_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> sections_;
+};
+
 // End-of-run telemetry exposition, controlled by environment variables:
 //   AQUILA_METRICS=1       print the registry's Prometheus-style text dump
 //   AQUILA_TRACE=<path>    arm the tracer at startup and write a Chrome
@@ -227,6 +374,11 @@ inline void ReportTelemetry() {
   if (const char* metrics = std::getenv("AQUILA_METRICS");
       metrics != nullptr && *metrics != '\0' && *metrics != '0') {
     std::fputs(telemetry::Registry().ToText().c_str(), stdout);
+  }
+  // Per-request attribution whenever span sampling recorded anything
+  // (AQUILA_SPAN_SAMPLE armed it and requests actually finalized).
+  if (telemetry::SpanCollector::Global().finalized() > 0) {
+    std::fputs(telemetry::SpanCollector::Global().AttributionText().c_str(), stdout);
   }
   const char* trace_path = std::getenv("AQUILA_TRACE");
   if (trace_path == nullptr || *trace_path == '\0') {

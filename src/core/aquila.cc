@@ -1,9 +1,12 @@
 #include "src/core/aquila.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/core/mmio_region.h"
 #include "src/core/trap_driver.h"
+#include "src/telemetry/span.h"
+#include "src/telemetry/stats_server.h"
 #include "src/util/bitops.h"
 
 namespace aquila {
@@ -36,6 +39,26 @@ Aquila::Aquila(const Options& options)
                [this] { return tlb_.ipis_elided(); });
   metrics_.Add("aquila.tlb.shootdowns_local", telemetry::MetricKind::kCounter,
                [this] { return tlb_.shootdowns_local(); });
+
+  if (options_.span_sample_every > 0) {
+    telemetry::SpanCollector::Options span_options =
+        telemetry::SpanCollector::Global().options();
+    span_options.sample_every = options_.span_sample_every;
+    span_options.slow_threshold_cycles =
+        static_cast<uint64_t>(options_.slow_trace_us) * GlobalCostModel().cycles_per_us;
+    telemetry::SpanCollector::Global().Configure(span_options);
+  }
+  if (options_.stats_server_port >= 0) {
+    telemetry::StatsServer::Options server_options;
+    server_options.port = options_.stats_server_port;
+    server_options.cycles_per_us = GlobalCostModel().cycles_per_us;
+    std::string error;
+    stats_server_ = telemetry::StatsServer::Start(server_options, &error);
+    if (stats_server_ == nullptr) {
+      // Stats are observability, never availability: run without them.
+      std::fprintf(stderr, "aquila: stats server disabled (%s)\n", error.c_str());
+    }
+  }
 }
 
 Aquila::~Aquila() {
@@ -68,6 +91,10 @@ int Aquila::active_cores() const {
 }
 
 void Aquila::ShootdownPages(Vcpu& vcpu, std::span<const PageShootdown> pages) {
+  if (pages.empty()) {
+    return;
+  }
+  telemetry::ChildSpan span(vcpu.clock(), telemetry::SpanPhase::kShootdown, pages.size());
   for (size_t i = 0; i < pages.size(); i += options_.shootdown_batch) {
     size_t n = std::min<size_t>(options_.shootdown_batch, pages.size() - i);
     tlb_.Shootdown(vcpu.clock(), vcpu.core(), active_cores(), pages.subspan(i, n),

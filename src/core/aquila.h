@@ -32,6 +32,10 @@
 
 namespace aquila {
 
+namespace telemetry {
+class StatsServer;
+}  // namespace telemetry
+
 class AquilaMap;
 
 struct FaultStats {
@@ -78,6 +82,19 @@ class Aquila : public MmioEngine {
     bool async_writeback = false;
     // Per-mapping device queue depth for the async engine.
     uint32_t async_queue_depth = 32;
+    // Request-scoped causal tracing (src/telemetry/span.h): sample one
+    // request in N into the span collector, which decomposes each sampled
+    // fault/msync into child phases and keeps the slowest trees. 0
+    // (default) disables sampling — span call sites cost two thread-local
+    // reads.
+    uint32_t span_sample_every = 0;
+    // Sampled requests at least this slow (simulated microseconds) keep
+    // their whole span tree in the flight recorder regardless of rank.
+    uint32_t slow_trace_us = 0;
+    // Live stats endpoint (src/telemetry/stats_server.h) on 127.0.0.1:
+    // -1 (default) disabled, 0 ephemeral port, >0 that port. Serves
+    // /metrics, /metrics.json, /traces, /slow.
+    int stats_server_port = -1;
     // Invoked from the trap driver's signal handler when a REAL fault on a
     // transparent mapping cannot be resolved because of an I/O error — the
     // analog of the SIGBUS the kernel raises for a failed mmap read. The
@@ -132,6 +149,8 @@ class Aquila : public MmioEngine {
   const Options& options() const { return options_; }
   int guest() const { return guest_; }
   int active_cores() const;
+  // The live stats endpoint, or nullptr when disabled (or bind failed).
+  telemetry::StatsServer* stats_server() const { return stats_server_.get(); }
 
   // Shoots down `pages` in Options::shootdown_batch-sized sub-batches under
   // the configured shootdown_mask_mode, with `vcpu` as the initiator. The
@@ -157,6 +176,7 @@ class Aquila : public MmioEngine {
   std::vector<std::unique_ptr<AquilaMap>> maps_;
   std::atomic<uint64_t> next_mapping_id_{1};
   std::atomic<bool> trap_mode_used_{false};
+  std::unique_ptr<telemetry::StatsServer> stats_server_;
   // Last member: callbacks read the stats above, so they unregister first.
   telemetry::CallbackGroup metrics_;
 };

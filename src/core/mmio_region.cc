@@ -6,6 +6,7 @@
 
 #include "src/core/trap_driver.h"
 #include "src/telemetry/scoped_timer.h"
+#include "src/telemetry/span.h"
 #include "src/util/bitops.h"
 
 namespace aquila {
@@ -245,6 +246,11 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   runtime_->fabric().Absorb(vcpu.clock(), vcpu.core());
   vcpu.ChargeRing0Exception();
   AQUILA_TELEMETRY_ONLY(const uint64_t fault_start = vcpu.clock().Now());
+  // Root of this request's span tree (no-op unless sampled). Opened after
+  // the trap charge so the root's wall time is the handler body — the part
+  // the child phases below decompose. Classified major/minor/upgrade at the
+  // exit that resolves it.
+  telemetry::RequestSpan req_span(vcpu.clock(), telemetry::SpanOp::kFaultMajor, vaddr);
 
   PageCache& cache = runtime_->cache();
   uint64_t page = vaddr >> kPageShift;
@@ -255,6 +261,10 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   if (Pte::Present(pte)) {
     // Write fault on a read-only mapping: the dirty-tracking fault (§3.2).
     AQUILA_DCHECK(write && !Pte::Writable(pte));
+    req_span.set_op(telemetry::SpanOp::kFaultUpgrade);
+    // Span before measure: the measure's charge lands at ITS destructor,
+    // which must run inside the span's clock window.
+    telemetry::ChildSpan dirty_span(vcpu.clock(), telemetry::SpanPhase::kDirtyTrack, vaddr);
     ScopedMeasure measure(vcpu.clock(), CostCategory::kDirtyTracking);
     FrameId frame = static_cast<FrameId>(Pte::Gpa(pte) >> kPageShift);
     // The frame may already be dirty with only its PTE write-protected
@@ -291,6 +301,7 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
     while (true) {
       bool found;
       {
+        telemetry::ChildSpan lookup_span(vcpu.clock(), telemetry::SpanPhase::kCacheLookup);
         ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
         found = cache.Lookup(key, &frame);
       }
@@ -301,9 +312,14 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
           // it out instead of issuing a duplicate device read, then re-check:
           // the fill may also have been published by a concurrent harvester
           // between our lookup and the engine lock.
-          bool drained = engine_->AwaitFill(vcpu, key);
+          bool drained;
+          {
+            telemetry::ChildSpan wait_span(vcpu.clock(), telemetry::SpanPhase::kQueueWait);
+            drained = engine_->AwaitFill(vcpu, key);
+          }
           bool hit;
           {
+            telemetry::ChildSpan lookup_span(vcpu.clock(), telemetry::SpanPhase::kCacheLookup);
             ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
             hit = cache.Lookup(key, &frame);
           }
@@ -332,6 +348,8 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
           backoff.Pause();
           continue;
         }
+        req_span.set_op(telemetry::SpanOp::kFaultMinor);
+        telemetry::ChildSpan install_span(vcpu.clock(), telemetry::SpanPhase::kFillCopy, vaddr);
         ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
         f.vaddr.store(vaddr, std::memory_order_relaxed);
         uint64_t flags =
@@ -356,6 +374,7 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
         // simulated time when nothing is ready yet. The frame either frees —
         // the retry then refills the now-durable page from the device — or
         // returns resident on a write failure, where the pin CAS succeeds.
+        telemetry::ChildSpan wait_span(vcpu.clock(), telemetry::SpanPhase::kQueueWait);
         (void)engine_->WaitOne(vcpu);
       }
       backoff.Pause();  // eviction, fill, or msync in flight; re-validate
@@ -367,6 +386,7 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   // queue with completions reaped as fault handling continues).
   while (true) {
     {
+      telemetry::ChildSpan alloc_span(vcpu.clock(), telemetry::SpanPhase::kCacheLookup);
       ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
       frame = cache.AllocFrame(vcpu, vcpu.core());
     }
@@ -374,16 +394,21 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
       break;
     }
     // Ready async completions hand frames back without any device waiting.
-    if (runtime_->HarvestAsyncWritebacks(vcpu) > 0) {
-      continue;
+    {
+      telemetry::ChildSpan harvest_span(vcpu.clock(), telemetry::SpanPhase::kQueueWait);
+      if (runtime_->HarvestAsyncWritebacks(vcpu) > 0) {
+        continue;
+      }
     }
     StatusOr<size_t> evicted = EvictBatch(vcpu);
     if (!evicted.ok()) {
       return evicted.status();
     }
-    if (*evicted == 0 &&
-        runtime_->HarvestAsyncWritebacks(vcpu, /*wait_for_one=*/true) == 0) {
-      CpuRelax();  // every frame busy; another thread is making progress
+    if (*evicted == 0) {
+      telemetry::ChildSpan harvest_span(vcpu.clock(), telemetry::SpanPhase::kQueueWait);
+      if (runtime_->HarvestAsyncWritebacks(vcpu, /*wait_for_one=*/true) == 0) {
+        CpuRelax();  // every frame busy; another thread is making progress
+      }
     }
   }
 
@@ -412,7 +437,11 @@ Status AquilaMap::FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint
 
   uint8_t* data = cache.FrameData(vcpu, frame);
   uint64_t read_len = std::min<uint64_t>(kPageSize, backing_->size_bytes() - file_offset);
-  Status status = backing_->ReadRange(vcpu, file_offset, std::span(data, read_len));
+  Status status;
+  {
+    telemetry::ChildSpan device_span(vcpu.clock(), telemetry::SpanPhase::kDevice, file_offset);
+    status = backing_->ReadRange(vcpu, file_offset, std::span(data, read_len));
+  }
   if (!status.ok()) {
     return status;
   }
@@ -420,6 +449,7 @@ Status AquilaMap::FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint
     std::memset(data + read_len, 0, kPageSize - read_len);
   }
 
+  telemetry::ChildSpan publish_span(vcpu.clock(), telemetry::SpanPhase::kFillCopy, vaddr);
   ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
   // Identity writes happen while the frame is kFilling (owned by us); the
   // release store of kResident below is the publication point that makes
@@ -441,6 +471,7 @@ Status AquilaMap::FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint
 }
 
 Status AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
+  telemetry::ChildSpan readahead_span(vcpu.clock(), telemetry::SpanPhase::kReadahead, file_page);
   PageCache& cache = runtime_->cache();
   uint32_t window = runtime_->options().readahead_pages;
   std::vector<uint64_t> offsets;
@@ -554,6 +585,8 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
   FaultStats& stats = runtime_->fault_stats();
   stats.evict_batches.fetch_add(1, std::memory_order_relaxed);
   AQUILA_TELEMETRY_ONLY(const uint64_t evict_start = vcpu.clock().Now());
+  // One child for the whole batch; writeback/shootdown below nest under it.
+  telemetry::ChildSpan evict_span(vcpu.clock(), telemetry::SpanPhase::kEvict);
   const bool async = runtime_->options().async_writeback;
 
   std::vector<FrameId> victims(cache.eviction_batch());
@@ -635,6 +668,8 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
   }
 
   if (!planner.empty()) {
+    telemetry::ChildSpan wb_span(vcpu.clock(), telemetry::SpanPhase::kWriteback,
+                                 planner.size());
     if (async) {
       // Submit the offset-sorted batch: the device works while fault
       // handling continues; completions reap on later faults (or in
@@ -679,6 +714,7 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
     cache.FreeFrame(core, frame);
   }
   stats.evicted_pages.fetch_add(to_free.size(), std::memory_order_relaxed);
+  evict_span.set_arg(to_free.size());
   AQUILA_TELEMETRY_ONLY(telemetry::RecordSpanSince(GetFaultMetrics().evict_batch,
                                                    telemetry::TraceEventType::kEvictBatch,
                                                    vcpu.clock(), evict_start, to_free.size()));
@@ -750,12 +786,14 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
   Vcpu& vcpu = ThisVcpu();
   PageCache& cache = runtime_->cache();
   AQUILA_TELEMETRY_ONLY(const uint64_t msync_start = vcpu.clock().Now());
+  telemetry::RequestSpan req_span(vcpu.clock(), telemetry::SpanOp::kMsync, offset);
 
   // msync promises durability, so the async pipeline must empty first: reap
   // every in-flight writeback of this mapping. Failures restore their pages
   // dirty, the collection below re-claims them, and the synchronous pass
   // surfaces the EIO.
   if (engine_ != nullptr) {
+    telemetry::ChildSpan drain_span(vcpu.clock(), telemetry::SpanPhase::kQueueWait);
     (void)engine_->Drain(vcpu);
   }
 
@@ -845,23 +883,36 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
       claimed.push_back(frame);
     }
   };
-  collect_and_claim();
+  {
+    telemetry::ChildSpan collect_span(vcpu.clock(), telemetry::SpanPhase::kDirtyTrack);
+    collect_and_claim();
+  }
   // The drain above cannot close the pipeline for good: a concurrent evictor
   // may have submitted async writebacks of in-range pages since, and those
   // frames' dirty bits were cleared at claim, so the collection missed them.
   // Wait them out before promising durability — a success is on the device
   // before msync returns, a failure is restored dirty-in-place, and the
   // re-collection claims it for the synchronous pass below.
-  while (engine_ != nullptr && engine_->AwaitWritebacks(vcpu, first_page, last_page)) {
+  auto await_in_range = [&] {
+    telemetry::ChildSpan wait_span(vcpu.clock(), telemetry::SpanPhase::kQueueWait);
+    return engine_->AwaitWritebacks(vcpu, first_page, last_page);
+  };
+  while (engine_ != nullptr && await_in_range()) {
+    telemetry::ChildSpan collect_span(vcpu.clock(), telemetry::SpanPhase::kDirtyTrack);
     collect_and_claim();
   }
 
   // Shoot down stale writable TLB entries before reading page contents.
   runtime_->ShootdownPages(vcpu, vpns);
 
-  Status status = planner.SubmitSync(vcpu);
-  if (status.ok()) {
-    status = backing_->Flush(vcpu);
+  Status status;
+  {
+    telemetry::ChildSpan wb_span(vcpu.clock(), telemetry::SpanPhase::kWriteback,
+                                 planner.size());
+    status = planner.SubmitSync(vcpu);
+    if (status.ok()) {
+      status = backing_->Flush(vcpu);
+    }
   }
   if (!planner.empty()) {
     NoteWritebackResult(status);

@@ -97,7 +97,8 @@ Status AsyncWritebackEngine::SubmitWriteback(Vcpu& vcpu, const WritebackItem& it
   Slot& slot = slots_[index];
   // The frame is ours (kWritingBack): its key is stable until completion.
   uint64_t key = runtime_->cache().frame(item.frame).key.load(std::memory_order_relaxed);
-  slot = Slot{Slot::Kind::kWriteback, item.frame, key, item.sort_key, item.file_offset};
+  slot = Slot{Slot::Kind::kWriteback, item.frame, key, item.sort_key, item.file_offset,
+              telemetry::CurrentSpanContext()};
   AQUILA_TELEMETRY_ONLY(GetAsyncMetrics().writebacks->Add());
   StatusOr<uint64_t> dev_offset = item.backing->TranslateForQueue(item.file_offset);
   if (dev_offset.ok()) {
@@ -117,6 +118,9 @@ Status AsyncWritebackEngine::SubmitWriteback(Vcpu& vcpu, const WritebackItem& it
     const uint64_t now = vcpu.clock().Now();
     local_.push_back(DeviceQueue::Completion{index, std::move(status), now, now});
   }
+  // The request is committed (queued or buffered in local_): its originating
+  // trace must stay open until CompleteLocked records the device child span.
+  telemetry::SpanCollector::Global().NoteAsyncSubmitted(slot.span.trace_id);
   return Status::Ok();
 }
 
@@ -125,7 +129,8 @@ Status AsyncWritebackEngine::SubmitFill(Vcpu& vcpu, FrameId frame, uint64_t key,
   std::lock_guard<SpinLock> guard(lock_);
   uint32_t index = ClaimSlotLocked(vcpu);
   Slot& slot = slots_[index];
-  slot = Slot{Slot::Kind::kFill, frame, key, /*sort_key=*/0, file_offset};
+  slot = Slot{Slot::Kind::kFill, frame, key, /*sort_key=*/0, file_offset,
+              telemetry::CurrentSpanContext()};
   uint8_t* data = runtime_->cache().FrameData(vcpu, frame);
   AQUILA_TELEMETRY_ONLY(GetAsyncMetrics().fills->Add());
   StatusOr<uint64_t> dev_offset = map_->backing_->TranslateForQueue(file_offset);
@@ -142,6 +147,7 @@ Status AsyncWritebackEngine::SubmitFill(Vcpu& vcpu, FrameId frame, uint64_t key,
     const uint64_t now = vcpu.clock().Now();
     local_.push_back(DeviceQueue::Completion{index, std::move(status), now, now});
   }
+  telemetry::SpanCollector::Global().NoteAsyncSubmitted(slot.span.trace_id);
   return Status::Ok();
 }
 
@@ -243,6 +249,13 @@ void AsyncWritebackEngine::CompleteLocked(Vcpu& vcpu, const DeviceQueue::Complet
   Slot slot = slots_[completion.user_data];
   slots_[completion.user_data].kind = Slot::Kind::kFree;
   AQUILA_DCHECK(slot.kind != Slot::Kind::kFree);
+  // Close the causal chain across the thread hop: the device interval
+  // [submit_at, ready_at] becomes a child span of the request that submitted
+  // this I/O — and if that request's root already closed, this is the
+  // completion its trace was waiting on to finalize. No-op when unsampled.
+  telemetry::SpanCollector::Global().CompleteAsync(slot.span, telemetry::SpanPhase::kDevice,
+                                                   completion.submit_at, completion.ready_at,
+                                                   slot.file_offset);
 #if AQUILA_TELEMETRY_ENABLED
   if (completion.submit_at != 0 && completion.ready_at > completion.submit_at) {
     uint64_t until = std::min(overlap_until, completion.ready_at);

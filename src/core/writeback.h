@@ -30,6 +30,7 @@
 #include "src/cache/page_cache.h"
 #include "src/core/backing.h"
 #include "src/storage/device_queue.h"
+#include "src/telemetry/span.h"
 #include "src/util/spinlock.h"
 #include "src/util/status.h"
 
@@ -151,6 +152,11 @@ class AsyncWritebackEngine {
     uint64_t key = 0;
     uint64_t sort_key = 0;
     uint64_t file_offset = 0;
+    // Span context of the request that submitted this I/O ({0,0} when it was
+    // not sampled). The completion — reaped on whatever thread polls next —
+    // records its device time as a child span of the ORIGINATING request,
+    // which is how causality crosses the DeviceQueue thread hop.
+    telemetry::SpanContext span;
   };
 
   // Finds a free slot, reaping (and waiting if necessary) when the queue is

@@ -56,19 +56,29 @@ const MetricSample* MetricsSnapshot::Find(std::string_view name) const {
 
 std::string MetricsSnapshot::ToText() const {
   std::string out;
-  out.reserve(samples.size() * 96);
+  out.reserve(samples.size() * 160);
   for (const MetricSample& s : samples) {
     std::string prom = PromName(s.name);
+    // Exposition-format comment order: HELP then TYPE then the samples. The
+    // help text carries the dotted registry name (the '.' -> '_' mapping is
+    // lossy, so this is where a scraper learns the original name to grep
+    // for) and what flavor of value the series is.
     switch (s.kind) {
       case MetricKind::kCounter:
+        AppendF(&out, "# HELP %s Aquila metric %s (monotonic counter).\n", prom.c_str(),
+                s.name.c_str());
         AppendF(&out, "# TYPE %s counter\n%s %llu\n", prom.c_str(), prom.c_str(),
                 static_cast<unsigned long long>(s.value));
         break;
       case MetricKind::kGauge:
+        AppendF(&out, "# HELP %s Aquila metric %s (point-in-time gauge).\n", prom.c_str(),
+                s.name.c_str());
         AppendF(&out, "# TYPE %s gauge\n%s %llu\n", prom.c_str(), prom.c_str(),
                 static_cast<unsigned long long>(s.value));
         break;
       case MetricKind::kHistogram:
+        AppendF(&out, "# HELP %s Aquila metric %s (latency summary, simulated cycles).\n",
+                prom.c_str(), s.name.c_str());
         AppendF(&out, "# TYPE %s summary\n", prom.c_str());
         AppendF(&out, "%s{quantile=\"0.5\"} %llu\n", prom.c_str(),
                 static_cast<unsigned long long>(s.digest.p50));

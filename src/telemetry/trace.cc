@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "src/telemetry/metrics.h"
 #include "src/util/cpu.h"
 
 namespace aquila {
@@ -35,6 +36,15 @@ std::vector<std::shared_ptr<ThreadRing>>& Rings() {
 
 ThreadRing& LocalRing() {
   static std::atomic<int> next_tid{0};
+  // Registered once, process-lifetime (rings are never unregistered). The
+  // callback takes RingsMutex *inside* the registry's snapshot lock; nothing
+  // acquires them in the opposite order.
+  static const bool drop_metric_registered = [] {
+    Registry().RegisterCallback("aquila.trace.dropped_events", MetricKind::kCounter,
+                                [] { return Tracer::DroppedEvents(); });
+    return true;
+  }();
+  (void)drop_metric_registered;
   thread_local std::shared_ptr<ThreadRing> ring;
   if (ring == nullptr) {
     ring = std::make_shared<ThreadRing>();
@@ -113,6 +123,18 @@ uint64_t Tracer::TotalRecorded() {
   return total;
 }
 
+uint64_t Tracer::DroppedEvents() {
+  uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(RingsMutex());
+  for (const auto& ring : Rings()) {
+    uint64_t n = ring->recorded.load(std::memory_order_relaxed);
+    if (n > kRingCapacity) {
+      dropped += n - kRingCapacity;
+    }
+  }
+  return dropped;
+}
+
 void Tracer::Reset() {
   std::lock_guard<std::mutex> lock(RingsMutex());
   for (const auto& ring : Rings()) {
@@ -141,6 +163,19 @@ std::string Tracer::DumpChromeTrace(uint64_t cycles_per_us) {
           static_cast<double>(e.start_cycles) / static_cast<double>(cycles_per_us),
           static_cast<double>(e.duration_cycles) / static_cast<double>(cycles_per_us),
           ring->tid, static_cast<unsigned long long>(e.arg), e.core);
+      out.append(buf, len);
+      first = false;
+    }
+    if (n > kRingCapacity) {
+      // Wraparound lost this thread's oldest events: say so in-band so a
+      // truncated export is detectable in the viewer (name intentionally
+      // mirrors the aquila.trace.dropped_events registry metric).
+      char buf[192];
+      int len = std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"name\":\"trace.dropped_events\",\"cat\":\"aquila\",\"ph\":\"M\","
+          "\"pid\":1,\"tid\":%d,\"args\":{\"dropped\":%llu}}",
+          first ? "" : ",", ring->tid, static_cast<unsigned long long>(n - kRingCapacity));
       out.append(buf, len);
       first = false;
     }

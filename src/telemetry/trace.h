@@ -83,6 +83,12 @@ class Tracer {
   // Total events ever recorded (monotonic, survives ring wraparound).
   static uint64_t TotalRecorded();
 
+  // Events lost to ring wraparound across all threads: sum of
+  // max(0, recorded - kRingCapacity). Exposed as the
+  // `aquila.trace.dropped_events` registry metric; DumpChromeTrace() also
+  // emits a per-thread metadata record so a truncated export says so.
+  static uint64_t DroppedEvents();
+
  private:
   static std::atomic<bool> enabled_;
 };

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,6 +66,93 @@ TEST(MetricsRegistryTest, ToTextAndToJsonRenderMetrics) {
   EXPECT_NE(json.find("\"aquila.test.expo_hist\":{\"count\":1"), std::string::npos);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
+}
+
+// Validates the Prometheus exposition format line by line: every series is
+// introduced by a `# HELP` comment (carrying the original dotted name, which
+// the '.' -> '_' mapping loses) followed by `# TYPE`, then only sample lines
+// for that series until the next HELP. A scraper that trips over a stray
+// line rejects the whole scrape, so the shape is a contract.
+TEST(MetricsRegistryTest, ToTextExpositionFormatIsWellFormed) {
+  Registry().GetCounter("aquila.test.fmt_counter")->Reset();
+  Registry().GetCounter("aquila.test.fmt_counter")->Add(3);
+  Histogram* hist = Registry().GetHistogram("aquila.test.fmt_hist");
+  hist->Reset();
+  hist->Record(100);
+  uint64_t live = 11;
+  telemetry::CallbackGroup group;
+  group.AddGauge("aquila.test.fmt_gauge", [&live] { return live; });
+
+  const std::string text = Registry().ToText();
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+
+  std::vector<std::string> lines;
+  for (size_t pos = 0; pos < text.size();) {
+    size_t eol = text.find('\n', pos);
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+
+  std::string current;  // prom name introduced by the last HELP
+  bool expect_type = false;
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# HELP ", 0) == 0) {
+      ASSERT_FALSE(expect_type) << "HELP not followed by TYPE: " << line;
+      current = line.substr(7, line.find(' ', 7) - 7);
+      // The help text names the dotted original: aquila_x_y <- aquila.x.y.
+      std::string dotted = current;
+      for (char& c : dotted) {
+        if (c == '_') {
+          c = '.';
+        }
+      }
+      EXPECT_NE(line.find("Aquila metric "), std::string::npos) << line;
+      expect_type = true;
+    } else if (line.rfind("# TYPE ", 0) == 0) {
+      ASSERT_TRUE(expect_type) << "TYPE without preceding HELP: " << line;
+      expect_type = false;
+      const std::string rest = line.substr(7);
+      ASSERT_EQ(rest.rfind(current + " ", 0), 0u)
+          << "TYPE for " << rest << " under HELP for " << current;
+      const std::string type = rest.substr(current.size() + 1);
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "summary") << line;
+    } else {
+      ASSERT_FALSE(expect_type) << "sample line between HELP and TYPE: " << line;
+      ASSERT_FALSE(current.empty()) << "sample line before any HELP: " << line;
+      // Sample lines belong to the current series: name, name{quantile=...},
+      // name_sum or name_count, then a space and the value.
+      ASSERT_EQ(line.rfind(current, 0), 0u) << line << " under series " << current;
+      const char next = line[current.size()];
+      EXPECT_TRUE(next == ' ' || next == '{' || next == '_') << line;
+      const size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos);
+      for (size_t i = space + 1; i < line.size(); i++) {
+        EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i]))) << line;
+      }
+    }
+  }
+  EXPECT_FALSE(expect_type) << "dangling HELP at end of exposition";
+
+  // The three flavors registered above rendered with the right types.
+  EXPECT_NE(text.find("# HELP aquila_test_fmt_counter Aquila metric "
+                      "aquila.test.fmt_counter (monotonic counter).\n"
+                      "# TYPE aquila_test_fmt_counter counter\n"
+                      "aquila_test_fmt_counter 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP aquila_test_fmt_gauge Aquila metric "
+                      "aquila.test.fmt_gauge (point-in-time gauge).\n"
+                      "# TYPE aquila_test_fmt_gauge gauge\n"
+                      "aquila_test_fmt_gauge 11\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP aquila_test_fmt_hist Aquila metric "
+                      "aquila.test.fmt_hist (latency summary, simulated cycles).\n"
+                      "# TYPE aquila_test_fmt_hist summary\n"
+                      "aquila_test_fmt_hist{quantile=\"0.5\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aquila_test_fmt_hist_sum 100\naquila_test_fmt_hist_count 1\n"),
+            std::string::npos);
 }
 
 TEST(MetricsRegistryTest, SameNameCallbacksAreSummed) {
@@ -210,6 +298,38 @@ TEST(TracerTest, RingWraparoundKeepsNewestEvents) {
   // The oldest `extra` events were overwritten; retention is oldest-first.
   EXPECT_EQ(events.front().arg, extra);
   EXPECT_EQ(events.back().arg, Tracer::kRingCapacity + extra - 1);
+  Tracer::Reset();
+  Tracer::SetEnabled(false);
+}
+
+// Ring wraparound is silent data loss unless it is surfaced: the registry
+// counter totals the overwritten events and the Chrome dump carries a
+// per-thread metadata record so a viewer knows the window is truncated.
+TEST(TracerTest, WraparoundSurfacesDroppedEvents) {
+  Tracer::SetEnabled(true);
+  Tracer::Reset();
+  const uint64_t baseline = Tracer::DroppedEvents();
+  EXPECT_EQ(baseline, 0u);  // Reset emptied every ring
+  const uint64_t extra = 25;
+  for (uint64_t i = 0; i < Tracer::kRingCapacity + extra; i++) {
+    Tracer::Record(TraceEventType::kVmcall, i, 1, i);
+  }
+  EXPECT_EQ(Tracer::DroppedEvents(), extra);
+  const telemetry::MetricSample* sample =
+      Registry().Snapshot().Find("aquila.trace.dropped_events");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricKind::kCounter);
+  EXPECT_EQ(sample->value, extra);
+
+  std::string json = Tracer::DumpChromeTrace(/*cycles_per_us=*/2400);
+  EXPECT_NE(json.find("\"name\":\"trace.dropped_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":" + std::to_string(extra)), std::string::npos);
+
+  // A ring that did not wrap reports nothing.
+  Tracer::Reset();
+  Tracer::Record(TraceEventType::kVmcall, 1, 1, 1);
+  EXPECT_EQ(Tracer::DroppedEvents(), 0u);
+  EXPECT_EQ(Tracer::DumpChromeTrace(2400).find("trace.dropped_events"), std::string::npos);
   Tracer::Reset();
   Tracer::SetEnabled(false);
 }

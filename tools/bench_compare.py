@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts and flag regressions beyond a noise bar.
+
+Both files must carry the unified envelope (schema aquila-bench-v1, written
+by bench/common.h's BenchJsonWriter): metadata header plus named row arrays
+under "rows". Rows are matched positionally within each section; every
+shared numeric field is compared.
+
+Direction is inferred from the field name: latency/cost-like fields
+(*_us, *_cycles*, *latency*, ipis_per_*) regress when they go UP;
+throughput-like fields (*iops*, *throughput*, *ops_per_sec*) regress when
+they go DOWN. Fields with no recognizable direction are reported when they
+move beyond the threshold but never fail the comparison — counters like
+"shootdowns" legitimately move with workload tweaks.
+
+Usage:
+  bench_compare.py [--threshold PCT] baseline.json candidate.json
+  bench_compare.py --smoke          # self-check on synthetic envelopes
+
+Exits nonzero when any directional metric regresses by more than
+--threshold percent (default 10, chosen above the simulator's run-to-run
+jitter).
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+LOWER_IS_BETTER = ("_us", "us_", "latency", "cycles", "ipis_per")
+HIGHER_IS_BETTER = ("iops", "throughput", "ops_per_sec", "mb_per_sec")
+
+
+def direction(field):
+    """-1: lower is better, +1: higher is better, 0: no direction."""
+    name = field.lower()
+    for token in HIGHER_IS_BETTER:
+        if token in name:
+            return 1
+    for token in LOWER_IS_BETTER:
+        if token in name or name.endswith("_us") or name.endswith("us"):
+            return -1
+    return 0
+
+
+def load_envelope(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "aquila-bench-v1":
+        raise ValueError(f"{path}: not an aquila-bench-v1 envelope "
+                         f"(schema={doc.get('schema')!r}); re-run the bench "
+                         "from this tree to regenerate it")
+    if not isinstance(doc.get("rows"), dict):
+        raise ValueError(f"{path}: envelope has no rows object")
+    return doc
+
+
+def compare(base, cand, threshold_pct):
+    """Returns (regressions, changes, notes): lists of report strings."""
+    regressions, changes, notes = [], [], []
+
+    if base.get("bench") != cand.get("bench"):
+        raise ValueError(f"different benchmarks: {base.get('bench')!r} vs "
+                         f"{cand.get('bench')!r}")
+    for key in ("git_rev", "smoke", "threads"):
+        if base.get(key) != cand.get(key):
+            notes.append(f"{key}: {base.get(key)!r} -> {cand.get(key)!r}")
+    if base.get("options") != cand.get("options"):
+        notes.append(f"options: {base.get('options')} -> {cand.get('options')}")
+
+    for section, base_rows in base["rows"].items():
+        cand_rows = cand["rows"].get(section)
+        if cand_rows is None:
+            notes.append(f"section {section!r} missing from candidate")
+            continue
+        if len(base_rows) != len(cand_rows):
+            notes.append(f"section {section!r}: {len(base_rows)} rows -> "
+                         f"{len(cand_rows)} rows; comparing the common prefix")
+        for i, (b, c) in enumerate(zip(base_rows, cand_rows)):
+            label = row_label(section, i, b)
+            for field in sorted(set(b) & set(c)):
+                bv, cv = b[field], c[field]
+                if isinstance(bv, bool) or not isinstance(bv, (int, float)):
+                    continue
+                if not isinstance(cv, (int, float)) or isinstance(cv, bool):
+                    continue
+                if bv == cv:
+                    continue
+                if bv == 0:
+                    changes.append(f"{label} {field}: {bv} -> {cv}")
+                    continue
+                delta_pct = (cv - bv) / abs(bv) * 100.0
+                if abs(delta_pct) <= threshold_pct:
+                    continue
+                line = (f"{label} {field}: {bv:g} -> {cv:g} "
+                        f"({delta_pct:+.1f}%)")
+                d = direction(field)
+                if d != 0 and delta_pct * d < 0:
+                    regressions.append(line)
+                else:
+                    changes.append(line)
+    for section in cand["rows"]:
+        if section not in base["rows"]:
+            notes.append(f"section {section!r} new in candidate")
+    return regressions, changes, notes
+
+
+def row_label(section, index, row):
+    # Prefer the row's own identity fields over a bare index.
+    for key in ("mode", "name", "queue_depth", "cores"):
+        if key in row:
+            return f"{section}[{key}={row[key]}]"
+    return f"{section}[{index}]"
+
+
+def run_compare(base_path, cand_path, threshold_pct):
+    base = load_envelope(base_path)
+    cand = load_envelope(cand_path)
+    regressions, changes, notes = compare(base, cand, threshold_pct)
+    for line in notes:
+        print(f"note: {line}")
+    for line in changes:
+        print(f"changed: {line}")
+    for line in regressions:
+        print(f"REGRESSION: {line}")
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{threshold_pct:g}%")
+        return 1
+    print(f"bench_compare: OK ({len(changes)} non-directional change(s), "
+          f"threshold {threshold_pct:g}%)")
+    return 0
+
+
+def smoke():
+    """Self-check: a regression must be caught, noise must pass."""
+    envelope = {
+        "schema": "aquila-bench-v1", "bench": "smoke", "git_rev": "test",
+        "timestamp_utc": "1970-01-01T00:00:00Z", "threads": 1, "smoke": True,
+        "options": {},
+        "rows": {"sweep": [
+            {"queue_depth": 8, "kiops": 100.0, "p99_us": 50.0,
+             "shootdowns": 1000},
+        ]},
+    }
+    slower = json.loads(json.dumps(envelope))
+    slower["rows"]["sweep"][0]["p99_us"] = 80.0       # +60%: latency regression
+    slower["rows"]["sweep"][0]["shootdowns"] = 2000   # no direction: reported only
+    noisy = json.loads(json.dumps(envelope))
+    noisy["rows"]["sweep"][0]["kiops"] = 95.0         # -5%: inside the bar
+    faster = json.loads(json.dumps(envelope))
+    faster["rows"]["sweep"][0]["kiops"] = 55.0        # -45%: throughput regression
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, doc):
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+            return path
+
+        base = write("base.json", envelope)
+        cases = [
+            (write("slower.json", slower), 1, "latency regression"),
+            (write("noisy.json", noisy), 0, "noise inside threshold"),
+            (write("faster.json", faster), 1, "throughput regression"),
+            (base, 0, "identical artifacts"),
+        ]
+        for path, want, what in cases:
+            got = run_compare(base, path, threshold_pct=10.0)
+            if got != want:
+                failures.append(f"{what}: exit {got}, want {want}")
+    for failure in failures:
+        print(f"smoke FAILED: {failure}")
+    if not failures:
+        print("bench_compare --smoke: all self-checks passed")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="noise bar in percent (default 10)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the built-in self-check and exit")
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files required (or --smoke)")
+    try:
+        return run_compare(args.baseline, args.candidate, args.threshold)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}")
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,12 +31,17 @@ VALID_RE = re.compile(r"^aquila(\.[a-z0-9_]+){2,}$")
 # Metric names external consumers rely on (EXPERIMENTS.md trajectories,
 # BENCH_*.json emitters, DESIGN.md). Keep sorted.
 REQUIRED_NAMES = frozenset({
+    "aquila.span.dropped",
+    "aquila.span.finalized",
+    "aquila.span.retained",
+    "aquila.span.started",
     "aquila.tlb.hits",
     "aquila.tlb.ipis_elided",
     "aquila.tlb.ipis_sent",
     "aquila.tlb.misses",
     "aquila.tlb.shootdown_rounds",
     "aquila.tlb.shootdowns_local",
+    "aquila.trace.dropped_events",
     "aquila.vmx.ipi_sent",
 })
 
