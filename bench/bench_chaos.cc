@@ -1,0 +1,219 @@
+// Chaos trajectory for the hang-robust device I/O stack: the WatchdogQueue
+// (deadlines, cancel/retry with decorrelated jitter, hedged reads) and the
+// DeviceHealth breaker, driven phase by phase over the injectable NVMe
+// model:
+//
+//   clean     : baseline — watchdog armed but idle (its cost when healthy);
+//   hang      : 2% of commands are swallowed; cancel+retry keeps slots alive;
+//   brownout  : every completion 3x past the deadline — timeouts, zombies,
+//               hedges, reconciliation;
+//   storm     : every op errors until the breaker opens and fails fast;
+//   heal      : injection off — the probe must re-admit the device and
+//               throughput must recover.
+//
+// Each phase reports completed/failed ops, simulated throughput, and the
+// watchdog/health counter deltas; everything lands in BENCH_chaos.json
+// (schema aquila-bench-v1) for tools/bench_compare.py. `--smoke` shrinks
+// the run for CI.
+#include <cinttypes>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/storage/device_health.h"
+#include "src/util/rng.h"
+
+namespace aquila {
+namespace bench {
+namespace {
+
+struct PhaseRow {
+  std::string phase;
+  uint64_t ok_ops = 0;
+  uint64_t failed_ops = 0;
+  double sim_ms = 0;
+  double kiops = 0;
+  uint64_t timeouts = 0;
+  uint64_t retries = 0;
+  uint64_t abandoned = 0;
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t fail_fast = 0;
+  uint64_t probes = 0;
+};
+
+struct StatsSnap {
+  uint64_t timeouts, retries, abandoned, hedges, hedge_wins, fail_fast, probes;
+};
+
+StatsSnap Snap(const DeviceHealth& health) {
+  const DeviceHealth::Stats& s = health.stats();
+  return {s.timeouts.load(),  s.watchdog_retries.load(), s.abandoned.load(),
+          s.hedges.load(),    s.hedge_wins.load(),       s.fail_fast.load(),
+          s.probes.load()};
+}
+
+// Keeps the watchdog queue saturated with random 4K reads and writes for
+// `ops` completions (failed ones count: under chaos an error IS an outcome),
+// tolerating shed submissions while the breaker caps the effective depth.
+PhaseRow RunPhase(const char* phase, WatchdogQueue& queue, DeviceHealth& health,
+                  uint64_t pages, uint64_t ops, uint64_t seed) {
+  Vcpu& vcpu = ThisVcpu();
+  PhaseRow row;
+  row.phase = phase;
+  Rng rng(seed);
+  const uint32_t depth = queue.depth();
+  std::vector<std::vector<uint8_t>> buffers(depth, std::vector<uint8_t>(kPageSize, 0x5C));
+  std::vector<uint32_t> free_bufs;
+  for (uint32_t i = 0; i < depth; i++) {
+    free_bufs.push_back(i);
+  }
+  StatsSnap before = Snap(health);
+  uint64_t start = vcpu.clock().Now();
+  uint64_t completed = 0;
+  uint64_t submitted = 0;
+  std::vector<DeviceQueue::Completion> completions;
+  while (completed < ops) {
+    while (submitted < ops && !free_bufs.empty()) {
+      uint32_t buf = free_bufs.back();
+      uint64_t offset = rng.Uniform(pages) * kPageSize;
+      Status status =
+          rng.OneIn(2)
+              ? queue.SubmitRead(vcpu, offset, std::span(buffers[buf]), buf)
+              : queue.SubmitWrite(vcpu, offset, std::span<const uint8_t>(buffers[buf]), buf);
+      if (!status.ok()) {
+        AQUILA_CHECK(status.code() == StatusCode::kOutOfSpace);
+        break;  // full or health-capped: reap first
+      }
+      free_bufs.pop_back();
+      submitted++;
+    }
+    completions.clear();
+    if (queue.Poll(vcpu, &completions) == 0 && queue.in_flight() > 0) {
+      (void)queue.WaitMin(vcpu, 1, &completions);
+    }
+    for (const DeviceQueue::Completion& c : completions) {
+      if (c.status.ok()) {
+        row.ok_ops++;
+      } else {
+        row.failed_ops++;
+      }
+      free_bufs.push_back(static_cast<uint32_t>(c.user_data));
+      completed++;
+    }
+  }
+  uint64_t elapsed = vcpu.clock().Now() - start;
+  StatsSnap after = Snap(health);
+  row.sim_ms = CyclesToUs(elapsed) / 1e3;
+  row.kiops = elapsed > 0 ? static_cast<double>(completed) /
+                                (CyclesToUs(elapsed) / 1e6) / 1e3
+                          : 0;
+  row.timeouts = after.timeouts - before.timeouts;
+  row.retries = after.retries - before.retries;
+  row.abandoned = after.abandoned - before.abandoned;
+  row.hedges = after.hedges - before.hedges;
+  row.hedge_wins = after.hedge_wins - before.hedge_wins;
+  row.fail_fast = after.fail_fast - before.fail_fast;
+  row.probes = after.probes - before.probes;
+  return row;
+}
+
+void Print(const PhaseRow& row) {
+  std::printf("%-9s %8" PRIu64 " ok %7" PRIu64 " err %9.2f sim-ms %8.1f kIOPS   "
+              "to %5" PRIu64 "  rt %5" PRIu64 "  ab %4" PRIu64 "  hg %4" PRIu64
+              "  ff %5" PRIu64 "  pr %2" PRIu64 "\n",
+              row.phase.c_str(), row.ok_ops, row.failed_ops, row.sim_ms, row.kiops,
+              row.timeouts, row.retries, row.abandoned, row.hedges, row.fail_fast, row.probes);
+}
+
+std::string Json(const PhaseRow& row) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"phase\": \"%s\", \"ok_ops\": %" PRIu64 ", \"failed_ops\": %" PRIu64
+                ", \"sim_ms\": %.3f, \"kiops\": %.2f, \"timeouts\": %" PRIu64
+                ", \"retries\": %" PRIu64 ", \"abandoned\": %" PRIu64 ", \"hedges\": %" PRIu64
+                ", \"hedge_wins\": %" PRIu64 ", \"fail_fast\": %" PRIu64
+                ", \"probes\": %" PRIu64 "}",
+                row.phase.c_str(), row.ok_ops, row.failed_ops, row.sim_ms, row.kiops,
+                row.timeouts, row.retries, row.abandoned, row.hedges, row.hedge_wins,
+                row.fail_fast, row.probes);
+  return buf;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aquila
+
+int main(int argc, char** argv) {
+  using namespace aquila;
+  using namespace aquila::bench;
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const uint64_t kDataBytes = smoke ? (8ull << 20) : Scaled(64ull << 20);
+  const uint64_t kOps = smoke ? 2000 : Scaled(20000);
+  const uint64_t kPages = kDataBytes / kPageSize;
+  constexpr uint64_t kTimeoutCycles = 480'000;  // 200us at 2.4GHz
+
+  NvmeController::Options copts;
+  copts.capacity_bytes = kDataBytes;
+  NvmeController ctrl(copts);
+  NvmeDevice nvme(&ctrl);
+  FaultInjectingDevice::Options fopts;
+  FaultInjectingDevice faults(&nvme, fopts);
+
+  DeviceHealth& health = faults.health();
+  DeviceHealth::Options hopts;
+  hopts.probe_interval_cycles = 2'400'000;  // 1ms
+  health.Enable(hopts);
+  WatchdogQueue::Options wopts;
+  wopts.timeout_cycles = kTimeoutCycles;
+  wopts.hedge_reads = true;
+  WatchdogQueue queue(&health, faults.CreateQueue(32), wopts);
+
+  PrintHeader("chaos: watchdog + health breaker over injectable NVMe, random 4K mixed");
+  std::vector<PhaseRow> rows;
+
+  rows.push_back(RunPhase("clean", queue, health, kPages, kOps, 11));
+
+  faults.set_hang_rate(0.02);
+  rows.push_back(RunPhase("hang", queue, health, kPages, kOps, 12));
+  faults.set_hang_rate(0.0);
+
+  faults.StartBrownout(3 * kTimeoutCycles);
+  rows.push_back(RunPhase("brownout", queue, health, kPages, kOps / 4, 13));
+  faults.EndBrownout();
+
+  faults.set_read_error_rate(1.0);
+  faults.set_write_error_rate(1.0);
+  rows.push_back(RunPhase("storm", queue, health, kPages, kOps / 4, 14));
+  faults.set_read_error_rate(0.0);
+  faults.set_write_error_rate(0.0);
+
+  // Fail-fast completions are synthesized without device time, so the storm
+  // leaves the clock pinned near failed_at; idle out to the published probe
+  // gate so the heal phase's first submission is admitted as the probe.
+  if (uint64_t due = health.probe_due_at(); due != 0) {
+    ThisVcpu().clock().AdvanceTo(due + 1, CostCategory::kIdle);
+  }
+  rows.push_back(RunPhase("heal", queue, health, kPages, kOps, 15));
+  AQUILA_CHECK(health.state() == DeviceHealth::State::kHealthy);
+
+  for (const PhaseRow& row : rows) {
+    Print(row);
+  }
+
+  BenchJsonWriter json("chaos", smoke, /*threads=*/1);
+  json.AddMeta("timeout_us", std::to_string(kTimeoutCycles / GlobalCostModel().cycles_per_us));
+  json.AddMeta("queue_depth", "32");
+  json.BeginSection("phases");
+  for (const PhaseRow& row : rows) {
+    json.AddRow(Json(row));
+  }
+  json.Write();
+  return 0;
+}

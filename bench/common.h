@@ -172,6 +172,20 @@ inline Aquila::Options AquilaOptions(uint64_t cache_bytes, int active_cores = 0)
       options.async_queue_depth = static_cast<uint32_t>(n);
     }
   }
+  // Hang robustness: AQUILA_DEVICE_TIMEOUT_US=<us> arms the watchdog queue
+  // and the device health breaker (0/unset keeps the raw queue — no
+  // watchdog state, bit-identical sim metrics); AQUILA_HEDGE_READS=1 adds
+  // hedged reads on top.
+  if (const char* timeout = std::getenv("AQUILA_DEVICE_TIMEOUT_US"); timeout != nullptr) {
+    int n = std::atoi(timeout);
+    if (n >= 0) {
+      options.device_op_timeout_us = static_cast<uint32_t>(n);
+    }
+  }
+  if (const char* hedge = std::getenv("AQUILA_HEDGE_READS");
+      hedge != nullptr && *hedge != '\0' && *hedge != '0') {
+    options.hedge_reads = true;
+  }
   if (const char* sample = std::getenv("AQUILA_SPAN_SAMPLE"); sample != nullptr) {
     int n = std::atoi(sample);
     if (n >= 1) {
@@ -328,7 +342,7 @@ class BenchJsonWriter {
         "AQUILA_BENCH_SCALE",       "AQUILA_ASYNC_WRITEBACK", "AQUILA_ASYNC_QUEUE_DEPTH",
         "AQUILA_SHOOTDOWN_MODE",    "AQUILA_SPAN_SAMPLE",     "AQUILA_SLOW_TRACE_US",
         "AQUILA_STATS_PORT",        "AQUILA_FAULT_SEED",      "AQUILA_FAULT_READ_ERR",
-        "AQUILA_FAULT_WRITE_ERR",
+        "AQUILA_FAULT_WRITE_ERR",   "AQUILA_DEVICE_TIMEOUT_US", "AQUILA_HEDGE_READS",
     };
     std::fprintf(f, "  \"options\": {");
     bool first = true;

@@ -82,6 +82,23 @@ class Aquila : public MmioEngine {
     bool async_writeback = false;
     // Per-mapping device queue depth for the async engine.
     uint32_t async_queue_depth = 32;
+    // Completion watchdog for async device ops (sim-clock driven). 0
+    // (default) keeps the raw device queue — no watchdog state on the hot
+    // path, bit-identical sim metrics. > 0 wraps the engine's queue in a
+    // WatchdogQueue: each submission attempt must complete within this many
+    // simulated microseconds or it is cancelled/abandoned and retried with
+    // capped backoff + decorrelated jitter, and the device's health state
+    // machine (DeviceHealth) is armed as a circuit breaker — `degraded`
+    // sheds readahead and caps queue depth, `failed` fails fast with
+    // kUnavailable so repeated failures flip the mapping into the existing
+    // degraded-read-only mode.
+    uint32_t device_op_timeout_us = 0;
+    // Hedged reads on the watchdog queue: after a p99-based delay, issue a
+    // read a second time; first completion wins, the loser is reconciled.
+    bool hedge_reads = false;
+    // Simulated microseconds in kFailed before the prober re-admits one op
+    // to test the device.
+    uint32_t device_probe_interval_us = 1000;
     // Request-scoped causal tracing (src/telemetry/span.h): sample one
     // request in N into the span collector, which decomposes each sampled
     // fault/msync into child phases and keeps the slowest trees. 0

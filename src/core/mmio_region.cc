@@ -149,6 +149,16 @@ void AquilaMap::NoteWritebackResult(const Status& status) {
   }
 }
 
+Status AquilaMap::RearmWriteback() {
+  DeviceHealth& health = backing_->device()->health();
+  if (health.enabled() && health.state() == DeviceHealth::State::kFailed) {
+    return Status::FailedPrecondition("backing device health is failed; heal it first");
+  }
+  writeback_failures_.store(0, std::memory_order_relaxed);
+  degraded_.store(false, std::memory_order_release);
+  return Status::Ok();
+}
+
 void AquilaMap::RestoreDirtyFrame(Vcpu& vcpu, FrameId frame, uint64_t sort_key,
                                   bool reinsert_mapping) {
   // The frame was claimed for writeback (PTE removed, dirty bit cleared) but
@@ -471,6 +481,11 @@ Status AquilaMap::FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint
 }
 
 Status AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
+  // A degraded/failed device sheds speculative prefetch first: demand reads
+  // keep their queue slots and the sick medium sees less traffic.
+  if (!backing_->device()->health().allows_readahead()) {
+    return Status::Ok();
+  }
   telemetry::ChildSpan readahead_span(vcpu.clock(), telemetry::SpanPhase::kReadahead, file_page);
   PageCache& cache = runtime_->cache();
   uint32_t window = runtime_->options().readahead_pages;

@@ -54,6 +54,13 @@ class AquilaMap : public MemoryMap {
   // still work). Cleared when a later writeback succeeds before the limit.
   bool degraded() const { return degraded_.load(std::memory_order_acquire); }
 
+  // Re-arms a degraded mapping after the backing device has healed: clears
+  // the read-only demotion and the failure counter so writes fault in and
+  // msync retries writeback. Refuses (kFailedPrecondition) while the
+  // device's health breaker is still open — re-arming against a dead device
+  // would just re-degrade after `writeback_failure_limit` more failures.
+  Status RearmWriteback();
+
   const Vma& vma() const { return vma_; }
   uint64_t mapping_id() const { return vma_.mapping_id; }
   Backing* backing() { return backing_; }

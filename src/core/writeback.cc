@@ -4,8 +4,10 @@
 
 #include "src/core/aquila.h"
 #include "src/core/mmio_region.h"
+#include "src/storage/device_health.h"
 #include "src/telemetry/scoped_timer.h"
 #include "src/util/logging.h"
+#include "src/vmx/cost_model.h"
 
 namespace aquila {
 
@@ -70,7 +72,12 @@ Status WritebackPlanner::SubmitAsync(Vcpu& vcpu) {
       // frame, so restore it dirty-in-place; the mapping was kept.
       item.owner->RestoreDirtyFrame(vcpu, item.frame, item.sort_key,
                                     /*reinsert_mapping=*/false);
-      item.owner->NoteWritebackResult(status);
+      // Backpressure (a full queue — e.g. watchdog hedge/zombie legs holding
+      // inner slots) says nothing about the medium: the next round retries.
+      // Anything else is a genuine verdict and feeds the degrade streak.
+      if (status.code() != StatusCode::kOutOfSpace) {
+        item.owner->NoteWritebackResult(status);
+      }
       if (first_error.ok()) {
         first_error = status;
       }
@@ -79,10 +86,37 @@ Status WritebackPlanner::SubmitAsync(Vcpu& vcpu) {
   return first_error;
 }
 
+namespace {
+
+// The engine's queue, optionally hardened: with a configured op timeout the
+// raw device queue is wrapped in a WatchdogQueue and the device's health
+// state machine is armed. With the default timeout of 0 the raw queue is
+// used untouched — no watchdog state anywhere near the hot path.
+std::unique_ptr<DeviceQueue> MakeEngineQueue(Aquila* runtime, AquilaMap* map, uint32_t depth) {
+  BlockDevice* device = map->backing()->device();
+  std::unique_ptr<DeviceQueue> inner = device->CreateQueue(depth);
+  const Aquila::Options& options = runtime->options();
+  if (options.device_op_timeout_us == 0) {
+    return inner;
+  }
+  const uint64_t cycles_per_us = GlobalCostModel().cycles_per_us;
+  DeviceHealth::Options health_options;
+  health_options.probe_interval_cycles =
+      static_cast<uint64_t>(options.device_probe_interval_us) * cycles_per_us;
+  device->health().Enable(health_options);
+  WatchdogQueue::Options watchdog_options;
+  watchdog_options.timeout_cycles =
+      static_cast<uint64_t>(options.device_op_timeout_us) * cycles_per_us;
+  watchdog_options.hedge_reads = options.hedge_reads;
+  return std::make_unique<WatchdogQueue>(&device->health(), std::move(inner), watchdog_options);
+}
+
+}  // namespace
+
 AsyncWritebackEngine::AsyncWritebackEngine(Aquila* runtime, AquilaMap* map, uint32_t depth)
     : runtime_(runtime),
       map_(map),
-      queue_(map->backing()->device()->CreateQueue(depth)),
+      queue_(MakeEngineQueue(runtime, map, depth)),
       slots_(queue_->depth()) {}
 
 AsyncWritebackEngine::~AsyncWritebackEngine() {

@@ -1,5 +1,7 @@
 #include "src/storage/block_device.h"
 
+#include <algorithm>
+
 #include "src/storage/device_queue.h"
 #include "src/telemetry/scoped_timer.h"
 
@@ -39,20 +41,48 @@ BlockDevice::BlockDevice() {
 
 template <typename Op>
 Status BlockDevice::RunWithRetries(Vcpu& vcpu, Op&& op) {
+  // Breaker check: a failed device refuses sync ops without touching the
+  // medium, and once the probe interval elapses this same call is the one
+  // ShouldFailFast lets through as the probe — the sync path can re-admit
+  // a healed device just like the watchdog queue path.
+  if (health_.enabled() && health_.ShouldFailFast(vcpu.clock().Now())) {
+    return Status::Unavailable("device breaker open: failed fast");
+  }
   uint64_t backoff = retry_policy_.initial_backoff_cycles;
   for (uint32_t attempt = 1;; attempt++) {
     Status status = op();
     if (status.ok() || status.code() != StatusCode::kIoError) {
+      // Only genuine device verdicts feed health: success, or the kIoError
+      // give-up below. Argument errors say nothing about the medium.
+      if (health_.enabled() && status.ok()) {
+        health_.RecordOutcome(vcpu.clock().Now(), DeviceHealth::Outcome::kOk);
+      }
       return status;
     }
     stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
     if (attempt >= retry_policy_.max_attempts) {
       stats_.io_gave_up.fetch_add(1, std::memory_order_relaxed);
+      if (health_.enabled()) {
+        health_.RecordOutcome(vcpu.clock().Now(), DeviceHealth::Outcome::kError);
+      }
       return status;
     }
-    // Delayed requeue: the device is left alone for the backoff window.
+    // Delayed requeue: the device is left alone for a backoff window drawn
+    // with decorrelated jitter — uniform in [initial, min(cap, mult * prev)]
+    // — so concurrent retriers desynchronize instead of re-colliding. The
+    // draw hashes a per-device sequence number: deterministic per run,
+    // thread-safe without a shared generator.
+    uint64_t lo = retry_policy_.initial_backoff_cycles;
+    uint64_t hi = std::min<uint64_t>(retry_policy_.max_backoff_cycles,
+                                     backoff * retry_policy_.backoff_multiplier);
+    if (hi > lo) {
+      uint64_t draw =
+          FnvHash64(retry_jitter_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+      backoff = lo + draw % (hi - lo + 1);
+    } else {
+      backoff = lo;
+    }
     vcpu.clock().Charge(CostCategory::kIdle, backoff);
-    backoff *= retry_policy_.backoff_multiplier;
     stats_.io_retries.fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -29,13 +29,12 @@
 #include <memory>
 #include <span>
 
+#include "src/storage/device_health.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/status.h"
 #include "src/vmx/vcpu.h"
 
 namespace aquila {
-
-class DeviceQueue;
 
 struct DeviceStats {
   std::atomic<uint64_t> reads{0};
@@ -54,10 +53,14 @@ struct DeviceStats {
 // StatusCode::kIoError is considered transient; anything else (bad
 // arguments, out of space) fails immediately. Backoff time models the
 // driver's delayed requeue and is charged to the calling vCPU as idle time.
+// Each step draws decorrelated jitter — uniform in
+// [initial, min(cap, multiplier * prev)] — so concurrent retriers spread out
+// instead of re-colliding in synchronized bursts.
 struct RetryPolicy {
   uint32_t max_attempts = 3;              // total tries per request (>= 1)
   uint64_t initial_backoff_cycles = 20'000;
   uint32_t backoff_multiplier = 2;
+  uint64_t max_backoff_cycles = 1'000'000;
 };
 
 class BlockDevice {
@@ -110,6 +113,14 @@ class BlockDevice {
   const RetryPolicy& retry_policy() const { return retry_policy_; }
   void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
 
+  // Per-device health state machine (passive until Enable()d by a watchdog
+  // layer). The label is attached lazily so the derived name() is resolvable.
+  DeviceHealth& health() {
+    health_.set_label(name());
+    return health_;
+  }
+  const DeviceHealth& health() const { return health_; }
+
  protected:
   // Device implementations. Success accounting is done by the public
   // wrappers; implementations only move data and charge simulated time.
@@ -132,6 +143,10 @@ class BlockDevice {
   Status ValidateBatch(std::span<const uint64_t> offsets, uint64_t page_bytes) const;
 
   RetryPolicy retry_policy_;
+  DeviceHealth health_;
+  // Jitter sequence for retry backoff: hashed per draw, so it stays
+  // deterministic per device yet thread-safe without a shared Rng.
+  std::atomic<uint64_t> retry_jitter_seq_{0};
   // Last member: the callbacks read stats_, so they unregister first.
   telemetry::CallbackGroup metrics_;
 };

@@ -79,6 +79,17 @@ class DeviceQueue {
   // on the medium (buffered immediate completions report 0: already ready).
   virtual uint64_t NextReadyAt() const = 0;
 
+  // Best-effort cancellation of one in-flight command by its user_data.
+  // Returns true when the command was withdrawn and its completion will
+  // NEVER be delivered (the watchdog layer uses this to reclaim slots from
+  // hung ops). Queues whose medium has already accepted the command — every
+  // native and shim queue here, since data moves at submit — return false:
+  // the completion still arrives and the caller must reconcile it.
+  virtual bool Cancel(uint64_t user_data) {
+    (void)user_data;
+    return false;
+  }
+
   // Busy-waits (advancing simulated time, charged as device I/O) until at
   // least `min` completions have been reaped into `out` by this call.
   Status WaitMin(Vcpu& vcpu, uint32_t min, std::vector<Completion>* out);

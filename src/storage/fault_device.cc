@@ -20,8 +20,9 @@ FaultInjectingDevice::FaultInjectingDevice(BlockDevice* inner, const Options& op
   metrics_.AddCounter("aquila.storage.injected_faults", fault_stats_.total_injected);
 }
 
-bool FaultInjectingDevice::ShouldFail(OpKind kind, uint64_t req_size,
-                                      uint64_t* spike_cycles, uint64_t* torn_prefix) {
+FaultInjectingDevice::Verdict FaultInjectingDevice::ShouldFail(OpKind kind, uint64_t req_size,
+                                                               uint64_t* spike_cycles,
+                                                               uint64_t* torn_prefix) {
   *spike_cycles = 0;
   *torn_prefix = 0;
   std::lock_guard<std::mutex> lock(mu_);
@@ -58,12 +59,28 @@ bool FaultInjectingDevice::ShouldFail(OpKind kind, uint64_t req_size,
       const uint64_t align = io_alignment();
       *torn_prefix = rng_.Uniform(req_size) / align * align;
     }
-    return true;
+    return Verdict::kFail;
+  }
+  // Hang check after the error check: a command must survive the error roll
+  // before it can wedge. Draws only happen when configured, so existing
+  // seeds' rng streams are unchanged.
+  if (kind != OpKind::kFlush) {
+    const std::vector<uint64_t>& hang_triggers =
+        kind == OpKind::kRead ? options_.hang_reads : options_.hang_writes;
+    bool hang = Scheduled(hang_triggers, attempt);
+    if (options_.hang_rate > 0.0 && rng_.NextDouble() < options_.hang_rate) {
+      hang = true;
+    }
+    if (hang) {
+      return Verdict::kHang;
+    }
   }
   if (options_.latency_spike_rate > 0.0 && rng_.NextDouble() < options_.latency_spike_rate) {
     *spike_cycles = options_.latency_spike_cycles;
   }
-  return false;
+  // An active brownout window slows every completing op, error-free.
+  *spike_cycles += brownout_extra_cycles_.load(std::memory_order_relaxed);
+  return Verdict::kOk;
 }
 
 Status FaultInjectingDevice::DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8_t> dst) {
@@ -71,7 +88,16 @@ Status FaultInjectingDevice::DoRead(Vcpu& vcpu, uint64_t offset, std::span<uint8
     return Status::IoError("device offline (power cut)");
   }
   uint64_t spike = 0, torn = 0;
-  if (ShouldFail(OpKind::kRead, dst.size(), &spike, &torn)) {
+  Verdict verdict = ShouldFail(OpKind::kRead, dst.size(), &spike, &torn);
+  if (verdict == Verdict::kHang) {
+    // The sync path cannot block forever: model the hang as a bounded stall
+    // on the medium followed by the driver's abort.
+    fault_stats_.injected_hangs.fetch_add(1, std::memory_order_relaxed);
+    fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
+    vcpu.clock().Charge(CostCategory::kDeviceIo, options_.sync_hang_stall_cycles);
+    return Status::IoError("injected hang (sync path: stalled then aborted)");
+  }
+  if (verdict == Verdict::kFail) {
     fault_stats_.injected_read_errors.fetch_add(1, std::memory_order_relaxed);
     fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
     return Status::IoError("injected read error");
@@ -94,7 +120,14 @@ Status FaultInjectingDevice::DoWrite(Vcpu& vcpu, uint64_t offset,
     return Status::IoError("device offline (power cut)");
   }
   uint64_t spike = 0, torn = 0;
-  if (ShouldFail(OpKind::kWrite, src.size(), &spike, &torn)) {
+  Verdict verdict = ShouldFail(OpKind::kWrite, src.size(), &spike, &torn);
+  if (verdict == Verdict::kHang) {
+    fault_stats_.injected_hangs.fetch_add(1, std::memory_order_relaxed);
+    fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
+    vcpu.clock().Charge(CostCategory::kDeviceIo, options_.sync_hang_stall_cycles);
+    return Status::IoError("injected hang (sync path: stalled then aborted)");
+  }
+  if (verdict == Verdict::kFail) {
     if (torn != 0) {
       fault_stats_.torn_writes.fetch_add(1, std::memory_order_relaxed);
       if (options_.buffer_unflushed_writes) {
@@ -129,7 +162,7 @@ Status FaultInjectingDevice::DoFlush(Vcpu& vcpu) {
     return Status::IoError("device offline (power cut)");
   }
   uint64_t spike = 0, torn = 0;
-  if (ShouldFail(OpKind::kFlush, 0, &spike, &torn)) {
+  if (ShouldFail(OpKind::kFlush, 0, &spike, &torn) == Verdict::kFail) {
     fault_stats_.injected_flush_errors.fetch_add(1, std::memory_order_relaxed);
     fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
     return Status::IoError("injected flush error");
@@ -174,7 +207,17 @@ Status FaultInjectingQueue::SubmitRead(Vcpu& vcpu, uint64_t offset, std::span<ui
     return Status::Ok();
   }
   uint64_t spike = 0, torn = 0;
-  if (device_->ShouldFail(FaultInjectingDevice::OpKind::kRead, dst.size(), &spike, &torn)) {
+  FaultInjectingDevice::Verdict verdict =
+      device_->ShouldFail(FaultInjectingDevice::OpKind::kRead, dst.size(), &spike, &torn);
+  if (verdict == FaultInjectingDevice::Verdict::kHang) {
+    // Swallowed before the medium: accepted, in flight, never completes.
+    device_->fault_stats_.injected_hangs.fetch_add(1, std::memory_order_relaxed);
+    device_->fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
+    hung_.emplace(user_data, vcpu.clock().Now());
+    NoteSubmit(vcpu.clock().Now());
+    return Status::Ok();
+  }
+  if (verdict == FaultInjectingDevice::Verdict::kFail) {
     device_->fault_stats_.injected_read_errors.fetch_add(1, std::memory_order_relaxed);
     device_->fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
     BufferFailure(vcpu, user_data, Status::IoError("injected read error"));
@@ -202,7 +245,18 @@ Status FaultInjectingQueue::SubmitWrite(Vcpu& vcpu, uint64_t offset,
     return Status::Ok();
   }
   uint64_t spike = 0, torn = 0;
-  if (device_->ShouldFail(FaultInjectingDevice::OpKind::kWrite, src.size(), &spike, &torn)) {
+  FaultInjectingDevice::Verdict verdict =
+      device_->ShouldFail(FaultInjectingDevice::OpKind::kWrite, src.size(), &spike, &torn);
+  if (verdict == FaultInjectingDevice::Verdict::kHang) {
+    // Swallowed before the medium: the data is lost unless the caller's
+    // watchdog retries the command after cancelling this one.
+    device_->fault_stats_.injected_hangs.fetch_add(1, std::memory_order_relaxed);
+    device_->fault_stats_.total_injected.fetch_add(1, std::memory_order_relaxed);
+    hung_.emplace(user_data, vcpu.clock().Now());
+    NoteSubmit(vcpu.clock().Now());
+    return Status::Ok();
+  }
+  if (verdict == FaultInjectingDevice::Verdict::kFail) {
     if (torn != 0) {
       device_->fault_stats_.torn_writes.fetch_add(1, std::memory_order_relaxed);
       // Best effort: the prefix reaches the medium even though the command
@@ -239,11 +293,16 @@ uint32_t FaultInjectingQueue::Poll(Vcpu& vcpu, std::vector<Completion>* out) {
     auto spike = spike_cycles_.find(c.user_data);
     if (spike != spike_cycles_.end()) {
       // The injected spike extended this command's media time; hold the
-      // completion back until the extended deadline passes.
+      // completion back until the extended deadline passes. delayed_ is
+      // kept sorted by the extended ready_at so spiked completions release
+      // in deadline order, not submission order.
       c.ready_at += spike->second;
       spike_cycles_.erase(spike);
       if (c.ready_at > now) {
-        delayed_.push_back(std::move(c));
+        auto pos = std::upper_bound(
+            delayed_.begin(), delayed_.end(), c,
+            [](const Completion& a, const Completion& b) { return a.ready_at < b.ready_at; });
+        delayed_.insert(pos, std::move(c));
         continue;
       }
     }
@@ -253,17 +312,31 @@ uint32_t FaultInjectingQueue::Poll(Vcpu& vcpu, std::vector<Completion>* out) {
     reaped++;
     out->push_back(std::move(c));
   }
-  for (auto it = delayed_.begin(); it != delayed_.end();) {
-    if (it->ready_at <= now) {
-      NoteComplete(now, 0);
-      reaped++;
-      out->push_back(std::move(*it));
-      it = delayed_.erase(it);
-    } else {
-      ++it;
-    }
+  // Sorted by ready_at, so draining from the front releases strictly in
+  // deadline order.
+  auto it = delayed_.begin();
+  while (it != delayed_.end() && it->ready_at <= now) {
+    NoteComplete(now, 0);
+    reaped++;
+    out->push_back(std::move(*it));
+    ++it;
   }
+  delayed_.erase(delayed_.begin(), it);
   return reaped;
+}
+
+bool FaultInjectingQueue::Cancel(uint64_t user_data) {
+  auto it = hung_.find(user_data);
+  if (it == hung_.end()) {
+    // Anything that reached the inner queue (or the failure buffer) will
+    // still deliver a completion; the caller must reconcile it.
+    return false;
+  }
+  hung_.erase(it);
+  // The command is gone for good: balance its NoteSubmit. submit_at == 0
+  // keeps it out of the latency histogram.
+  NoteComplete(0, 0);
+  return true;
 }
 
 uint64_t FaultInjectingQueue::NextReadyAt() const {
@@ -293,6 +366,11 @@ void FaultInjectingDevice::set_read_error_rate(double rate) {
 void FaultInjectingDevice::set_write_error_rate(double rate) {
   std::lock_guard<std::mutex> lock(mu_);
   options_.write_error_rate = rate;
+}
+
+void FaultInjectingDevice::set_hang_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.hang_rate = rate;
 }
 
 void FaultInjectingDevice::OverlayInsertLocked(uint64_t offset, std::span<const uint8_t> src) {

@@ -67,6 +67,18 @@ class FaultInjectingDevice : public BlockDevice {
     double latency_spike_rate = 0.0;
     uint64_t latency_spike_cycles = 1'000'000;
 
+    // Hang injection: the command is accepted and then never completes
+    // (lost CQE / wedged firmware). On a native queue the submission is
+    // swallowed — data never reaches the medium, no completion is ever
+    // delivered, and only Cancel() reclaims the command (this is what the
+    // watchdog layer exercises). The synchronous path cannot block forever,
+    // so a sync hang stalls `sync_hang_stall_cycles` of device time and
+    // then reports kIoError.
+    double hang_rate = 0.0;
+    std::vector<uint64_t> hang_reads;   // exact Nth-attempt triggers
+    std::vector<uint64_t> hang_writes;
+    uint64_t sync_hang_stall_cycles = 10'000'000;
+
     // Hold writes in a volatile overlay until Flush() applies them to the
     // inner device. Required for PowerCut() to have teeth: without it the
     // inner device has already absorbed every write.
@@ -79,6 +91,7 @@ class FaultInjectingDevice : public BlockDevice {
     std::atomic<uint64_t> injected_flush_errors{0};
     std::atomic<uint64_t> torn_writes{0};
     std::atomic<uint64_t> latency_spikes{0};
+    std::atomic<uint64_t> injected_hangs{0};
     // Sum of the above error categories; exported to the telemetry
     // registry so fault runs are visible next to io_retries/io_gave_up.
     std::atomic<uint64_t> total_injected{0};
@@ -116,9 +129,18 @@ class FaultInjectingDevice : public BlockDevice {
   bool offline() const { return offline_.load(std::memory_order_acquire); }
 
   // Runtime adjustment of the probabilistic schedule: scenarios where a
-  // device degrades or heals mid-run.
+  // device degrades, hangs, flaps, or heals mid-run.
   void set_read_error_rate(double rate);
   void set_write_error_rate(double rate);
+  void set_hang_rate(double rate);
+
+  // Brownout window: every op that would complete gains `extra_cycles` of
+  // media time (10-100x latency without errors) until EndBrownout(). Safe
+  // to toggle from a controller thread while workers submit.
+  void StartBrownout(uint64_t extra_cycles) {
+    brownout_extra_cycles_.store(extra_cycles, std::memory_order_relaxed);
+  }
+  void EndBrownout() { brownout_extra_cycles_.store(0, std::memory_order_relaxed); }
 
   const FaultStats& fault_stats() const { return fault_stats_; }
 
@@ -134,13 +156,16 @@ class FaultInjectingDevice : public BlockDevice {
   friend class FaultInjectingQueue;
 
   enum class OpKind { kRead, kWrite, kFlush };
+  enum class Verdict { kOk, kFail, kHang };
 
-  // Advances the schedule for one attempt; returns true when this attempt
-  // must fail. Rolls the latency-spike dice (successful ops only) and, for
-  // failing writes in torn mode, the length of the prefix that still
-  // reaches the medium (a multiple of io_alignment()).
-  bool ShouldFail(OpKind kind, uint64_t req_size, uint64_t* spike_cycles,
-                  uint64_t* torn_prefix);
+  // Advances the schedule for one attempt. kFail: the attempt reports
+  // kIoError. kHang: the command is accepted but never completes (queue
+  // path) / stalls then fails (sync path). kOk completions roll the
+  // latency-spike dice and pick up any active brownout window; failing
+  // writes in torn mode additionally roll the prefix that still reaches
+  // the medium (a multiple of io_alignment()).
+  Verdict ShouldFail(OpKind kind, uint64_t req_size, uint64_t* spike_cycles,
+                     uint64_t* torn_prefix);
 
   // Overlay helpers (mu_ held).
   void OverlayInsertLocked(uint64_t offset, std::span<const uint8_t> src);
@@ -151,6 +176,7 @@ class FaultInjectingDevice : public BlockDevice {
   Options options_;
   FaultStats fault_stats_;
   std::atomic<bool> offline_{false};
+  std::atomic<uint64_t> brownout_extra_cycles_{0};
 
   mutable std::mutex mu_;
   Rng rng_;
@@ -188,6 +214,10 @@ class FaultInjectingQueue : public DeviceQueue {
   uint32_t Poll(Vcpu& vcpu, std::vector<Completion>* out) override;
   uint64_t NextReadyAt() const override;
 
+  // Hung commands were swallowed before the medium, so withdrawal is real:
+  // the completion will never be delivered. Returns true for those only.
+  bool Cancel(uint64_t user_data) override;
+
  private:
   // Books an injected (or offline) failure as a ready completion.
   void BufferFailure(Vcpu& vcpu, uint64_t user_data, Status status);
@@ -197,9 +227,13 @@ class FaultInjectingQueue : public DeviceQueue {
   std::vector<Completion> failed_;
   // Injected latency spikes, keyed by user_data at submit: the extra cycles
   // are added to the inner completion's ready_at at reap, and completions
-  // whose extended deadline has not passed yet wait in delayed_.
+  // whose extended deadline has not passed yet wait in delayed_, kept
+  // sorted by ready_at so spiked completions release in deadline order.
   std::map<uint64_t, uint64_t> spike_cycles_;
   std::vector<Completion> delayed_;
+  // Injected hangs: commands accepted (in-flight) but never completed and
+  // never forwarded to the inner queue. Only Cancel() removes them.
+  std::map<uint64_t, uint64_t> hung_;  // user_data -> submit time
 };
 
 }  // namespace aquila

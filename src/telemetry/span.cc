@@ -24,6 +24,7 @@ const char* SpanPhaseName(SpanPhase phase) {
     case SpanPhase::kShootdown: return "shootdown";
     case SpanPhase::kDirtyTrack: return "dirty_track";
     case SpanPhase::kReadahead: return "readahead";
+    case SpanPhase::kWatchdog: return "watchdog";
     case SpanPhase::kPhaseCount: break;
   }
   return "unknown";

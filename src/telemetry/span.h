@@ -64,6 +64,7 @@ enum class SpanPhase : uint8_t {
   kShootdown,    // TLB shootdown rounds
   kDirtyTrack,   // dirty-tree collect/classify, write-upgrade bookkeeping
   kReadahead,    // readahead window issue
+  kWatchdog,     // device watchdog actions: timeout sweep, retry, hedge
   kPhaseCount,
 };
 const char* SpanPhaseName(SpanPhase phase);

@@ -48,7 +48,34 @@ void WriteResponse(int fd, int status, const char* status_text, const char* cont
   }
 }
 
+std::mutex& HealthProviderMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::function<std::string()>& HealthProviderSlot() {
+  static std::function<std::string()> provider;
+  return provider;
+}
+
 }  // namespace
+
+void SetHealthJsonProvider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(HealthProviderMutex());
+  HealthProviderSlot() = std::move(provider);
+}
+
+std::string HealthJson() {
+  std::function<std::string()> provider;
+  {
+    std::lock_guard<std::mutex> lock(HealthProviderMutex());
+    provider = HealthProviderSlot();
+  }
+  if (!provider) {
+    return "{\"devices\":[]}";
+  }
+  return provider();
+}
 
 std::unique_ptr<StatsServer> StatsServer::Start(const Options& options, std::string* error) {
   auto fail = [error](const char* what) -> std::unique_ptr<StatsServer> {
@@ -162,9 +189,11 @@ void StatsServer::HandleConnection(int fd) {
                   Tracer::DumpChromeTrace(options_.cycles_per_us));
   } else if (route == "/slow") {
     WriteResponse(fd, 200, "OK", "application/json", SpanCollector::Global().SlowTracesJson());
+  } else if (route == "/health") {
+    WriteResponse(fd, 200, "OK", "application/json", HealthJson());
   } else {
     WriteResponse(fd, 404, "Not Found", "text/plain",
-                  "routes: /metrics /metrics.json /traces /slow\n");
+                  "routes: /metrics /metrics.json /traces /slow /health\n");
   }
 }
 

@@ -8,6 +8,7 @@
 //   /metrics.json  flat JSON of the same snapshot
 //   /traces        Chrome trace-event JSON from the ring tracer
 //   /slow          flight-recorder span trees + percentile attribution
+//   /health        per-device health state machines (provider-installed)
 //
 // One connection is served at a time, each request on a fresh connection
 // (Connection: close). Every handler takes a snapshot under the relevant
@@ -22,12 +23,22 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 
 namespace aquila {
 namespace telemetry {
+
+// /health body provider. The storage layer installs its device-health
+// registry serializer here at first use, keeping the dependency arrow
+// storage -> telemetry (this header knows nothing about devices). Thread
+// safe; last install wins.
+void SetHealthJsonProvider(std::function<std::string()> provider);
+
+// The installed provider's output, or a stub body when none is installed.
+std::string HealthJson();
 
 class StatsServer {
  public:

@@ -23,6 +23,8 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kUnimplemented,
+  kDeadlineExceeded,  // op overran its watchdog deadline (hung device)
+  kUnavailable,       // device circuit breaker open: failed fast, not attempted
 };
 
 class Status {
@@ -45,6 +47,12 @@ class Status {
   }
   static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -77,6 +85,10 @@ class Status {
         return "FailedPrecondition";
       case StatusCode::kUnimplemented:
         return "Unimplemented";
+      case StatusCode::kDeadlineExceeded:
+        return "DeadlineExceeded";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
     }
     return "Unknown";
   }

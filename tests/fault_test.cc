@@ -254,6 +254,34 @@ TEST_F(DegradedMmioTest, MsyncReportsErrorThenMapDegradesReadOnly) {
   EXPECT_FALSE(runtime_->Unmap(*map).ok());
 }
 
+TEST_F(DegradedMmioTest, RearmWritebackRecoversDegradedMappingAfterHeal) {
+  StatusOr<MemoryMap*> map = runtime_->Map(backing_.get(), 1 << 20, kProtRead | kProtWrite);
+  ASSERT_TRUE(map.ok());
+  auto* aq_map = static_cast<AquilaMap*>(*map);
+  std::vector<uint8_t> buf(kPageSize, 0x7C);
+  ASSERT_TRUE((*map)->Write(0, std::span<const uint8_t>(buf)).ok());
+  for (uint32_t i = 0; i < runtime_->options().writeback_failure_limit; i++) {
+    EXPECT_FALSE((*map)->Sync(0, kPageSize).ok());
+  }
+  ASSERT_TRUE(aq_map->degraded());
+  EXPECT_EQ((*map)->Write(0, std::span<const uint8_t>(buf)).code(), StatusCode::kIoError);
+
+  // Device heals; one rearm restores write service and msync durability.
+  faults_->set_write_error_rate(0.0);
+  ASSERT_TRUE(aq_map->RearmWriteback().ok());
+  EXPECT_FALSE(aq_map->degraded());
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
+  EXPECT_EQ(runtime_->cache().TotalDirty(), 0u);
+  std::vector<uint8_t> fresh(kPageSize, 0x7D);
+  ASSERT_TRUE((*map)->Write(0, std::span<const uint8_t>(fresh)).ok());
+  ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
+  // The failure streak restarted from zero: the healed data is on-device.
+  std::vector<uint8_t> in(kPageSize);
+  ASSERT_TRUE((*map)->Read(0, std::span(in)).ok());
+  EXPECT_EQ(in, fresh);
+  ASSERT_TRUE(runtime_->Unmap(*map).ok());
+}
+
 TEST_F(DegradedMmioTest, WritebackSuccessResetsFailureStreak) {
   StatusOr<MemoryMap*> map = runtime_->Map(backing_.get(), 1 << 20, kProtRead | kProtWrite);
   ASSERT_TRUE(map.ok());

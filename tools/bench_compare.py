@@ -77,8 +77,11 @@ def compare(base, cand, threshold_pct):
         if len(base_rows) != len(cand_rows):
             notes.append(f"section {section!r}: {len(base_rows)} rows -> "
                          f"{len(cand_rows)} rows; comparing the common prefix")
+        dropped_fields, added_fields = set(), set()
         for i, (b, c) in enumerate(zip(base_rows, cand_rows)):
             label = row_label(section, i, b)
+            dropped_fields.update(set(b) - set(c))
+            added_fields.update(set(c) - set(b))
             for field in sorted(set(b) & set(c)):
                 bv, cv = b[field], c[field]
                 if isinstance(bv, bool) or not isinstance(bv, (int, float)):
@@ -100,6 +103,15 @@ def compare(base, cand, threshold_pct):
                     regressions.append(line)
                 else:
                     changes.append(line)
+        # A field present on only one side is a schema drift (e.g. a bench
+        # grew a new counter), not a regression: report it and move on so
+        # old baselines stay comparable against newer trees.
+        if dropped_fields:
+            notes.append(f"section {section!r}: field(s) only in baseline: "
+                         f"{', '.join(sorted(dropped_fields))}")
+        if added_fields:
+            notes.append(f"section {section!r}: field(s) new in candidate: "
+                         f"{', '.join(sorted(added_fields))}")
     for section in cand["rows"]:
         if section not in base["rows"]:
             notes.append(f"section {section!r} new in candidate")
@@ -151,6 +163,9 @@ def smoke():
     noisy["rows"]["sweep"][0]["kiops"] = 95.0         # -5%: inside the bar
     faster = json.loads(json.dumps(envelope))
     faster["rows"]["sweep"][0]["kiops"] = 55.0        # -45%: throughput regression
+    drifted = json.loads(json.dumps(envelope))
+    del drifted["rows"]["sweep"][0]["shootdowns"]     # dropped field: note only
+    drifted["rows"]["sweep"][0]["hedges"] = 3         # new field: note only
 
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -165,6 +180,7 @@ def smoke():
             (write("slower.json", slower), 1, "latency regression"),
             (write("noisy.json", noisy), 0, "noise inside threshold"),
             (write("faster.json", faster), 1, "throughput regression"),
+            (write("drifted.json", drifted), 0, "field drift tolerated"),
             (base, 0, "identical artifacts"),
         ]
         for path, want, what in cases:

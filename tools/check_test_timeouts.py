@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Lint CTest registrations for explicit timeouts.
+
+A test without a TIMEOUT property stalls the whole suite when it wedges —
+the ctest-level analog of the hung-device commands the chaos suite injects.
+This lint walks every CMakeLists.txt in the repo and enforces:
+
+  1. Every gtest_discover_tests(...) call passes PROPERTIES ... TIMEOUT
+     (the discovered tests inherit it).
+  2. Every add_test(NAME <n> ...) is paired with a
+     set_tests_properties(<n> ... TIMEOUT ...) in the same file. <n> may be
+     a ${var} reference as long as the two commands spell it identically
+     (the pattern used by function-wrapped registrations).
+
+Usage: check_test_timeouts.py [repo_root]
+Exits nonzero with a report on any violation.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", "third_party", ".git"}
+
+
+def strip_comments(text: str) -> str:
+    return re.sub(r"#[^\n]*", "", text)
+
+
+def commands(text: str):
+    """Yields (name, args, lineno) for each top-level command invocation."""
+    for match in re.finditer(r"(?m)^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(", text):
+        name = match.group(1).lower()
+        # Walk to the balanced closing paren (CMake quotes cannot contain
+        # parens in this tree; generator expressions keep balance anyway).
+        depth = 0
+        for end in range(match.end() - 1, len(text)):
+            if text[end] == "(":
+                depth += 1
+            elif text[end] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+        else:
+            continue
+        lineno = text.count("\n", 0, match.start()) + 1
+        yield name, text[match.end():end], lineno
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    status = 0
+    total = 0
+
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in sorted(dirnames) if d not in SKIP_DIRS]
+        if "CMakeLists.txt" not in filenames:
+            continue
+        path = os.path.join(dirpath, "CMakeLists.txt")
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments(f.read())
+
+        added = []  # (test_name_token, lineno)
+        covered = set()  # name tokens appearing in set_tests_properties+TIMEOUT
+        for name, args, lineno in commands(text):
+            tokens = args.split()
+            if name == "gtest_discover_tests":
+                total += 1
+                if "TIMEOUT" not in tokens:
+                    print(f"{rel}:{lineno}: gtest_discover_tests without "
+                          "PROPERTIES TIMEOUT — hung tests would stall ctest")
+                    status = 1
+            elif name == "add_test":
+                if "NAME" in tokens:
+                    total += 1
+                    added.append((tokens[tokens.index("NAME") + 1], lineno))
+            elif name == "set_tests_properties" and "TIMEOUT" in tokens:
+                for token in tokens:
+                    if token == "PROPERTIES":
+                        break
+                    covered.add(token)
+        for test, lineno in added:
+            if test not in covered:
+                print(f"{rel}:{lineno}: add_test({test}) has no "
+                      f"set_tests_properties({test} ... TIMEOUT ...) in {rel}")
+                status = 1
+
+    if total == 0:
+        print("check_test_timeouts: found no test registrations — wrong root?")
+        return 1
+    if status == 0:
+        print(f"check_test_timeouts: {total} registrations OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
