@@ -67,10 +67,14 @@ void DeviceHealth::Enable(const Options& options) {
 }
 
 void DeviceHealth::set_label(const char* label) {
+  if (label == nullptr || label_set_.load(std::memory_order_acquire)) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  if (label_.empty() && label != nullptr) {
+  if (label_.empty()) {
     label_ = label;
   }
+  label_set_.store(true, std::memory_order_release);
 }
 
 const char* DeviceHealth::StateName(State state) {
@@ -321,10 +325,13 @@ Status WatchdogQueue::SubmitLeg(Vcpu& vcpu, uint64_t op_id, Op& op, bool hedge) 
   tokens_[token] = Leg{op_id, hedge};
   op.outstanding++;
   if (!hedge) {
+    // Every new attempt buys the op a fresh deadline (per-attempt timeout).
+    // A hedge rides the primary attempt's existing deadline: refreshing it
+    // here would silently stretch the attempt to HedgeDelay + timeout and
+    // delay timeout detection for exactly the ops that are already slow.
     op.attempts++;
+    op.deadline = vcpu.clock().Now() + options_.timeout_cycles;
   }
-  // Every new leg buys the op a fresh deadline (per-attempt timeout).
-  op.deadline = vcpu.clock().Now() + options_.timeout_cycles;
   op.resubmit_at = 0;
   return s;
 }
@@ -491,6 +498,21 @@ void WatchdogQueue::FinishOp(uint64_t op_id, Op& op, Completion completion, uint
   op.deadline = 0;
   op.resubmit_at = 0;
   ready_.push_back(std::move(completion));
+  // Withdraw every leg still in flight for this op — the hung primary a
+  // hedge just beat, or the losing side of a retry race. Cancellable legs
+  // hand their inner slot back now; without this, a hung leg's token and
+  // slot would leak past the op's lifetime and permanently shrink the
+  // queue's effective depth. Legs that refuse cancellation still complete
+  // and drain as discarded zombies.
+  for (auto tit = tokens_.begin(); tit != tokens_.end();) {
+    if (tit->second.op_id == op_id && inner_->Cancel(tit->first)) {
+      tit = tokens_.erase(tit);
+      AQUILA_CHECK(op.outstanding > 0);
+      op.outstanding--;
+    } else {
+      ++tit;
+    }
+  }
   MaybeEraseOp(op_id, op);
 }
 

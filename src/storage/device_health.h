@@ -103,6 +103,8 @@ class DeviceHealth {
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   // Shown in the /health endpoint next to the state (set once, first wins).
+  // After the first successful set this is a lock-free no-op, so callers may
+  // invoke it on every access without adding hot-path mutex traffic.
   void set_label(const char* label);
 
   // Feeds the sliding window and advances the state machine. `now` is the
@@ -140,6 +142,7 @@ class DeviceHealth {
   void TransitionLocked(State next);
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> label_set_{false};  // fast-path guard for set_label
   std::atomic<State> state_{State::kHealthy};
   Stats stats_;
 

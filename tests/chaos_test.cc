@@ -264,6 +264,63 @@ TEST_F(WatchdogQueueTest, HedgedReadWinsDuringBrownout) {
   DrainZombies(vcpu);  // the browned-out primary completes as a zombie
 }
 
+TEST_F(WatchdogQueueTest, HedgeWinOverHungPrimaryReclaimsInnerSlot) {
+  // Regression: when a hedge wins while the primary leg is hung, FinishOp
+  // must cancel the hung leg and hand its inner slot back. Before the fix
+  // each such op leaked one slot forever (Sweep only cancels for ops that
+  // are not done), so more than kDepth hedge wins exhausted the inner queue
+  // and every later submission failed kOutOfSpace.
+  FaultInjectingDevice::Options fopts;
+  for (uint64_t n = 1; n <= 2 * (kDepth + 2); n += 2) {
+    fopts.hang_reads.push_back(n);  // every primary hangs, every hedge lands
+  }
+  WatchdogQueue::Options wopts;
+  wopts.timeout_cycles = 24'000'000;  // 10ms: hedges resolve ops, not timeouts
+  wopts.hedge_reads = true;
+  wopts.hedge_min_delay_cycles = 48'000;  // 20us
+  Build(fopts, wopts);
+
+  Vcpu vcpu(0);
+  std::vector<uint8_t> buf(kPageSize);
+  for (uint32_t i = 0; i < kDepth + 2; i++) {
+    ASSERT_TRUE(queue_->SubmitRead(vcpu, 0, std::span(buf), 40 + i).ok()) << "op " << i;
+    std::vector<DeviceQueue::Completion> out;
+    ASSERT_TRUE(queue_->Drain(vcpu, &out).ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].user_data, 40u + i);
+    EXPECT_TRUE(out[0].status.ok()) << out[0].status.ToString();
+  }
+  EXPECT_EQ(faults_->fault_stats().injected_hangs.load(), kDepth + 2);
+  EXPECT_EQ(health_.stats().hedge_wins.load(), kDepth + 2);
+  EXPECT_EQ(health_.stats().timeouts.load(), 0u);
+}
+
+TEST_F(WatchdogQueueTest, HedgeDoesNotExtendPrimaryDeadline) {
+  // Regression: issuing a hedge must not refresh the op's per-attempt
+  // deadline — with both legs hung, the timeout fires at first_submit +
+  // timeout_cycles, not hedge_submit + timeout_cycles.
+  FaultInjectingDevice::Options fopts;
+  fopts.hang_rate = 1.0;
+  WatchdogQueue::Options wopts;
+  wopts.timeout_cycles = 240'000;  // 100us
+  wopts.max_attempts = 1;
+  wopts.hedge_reads = true;
+  wopts.hedge_min_delay_cycles = 48'000;  // 20us, well inside the deadline
+  Build(fopts, wopts);
+
+  Vcpu vcpu(0);
+  std::vector<uint8_t> buf(kPageSize);
+  ASSERT_TRUE(queue_->SubmitRead(vcpu, 0, std::span(buf), 50).ok());
+  std::vector<DeviceQueue::Completion> out;
+  ASSERT_TRUE(queue_->Drain(vcpu, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(health_.stats().hedges.load(), 1u);
+  // WaitMin advances exactly to NextReadyAt, so the abandonment lands on
+  // the original deadline; the buggy refresh pushed it to +148'000 cycles.
+  EXPECT_EQ(out[0].ready_at - out[0].submit_at, wopts.timeout_cycles);
+}
+
 TEST_F(WatchdogQueueTest, OpenBreakerFailsFastThenProbeReadmits) {
   FaultInjectingDevice::Options fopts;
   WatchdogQueue::Options wopts;
