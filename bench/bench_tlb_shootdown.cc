@@ -1,14 +1,20 @@
 // Targeted TLB-shootdown microbenchmark (DESIGN.md §10).
 //
 // Part 1 — eviction churn: N threads random-read private mappings sized 4x
-// the cache, so every miss evicts and every eviction batch shoots down. The
-// same workload runs under broadcast and mask+gen IPI targeting at 1/4/8
-// cores; the table reports simulated shootdown cycles per evicted page
-// (initiator invalidation + IPI sends + absorbed victim handler time, i.e.
-// the whole CostCategory::kTlbShootdown bill) and IPIs per shootdown. With
-// private streams no remote core ever maps a victim page, so mask+gen should
-// collapse the remote phase entirely while broadcast pays one IPI per other
-// active core.
+// the cache, so every miss evicts and every eviction batch shoots down. Every
+// 8th op also drops the page it just read (Advise kDontNeed) and touches it
+// again — a transient drop whose refault reuses the just-freed frame (every
+// 16th drop interposes a fault on another page first, forcing a cross-owner
+// handout of the dropped frame). The
+// same workload runs under broadcast, mask+gen, and reuse (deferred-elision)
+// IPI targeting at 1/4/8 cores; the table reports simulated shootdown cycles
+// per evicted page (initiator invalidation + IPI sends + absorbed victim
+// handler time, i.e. the whole CostCategory::kTlbShootdown bill), IPIs per
+// shootdown, and the reuse elide/mismatch counters. With private streams no
+// remote core ever maps a victim page, so mask+gen collapses the remote
+// phase while broadcast pays one IPI per other active core; reuse must beat
+// mask+gen at 8 cores by eliding same-owner recycles outright (the in-bench
+// acceptance gate below).
 //
 // Part 2 — the reused-pages elision on a single thread: a sequential scan
 // with active_cores=4 must elide every remote IPI (aquila.tlb.ipis_elided
@@ -40,6 +46,8 @@ struct Row {
   uint64_t ipis_elided = 0;
   uint64_t shootdowns_local = 0;
   uint64_t evicted_pages = 0;
+  uint64_t reuse_elided = 0;
+  uint64_t reuse_mismatch = 0;
 };
 
 // Random reads over per-thread private mappings with a 4:1 data:cache ratio.
@@ -78,8 +86,27 @@ Row RunEvictionChurn(ShootdownMaskMode mode, const char* mode_name, int threads,
       SimClock& clock = ThisThreadClock();
       uint64_t map_pages = map->length() / kPageSize;
       CostBreakdown before = clock.Breakdown();
+      uint64_t last_offset = 0;
       for (uint64_t i = 0; i < ops_per_thread; i++) {
-        map->TouchRead(rng.Uniform(map_pages) * kPageSize + 64);
+        last_offset = rng.Uniform(map_pages) * kPageSize + 64;
+        map->TouchRead(last_offset);
+        if ((i & 7u) == 7u) {
+          // Transient drop: discard the page just read, then touch it again.
+          // The core freelist queue is LIFO, so the refault pops the frame
+          // the drop just freed — under kReuseElide that is a same-owner
+          // reuse and the drop's shootdown is elided; every other mode pays
+          // a one-page shootdown for it.
+          uint64_t drop_page = last_offset & ~(kPageSize - 1);
+          (void)map->Advise(drop_page, kPageSize, Advice::kDontNeed);
+          if ((i & 127u) == 127u) {
+            // Every 16th drop faults a DIFFERENT page before the re-touch:
+            // when that page misses, its allocation pops the just-freed
+            // frame, so under kReuseElide the parked shootdown executes as
+            // a cross-owner mismatch — the counter the 8-core gate checks.
+            map->TouchRead((drop_page + kPageSize) % map->length() + 64);
+          }
+          map->TouchRead(last_offset);
+        }
       }
       CostBreakdown delta = clock.Breakdown() - before;
       shootdown_cycles.fetch_add(delta[CostCategory::kTlbShootdown],
@@ -98,6 +125,8 @@ Row RunEvictionChurn(ShootdownMaskMode mode, const char* mode_name, int threads,
   row.ipis_sent = runtime->tlb().ipis_sent();
   row.ipis_elided = runtime->tlb().ipis_elided();
   row.shootdowns_local = runtime->tlb().shootdowns_local();
+  row.reuse_elided = runtime->tlb().reuse_elided();
+  row.reuse_mismatch = runtime->tlb().reuse_mismatch();
   row.evicted_pages = runtime->fault_stats().evicted_pages.load();
   if (row.evicted_pages > 0) {
     row.cycles_per_evicted_page =
@@ -146,9 +175,11 @@ Row RunSeqScanElision(uint64_t data_bytes) {
 
 void PrintRow(const Row& row) {
   std::printf("%-10s %5d cores | %10.1f cyc/evicted-page | %6.2f IPIs/shootdown | "
-              "sent %8" PRIu64 "  elided %8" PRIu64 "  local %6" PRIu64 "\n",
+              "sent %8" PRIu64 "  elided %8" PRIu64 "  local %6" PRIu64
+              " | reuse %6" PRIu64 "/%6" PRIu64 "\n",
               row.mode_name, row.cores, row.cycles_per_evicted_page, row.ipis_per_shootdown,
-              row.ipis_sent, row.ipis_elided, row.shootdowns_local);
+              row.ipis_sent, row.ipis_elided, row.shootdowns_local, row.reuse_elided,
+              row.reuse_mismatch);
 }
 
 std::string JsonRow(const Row& row) {
@@ -157,10 +188,11 @@ std::string JsonRow(const Row& row) {
                 "{\"cores\": %d, \"mode\": \"%s\", \"cycles_per_evicted_page\": %.1f, "
                 "\"ipis_per_shootdown\": %.2f, \"shootdowns\": %" PRIu64
                 ", \"ipis_sent\": %" PRIu64 ", \"ipis_elided\": %" PRIu64
-                ", \"shootdowns_local\": %" PRIu64 ", \"evicted_pages\": %" PRIu64 "}",
+                ", \"shootdowns_local\": %" PRIu64 ", \"evicted_pages\": %" PRIu64
+                ", \"reuse_elided\": %" PRIu64 ", \"reuse_mismatch\": %" PRIu64 "}",
                 row.cores, row.mode_name, row.cycles_per_evicted_page, row.ipis_per_shootdown,
                 row.shootdowns, row.ipis_sent, row.ipis_elided, row.shootdowns_local,
-                row.evicted_pages);
+                row.evicted_pages, row.reuse_elided, row.reuse_mismatch);
   return buf;
 }
 
@@ -180,14 +212,15 @@ int main(int argc, char** argv) {
   const uint64_t kDataPerThread = smoke ? (2ull << 20) : Scaled(8ull << 20);
   const uint64_t kOpsPerThread = smoke ? 800 : Scaled(4000);
 
-  PrintHeader("TLB shootdown fan-out: private random reads, 4:1 data:cache");
+  PrintHeader("TLB shootdown fan-out: private random reads + transient drops, 4:1 data:cache");
   const int kCores[] = {1, 4, 8};
   struct ModeCase {
     ShootdownMaskMode mode;
     const char* name;
   };
   const ModeCase kModes[] = {{ShootdownMaskMode::kBroadcast, "broadcast"},
-                             {ShootdownMaskMode::kMaskGen, "mask+gen"}};
+                             {ShootdownMaskMode::kMaskGen, "mask+gen"},
+                             {ShootdownMaskMode::kReuseElide, "reuse"}};
   std::vector<Row> sweep;
   for (int cores : kCores) {
     for (const ModeCase& mc : kModes) {
@@ -197,6 +230,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Acceptance gate (DESIGN.md §10): at 8 cores the reuse mode must beat
+  // mask+gen on the whole shootdown bill, and both new counters must move —
+  // elisions from the transient drops, mismatches when an intervening fault
+  // steals a dropped frame before its owner re-touches the page.
+  const Row* maskgen8 = nullptr;
+  const Row* reuse8 = nullptr;
+  for (const Row& row : sweep) {
+    if (row.cores != 8) continue;
+    if (std::strcmp(row.mode_name, "mask+gen") == 0) maskgen8 = &row;
+    if (std::strcmp(row.mode_name, "reuse") == 0) reuse8 = &row;
+  }
+  AQUILA_CHECK(maskgen8 != nullptr && reuse8 != nullptr);
+  AQUILA_CHECK(reuse8->reuse_elided > 0);
+  AQUILA_CHECK(reuse8->reuse_mismatch > 0);
+  AQUILA_CHECK(reuse8->cycles_per_evicted_page < maskgen8->cycles_per_evicted_page);
+
   PrintHeader("Reused-pages elision: 1 thread sequential scan, active_cores=4");
   Row seq = RunSeqScanElision(smoke ? (8ull << 20) : Scaled(32ull << 20));
   PrintRow(seq);
@@ -204,7 +253,9 @@ int main(int argc, char** argv) {
               seq.ipis_elided);
 
   BenchJsonWriter json("tlb_shootdown", smoke, /*threads=*/8);
-  json.AddMeta("workload", "\"private random reads, 4:1 data:cache, eviction churn\"");
+  json.AddMeta("workload",
+               "\"private random reads + transient drops (1/8 ops, 1/16 cross-owner), "
+               "4:1 data:cache, eviction churn\"");
   json.AddMeta("ops_per_thread", std::to_string(kOpsPerThread));
   json.BeginSection("sweep");
   for (const Row& row : sweep) {

@@ -144,6 +144,9 @@ inline ShootdownMaskMode ParseShootdownMode(const char* s, ShootdownMaskMode fal
   if (mode == "mask+gen" || mode == "maskgen" || mode == "mask_gen") {
     return ShootdownMaskMode::kMaskGen;
   }
+  if (mode == "reuse" || mode == "reuse_elide") {
+    return ShootdownMaskMode::kReuseElide;
+  }
   return fallback;
 }
 
@@ -152,8 +155,9 @@ inline ShootdownMaskMode ParseShootdownMode(const char* s, ShootdownMaskMode fal
 // matching the library default; set AQUILA_ASYNC_WRITEBACK=1 to turn it on
 // for any benchmark, and AQUILA_ASYNC_QUEUE_DEPTH=<n> to size the
 // per-mapping device queue (default 32). AQUILA_SHOOTDOWN_MODE
-// (broadcast|mask|mask+gen) overrides the shootdown IPI targeting policy
-// (default mask+gen, the library default). Observability knobs:
+// (broadcast|mask|mask+gen|reuse) overrides the shootdown IPI targeting
+// policy (default mask+gen, the library default; reuse adds the deferred
+// same-owner elision of DESIGN.md §10). Observability knobs:
 // AQUILA_SPAN_SAMPLE=<n> samples 1-in-n requests into the span collector,
 // AQUILA_SLOW_TRACE_US=<us> keeps whole trees for sampled requests slower
 // than that, and AQUILA_STATS_PORT=<p> serves /metrics, /metrics.json,

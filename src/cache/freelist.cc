@@ -55,6 +55,7 @@ TwoLevelFreelist::TwoLevelFreelist(uint32_t max_frames, const Options& options)
     : options_(options),
       capacity_(max_frames),
       next_(std::make_unique<std::atomic<uint32_t>[]>(max_frames)),
+      stamps_(std::make_unique<ReuseStamp[]>(max_frames)),
       core_queues_(CoreRegistry::kMaxCores),
       numa_queues_(static_cast<size_t>(options.numa_nodes)) {
   AQUILA_CHECK(options_.numa_nodes >= 1);
@@ -112,7 +113,26 @@ FrameId TwoLevelFreelist::Alloc(int core) {
   return kInvalidFrame;
 }
 
+FrameId TwoLevelFreelist::Alloc(int core, ReuseStamp* stamp_out) {
+  FrameId frame = Alloc(core);
+  if (frame != kInvalidFrame && stamp_out != nullptr) {
+    // Sequenced after the Pop CAS (acquire), which synchronizes with the
+    // freeing core's Push CAS (release) — transitively through any batch
+    // moves, which travel by frame id and never touch the stamp slot.
+    *stamp_out = stamps_[frame];
+  }
+  return frame;
+}
+
 void TwoLevelFreelist::Free(int core, FrameId frame) {
+  Free(core, frame, ReuseStamp{});
+}
+
+void TwoLevelFreelist::Free(int core, FrameId frame, const ReuseStamp& stamp) {
+  // Plain store, published by the Push CAS below (release edge). While the
+  // frame sits on a queue nothing reads or writes its stamp slot, so the
+  // slot is owned by whoever holds the frame outside the stacks.
+  stamps_[frame] = stamp;
   core_queues_[core].Push(frame);
   MaybeOverflow(core);
 }

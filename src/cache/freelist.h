@@ -28,6 +28,24 @@ namespace aquila {
 using FrameId = uint32_t;
 inline constexpr FrameId kInvalidFrame = ~0u;
 
+// Last-owner stamp carried with a frame through the freelist (DESIGN.md
+// §10): written by the freeing core immediately before the Push CAS and read
+// by the allocating core only after the Pop CAS, so the acq_rel edges on the
+// stack heads are what publish it — the stamp needs no atomics of its own.
+// Batch moves between levels travel by frame id (Pop acquire + PushChain
+// release), so the happens-before chain extends through every hop, including
+// cross-NUMA steals. Fields mirror DeferredShootdown in src/mem/tlb.h but
+// stay POD here so the cache layer does not depend on the TLB layer.
+struct ReuseStamp {
+  uint64_t vpn = 0;        // last mapped virtual page (0 = never mapped)
+  uint64_t region = 0;     // owning mapping id at free time
+  uint64_t cpu_mask = 0;   // cores that held a translation at free time
+  uint64_t tlb_epoch = 0;  // global flush epoch at the page's last insert
+  int32_t core = -1;       // core that freed the frame
+  bool deferred = false;   // a DeferredShootdown for vpn is parked in TlbSet
+  bool valid = false;      // written by a stamped Free (vs a default reset)
+};
+
 // Treiber stack of frame ids, intrusive over a shared next[] array.
 class FrameStack {
  public:
@@ -94,9 +112,19 @@ class TwoLevelFreelist {
   // (the caller must evict).
   FrameId Alloc(int core);
 
+  // Allocation that also reads back the frame's last-owner stamp (written by
+  // the stamped Free below; default-valued for seeded or plainly freed
+  // frames). The read is sequenced after the Pop, so the pop edge publishes
+  // it.
+  FrameId Alloc(int core, ReuseStamp* stamp_out);
+
   // Returns a frame from `core` (eviction places frames in the local core
   // queue, §3.2).
   void Free(int core, FrameId frame);
+
+  // Free that records `stamp` as the frame's last owner. The stamp is
+  // written before the Push, so the push edge publishes it with the frame.
+  void Free(int core, FrameId frame, const ReuseStamp& stamp);
 
   const Stats& stats() const { return stats_; }
   uint64_t ApproxFree() const;
@@ -107,6 +135,10 @@ class TwoLevelFreelist {
   Options options_;
   uint64_t capacity_;
   std::unique_ptr<std::atomic<uint32_t>[]> next_;
+  // One stamp slot per frame, parallel to next_. Plain fields on purpose:
+  // guarded-by: the owning stack's head CAS (written before Push, read after
+  // Pop; a frame is reachable from exactly one queue at a time).
+  std::unique_ptr<ReuseStamp[]> stamps_;
   std::vector<FrameStack> core_queues_;  // one per logical core
   std::vector<FrameStack> numa_queues_;  // one per NUMA node
   Stats stats_;

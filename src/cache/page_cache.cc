@@ -57,31 +57,57 @@ uint8_t* PageCache::FrameData(Vcpu& vcpu, FrameId id) {
 }
 
 FrameId PageCache::AllocFrame(Vcpu& vcpu, int core) {
-  FrameId id = freelist_.Alloc(core);
+  return AllocFrame(vcpu, core, nullptr);
+}
+
+FrameId PageCache::AllocFrame(Vcpu& vcpu, int core, ReuseStamp* stamp_out) {
+  ReuseStamp stamp;
+  FrameId id = freelist_.Alloc(core, &stamp);
   if (id == kInvalidFrame) {
     return kInvalidFrame;
   }
   Frame& f = frames_[id];
   AQUILA_DCHECK(f.state.load(std::memory_order_relaxed) == FrameState::kFree);
+  // FreeFrame's routing-state resets are sequenced before the freelist Push
+  // CAS (release) and this read is sequenced after the Pop CAS (acquire), so
+  // a previous incarnation's mask/epoch can never leak into the new one.
+  // This ordering is load-bearing for kReuseElide: the reuse stamp rides the
+  // same edge.
+  AQUILA_DCHECK(f.cpu_mask.load(std::memory_order_relaxed) == 0);
+  AQUILA_DCHECK(f.tlb_epoch.load(std::memory_order_relaxed) == 0);
+  // A deferred stamp must reach a resolver; a caller that discards it would
+  // leave the parked shootdown dangling in the TLB's deferred table.
+  AQUILA_DCHECK(stamp_out != nullptr || !stamp.deferred);
+  if (stamp_out != nullptr) {
+    *stamp_out = stamp;
+  }
   AQUILA_RACE_POINT("page_cache.alloc.pre_filling");
   f.state.store(FrameState::kFilling, std::memory_order_relaxed);
   f.referenced.store(1, std::memory_order_relaxed);
   return id;
 }
 
-void PageCache::FreeFrame(int core, FrameId id) {
+void PageCache::FreeFrame(int core, FrameId id) { FreeFrame(core, id, ReuseStamp{}); }
+
+void PageCache::FreeFrame(int core, FrameId id, const ReuseStamp& stamp) {
   Frame& f = frames_[id];
   f.key.store(0, std::memory_order_relaxed);
   f.vaddr.store(0, std::memory_order_relaxed);
   f.dirty.store(0, std::memory_order_relaxed);
   // Recycle resets the shootdown-routing state: the next identity this frame
   // takes starts with no mapped cores and no insert epoch (DESIGN.md §10).
+  // The stores may be relaxed ONLY because the freelist Push below is a
+  // release edge and AllocFrame reads after the matching acquire Pop: the
+  // resets (and the reuse stamp, which rides the same edge) happen-before
+  // the next allocation. A concurrently allocating core can therefore never
+  // observe this incarnation's mask/epoch — AllocFrame DCHECKs it, and the
+  // race points below let the stress harness stretch the window.
   f.cpu_mask.store(0, std::memory_order_relaxed);
   f.tlb_epoch.store(0, std::memory_order_relaxed);
   AQUILA_RACE_POINT("page_cache.free.pre_publish");
   f.state.store(FrameState::kFree, std::memory_order_release);
   AQUILA_RACE_POINT("page_cache.free.pre_freelist");
-  freelist_.Free(core, id);
+  freelist_.Free(core, id, stamp);
 }
 
 size_t PageCache::SelectVictims(size_t max, FrameId* out) {
@@ -189,14 +215,24 @@ Status PageCache::Grow(Vcpu& vcpu, uint64_t add_pages) {
   return Status::Ok();
 }
 
-StatusOr<uint64_t> PageCache::Shrink(Vcpu& vcpu, uint64_t remove_pages) {
+StatusOr<uint64_t> PageCache::Shrink(Vcpu& vcpu, uint64_t remove_pages,
+                                     std::vector<uint64_t>* deferred_vpns) {
   std::lock_guard<SpinLock> guard(grow_lock_);
   uint64_t removed = 0;
   int core = CoreRegistry::CurrentCore();
   while (removed < remove_pages) {
-    FrameId id = freelist_.Alloc(core);
+    ReuseStamp stamp;
+    FrameId id = freelist_.Alloc(core, &stamp);
     if (id == kInvalidFrame) {
       break;  // no more free frames; caller may evict and retry
+    }
+    if (stamp.deferred) {
+      // The frame leaves circulation, so its parked shootdown can never be
+      // elided again — surface the vpn for the caller to execute.
+      AQUILA_DCHECK(deferred_vpns != nullptr);
+      if (deferred_vpns != nullptr) {
+        deferred_vpns->push_back(stamp.vpn);
+      }
     }
     Frame& f = frames_[id];
     f.state.store(FrameState::kOffline, std::memory_order_release);

@@ -128,10 +128,17 @@ class PageCache {
   uint8_t* FrameData(Vcpu& vcpu, FrameId id);
 
   // Allocation from the freelist; kInvalidFrame when empty (caller evicts).
-  // The returned frame is in state kFilling.
+  // The returned frame is in state kFilling. The stamped overload also
+  // returns the frame's last-owner ReuseStamp (kReuseElide input); a caller
+  // that may receive a deferred stamp MUST use it — dropping a deferred
+  // stamp would leave its parked shootdown dangling.
   FrameId AllocFrame(Vcpu& vcpu, int core);
-  // Returns a frame to `core`'s queue (state -> kFree).
+  FrameId AllocFrame(Vcpu& vcpu, int core, ReuseStamp* stamp_out);
+  // Returns a frame to `core`'s queue (state -> kFree). The stamped overload
+  // records the frame's last owner for the next allocator; both reset the
+  // frame's routing state first — see the ordering contract in FreeFrame.
   void FreeFrame(int core, FrameId id);
+  void FreeFrame(int core, FrameId id, const ReuseStamp& stamp);
 
   // --- Eviction support -----------------------------------------------------------
   // Clock sweep: claims up to `max` resident frames (state -> kEvicting) and
@@ -151,8 +158,12 @@ class PageCache {
   Status Grow(Vcpu& vcpu, uint64_t add_pages);
   // Takes up to `remove_pages` free frames out of circulation; whole grants
   // whose frames are all offline are returned to the host. Returns how many
-  // frames went offline.
-  StatusOr<uint64_t> Shrink(Vcpu& vcpu, uint64_t remove_pages);
+  // frames went offline. Frames carrying a deferred reuse stamp report their
+  // vpn through `deferred_vpns` so the caller can execute the parked
+  // shootdown (an offlined frame's contents are gone, so the deferral can no
+  // longer be elided).
+  StatusOr<uint64_t> Shrink(Vcpu& vcpu, uint64_t remove_pages,
+                            std::vector<uint64_t>* deferred_vpns = nullptr);
 
   uint64_t capacity_pages() const { return capacity_pages_.load(std::memory_order_relaxed); }
   uint64_t max_pages() const { return options_.max_pages; }

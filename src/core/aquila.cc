@@ -39,6 +39,10 @@ Aquila::Aquila(const Options& options)
                [this] { return tlb_.ipis_elided(); });
   metrics_.Add("aquila.tlb.shootdowns_local", telemetry::MetricKind::kCounter,
                [this] { return tlb_.shootdowns_local(); });
+  metrics_.Add("aquila.tlb.reuse_elided", telemetry::MetricKind::kCounter,
+               [this] { return tlb_.reuse_elided(); });
+  metrics_.Add("aquila.tlb.reuse_mismatch", telemetry::MetricKind::kCounter,
+               [this] { return tlb_.reuse_mismatch(); });
 
   if (options_.span_sample_every > 0) {
     telemetry::SpanCollector::Options span_options =
@@ -100,6 +104,100 @@ void Aquila::ShootdownPages(Vcpu& vcpu, std::span<const PageShootdown> pages) {
     tlb_.Shootdown(vcpu.clock(), vcpu.core(), active_cores(), pages.subspan(i, n),
                    fabric_, options_.shootdown_mask_mode);
   }
+}
+
+ReuseStamp Aquila::DeferPageShootdown(const PageShootdown& page, uint64_t region,
+                                      int core, FrameId frame) {
+  DeferredShootdown d;
+  d.vpn = page.vpn;
+  d.region = region;
+  d.frame = frame;
+  d.cpu_mask = page.cpu_mask;
+  d.tlb_epoch = page.tlb_epoch;
+  tlb_.Defer(d);
+  ReuseStamp stamp;
+  stamp.vpn = page.vpn;
+  stamp.region = region;
+  stamp.cpu_mask = page.cpu_mask;
+  stamp.tlb_epoch = page.tlb_epoch;
+  stamp.core = core;
+  stamp.deferred = true;
+  stamp.valid = true;
+  return stamp;
+}
+
+void Aquila::ResolveDeferredForVpn(Vcpu& vcpu, uint64_t vpn, FrameId frame) {
+  if (options_.shootdown_mask_mode != ShootdownMaskMode::kReuseElide) {
+    return;
+  }
+  if (vpn == 0 || tlb_.deferred_pending() == 0) {
+    return;
+  }
+  DeferredShootdown d;
+  if (!tlb_.TakeDeferred(vpn, &d)) {
+    return;
+  }
+  // The same-frame case is the alloc-path elide; a deferral found here must
+  // belong to a different (freed or re-owned) frame.
+  AQUILA_DCHECK(d.frame != frame);
+  (void)frame;
+  tlb_.ExecuteDeferred(vcpu.clock(), vcpu.core(), active_cores(), d, fabric_);
+  tlb_.NoteReuseMismatch();
+}
+
+bool Aquila::ResolveReuseStamp(Vcpu& vcpu, const ReuseStamp& stamp, FrameId frame,
+                               uint64_t fault_vpn, uint64_t region, bool allow_elide) {
+  if (options_.shootdown_mask_mode != ShootdownMaskMode::kReuseElide) {
+    return false;
+  }
+  bool elided = false;
+  bool took_fault_vpn = false;
+  if (stamp.valid && stamp.deferred) {
+    DeferredShootdown d;
+    if (tlb_.TakeDeferred(stamp.vpn, &d)) {
+      took_fault_vpn = (stamp.vpn == fault_vpn);
+      if (allow_elide && took_fault_vpn && d.frame == frame && d.region == region) {
+        // Same-owner reuse: the stale translations named by d.cpu_mask point
+        // at this very frame, which is about to hold the same (region, vpn)
+        // contents again — they become live-correct instead of stale.
+        // RESTORE (not reset) the routing state so the next eviction still
+        // targets those cores, and skip the flush entirely.
+        Frame& f = cache_->frame(frame);
+        f.cpu_mask.fetch_or(d.cpu_mask, std::memory_order_relaxed);
+        uint64_t seen = f.tlb_epoch.load(std::memory_order_relaxed);
+        while (seen < d.tlb_epoch &&
+               !f.tlb_epoch.compare_exchange_weak(seen, d.tlb_epoch,
+                                                  std::memory_order_relaxed)) {
+        }
+        tlb_.NoteReuseElided();
+        elided = true;
+      } else {
+        tlb_.ExecuteDeferred(vcpu.clock(), vcpu.core(), active_cores(), d, fabric_);
+        tlb_.NoteReuseMismatch();
+      }
+    }
+  }
+  if (!took_fault_vpn) {
+    // The fault vpn itself may have a deferral parked against a different
+    // frame (that frame went elsewhere, but cores on its mask still hold
+    // stale entries for fault_vpn): flush before the new install.
+    ResolveDeferredForVpn(vcpu, fault_vpn, frame);
+  }
+  return elided;
+}
+
+void Aquila::ExecuteElidedShootdown(Vcpu& vcpu, uint64_t vpn, uint64_t region,
+                                    FrameId frame) {
+  Frame& f = cache_->frame(frame);
+  DeferredShootdown d;
+  d.vpn = vpn;
+  d.region = region;
+  d.frame = frame;
+  d.cpu_mask = f.cpu_mask.load(std::memory_order_relaxed);
+  d.tlb_epoch = f.tlb_epoch.load(std::memory_order_relaxed);
+  // Not a mismatch: this deferral was already counted elided; the execute is
+  // the failure backstop, not a cross-owner handout.
+  tlb_.ExecuteDeferred(vcpu.clock(), vcpu.core(), active_cores(), d, fabric_);
 }
 
 StatusOr<MemoryMap*> Aquila::Map(Backing* backing, uint64_t length, int prot) {
@@ -172,10 +270,9 @@ StatusOr<MemoryMap*> Aquila::Remap(MemoryMap* map, uint64_t new_length) {
       Frame& f = cache_->frame(frame);
       f.vaddr = new_vaddr;
       page_table_.Install(new_vaddr, Pte::Gpa(pte), pte & Pte::kFlagsMask & ~Pte::kPresent);
-      // Mask/epoch captured under the entry lock, which orders against
-      // fault-path NoteTlbInsert on the same page.
-      old_vpns.push_back({old_page, f.cpu_mask.load(std::memory_order_relaxed),
-                          f.tlb_epoch.load(std::memory_order_relaxed)});
+      // Unified capture rule (CaptureShootdownPage): entry lock held, PTE
+      // already removed above.
+      old_vpns.push_back(CaptureShootdownPage(f, old_page));
     }
     vma_tree_.UnlockEntry(old_page);
   }
@@ -267,8 +364,19 @@ Status Aquila::GrowCache(uint64_t add_bytes) {
 }
 
 StatusOr<uint64_t> Aquila::ShrinkCache(uint64_t remove_bytes) {
-  StatusOr<uint64_t> pages =
-      cache_->Shrink(ThisVcpu(), AlignUp(remove_bytes, kPageSize) / kPageSize);
+  Vcpu& vcpu = ThisVcpu();
+  std::vector<uint64_t> deferred_vpns;
+  StatusOr<uint64_t> pages = cache_->Shrink(
+      vcpu, AlignUp(remove_bytes, kPageSize) / kPageSize, &deferred_vpns);
+  // Offlined frames can never satisfy a reuse elision again (their contents
+  // are released to the host): execute their parked shootdowns now.
+  for (uint64_t vpn : deferred_vpns) {
+    DeferredShootdown d;
+    if (tlb_.TakeDeferred(vpn, &d)) {
+      tlb_.ExecuteDeferred(vcpu.clock(), vcpu.core(), active_cores(), d, fabric_);
+      tlb_.NoteReuseMismatch();
+    }
+  }
   if (!pages.ok()) {
     return pages.status();
   }

@@ -38,6 +38,28 @@ class StatsServer;
 
 class AquilaMap;
 
+// Captures a frame's shootdown-routing state into a PageShootdown row. This
+// is the ONE rule every capture site (eviction, msync, DONTNEED, teardown,
+// mremap, mprotect) follows:
+//
+//   The caller owns the frame's publication edge at capture time — a claim
+//   CAS out of kResident and/or the page's VMA entry lock — which orders the
+//   capture after every NoteTlbInsert a faulter could have published for
+//   this incarnation. Capture happens AFTER the PTE was removed (or its W
+//   bit cleared, for downgrades), so no new translation can be minted for
+//   the page afterwards; the relaxed loads below therefore see a complete
+//   mask/epoch, and the epoch can never exceed the global flush epoch (the
+//   masked TlbSet::Shootdown debug-asserts exactly that).
+//
+//   The only unclaimed site, by design, is Protect's write-downgrade: the
+//   atomic W-bit clear precedes the capture, so a racing faulter can only
+//   insert a read-only entry, and a conservatively stale mask/epoch merely
+//   costs an elidable IPI — never a missed one.
+inline PageShootdown CaptureShootdownPage(const Frame& frame, uint64_t vpn) {
+  return PageShootdown{vpn, frame.cpu_mask.load(std::memory_order_relaxed),
+                       frame.tlb_epoch.load(std::memory_order_relaxed)};
+}
+
 struct FaultStats {
   std::atomic<uint64_t> major_faults{0};   // page read from the device
   std::atomic<uint64_t> minor_faults{0};   // page was in cache, mapping installed
@@ -66,7 +88,11 @@ class Aquila : public MmioEngine {
     // IPI targeting for shootdown batches (DESIGN.md §10): kBroadcast sends
     // to every active core (paper §4.1 baseline); kMask skips cores with no
     // bit in the victims' Frame::cpu_mask; kMaskGen additionally skips cores
-    // whose whole TLB was flushed after the page's last insert.
+    // whose whole TLB was flushed after the page's last insert; kReuseElide
+    // additionally DEFERS the shootdown for clean evicted pages — if the
+    // frame returns to the same (region, page) before any other use, the
+    // flush is skipped outright; any cross-owner handout executes it
+    // (debt-amortized) first. See the safety argument in DESIGN.md §10.
     ShootdownMaskMode shootdown_mask_mode = ShootdownMaskMode::kMaskGen;
     // Consecutive writeback failures (each already past the device retry
     // budget) before a mapping degrades to read-only. Mirrors how the
@@ -174,6 +200,33 @@ class Aquila : public MmioEngine {
   // per-page masks/epochs must have been captured from the owning frames
   // while they were claimed (before FreeFrame could recycle them).
   void ShootdownPages(Vcpu& vcpu, std::span<const PageShootdown> pages);
+
+  // --- kReuseElide plumbing (DESIGN.md §10) -----------------------------------
+  // Parks the shootdown for a clean evicted page in the TLB's deferred table
+  // and returns the ReuseStamp the freeing path must hand to FreeFrame.
+  ReuseStamp DeferPageShootdown(const PageShootdown& page, uint64_t region, int core,
+                                FrameId frame);
+  // Resolves a freshly allocated frame's reuse stamp on the fault path.
+  // Same-owner reuse (stamp's vpn == fault_vpn, same frame and region, and
+  // `allow_elide`) restores the frame's cpu_mask/tlb_epoch from the deferral
+  // and elides the flush; any other pending deferral — the stamp's, or one
+  // parked for `fault_vpn` against a different frame — is executed first.
+  // Returns true when the flush was elided (the caller must call
+  // ExecuteElidedShootdown before freeing the frame if its fill later
+  // fails). No-op outside kReuseElide.
+  bool ResolveReuseStamp(Vcpu& vcpu, const ReuseStamp& stamp, FrameId frame,
+                         uint64_t fault_vpn, uint64_t region, bool allow_elide);
+  // Executes (and counts as a mismatch) any deferral parked for `vpn`:
+  // required before installing a translation for `vpn` backed by a frame the
+  // deferral does not cover (e.g. the minor-fault path mapping a readahead
+  // frame). No-op outside kReuseElide; one relaxed load when the table is
+  // empty.
+  void ResolveDeferredForVpn(Vcpu& vcpu, uint64_t vpn, FrameId frame);
+  // Failure backstop: after an elided resolve, a failed fill must flush the
+  // routing state the elision restored before FreeFrame recycles the frame —
+  // otherwise the re-legitimized stale entries would outlive the frame's
+  // identity untracked.
+  void ExecuteElidedShootdown(Vcpu& vcpu, uint64_t vpn, uint64_t region, FrameId frame);
 
  private:
   friend class AquilaMap;

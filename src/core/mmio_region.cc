@@ -103,11 +103,9 @@ Status AquilaMap::TearDown() {
     }
     (void)runtime_->page_table().Remove(vaddr);
     cache.RemoveMapping(key);
-    // Mask/epoch read while the frame is claimed (kEvicting): FreeFrame has
-    // not recycled it yet, and the claim CAS ordered any fault-path inserts
-    // for this page before us.
-    vpns.push_back({page, f.cpu_mask.load(std::memory_order_relaxed),
-                    f.tlb_epoch.load(std::memory_order_relaxed)});
+    // Unified capture rule (CaptureShootdownPage): frame claimed (kEvicting),
+    // PTE removed above.
+    vpns.push_back(CaptureShootdownPage(f, page));
     if (f.dirty.load(std::memory_order_relaxed) != 0) {
       cache.ClearDirty(frame);
       planner.Add(WritebackItem{SortKey(i * kPageSize), i * kPageSize,
@@ -125,6 +123,9 @@ Status AquilaMap::TearDown() {
     result = backing_->Flush(vcpu);
   }
 
+  // Deferrals parked for this region can never be elided once it is gone
+  // (the region id dies with the mapping): fold them into the final batch.
+  runtime_->tlb().DrainDeferredRegion(vma_.mapping_id, &vpns);
   runtime_->ShootdownPages(vcpu, vpns);
   int core = vcpu.core();
   for (FrameId frame : frames) {
@@ -227,7 +228,7 @@ StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write) 
     frame = static_cast<FrameId>(Pte::Gpa(pte) >> kPageShift);
     if (!tlb.hit || (write && !tlb.writable)) {
       vcpu.clock().Charge(CostCategory::kPageTable, GlobalCostModel().hardware_walk);
-      uint64_t epoch = runtime_->tlb().Insert(vcpu.core(), page, Pte::Writable(pte));
+      uint64_t epoch = runtime_->tlb().Insert(vcpu.core(), page, Pte::Writable(pte), frame);
       // Publish under the entry lock: evictors capture the mask only after
       // their claim CAS, which the same lock orders against this insert.
       NoteTlbInsert(runtime_->cache().frame(frame), vcpu.core(), epoch);
@@ -240,7 +241,7 @@ StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write) 
       return faulted.status();
     }
     frame = *faulted;
-    uint64_t epoch = runtime_->tlb().Insert(vcpu.core(), page, write);
+    uint64_t epoch = runtime_->tlb().Insert(vcpu.core(), page, write, frame);
     NoteTlbInsert(runtime_->cache().frame(frame), vcpu.core(), epoch);
     ref.faulted = true;
   }
@@ -359,6 +360,11 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
           continue;
         }
         req_span.set_op(telemetry::SpanOp::kFaultMinor);
+        // This install may map `page` onto a frame a pending deferral does
+        // not cover (e.g. a readahead frame re-reading a previously evicted
+        // file page): execute that deferral before the translation goes
+        // live. One relaxed load when the deferred table is empty.
+        runtime_->ResolveDeferredForVpn(vcpu, page, frame);
         telemetry::ChildSpan install_span(vcpu.clock(), telemetry::SpanPhase::kFillCopy, vaddr);
         ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
         f.vaddr.store(vaddr, std::memory_order_relaxed);
@@ -394,11 +400,12 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   // Major fault: allocate a frame, evicting when the cache is full (§3.2:
   // batch of 512 — written back synchronously, or submitted to the device
   // queue with completions reaped as fault handling continues).
+  ReuseStamp stamp;
   while (true) {
     {
       telemetry::ChildSpan alloc_span(vcpu.clock(), telemetry::SpanPhase::kCacheLookup);
       ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
-      frame = cache.AllocFrame(vcpu, vcpu.core());
+      frame = cache.AllocFrame(vcpu, vcpu.core(), &stamp);
     }
     if (frame != kInvalidFrame) {
       break;
@@ -422,8 +429,23 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
     }
   }
 
+  // Resolve the frame's last-owner stamp before filling: same-owner reuse
+  // elides the deferred shootdown outright (the stale translations point at
+  // this frame, about to hold the same bytes again); any other pending
+  // deferral — the stamp's or this page's — executes first (DESIGN.md §10).
+  // This is the only elision-eligible allocation site, which keeps the
+  // failure backstop below a single call.
+  const bool elided = runtime_->ResolveReuseStamp(vcpu, stamp, frame, page,
+                                                  vma_.mapping_id, /*allow_elide=*/true);
+
   Status fill = FillAndPublish(vcpu, frame, vaddr, key, write);
   if (!fill.ok()) {
+    if (elided) {
+      // The elision re-legitimized stale entries against this frame's old
+      // identity; the fill failed, so that identity is gone — flush them
+      // before the frame recycles.
+      runtime_->ExecuteElidedShootdown(vcpu, page, vma_.mapping_id, frame);
+    }
     cache.FreeFrame(vcpu.core(), frame);
     return fill;
   }
@@ -535,12 +557,19 @@ Status AquilaMap::ReadAhead(Vcpu& vcpu, uint64_t file_page) {
       UnlockPage(page);
       continue;
     }
-    FrameId frame = cache.AllocFrame(vcpu, vcpu.core());
+    ReuseStamp stamp;
+    FrameId frame = cache.AllocFrame(vcpu, vcpu.core(), &stamp);
     if (frame == kInvalidFrame) {
       UnlockPage(page);
       advance_to = next_file_page;  // not covered; eligible for the next window
       break;                        // never evict for read-ahead
     }
+    // Read-ahead never elides (allow_elide=false): its fills can fail on
+    // paths that free the frame asynchronously, where the elide-failure
+    // backstop could not run. Any deferral the stamp or target page carries
+    // is executed instead.
+    (void)runtime_->ResolveReuseStamp(vcpu, stamp, frame, page, vma_.mapping_id,
+                                      /*allow_elide=*/false);
     Frame& f = cache.frame(frame);
     f.key.store(key, std::memory_order_relaxed);
     // No translation yet: the actual access takes a minor fault. vaddr == 0
@@ -652,12 +681,13 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
       if (owner->transparent_base_ != nullptr) {
         TrapDriver::RemoveRealMapping(vaddr);
       }
-      // Mask/epoch captured while we own the frame (kEvicting) and hold the
-      // entry lock — after this point a completion or FreeFrame may recycle
-      // it, so the routing state must travel with the batch.
-      vpns.push_back({page, f.cpu_mask.load(std::memory_order_relaxed),
-                      f.tlb_epoch.load(std::memory_order_relaxed)});
+      // Unified capture rule (CaptureShootdownPage): frame claimed
+      // (kEvicting) and entry lock held, PTE removed above — after this
+      // point a completion or FreeFrame may recycle the frame, so the
+      // routing state must travel with the batch (or the deferral).
+      PageShootdown captured = CaptureShootdownPage(f, page);
       if (f.dirty.load(std::memory_order_relaxed) != 0) {
+        vpns.push_back(captured);
         cache.ClearDirty(frame);
         uint64_t file_offset = FilePageOfKey(fkey) * kPageSize;
         planner.Add(WritebackItem{f.dirty_item.sort_key, file_offset,
@@ -675,7 +705,16 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
           locked_dirty_pages.push_back(page);  // stays locked until written
         }
       } else {
+        // Clean page: stays on the batched shootdown even under kReuseElide.
+        // Bulk eviction recycles frames across owners almost always once
+        // several cores churn, so deferring here trades the batch clamp
+        // (~tlb_full_flush amortized over the whole batch) for one retail
+        // invalidate/IPI per recycled frame — measured as a net loss beyond
+        // a few cores. The deferral is scoped to Advise(kDontNeed), where a
+        // discard-then-retouch by the same owner is the expected pattern
+        // (DESIGN.md §10).
         cache.RemoveMapping(fkey);
+        vpns.push_back(captured);
         UnlockPage(page);
         to_free.push_back(frame);
       }
@@ -888,10 +927,11 @@ Status AquilaMap::Sync(uint64_t offset, uint64_t length) {
         }
       }
       if (fvaddr != 0) {
-        // The mask is read but NOT cleared: the page stays resident, and
-        // unclaimed hit-path readers may be OR-ing bits in concurrently.
-        vpns.push_back({fvaddr >> kPageShift, f.cpu_mask.load(std::memory_order_relaxed),
-                        f.tlb_epoch.load(std::memory_order_relaxed)});
+        // Unified capture rule (CaptureShootdownPage): frame claimed
+        // (kEvicting), W bit cleared above. The mask is read but NOT
+        // cleared: the page stays resident, and unclaimed hit-path readers
+        // may be OR-ing bits in concurrently.
+        vpns.push_back(CaptureShootdownPage(f, fvaddr >> kPageShift));
       }
       planner.Add(WritebackItem{SortKey(file_page * kPageSize), file_page * kPageSize,
                                 cache.FrameData(vcpu, frame), backing_, frame, this});
@@ -990,9 +1030,15 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
       uint64_t first = offset >> kPageShift;
       uint64_t last = std::min((offset + length - 1) >> kPageShift, vma_.page_count - 1);
       const bool async = engine_ != nullptr;
+      const bool reuse_defer =
+          runtime_->options().shootdown_mask_mode == ShootdownMaskMode::kReuseElide;
       WritebackPlanner planner;
       std::vector<PageShootdown> vpns;
-      std::vector<FrameId> to_free;
+      struct FreeSlot {
+        FrameId frame;
+        ReuseStamp stamp;
+      };
+      std::vector<FreeSlot> to_free;
       std::vector<uint64_t> locked_pages;
       for (uint64_t file_page = first; file_page <= last; file_page++) {
         uint64_t page = vma_.start_page + file_page;
@@ -1027,10 +1073,12 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
         if (transparent_base_ != nullptr && fvaddr != 0) {
           TrapDriver::RemoveRealMapping(fvaddr);
         }
-        // Captured under the claim + entry lock, before FreeFrame can recycle.
-        vpns.push_back({page, f.cpu_mask.load(std::memory_order_relaxed),
-                        f.tlb_epoch.load(std::memory_order_relaxed)});
+        // Unified capture rule (CaptureShootdownPage): frame claimed
+        // (kEvicting) and entry lock held, PTE removed above — before
+        // FreeFrame can recycle.
+        PageShootdown captured = CaptureShootdownPage(f, page);
         if (f.dirty.load(std::memory_order_relaxed) != 0) {
+          vpns.push_back(captured);
           cache.ClearDirty(frame);
           planner.Add(WritebackItem{f.dirty_item.sort_key, file_page * kPageSize,
                                     cache.FrameData(vcpu, frame), backing_, frame, this});
@@ -1045,8 +1093,21 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
           }
         } else {
           cache.RemoveMapping(key);
+          ReuseStamp stamp;
+          if (reuse_defer && fvaddr != 0) {
+            // Clean drop: defer the shootdown like the eviction path. A
+            // discard-then-retouch is exactly the same-owner reuse the
+            // elision targets — a clean page's refill re-reads the same
+            // device bytes, so the stale translations stay harmless. Dirty
+            // drops go through the writeback branch above and are never
+            // deferred.
+            stamp = runtime_->DeferPageShootdown(captured, vma_.mapping_id,
+                                                 vcpu.core(), frame);
+          } else {
+            vpns.push_back(captured);
+          }
           UnlockPage(page);
-          to_free.push_back(frame);
+          to_free.push_back({frame, stamp});
         }
       }
       Status wb_status = Status::Ok();
@@ -1060,7 +1121,7 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
             runtime_->fault_stats().writeback_pages.fetch_add(planner.size(),
                                                               std::memory_order_relaxed);
             for (const WritebackItem& item : planner.items()) {
-              to_free.push_back(item.frame);
+              to_free.push_back({item.frame, ReuseStamp{}});
             }
           } else {
             // Failed pages stay cached and dirty; madvise reports the EIO but
@@ -1075,8 +1136,8 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
         }
       }
       runtime_->ShootdownPages(vcpu, vpns);
-      for (FrameId frame : to_free) {
-        cache.FreeFrame(vcpu.core(), frame);
+      for (const FreeSlot& slot : to_free) {
+        cache.FreeFrame(vcpu.core(), slot.frame, slot.stamp);
       }
       return wb_status;
     }
@@ -1107,12 +1168,12 @@ Status AquilaMap::Protect(int prot) {
       if (transparent_base_ != nullptr) {
         TrapDriver::DowngradeRealMapping(vaddr);
       }
-      // The frame stays resident and unclaimed here; the mask read is
-      // conservative — a faulter racing the downgrade re-reads the PTE we
-      // just cleared and can only insert a read-only entry.
+      // Unified capture rule (CaptureShootdownPage): this is the ONE
+      // unclaimed site, by design — the atomic W clear above precedes the
+      // capture, so a racing faulter can only insert a read-only entry and
+      // a conservatively stale mask/epoch costs at most an elidable IPI.
       Frame& f = runtime_->cache().frame(static_cast<FrameId>(Pte::Gpa(old) >> kPageShift));
-      vpns.push_back({vma_.start_page + i, f.cpu_mask.load(std::memory_order_relaxed),
-                      f.tlb_epoch.load(std::memory_order_relaxed)});
+      vpns.push_back(CaptureShootdownPage(f, vma_.start_page + i));
     }
   }
   runtime_->ShootdownPages(vcpu, vpns);

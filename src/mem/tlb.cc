@@ -4,6 +4,7 @@
 
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/scoped_timer.h"
+#include "src/util/logging.h"
 #include "src/util/race_injector.h"
 #include "src/vmx/cost_model.h"
 
@@ -19,7 +20,7 @@ TlbSet::LookupResult TlbSet::Lookup(int core, uint64_t vpn) const {
   return LookupResult{false, false};
 }
 
-uint64_t TlbSet::Insert(int core, uint64_t vpn, bool writable) {
+uint64_t TlbSet::Insert(int core, uint64_t vpn, bool writable, uint32_t frame) {
   // Read the epoch BEFORE publishing the entry: a FlushCore racing in
   // between wipes the slot we are about to fill, and the stale entry we then
   // store is exactly what the pre-flush epoch admits — the frame's CAS-max
@@ -28,8 +29,24 @@ uint64_t TlbSet::Insert(int core, uint64_t vpn, bool writable) {
   // an entry the flush missed, eliding an IPI the core still needs.
   uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   AQUILA_RACE_POINT("tlb.insert.pre_store");
+  // Payload before entry word so a quiesced reader that sees the entry sees
+  // its frame; mid-flight the pair is best-effort by design.
+  cores_[core].frames[SlotFor(vpn)].store(frame, std::memory_order_relaxed);
   cores_[core].entries[SlotFor(vpn)].store(Pack(vpn, writable), std::memory_order_relaxed);
   return epoch;
+}
+
+TlbSet::EntrySnapshot TlbSet::ReadEntryForTest(int core, int slot) const {
+  EntrySnapshot snap;
+  uint64_t packed = cores_[core].entries[slot].load(std::memory_order_relaxed);
+  if ((packed & 1u) == 0) {
+    return snap;
+  }
+  snap.valid = true;
+  snap.writable = (packed & 2u) != 0;
+  snap.vpn = packed >> 2;
+  snap.frame = cores_[core].frames[slot].load(std::memory_order_relaxed);
+  return snap;
 }
 
 void TlbSet::InvalidatePage(int core, uint64_t vpn) {
@@ -68,7 +85,7 @@ bool TlbSet::CoreNeedsPage(int core, const PageShootdown& page,
   if ((page.cpu_mask & (1ull << (core & 63))) == 0) {
     return false;  // core never installed a translation for this page
   }
-  if (mode == ShootdownMaskMode::kMaskGen &&
+  if ((mode == ShootdownMaskMode::kMaskGen || mode == ShootdownMaskMode::kReuseElide) &&
       flush_epochs_[core].flushed.load(std::memory_order_relaxed) > page.tlb_epoch) {
     return false;  // whole TLB flushed since the page's last insert
   }
@@ -94,6 +111,17 @@ void TlbSet::Shootdown(SimClock& clock, int initiator_core, int active_cores,
   if (active_cores > CoreRegistry::kMaxCores) {
     active_cores = CoreRegistry::kMaxCores;
   }
+#ifndef NDEBUG
+  // A capture must never carry an epoch from the future: tlb_epoch is read
+  // off a frame the caller owns (claim and/or entry lock), so an epoch
+  // beyond the current global epoch means the capture raced a free/recycle
+  // (capture-after-free) and would silently over-elide under kMaskGen and
+  // kReuseElide. The broadcast default (~0) is the documented exception.
+  const uint64_t now_epoch = CurrentEpoch();
+  for (const PageShootdown& page : pages) {
+    AQUILA_DCHECK(page.tlb_epoch == ~0ull || page.tlb_epoch <= now_epoch);
+  }
+#endif
   const CostModel& costs = GlobalCostModel();
   shootdowns_.fetch_add(1, std::memory_order_relaxed);
 #if AQUILA_TELEMETRY_ENABLED
@@ -164,6 +192,118 @@ void TlbSet::Shootdown(SimClock& clock, int initiator_core, int active_cores,
   telemetry::RecordSpanSince(shootdown_hist, telemetry::TraceEventType::kShootdown, clock,
                              start_cycles, pages.size());
 #endif
+}
+
+void TlbSet::Defer(const DeferredShootdown& d) {
+  DeferredShard& shard = ShardFor(d.vpn);
+  std::lock_guard<SpinLock> guard(shard.lock);
+  auto [it, inserted] = shard.entries.insert_or_assign(d.vpn, d);
+  (void)it;
+  // At most one deferral per vpn can be live: the page must be refaulted
+  // before it can be evicted again, and the refault Takes the entry.
+  AQUILA_DCHECK(inserted);
+  if (inserted) {
+    deferred_pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool TlbSet::TakeDeferred(uint64_t vpn, DeferredShootdown* out) {
+  DeferredShard& shard = ShardFor(vpn);
+  std::lock_guard<SpinLock> guard(shard.lock);
+  auto it = shard.entries.find(vpn);
+  if (it == shard.entries.end()) {
+    return false;
+  }
+  if (out != nullptr) {
+    *out = it->second;
+  }
+  shard.entries.erase(it);
+  deferred_pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TlbSet::PeekDeferred(uint64_t vpn, DeferredShootdown* out) const {
+  const DeferredShard& shard = ShardFor(vpn);
+  std::lock_guard<SpinLock> guard(shard.lock);
+  auto it = shard.entries.find(vpn);
+  if (it == shard.entries.end()) {
+    return false;
+  }
+  if (out != nullptr) {
+    *out = it->second;
+  }
+  return true;
+}
+
+void TlbSet::DrainDeferredRegion(uint64_t region, std::vector<PageShootdown>* out) {
+  for (DeferredShard& shard : deferred_) {
+    std::lock_guard<SpinLock> guard(shard.lock);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->second.region == region) {
+        if (out != nullptr) {
+          out->push_back(PageShootdown{it->second.vpn, it->second.cpu_mask,
+                                       it->second.tlb_epoch});
+        }
+        it = shard.entries.erase(it);
+        deferred_pending_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void TlbSet::ExecuteDeferred(SimClock& clock, int initiator_core, int active_cores,
+                             const DeferredShootdown& d, PostedIpiFabric& fabric) {
+  if (active_cores > CoreRegistry::kMaxCores) {
+    active_cores = CoreRegistry::kMaxCores;
+  }
+#ifndef NDEBUG
+  // Same capture-after-free guard as the batched overload (satellite rule):
+  // a deferred epoch newer than the global epoch would over-elide below.
+  AQUILA_DCHECK(d.tlb_epoch == ~0ull || d.tlb_epoch <= CurrentEpoch());
+#endif
+  const CostModel& costs = GlobalCostModel();
+  shootdowns_.fetch_add(1, std::memory_order_relaxed);
+  const PageShootdown page{d.vpn, d.cpu_mask, d.tlb_epoch};
+  bool any_remote = false;
+  for (int core = 0; core < active_cores; core++) {
+    // The executing core is mask/gen-elided like any other: the deferral's
+    // PTE was removed when it was captured, so — unlike the batched
+    // initiator phase — there is no freshly removed local translation to
+    // protect here.
+    if (!CoreNeedsPage(core, page, ShootdownMaskMode::kMaskGen)) {
+      if (core != initiator_core) {
+        ipis_elided_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    // Debt escalation: single-page executes lose the batch clamp's
+    // amortization, so once a core has accrued one full flush worth of
+    // page invalidations we flush it instead — advancing its epoch so the
+    // backlog of other deferrals gen-elides it from then on.
+    uint32_t debt = deferred_debt_[core].pages.fetch_add(1, std::memory_order_relaxed) + 1;
+    const bool upgrade = debt * costs.tlb_invalidate_page >= costs.tlb_full_flush;
+    uint64_t handler_cost = costs.tlb_invalidate_page;
+    if (upgrade) {
+      handler_cost = costs.tlb_full_flush;
+      deferred_debt_[core].pages.store(0, std::memory_order_relaxed);
+      FlushCore(core);
+    } else {
+      InvalidatePage(core, d.vpn);
+    }
+    if (core == initiator_core) {
+      clock.Charge(CostCategory::kTlbShootdown, handler_cost);
+    } else {
+      any_remote = true;
+      AQUILA_RACE_POINT("tlb.shootdown.pre_send");
+      fabric.Send(clock, core, handler_cost);
+      ipis_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!any_remote) {
+    shootdowns_local_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace aquila

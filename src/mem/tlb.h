@@ -35,18 +35,37 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "src/util/cpu.h"
 #include "src/util/sim_clock.h"
+#include "src/util/spinlock.h"
 #include "src/vmx/ipi.h"
 
 namespace aquila {
 
 // How Shootdown picks its IPI targets (Options::shootdown_mask_mode).
 enum class ShootdownMaskMode : uint8_t {
-  kBroadcast,  // one IPI per active core, the paper's §4.1 baseline
-  kMask,       // skip cores with no bit in the batch's per-page cpu masks
-  kMaskGen,    // kMask, plus skip cores fully flushed since a page's insert
+  kBroadcast,   // one IPI per active core, the paper's §4.1 baseline
+  kMask,        // skip cores with no bit in the batch's per-page cpu masks
+  kMaskGen,     // kMask, plus skip cores fully flushed since a page's insert
+  kReuseElide,  // kMaskGen, plus defer the flush for clean recycled frames:
+                // the fault path elides it entirely on same-owner reuse and
+                // executes it (debt-amortized) on a cross-owner handout
+};
+
+// A shootdown whose execution was deferred at frame-recycle time under
+// kReuseElide (DESIGN.md §10): a clean page's routing state, keyed by vpn,
+// parked until the frame's next allocation decides elide-vs-execute. `frame`
+// is the owning cache frame id, kept as a raw u32 because src/mem cannot
+// depend on src/cache types.
+struct DeferredShootdown {
+  uint64_t vpn = 0;
+  uint64_t region = 0;  // owning mapping id at capture time
+  uint32_t frame = 0;
+  uint64_t cpu_mask = 0;
+  uint64_t tlb_epoch = 0;
 };
 
 // One page of a masked shootdown batch: the vpn to invalidate plus the
@@ -72,10 +91,17 @@ class TlbSet {
   // Statistical lookup for virtual page number `vpn` on `core`.
   LookupResult Lookup(int core, uint64_t vpn) const;
 
-  // Fills the entry after a walk. `writable` caches the PTE W bit. Returns
-  // the current global flush epoch so the caller can stamp the owning
-  // frame's tlb_epoch (the kMaskGen elision input).
-  uint64_t Insert(int core, uint64_t vpn, bool writable);
+  // Sentinel for the per-entry frame payload: "no frame recorded".
+  static constexpr uint32_t kNoFramePayload = ~0u;
+
+  // Fills the entry after a walk. `writable` caches the PTE W bit. `frame`
+  // is an optional best-effort payload (the cache frame id backing the
+  // translation) used by the stale-translation detector; it rides a parallel
+  // relaxed array, so it is exact only at quiesce. Returns the current
+  // global flush epoch so the caller can stamp the owning frame's tlb_epoch
+  // (the kMaskGen elision input).
+  uint64_t Insert(int core, uint64_t vpn, bool writable,
+                  uint32_t frame = kNoFramePayload);
 
   // Local single-page invalidation (invlpg analog).
   void InvalidatePage(int core, uint64_t vpn);
@@ -119,6 +145,60 @@ class TlbSet {
   uint64_t shootdowns_local() const {
     return shootdowns_local_.load(std::memory_order_relaxed);
   }
+  // kReuseElide accounting: shootdowns skipped outright because the freed
+  // frame returned to its previous (region, vpn) owner, and deferred
+  // shootdowns forced to execute because the frame (or vpn) was handed to a
+  // different owner first.
+  uint64_t reuse_elided() const { return reuse_elided_.load(std::memory_order_relaxed); }
+  uint64_t reuse_mismatch() const {
+    return reuse_mismatch_.load(std::memory_order_relaxed);
+  }
+  void NoteReuseElided() { reuse_elided_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteReuseMismatch() { reuse_mismatch_.fetch_add(1, std::memory_order_relaxed); }
+
+  // --- Deferred shootdowns (ShootdownMaskMode::kReuseElide) ---------------
+  // The table is keyed by vpn; because VaAllocator never recycles virtual
+  // ranges, a vpn names one (region, page) incarnation for the process
+  // lifetime, so a lookup can never confuse two incarnations.
+
+  // Parks `d` for later elide-or-execute. At most one deferral per vpn can
+  // be live (the page must be refaulted before it can be evicted again), so
+  // insertion never collides with a live entry.
+  void Defer(const DeferredShootdown& d);
+
+  // Removes and returns the deferral for `vpn`, if any.
+  bool TakeDeferred(uint64_t vpn, DeferredShootdown* out);
+
+  // Non-destructive lookup for tests/detectors.
+  bool PeekDeferred(uint64_t vpn, DeferredShootdown* out) const;
+
+  // Removes every deferral belonging to `region` and appends the equivalent
+  // PageShootdown rows to `out` (for a final batched flush at teardown).
+  void DrainDeferredRegion(uint64_t region, std::vector<PageShootdown>* out);
+
+  uint64_t deferred_pending() const {
+    return deferred_pending_.load(std::memory_order_relaxed);
+  }
+
+  // Executes one previously deferred shootdown on a cross-owner handout.
+  // Unlike the batched Shootdown, the initiator core is gen/mask-elided too:
+  // its PTE was already removed when the deferral was captured, so there is
+  // no local translation to protect. Per-core invalidation debt is
+  // accumulated and, once it exceeds one full flush, upgraded to FlushCore —
+  // restoring the batch-clamp amortization single-page executes would lose.
+  void ExecuteDeferred(SimClock& clock, int initiator_core, int active_cores,
+                       const DeferredShootdown& d, PostedIpiFabric& fabric);
+
+  // Test/debug snapshot of TLB slot `slot` on `core`, including the frame
+  // payload recorded at insert. The loads are relaxed and not mutually
+  // atomic; meaningful only at quiesce.
+  struct EntrySnapshot {
+    bool valid = false;
+    bool writable = false;
+    uint64_t vpn = 0;
+    uint32_t frame = kNoFramePayload;
+  };
+  EntrySnapshot ReadEntryForTest(int core, int slot) const;
 
  private:
   // Packed entry: (vpn << 2) | (writable << 1) | valid. vpn of ~0 unused.
@@ -128,6 +208,9 @@ class TlbSet {
 
   struct alignas(kCacheLineSize) CoreTlb {
     std::array<std::atomic<uint64_t>, kEntries> entries{};
+    // Best-effort frame-id payload, parallel to entries (relaxed stores, not
+    // atomic with the entry word; exact only at quiesce — detector input).
+    std::array<std::atomic<uint32_t>, kEntries> frames{};
   };
 
   struct alignas(kCacheLineSize) CoreEpoch {
@@ -139,8 +222,31 @@ class TlbSet {
   // True when `core` must invalidate `page` under `mode`.
   bool CoreNeedsPage(int core, const PageShootdown& page, ShootdownMaskMode mode) const;
 
+  // Deferred-shootdown table shard: vpn → parked shootdown. Sharded to keep
+  // the fault-path Take cheap under multi-core churn.
+  static constexpr int kDeferredShards = 16;
+  struct alignas(kCacheLineSize) DeferredShard {
+    mutable SpinLock lock;
+    std::unordered_map<uint64_t, DeferredShootdown> entries;  // guarded-by: lock
+  };
+  DeferredShard& ShardFor(uint64_t vpn) {
+    return deferred_[(vpn >> 4) & (kDeferredShards - 1)];
+  }
+  const DeferredShard& ShardFor(uint64_t vpn) const {
+    return deferred_[(vpn >> 4) & (kDeferredShards - 1)];
+  }
+
+  // Invalidation debt a core has accrued from single-page deferred executes;
+  // upgraded to a full flush once it costs more than one (cost_model).
+  struct alignas(kCacheLineSize) DeferredDebt {
+    std::atomic<uint32_t> pages{0};
+  };
+
   std::array<CoreTlb, CoreRegistry::kMaxCores> cores_{};
   std::array<CoreEpoch, CoreRegistry::kMaxCores> flush_epochs_{};
+  std::array<DeferredShard, kDeferredShards> deferred_{};
+  std::array<DeferredDebt, CoreRegistry::kMaxCores> deferred_debt_{};
+  std::atomic<uint64_t> deferred_pending_{0};
   std::atomic<uint64_t> epoch_{0};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
@@ -148,6 +254,8 @@ class TlbSet {
   std::atomic<uint64_t> ipis_sent_{0};
   std::atomic<uint64_t> ipis_elided_{0};
   std::atomic<uint64_t> shootdowns_local_{0};
+  std::atomic<uint64_t> reuse_elided_{0};
+  std::atomic<uint64_t> reuse_mismatch_{0};
 };
 
 }  // namespace aquila

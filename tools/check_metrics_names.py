@@ -42,6 +42,8 @@ REQUIRED_NAMES = frozenset({
     "aquila.tlb.ipis_elided",
     "aquila.tlb.ipis_sent",
     "aquila.tlb.misses",
+    "aquila.tlb.reuse_elided",
+    "aquila.tlb.reuse_mismatch",
     "aquila.tlb.shootdown_rounds",
     "aquila.tlb.shootdowns_local",
     "aquila.trace.dropped_events",
