@@ -190,6 +190,21 @@ inline Aquila::Options AquilaOptions(uint64_t cache_bytes, int active_cores = 0)
       hedge != nullptr && *hedge != '\0' && *hedge != '0') {
     options.hedge_reads = true;
   }
+  // Cooperative fault scheduling: AQUILA_COOP_SCHED=1 parks batch requests
+  // at fault-path wait points and overlaps their fills (requires the async
+  // pipeline, which it turns on); unset keeps the blocking path bit-identical.
+  // AQUILA_SCHED_MAX_PARKED=<n> caps each core's parked table (default 64).
+  if (const char* coop = std::getenv("AQUILA_COOP_SCHED");
+      coop != nullptr && *coop != '\0' && *coop != '0') {
+    options.coop_sched = true;
+    options.async_writeback = true;
+  }
+  if (const char* parked = std::getenv("AQUILA_SCHED_MAX_PARKED"); parked != nullptr) {
+    int n = std::atoi(parked);
+    if (n >= 1) {
+      options.sched_max_parked = static_cast<uint32_t>(n);
+    }
+  }
   if (const char* sample = std::getenv("AQUILA_SPAN_SAMPLE"); sample != nullptr) {
     int n = std::atoi(sample);
     if (n >= 1) {
@@ -347,6 +362,7 @@ class BenchJsonWriter {
         "AQUILA_SHOOTDOWN_MODE",    "AQUILA_SPAN_SAMPLE",     "AQUILA_SLOW_TRACE_US",
         "AQUILA_STATS_PORT",        "AQUILA_FAULT_SEED",      "AQUILA_FAULT_READ_ERR",
         "AQUILA_FAULT_WRITE_ERR",   "AQUILA_DEVICE_TIMEOUT_US", "AQUILA_HEDGE_READS",
+        "AQUILA_COOP_SCHED",        "AQUILA_SCHED_MAX_PARKED",
     };
     std::fprintf(f, "  \"options\": {");
     bool first = true;

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/core/mmio_region.h"
+#include "src/core/sched.h"
 #include "src/core/trap_driver.h"
 #include "src/telemetry/span.h"
 #include "src/telemetry/stats_server.h"
@@ -43,6 +44,18 @@ Aquila::Aquila(const Options& options)
                [this] { return tlb_.reuse_elided(); });
   metrics_.Add("aquila.tlb.reuse_mismatch", telemetry::MetricKind::kCounter,
                [this] { return tlb_.reuse_mismatch(); });
+
+  if (options_.coop_sched) {
+    AQUILA_CHECK(options_.async_writeback);  // parks resume on async completions
+    sched_ = std::make_unique<SchedRegistry>(options_.sched_max_parked);
+    metrics_.AddCounter("aquila.sched.parked", sched_->parked_total);
+    metrics_.AddCounter("aquila.sched.resumed", sched_->resumed_total);
+    metrics_.AddCounter("aquila.sched.steals", sched_->steals);
+    metrics_.Add("aquila.sched.park_depth", telemetry::MetricKind::kGauge, [this] {
+      int64_t depth = sched_->parked_depth.load(std::memory_order_relaxed);
+      return static_cast<uint64_t>(depth > 0 ? depth : 0);
+    });
+  }
 
   if (options_.span_sample_every > 0) {
     telemetry::SpanCollector::Options span_options =
@@ -335,7 +348,15 @@ StatusOr<MemoryMap*> Aquila::MapTransparent(Backing* backing, uint64_t length, i
   return static_cast<MemoryMap*>(raw);
 }
 
-size_t Aquila::HarvestAsyncWritebacks(Vcpu& vcpu, bool wait_for_one) {
+void Aquila::WakeParked(uint64_t key, FrameId frame, const Status& status,
+                        int waker_core) {
+  if (sched_ == nullptr) {
+    return;
+  }
+  (void)sched_->Wake(key, frame, status, waker_core);
+}
+
+size_t Aquila::HarvestAsyncWritebacks(Vcpu& vcpu, HarvestMode mode) {
   if (!options_.async_writeback) {
     return 0;
   }
@@ -348,7 +369,7 @@ size_t Aquila::HarvestAsyncWritebacks(Vcpu& vcpu, bool wait_for_one) {
       freed += map->engine_->Harvest(vcpu);
     }
   }
-  if (freed == 0 && wait_for_one) {
+  if (freed == 0 && mode == HarvestMode::kWaitOne) {
     for (auto& map : maps_) {
       if (map->engine_ != nullptr && map->engine_->in_flight() > 0) {
         freed += map->engine_->WaitOne(vcpu);

@@ -37,6 +37,13 @@ class StatsServer;
 }  // namespace telemetry
 
 class AquilaMap;
+class SchedRegistry;
+
+// How HarvestAsyncWritebacks behaves when no completion is ready: kPoll
+// returns immediately; kWaitOne advances simulated time until one in-flight
+// completion reaps (the backstop when every frame is tied up in the
+// pipeline).
+enum class HarvestMode : uint8_t { kPoll = 0, kWaitOne };
 
 // Captures a frame's shootdown-routing state into a PageShootdown row. This
 // is the ONE rule every capture site (eviction, msync, DONTNEED, teardown,
@@ -122,6 +129,19 @@ class Aquila : public MmioEngine {
     // Hedged reads on the watchdog queue: after a p99-based delay, issue a
     // read a second time; first completion wins, the loser is reconciled.
     bool hedge_reads = false;
+    // Cooperative fault scheduling (src/core/sched.h): batch requests
+    // submitted through MemoryMap::SubmitBatch park at fault-path wait
+    // points (in-flight fill, kWritingBack pin, demand device read) instead
+    // of blocking, and resume as async completions are harvested — turning
+    // device queue depth into per-core request throughput. Requires
+    // async_writeback. Off by default: the fault path never consults the
+    // scheduler (one null-context branch), SubmitBatch degrades to the
+    // synchronous loop, and sim metrics are bit-identical to pre-scheduler
+    // builds.
+    bool coop_sched = false;
+    // Per-core cap on simultaneously parked requests; a park attempt past
+    // the cap falls back to the blocking protocol for that access.
+    uint32_t sched_max_parked = 64;
     // Simulated microseconds in kFailed before the prober re-admits one op
     // to test the device.
     uint32_t device_probe_interval_us = 1000;
@@ -174,11 +194,9 @@ class Aquila : public MmioEngine {
   StatusOr<uint64_t> ShrinkCache(uint64_t remove_bytes);
 
   // Reaps ready async writeback/fill completions across every mapping;
-  // returns the number of frames released to the freelist. With
-  // `wait_for_one`, when nothing is ready, advances simulated time until one
-  // in-flight completion reaps (the fault path's backstop when every frame
-  // is in kWritingBack). No-op (returns 0) when async writeback is off.
-  size_t HarvestAsyncWritebacks(Vcpu& vcpu, bool wait_for_one = false);
+  // returns the number of frames released to the freelist. No-op (returns 0)
+  // when async writeback is off. See HarvestMode for the idle behavior.
+  size_t HarvestAsyncWritebacks(Vcpu& vcpu, HarvestMode mode = HarvestMode::kPoll);
 
   // --- Introspection ----------------------------------------------------------
   Hypervisor& hypervisor() { return hypervisor_; }
@@ -194,6 +212,16 @@ class Aquila : public MmioEngine {
   int active_cores() const;
   // The live stats endpoint, or nullptr when disabled (or bind failed).
   telemetry::StatsServer* stats_server() const { return stats_server_.get(); }
+  // The cooperative-scheduler registry, or nullptr when coop_sched is off.
+  SchedRegistry* sched() { return sched_.get(); }
+
+  // Completion->continuation bridge: wakes requests parked on `key` across
+  // every core's scheduler. Called from AsyncWritebackEngine::CompleteLocked
+  // (engine lock held; the sched table lock nests under it). `frame` is the
+  // completed fill's frame so the demand owner receives `status` as
+  // terminal; kInvalidFrame for writeback completions. No-op (one null
+  // check) when coop_sched is off.
+  void WakeParked(uint64_t key, FrameId frame, const Status& status, int waker_core);
 
   // Shoots down `pages` in Options::shootdown_batch-sized sub-batches under
   // the configured shootdown_mask_mode, with `vcpu` as the initiator. The
@@ -246,6 +274,7 @@ class Aquila : public MmioEngine {
   std::vector<std::unique_ptr<AquilaMap>> maps_;
   std::atomic<uint64_t> next_mapping_id_{1};
   std::atomic<bool> trap_mode_used_{false};
+  std::unique_ptr<SchedRegistry> sched_;  // iff Options::coop_sched
   std::unique_ptr<telemetry::StatsServer> stats_server_;
   // Last member: callbacks read the stats above, so they unregister first.
   telemetry::CallbackGroup metrics_;

@@ -1,0 +1,52 @@
+#include "src/core/mmio.h"
+
+#include <algorithm>
+
+namespace aquila {
+
+// Synchronous fallback: every request completes inline, in submission order;
+// Poll just drains the buffer. Engines with an overlapping fault path
+// (Aquila's cooperative scheduler) override both.
+Status MemoryMap::SubmitBatch(std::span<const MmioRequest> requests) {
+  for (const MmioRequest& req : requests) {
+    MmioCompletion c;
+    c.user_tag = req.user_tag;
+    switch (req.kind) {
+      case MmioRequest::Kind::kRead:
+        if (req.data.empty()) {
+          AccessResult r = TouchRead(req.offset);
+          c.status = r.status;
+          c.faulted = r.faulted;
+        } else {
+          c.status = Read(req.offset, req.data);
+        }
+        break;
+      case MmioRequest::Kind::kWrite:
+        if (req.data.empty()) {
+          AccessResult r = TouchWrite(req.offset);
+          c.status = r.status;
+          c.faulted = r.faulted;
+        } else {
+          c.status = Write(req.offset, std::span<const uint8_t>(req.data.data(),
+                                                                req.data.size()));
+        }
+        break;
+      case MmioRequest::Kind::kPrefetch: {
+        uint64_t len = req.data.empty() ? kPageSize : req.data.size();
+        c.status = Advise(req.offset, len, Advice::kWillNeed);
+        break;
+      }
+    }
+    sync_completions_.push_back(std::move(c));
+  }
+  return Status::Ok();
+}
+
+size_t MemoryMap::Poll(std::span<MmioCompletion> out) {
+  size_t n = std::min(out.size(), sync_completions_.size());
+  std::move(sync_completions_.begin(), sync_completions_.begin() + n, out.begin());
+  sync_completions_.erase(sync_completions_.begin(), sync_completions_.begin() + n);
+  return n;
+}
+
+}  // namespace aquila

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "src/core/backing.h"
 #include "src/util/status.h"
@@ -28,6 +29,36 @@ enum class Advice {
   kDontNeed,    // drop the range from the cache
 };
 
+// Outcome of one single-page touch. `faulted` is only meaningful when
+// `status` is OK; a non-OK status (device EIO, degraded mapping, kUnavailable
+// from a failed device breaker) means the access never completed.
+struct AccessResult {
+  bool faulted = false;
+  Status status;
+
+  bool ok() const { return status.ok(); }
+};
+
+// One request on the batched submission surface. Empty-span kRead/kWrite
+// requests are touch accesses (one load / one store at `offset`); non-empty
+// spans copy through the mapping like Read/Write. kPrefetch hints the range
+// into the cache (madvise(WILLNEED) semantics) and never reports a fault.
+struct MmioRequest {
+  enum class Kind : uint8_t { kRead = 0, kWrite, kPrefetch };
+  Kind kind = Kind::kRead;
+  uint64_t offset = 0;
+  std::span<uint8_t> data;  // empty: touch-only access
+  uint64_t user_tag = 0;    // opaque; returned in the completion
+};
+
+// One completed request. `faulted` mirrors AccessResult (true when servicing
+// the request took at least one page fault); prefetches never fault.
+struct MmioCompletion {
+  uint64_t user_tag = 0;
+  Status status;
+  bool faulted = false;
+};
+
 class MemoryMap {
  public:
   virtual ~MemoryMap() = default;
@@ -39,15 +70,27 @@ class MemoryMap {
   virtual Status Write(uint64_t offset, std::span<const uint8_t> src) = 0;
 
   // Single-page touch: the microbenchmark primitive (one load / one store at
-  // `offset`). Returns whether the access faulted.
-  virtual bool TouchRead(uint64_t offset) = 0;
-  virtual bool TouchWrite(uint64_t offset) = 0;
+  // `offset`). Reports whether the access faulted and any fault-path I/O
+  // error (PR 2 degraded mode, watchdog kUnavailable) in the status.
+  virtual AccessResult TouchRead(uint64_t offset) = 0;
+  virtual AccessResult TouchWrite(uint64_t offset) = 0;
 
   // msync(MS_SYNC) over [offset, offset+length).
   virtual Status Sync(uint64_t offset, uint64_t length) = 0;
 
   // madvise over [offset, offset+length).
   virtual Status Advise(uint64_t offset, uint64_t length, Advice advice) = 0;
+
+  // --- Batched request surface -------------------------------------------------
+  // SubmitBatch enqueues requests; Poll moves finished ones into `out` and
+  // returns how many it wrote. Engines that can overlap faults (Aquila's
+  // cooperative scheduler) service the batch concurrently; the base
+  // implementation degrades to a synchronous loop — every request completes
+  // during SubmitBatch and Poll merely drains the buffered completions, so
+  // the interface is portable across engines. Completions may be reordered
+  // relative to submission; `user_tag` is the correlation handle.
+  virtual Status SubmitBatch(std::span<const MmioRequest> requests);
+  virtual size_t Poll(std::span<MmioCompletion> out);
 
   // Typed scalar accessors for pointer-chasing workloads (Ligra's heap).
   template <typename T>
@@ -64,6 +107,12 @@ class MemoryMap {
         Write(offset, std::span(reinterpret_cast<const uint8_t*>(&value), sizeof(T)));
     AQUILA_CHECK(status.ok());
   }
+
+ protected:
+  // Completion buffer for the synchronous SubmitBatch fallback. The batch
+  // surface is a per-thread protocol (one submitting thread per map, like a
+  // ring): implementations need no locking around it.
+  std::vector<MmioCompletion> sync_completions_;
 };
 
 class MmioEngine {

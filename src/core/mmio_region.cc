@@ -194,7 +194,8 @@ Status AquilaMap::HandleTrapFault(uint64_t vaddr, bool write) {
   return Status::Ok();
 }
 
-StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write) {
+StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write,
+                                                   CoopContext* coop) {
   if (offset >= length_) {
     return Status::InvalidArgument("access beyond mapping");
   }
@@ -235,7 +236,13 @@ StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write) 
     }
     ref.faulted = false;
   } else {
-    StatusOr<FrameId> faulted = HandleFault(vcpu, vaddr, write);
+    StatusOr<FrameId> faulted = HandleFault(vcpu, vaddr, write, coop);
+    if (coop != nullptr && coop->parked) {
+      // The fault parked as a continuation; the scheduler re-runs the whole
+      // access on wake. Nothing to hand out yet.
+      UnlockPage(page);
+      return PageRef{};
+    }
     if (!faulted.ok()) {
       UnlockPage(page);
       return faulted.status();
@@ -251,7 +258,8 @@ StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write) 
   return ref;
 }
 
-StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write) {
+StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write,
+                                         CoopContext* coop) {
   // Entry lock held by the caller. This is operation ①: an exception taken
   // and handled entirely in non-root ring 0 — no protection-domain switch.
   runtime_->fabric().Absorb(vcpu.clock(), vcpu.core());
@@ -262,6 +270,11 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   // the child phases below decompose. Classified major/minor/upgrade at the
   // exit that resolves it.
   telemetry::RequestSpan req_span(vcpu.clock(), telemetry::SpanOp::kFaultMajor, vaddr);
+  if (coop != nullptr && coop->resumed) {
+    // Marker child: this handler run is the resumption of a parked request
+    // (the park itself was marked in the previous run's tree).
+    telemetry::ChildSpan resume_span(vcpu.clock(), telemetry::SpanPhase::kResume, vaddr);
+  }
 
   PageCache& cache = runtime_->cache();
   uint64_t page = vaddr >> kPageShift;
@@ -323,6 +336,29 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
           // it out instead of issuing a duplicate device read, then re-check:
           // the fill may also have been published by a concurrent harvester
           // between our lookup and the engine lock.
+          if (coop != nullptr && coop->sched != nullptr &&
+              engine_->HasPendingFill(key)) {
+            // Park point (a): someone else's fill is in flight for this page.
+            // Reserve the parked-table entry FIRST, then re-check — the
+            // completion's Wake runs under the engine lock we re-take in
+            // HasPendingFill, so a completion that raced the reservation is
+            // visible to the re-check and we cancel instead of sleeping on a
+            // wake that already happened.
+            uint64_t token = coop->sched->PrePark(key, kInvalidFrame);
+            if (token != 0) {
+              if (engine_->HasPendingFill(key)) {
+                telemetry::ChildSpan park_span(vcpu.clock(),
+                                               telemetry::SpanPhase::kPark, vaddr);
+                coop->sched->CommitPark(token);
+                coop->token = token;
+                coop->parked = true;
+                return kInvalidFrame;
+              }
+              coop->sched->CancelPark(token);
+              continue;  // published (or failed) already; re-run the lookup
+            }
+            // Parked table full: fall through to the blocking wait.
+          }
           bool drained;
           {
             telemetry::ChildSpan wait_span(vcpu.clock(), telemetry::SpanPhase::kQueueWait);
@@ -386,6 +422,28 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
         return frame;
       }
       if (engine_ != nullptr && expected == FrameState::kWritingBack) {
+        if (coop != nullptr && coop->sched != nullptr) {
+          // Park point (b): an async writeback owns this frame; its
+          // completion Wakes every parked entry for the key (non-terminal).
+          // Reserve first, then re-read the state — a completion that landed
+          // before the reservation left the frame kResident/kFree, in which
+          // case we cancel and retry the pin instead of parking forever.
+          uint64_t token = coop->sched->PrePark(key, kInvalidFrame);
+          if (token != 0) {
+            if (f.state.load(std::memory_order_acquire) == FrameState::kWritingBack) {
+              telemetry::ChildSpan park_span(vcpu.clock(),
+                                             telemetry::SpanPhase::kPark, vaddr);
+              coop->sched->CommitPark(token);
+              coop->token = token;
+              coop->parked = true;
+              return kInvalidFrame;
+            }
+            coop->sched->CancelPark(token);
+            backoff.Pause();
+            continue;
+          }
+          // Parked table full: fall through to the blocking wait.
+        }
         // Async writeback in flight on this page: reap completions, advancing
         // simulated time when nothing is ready yet. The frame either frees —
         // the retry then refills the now-durable page from the device — or
@@ -423,7 +481,7 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
     }
     if (*evicted == 0) {
       telemetry::ChildSpan harvest_span(vcpu.clock(), telemetry::SpanPhase::kQueueWait);
-      if (runtime_->HarvestAsyncWritebacks(vcpu, /*wait_for_one=*/true) == 0) {
+      if (runtime_->HarvestAsyncWritebacks(vcpu, HarvestMode::kWaitOne) == 0) {
         CpuRelax();  // every frame busy; another thread is making progress
       }
     }
@@ -434,9 +492,47 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write)
   // this frame, about to hold the same bytes again); any other pending
   // deferral — the stamp's or this page's — executes first (DESIGN.md §10).
   // This is the only elision-eligible allocation site, which keeps the
-  // failure backstop below a single call.
+  // failure backstop below a single call. A cooperative demand fill forgoes
+  // elision: its fill completes in CompleteLocked, where the failure
+  // backstop below cannot run (same reason read-ahead fills never elide).
+  const bool coop_fill = coop != nullptr && coop->sched != nullptr && engine_ != nullptr;
   const bool elided = runtime_->ResolveReuseStamp(vcpu, stamp, frame, page,
-                                                  vma_.mapping_id, /*allow_elide=*/true);
+                                                  vma_.mapping_id,
+                                                  /*allow_elide=*/!coop_fill);
+
+  if (coop_fill) {
+    // Park point (c): submit the device read asynchronously and park as this
+    // fill's OWNER — the completion publishes the page (counting the major
+    // fault) and delivers its status terminally to us. The frame stays
+    // kFilling across the park, exactly like a read-ahead fill: invisible to
+    // evictors, owned by the pipeline.
+    uint64_t token = coop->sched->PrePark(key, frame);
+    if (token != 0) {
+      PageCache& pc = runtime_->cache();
+      Frame& f = pc.frame(frame);
+      f.key.store(key, std::memory_order_relaxed);
+      f.vaddr.store(0, std::memory_order_relaxed);
+      Status submit =
+          engine_->SubmitFill(vcpu, frame, key, file_page * kPageSize, /*demand=*/true);
+      if (submit.ok()) {
+        telemetry::ChildSpan park_span(vcpu.clock(), telemetry::SpanPhase::kPark, vaddr);
+        coop->sched->CommitPark(token);
+        coop->token = token;
+        coop->parked = true;
+        coop->owner_park = true;
+        if (advice_.load(std::memory_order_relaxed) == Advice::kSequential) {
+          (void)ReadAhead(vcpu, file_page);
+        }
+        return kInvalidFrame;
+      }
+      // Submission machinery rejected the fill (not an I/O error): un-park
+      // and fall through to the blocking path. We still own the frame in
+      // kFilling, and elision was disabled above, so the synchronous
+      // FillAndPublish below is safe.
+      coop->sched->CancelPark(token);
+    }
+    // Parked table full (token == 0) or submission rejected: block instead.
+  }
 
   Status fill = FillAndPublish(vcpu, frame, vaddr, key, write);
   if (!fill.ok()) {
@@ -813,24 +909,140 @@ Status AquilaMap::Write(uint64_t offset, std::span<const uint8_t> src) {
   return Status::Ok();
 }
 
-bool AquilaMap::TouchRead(uint64_t offset) {
+AccessResult AquilaMap::TouchRead(uint64_t offset) {
   StatusOr<PageRef> ref = AccessPage(offset, /*write=*/false);
-  AQUILA_CHECK(ref.ok());
+  if (!ref.ok()) {
+    return AccessResult{/*faulted=*/false, ref.status()};
+  }
   // One load from the page (the microbenchmark's access).
   volatile uint8_t sink = ref->data[offset % kPageSize];
   (void)sink;
   bool faulted = ref->faulted;
   UnlockPage(vma_.start_page + (offset >> kPageShift));
-  return faulted;
+  return AccessResult{faulted, Status::Ok()};
 }
 
-bool AquilaMap::TouchWrite(uint64_t offset) {
+AccessResult AquilaMap::TouchWrite(uint64_t offset) {
   StatusOr<PageRef> ref = AccessPage(offset, /*write=*/true);
-  AQUILA_CHECK(ref.ok());
+  if (!ref.ok()) {
+    return AccessResult{/*faulted=*/false, ref.status()};
+  }
   ref->data[offset % kPageSize]++;
   bool faulted = ref->faulted;
   UnlockPage(vma_.start_page + (offset >> kPageShift));
-  return faulted;
+  return AccessResult{faulted, Status::Ok()};
+}
+
+void AquilaMap::CoopStep(Vcpu& vcpu, CoreScheduler* sched, CoreScheduler::Task* task) {
+  bool resumed = false;
+  if (task->park_token != 0) {
+    Status wake;
+    if (!sched->ConsumeIfReady(task->park_token, &wake)) {
+      return;  // still parked; its completion has not arrived
+    }
+    task->park_token = 0;
+    const bool owner = task->owner_park;
+    task->owner_park = false;
+    if (owner && !wake.ok()) {
+      // Our own demand fill failed (device EIO, watchdog kUnavailable /
+      // kDeadlineExceeded): terminal. CompleteLocked already freed the frame.
+      task->completion = MmioCompletion{task->request.user_tag, wake, /*faulted=*/true};
+      task->done = true;
+      return;
+    }
+    resumed = true;  // re-run the access from scratch; parks again if needed
+  }
+
+  const MmioRequest& req = task->request;
+  if (req.kind == MmioRequest::Kind::kPrefetch) {
+    uint64_t len = req.data.empty() ? kPageSize : req.data.size();
+    Status status = Advise(req.offset, len, Advice::kWillNeed);
+    task->completion = MmioCompletion{req.user_tag, status, /*faulted=*/false};
+    task->done = true;
+    return;
+  }
+  if (!req.data.empty()) {
+    // Bulk transfers run synchronously for now; only touch accesses park.
+    Status status =
+        req.kind == MmioRequest::Kind::kWrite
+            ? Write(req.offset, std::span<const uint8_t>(req.data.data(), req.data.size()))
+            : Read(req.offset, req.data);
+    task->completion = MmioCompletion{req.user_tag, status, /*faulted=*/false};
+    task->done = true;
+    return;
+  }
+
+  CoopContext ctx;
+  ctx.sched = sched;
+  ctx.resumed = resumed;
+  const bool write = req.kind == MmioRequest::Kind::kWrite;
+  StatusOr<PageRef> ref = AccessPage(req.offset, write, &ctx);
+  if (ctx.parked) {
+    task->park_token = ctx.token;
+    task->owner_park = ctx.owner_park;
+    task->completion.faulted = true;  // parked at a fault-path wait point
+    return;
+  }
+  if (!ref.ok()) {
+    task->completion = MmioCompletion{req.user_tag, ref.status(), task->completion.faulted};
+    task->done = true;
+    return;
+  }
+  uint64_t in_page = req.offset % kPageSize;
+  if (write) {
+    ref->data[in_page]++;
+  } else {
+    volatile uint8_t sink = ref->data[in_page];
+    (void)sink;
+  }
+  const bool faulted = ref->faulted || task->completion.faulted;
+  UnlockPage(vma_.start_page + (req.offset >> kPageShift));
+  task->completion = MmioCompletion{req.user_tag, Status::Ok(), faulted};
+  task->done = true;
+}
+
+Status AquilaMap::SubmitBatch(std::span<const MmioRequest> requests) {
+  SchedRegistry* registry = runtime_->sched();
+  if (registry == nullptr || engine_ == nullptr) {
+    return MemoryMap::SubmitBatch(requests);  // synchronous fallback
+  }
+  CoreScheduler* sched = registry->ForCore(ThisVcpu().core());
+  for (const MmioRequest& req : requests) {
+    sched->Enqueue(this, req);
+  }
+  return Status::Ok();
+}
+
+size_t AquilaMap::Poll(std::span<MmioCompletion> out) {
+  SchedRegistry* registry = runtime_->sched();
+  if (registry == nullptr || engine_ == nullptr) {
+    return MemoryMap::Poll(out);
+  }
+  if (out.empty()) {
+    return 0;
+  }
+  Vcpu& vcpu = ThisVcpu();
+  CoreScheduler* sched = registry->ForCore(vcpu.core());
+  while (true) {
+    (void)sched->RunReady(vcpu);
+    size_t n = sched->PopCompleted(this, out);
+    if (n > 0 || !sched->HasTasks(this)) {
+      return n;
+    }
+    // Every remaining task is parked on a device completion: reap, advancing
+    // simulated time when nothing is ready, then re-run the woken tasks.
+    size_t freed;
+    {
+      telemetry::ChildSpan wait_span(vcpu.clock(), telemetry::SpanPhase::kQueueWait);
+      freed = runtime_->HarvestAsyncWritebacks(vcpu, HarvestMode::kWaitOne);
+    }
+    if (freed == 0 && engine_->in_flight() == 0) {
+      // Nothing in flight on this mapping yet tasks are still parked (e.g.
+      // another thread's harvest consumed the completion between our
+      // RunReady and this check). Re-running from scratch is always correct.
+      sched->KickParked();
+    }
+  }
 }
 
 Status AquilaMap::Sync(uint64_t offset, uint64_t length) {

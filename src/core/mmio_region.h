@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "src/core/aquila.h"
+#include "src/core/sched.h"
 #include "src/core/writeback.h"
 
 namespace aquila {
@@ -30,10 +31,20 @@ class AquilaMap : public MemoryMap {
 
   Status Read(uint64_t offset, std::span<uint8_t> dst) override;
   Status Write(uint64_t offset, std::span<const uint8_t> src) override;
-  bool TouchRead(uint64_t offset) override;
-  bool TouchWrite(uint64_t offset) override;
+  AccessResult TouchRead(uint64_t offset) override;
+  AccessResult TouchWrite(uint64_t offset) override;
   Status Sync(uint64_t offset, uint64_t length) override;
   Status Advise(uint64_t offset, uint64_t length, Advice advice) override;
+
+  // Batched surface. With Options::coop_sched the batch runs on the calling
+  // core's cooperative scheduler: touch requests park at fault-path wait
+  // points and overlap their device reads; Poll drives the run queue and
+  // blocks (advancing simulated time) until at least one request completes.
+  // Without coop_sched both fall through to the synchronous base loop. The
+  // batch protocol is per-thread: one submitting/polling thread per map.
+  // Unmapping with requests still in flight is a caller error.
+  Status SubmitBatch(std::span<const MmioRequest> requests) override;
+  size_t Poll(std::span<MmioCompletion> out) override;
 
   // mprotect over the whole mapping (downgrades shoot down stale TLBs).
   Status Protect(int prot);
@@ -69,11 +80,25 @@ class AquilaMap : public MemoryMap {
   friend class Aquila;
   friend class WritebackPlanner;
   friend class AsyncWritebackEngine;
+  friend class CoreScheduler;
 
   // Result of one page access: pointer valid until UnlockPage.
   struct PageRef {
     uint8_t* data = nullptr;
     bool faulted = false;
+  };
+
+  // Cooperative-scheduling context threaded through AccessPage/HandleFault
+  // for batch requests. nullptr (every legacy caller) keeps the blocking
+  // fault path bit-for-bit unchanged. When the fault path parks instead of
+  // waiting, it sets `parked` and records the resume ticket; the access
+  // returns an empty PageRef the scheduler discards.
+  struct CoopContext {
+    CoreScheduler* sched = nullptr;
+    uint64_t token = 0;      // out: parked-table ticket
+    bool parked = false;     // out: the access parked instead of completing
+    bool owner_park = false; // out: parked on its own demand fill (point c)
+    bool resumed = false;    // in: this run resumes a previously parked task
   };
 
   static uint64_t MakeKey(uint64_t mapping_id, uint64_t file_page) {
@@ -85,12 +110,20 @@ class AquilaMap : public MemoryMap {
   }
 
   // Locks the page entry, resolves (faulting if needed), returns the frame
-  // data. Caller must UnlockPage(page) afterwards.
-  StatusOr<PageRef> AccessPage(uint64_t offset, bool write);
+  // data. Caller must UnlockPage(page) afterwards — except when the access
+  // parked (coop != nullptr and coop->parked), where the lock was already
+  // released and the returned PageRef is empty.
+  StatusOr<PageRef> AccessPage(uint64_t offset, bool write, CoopContext* coop = nullptr);
   void UnlockPage(uint64_t page) { runtime_->vma_tree().UnlockEntry(page); }
 
-  // Fault handling (entry lock held). Returns the resident frame.
-  StatusOr<FrameId> HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write);
+  // Fault handling (entry lock held). Returns the resident frame, or parks
+  // (coop->parked set, kInvalidFrame returned) at a wait point.
+  StatusOr<FrameId> HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write,
+                                CoopContext* coop = nullptr);
+  // One cooperative step of a batch task: resumes a parked task (or skips it
+  // when not yet woken), runs the access, and either completes the task or
+  // parks it again. Called by CoreScheduler::RunReady on the owning core.
+  void CoopStep(Vcpu& vcpu, CoreScheduler* sched, CoreScheduler::Task* task);
   // Installs readahead pages following `file_page` (best effort: callers may
   // ignore the status — it reports the first fill that could not be issued).
   Status ReadAhead(Vcpu& vcpu, uint64_t file_page);

@@ -131,8 +131,8 @@ Status AsyncWritebackEngine::SubmitWriteback(Vcpu& vcpu, const WritebackItem& it
   Slot& slot = slots_[index];
   // The frame is ours (kWritingBack): its key is stable until completion.
   uint64_t key = runtime_->cache().frame(item.frame).key.load(std::memory_order_relaxed);
-  slot = Slot{Slot::Kind::kWriteback, item.frame, key, item.sort_key, item.file_offset,
-              telemetry::CurrentSpanContext()};
+  slot = Slot{Slot::Kind::kWriteback, /*demand=*/false, item.frame, key, item.sort_key,
+              item.file_offset, telemetry::CurrentSpanContext()};
   AQUILA_TELEMETRY_ONLY(GetAsyncMetrics().writebacks->Add());
   StatusOr<uint64_t> dev_offset = item.backing->TranslateForQueue(item.file_offset);
   if (dev_offset.ok()) {
@@ -159,11 +159,11 @@ Status AsyncWritebackEngine::SubmitWriteback(Vcpu& vcpu, const WritebackItem& it
 }
 
 Status AsyncWritebackEngine::SubmitFill(Vcpu& vcpu, FrameId frame, uint64_t key,
-                                        uint64_t file_offset) {
+                                        uint64_t file_offset, bool demand) {
   std::lock_guard<SpinLock> guard(lock_);
   uint32_t index = ClaimSlotLocked(vcpu);
   Slot& slot = slots_[index];
-  slot = Slot{Slot::Kind::kFill, frame, key, /*sort_key=*/0, file_offset,
+  slot = Slot{Slot::Kind::kFill, demand, frame, key, /*sort_key=*/0, file_offset,
               telemetry::CurrentSpanContext()};
   uint8_t* data = runtime_->cache().FrameData(vcpu, frame);
   AQUILA_TELEMETRY_ONLY(GetAsyncMetrics().fills->Add());
@@ -188,6 +188,16 @@ Status AsyncWritebackEngine::SubmitFill(Vcpu& vcpu, FrameId frame, uint64_t key,
 size_t AsyncWritebackEngine::Harvest(Vcpu& vcpu) {
   std::lock_guard<SpinLock> guard(lock_);
   return ReapLocked(vcpu, /*wait=*/false);
+}
+
+bool AsyncWritebackEngine::HasPendingFill(uint64_t key) {
+  std::lock_guard<SpinLock> guard(lock_);
+  for (const Slot& slot : slots_) {
+    if (slot.kind == Slot::Kind::kFill && slot.key == key) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool AsyncWritebackEngine::AwaitFill(Vcpu& vcpu, uint64_t key) {
@@ -316,26 +326,41 @@ void AsyncWritebackEngine::CompleteLocked(Vcpu& vcpu, const DeviceQueue::Complet
       // mapping was kept) so the next writeback retries.
       map_->RestoreDirtyFrame(vcpu, slot.frame, slot.sort_key, /*reinsert_mapping=*/false);
     }
+    // Requests parked on the kWritingBack pin (park point b) re-run now that
+    // the frame either freed or restored resident. kInvalidFrame: nobody
+    // owns a writeback, so the status is not terminal for any waiter.
+    runtime_->WakeParked(slot.key, kInvalidFrame, completion.status, vcpu.core());
   } else {
     // Lock-free publication is safe because fills are only submitted while
     // holding the target page's entry lock and a faulter that missed in the
-    // hash drains pending fills (AwaitFill) under that same lock before
-    // filling the page itself — so no faulter can be mid-fill on this key
-    // here. A failed insert means a second speculative fill for the same
-    // page won the race; the surplus frame is simply discarded.
+    // hash drains pending fills (AwaitFill) or parks on them under that same
+    // lock before filling the page itself — so no faulter can be mid-fill on
+    // this key here. A failed insert means a second speculative fill for the
+    // same page won the race; the surplus frame is simply discarded.
     bool published = false;
     if (completion.status.ok()) {
       published = cache.InsertMapping(slot.key, slot.frame);
       if (published) {
         cache.frame(slot.frame).state.store(FrameState::kResident,
                                             std::memory_order_release);
-        stats.readahead_pages.fetch_add(1, std::memory_order_relaxed);
+        if (slot.demand) {
+          // The device read a parked faulter was waiting on: account it like
+          // the blocking major-fault path would have (the owner's resume
+          // additionally counts the minor fault that installs the PTE).
+          stats.major_faults.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stats.readahead_pages.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
     if (!published) {
       cache.FreeFrame(vcpu.core(), slot.frame);
       (*freed)++;
     }
+    // The parked demand owner (entry.frame == slot.frame) receives the
+    // completion status as terminal — a failed or watchdog-abandoned fill
+    // resolves its request with that error; every other waiter re-runs.
+    runtime_->WakeParked(slot.key, slot.frame, completion.status, vcpu.core());
   }
 }
 

@@ -102,11 +102,21 @@ class AsyncWritebackEngine {
   // machinery rejected the request — the caller must restore the frame.
   Status SubmitWriteback(Vcpu& vcpu, const WritebackItem& item);
 
-  // Submits a read-ahead fill into `frame` (state kFilling, key set,
-  // vaddr 0, not yet in the hash). On completion the engine inserts the
-  // mapping and publishes kResident, or frees the frame if the page was
-  // concurrently faulted in or the read failed.
-  Status SubmitFill(Vcpu& vcpu, FrameId frame, uint64_t key, uint64_t file_offset);
+  // Submits an async fill into `frame` (state kFilling, key set, vaddr 0,
+  // not yet in the hash). On completion the engine inserts the mapping and
+  // publishes kResident, or frees the frame if the page was concurrently
+  // faulted in or the read failed. `demand` marks a cooperative-scheduler
+  // demand fill (park point c): its publication counts a major fault rather
+  // than a readahead page, and its completion status is delivered to the
+  // parked owner through the wake path.
+  Status SubmitFill(Vcpu& vcpu, FrameId frame, uint64_t key, uint64_t file_offset,
+                    bool demand = false);
+
+  // True while a fill for `key` is in flight. The cooperative fault path
+  // checks this (under the page's entry lock) to decide between parking on
+  // someone else's fill and submitting its own; the park protocol re-checks
+  // it after PrePark, so a completion racing the check is never missed.
+  bool HasPendingFill(uint64_t key);
 
   // Reaps every completion whose device time has passed (no waiting).
   // Returns the number of frames released to the freelist.
@@ -148,6 +158,7 @@ class AsyncWritebackEngine {
   struct Slot {
     enum class Kind : uint8_t { kFree, kWriteback, kFill };
     Kind kind = Kind::kFree;
+    bool demand = false;  // kFill submitted for a parked faulter, not readahead
     FrameId frame = kInvalidFrame;
     uint64_t key = 0;
     uint64_t sort_key = 0;

@@ -344,28 +344,32 @@ Status LinuxMap::Write(uint64_t offset, std::span<const uint8_t> src) {
   return Status::Ok();
 }
 
-bool LinuxMap::TouchRead(uint64_t offset) {
+AccessResult LinuxMap::TouchRead(uint64_t offset) {
   AQUILA_CHECK(offset < length_);
   Vcpu& vcpu = ThisVcpu();
   bool faulted;
   std::lock_guard<std::mutex> guard(engine_->mu_);
   StatusOr<PageEntry*> entry = ResolveLocked(vcpu, offset >> kPageShift, false, &faulted);
-  AQUILA_CHECK(entry.ok());
+  if (!entry.ok()) {
+    return AccessResult{/*faulted=*/false, entry.status()};
+  }
   volatile uint8_t sink = (*entry)->data[offset % kPageSize];
   (void)sink;
-  return faulted;
+  return AccessResult{faulted, Status::Ok()};
 }
 
-bool LinuxMap::TouchWrite(uint64_t offset) {
+AccessResult LinuxMap::TouchWrite(uint64_t offset) {
   AQUILA_CHECK(offset < length_);
   AQUILA_CHECK((prot_ & kProtWrite) != 0);
   Vcpu& vcpu = ThisVcpu();
   bool faulted;
   std::lock_guard<std::mutex> guard(engine_->mu_);
   StatusOr<PageEntry*> entry = ResolveLocked(vcpu, offset >> kPageShift, true, &faulted);
-  AQUILA_CHECK(entry.ok());
+  if (!entry.ok()) {
+    return AccessResult{/*faulted=*/false, entry.status()};
+  }
   (*entry)->data[offset % kPageSize]++;
-  return faulted;
+  return AccessResult{faulted, Status::Ok()};
 }
 
 Status LinuxMap::Sync(uint64_t offset, uint64_t length) {

@@ -137,8 +137,8 @@ class LinuxMap : public MemoryMap {
   uint64_t length() const override { return length_; }
   Status Read(uint64_t offset, std::span<uint8_t> dst) override;
   Status Write(uint64_t offset, std::span<const uint8_t> src) override;
-  bool TouchRead(uint64_t offset) override;
-  bool TouchWrite(uint64_t offset) override;
+  AccessResult TouchRead(uint64_t offset) override;
+  AccessResult TouchWrite(uint64_t offset) override;
   Status Sync(uint64_t offset, uint64_t length) override;
   Status Advise(uint64_t offset, uint64_t length, Advice advice) override;
 

@@ -25,6 +25,8 @@ const char* SpanPhaseName(SpanPhase phase) {
     case SpanPhase::kDirtyTrack: return "dirty_track";
     case SpanPhase::kReadahead: return "readahead";
     case SpanPhase::kWatchdog: return "watchdog";
+    case SpanPhase::kPark: return "park";
+    case SpanPhase::kResume: return "resume";
     case SpanPhase::kPhaseCount: break;
   }
   return "unknown";

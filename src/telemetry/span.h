@@ -65,6 +65,8 @@ enum class SpanPhase : uint8_t {
   kDirtyTrack,   // dirty-tree collect/classify, write-upgrade bookkeeping
   kReadahead,    // readahead window issue
   kWatchdog,     // device watchdog actions: timeout sweep, retry, hedge
+  kPark,         // cooperative scheduler: request suspended at a wait point
+  kResume,       // cooperative scheduler: parked request resumed
   kPhaseCount,
 };
 const char* SpanPhaseName(SpanPhase phase);

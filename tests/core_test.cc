@@ -71,12 +71,12 @@ TEST_F(AquilaTest, HitsTakeNoFaultAndNoTransition) {
   DeviceBacking backing(device_.get(), 0, 1 << 20);
   StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead);
   ASSERT_TRUE(map.ok());
-  EXPECT_TRUE((*map)->TouchRead(0));  // miss
+  EXPECT_TRUE((*map)->TouchRead(0).faulted);  // miss
   Vcpu& vcpu = ThisVcpu();
   uint64_t exceptions = vcpu.counters().ring0_exceptions;
   uint64_t majors = runtime_->fault_stats().major_faults.load();
   for (int i = 0; i < 100; i++) {
-    EXPECT_FALSE((*map)->TouchRead(i * 8));  // hits within page 0
+    EXPECT_FALSE((*map)->TouchRead(i * 8).faulted);  // hits within page 0
   }
   EXPECT_EQ(vcpu.counters().ring0_exceptions, exceptions);
   EXPECT_EQ(runtime_->fault_stats().major_faults.load(), majors);
@@ -92,7 +92,7 @@ TEST_F(AquilaTest, AquilaFaultIsRing0NoVmexit) {
   uint64_t exceptions = vcpu.counters().ring0_exceptions;
   uint64_t traps = vcpu.counters().ring3_traps;
   uint64_t vmexits = vcpu.counters().vmexits;
-  EXPECT_TRUE((*map)->TouchRead(kPageSize));  // a fresh miss
+  EXPECT_TRUE((*map)->TouchRead(kPageSize).faulted);  // a fresh miss
   EXPECT_EQ(vcpu.counters().ring0_exceptions, exceptions + 1);
   EXPECT_EQ(vcpu.counters().ring3_traps, traps);       // no domain switch
   EXPECT_EQ(vcpu.counters().vmexits, vmexits);         // no hypervisor
@@ -119,15 +119,15 @@ TEST_F(AquilaTest, ReadThenWriteTakesUpgradeFault) {
   DeviceBacking backing(device_.get(), 0, 1 << 20);
   StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
   ASSERT_TRUE(map.ok());
-  EXPECT_TRUE((*map)->TouchRead(0));  // read fault: mapped read-only
+  EXPECT_TRUE((*map)->TouchRead(0).faulted);  // read fault: mapped read-only
   uint64_t majors = runtime_->fault_stats().major_faults.load();
   uint64_t upgrades = runtime_->fault_stats().write_upgrades.load();
-  EXPECT_TRUE((*map)->TouchWrite(0));  // write on RO page: upgrade fault
+  EXPECT_TRUE((*map)->TouchWrite(0).faulted);  // write on RO page: upgrade fault
   EXPECT_EQ(runtime_->fault_stats().major_faults.load(), majors);
   EXPECT_EQ(runtime_->fault_stats().write_upgrades.load(), upgrades + 1);
   EXPECT_EQ(runtime_->cache().TotalDirty(), 1u);
   // Second write: plain hit.
-  EXPECT_FALSE((*map)->TouchWrite(8));
+  EXPECT_FALSE((*map)->TouchWrite(8).faulted);
   ASSERT_TRUE(runtime_->Unmap(*map).ok());
 }
 
@@ -140,7 +140,7 @@ TEST_F(AquilaTest, MsyncAfterRewriteCatchesNewWrites) {
   uint8_t after_first = device_->dax_base()[0];
   // msync write-protected the page: the next store must re-fault and re-dirty.
   uint64_t upgrades = runtime_->fault_stats().write_upgrades.load();
-  EXPECT_TRUE((*map)->TouchWrite(0));
+  EXPECT_TRUE((*map)->TouchWrite(0).faulted);
   EXPECT_EQ(runtime_->fault_stats().write_upgrades.load(), upgrades + 1);
   EXPECT_EQ(runtime_->cache().TotalDirty(), 1u);
   ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
@@ -195,7 +195,7 @@ TEST_F(AquilaTest, SequentialAdviceTriggersReadAhead) {
   StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead);
   ASSERT_TRUE(map.ok());
   ASSERT_TRUE((*map)->Advise(0, 1 << 20, Advice::kSequential).ok());
-  EXPECT_TRUE((*map)->TouchRead(0));
+  EXPECT_TRUE((*map)->TouchRead(0).faulted);
   EXPECT_GT(runtime_->fault_stats().readahead_pages.load(), 0u);
   // The next pages are already cached: minor faults at most, no device read.
   uint64_t majors = runtime_->fault_stats().major_faults.load();
@@ -217,7 +217,7 @@ TEST_F(AquilaTest, DontNeedDropsPages) {
   EXPECT_EQ(runtime_->cache().TotalDirty(), 0u);
   // Dirty data was written back, not lost.
   uint64_t majors = runtime_->fault_stats().major_faults.load();
-  EXPECT_TRUE((*map)->TouchRead(0));  // faults again
+  EXPECT_TRUE((*map)->TouchRead(0).faulted);  // faults again
   EXPECT_EQ(runtime_->fault_stats().major_faults.load(), majors + 1);
   ASSERT_TRUE(runtime_->Unmap(*map).ok());
 }
@@ -483,7 +483,7 @@ TEST_F(AsyncAquilaTest, ReadAheadFillsPublishOnHarvest) {
   StatusOr<MemoryMap*> map = runtime_->Map(&backing, 1 << 20, kProtRead | kProtWrite);
   ASSERT_TRUE(map.ok());
   ASSERT_TRUE((*map)->Advise(0, 1 << 20, Advice::kSequential).ok());
-  EXPECT_TRUE((*map)->TouchRead(0));  // miss: kicks off async fills
+  EXPECT_TRUE((*map)->TouchRead(0).faulted);  // miss: kicks off async fills
   // msync drains the engine, publishing every completed fill.
   ASSERT_TRUE((*map)->Sync(0, kPageSize).ok());
   EXPECT_GT(runtime_->fault_stats().readahead_pages.load(), 0u);

@@ -342,7 +342,7 @@ class AsyncDegradedMmioTest : public ::testing::TestWithParam<bool> {
   void ReapUntilRestored() {
     Vcpu& vcpu = ThisVcpu();
     for (int i = 0; i < 1000 && runtime_->cache().TotalDirty() == 0; i++) {
-      runtime_->HarvestAsyncWritebacks(vcpu, /*wait_for_one=*/true);
+      runtime_->HarvestAsyncWritebacks(vcpu, HarvestMode::kWaitOne);
     }
     ASSERT_EQ(runtime_->cache().TotalDirty(), 1u);
   }
@@ -423,7 +423,7 @@ TEST(LinuxSimFaultTest, MsyncPropagatesWritebackError) {
   LinuxMmapEngine engine(options);
   auto map = engine.Map(&backing, 1 << 20, kProtRead | kProtWrite);
   ASSERT_TRUE(map.ok());
-  ASSERT_TRUE((*map)->TouchWrite(0));
+  ASSERT_TRUE((*map)->TouchWrite(0).faulted);
   EXPECT_EQ((*map)->Sync(0, kPageSize).code(), StatusCode::kIoError);
   EXPECT_GT(engine.stats().writeback_errors.load(), 0u);
   // The page is still dirty: once the device heals, msync succeeds.

@@ -43,10 +43,10 @@ TEST_F(LinuxSimTest, FaultChargesRing3Trap) {
   ASSERT_TRUE(map.ok());
   Vcpu& vcpu = ThisVcpu();
   uint64_t traps = vcpu.counters().ring3_traps;
-  EXPECT_TRUE((*map)->TouchRead(0));
+  EXPECT_TRUE((*map)->TouchRead(0).faulted);
   EXPECT_EQ(vcpu.counters().ring3_traps, traps + 1);
   // Hit afterwards: free, no trap.
-  EXPECT_FALSE((*map)->TouchRead(64));
+  EXPECT_FALSE((*map)->TouchRead(64).faulted);
   EXPECT_EQ(vcpu.counters().ring3_traps, traps + 1);
   ASSERT_TRUE(engine->Unmap(*map).ok());
 }
@@ -55,12 +55,12 @@ TEST_F(LinuxSimTest, FaultReadAheadIs128K) {
   auto engine = MakeEngine(1024);
   auto map = engine->Map(backing_.get(), 4 << 20, kProtRead);
   ASSERT_TRUE(map.ok());
-  EXPECT_TRUE((*map)->TouchRead(0));
+  EXPECT_TRUE((*map)->TouchRead(0).faulted);
   // Linux mapped 32 pages: the next 31 accesses are hits.
   for (uint64_t p = 1; p < 32; p++) {
-    EXPECT_FALSE((*map)->TouchRead(p * 4096)) << p;
+    EXPECT_FALSE((*map)->TouchRead(p * 4096).faulted) << p;
   }
-  EXPECT_TRUE((*map)->TouchRead(32 * 4096));
+  EXPECT_TRUE((*map)->TouchRead(32 * 4096).faulted);
   EXPECT_EQ(engine->stats().readahead_pages.load(), 31u * 2);
   ASSERT_TRUE(engine->Unmap(*map).ok());
 }
@@ -70,8 +70,8 @@ TEST_F(LinuxSimTest, KmmapHasNoReadAhead) {
   EXPECT_STREQ(engine->name(), "kmmap");
   auto map = engine->Map(backing_.get(), 4 << 20, kProtRead);
   ASSERT_TRUE(map.ok());
-  EXPECT_TRUE((*map)->TouchRead(0));
-  EXPECT_TRUE((*map)->TouchRead(4096));  // neighbor missed too
+  EXPECT_TRUE((*map)->TouchRead(0).faulted);
+  EXPECT_TRUE((*map)->TouchRead(4096).faulted);  // neighbor missed too
   EXPECT_EQ(engine->stats().readahead_pages.load(), 0u);
   ASSERT_TRUE(engine->Unmap(*map).ok());
 }
@@ -83,10 +83,10 @@ TEST_F(LinuxSimTest, DirtyMarkingTakesFaultThroughTreeLock) {
   (*map)->TouchRead(0);  // resident + clean
   Vcpu& vcpu = ThisVcpu();
   uint64_t traps = vcpu.counters().ring3_traps;
-  EXPECT_TRUE((*map)->TouchWrite(0));  // dirty-marking fault
+  EXPECT_TRUE((*map)->TouchWrite(0).faulted);  // dirty-marking fault
   EXPECT_EQ(vcpu.counters().ring3_traps, traps + 1);
   EXPECT_EQ(engine->stats().dirty_marks.load(), 1u);
-  EXPECT_FALSE((*map)->TouchWrite(8));  // now writable: free
+  EXPECT_FALSE((*map)->TouchWrite(8).faulted);  // now writable: free
   ASSERT_TRUE(engine->Unmap(*map).ok());
 }
 

@@ -25,6 +25,7 @@
 #include "src/cache/page_cache.h"
 #include "src/core/aquila.h"
 #include "src/core/mmio_region.h"
+#include "src/core/sched.h"
 #include "src/storage/nvme_device.h"
 #include "src/storage/pmem_device.h"
 #include "src/util/cpu.h"
@@ -524,6 +525,124 @@ TEST(PipelineStressTest, FaultEvictWritebackShootdownTorture) {
     }
   }
   EXPECT_TRUE(any_written);
+}
+
+// Cooperative-mode pass over the same pipeline: the async engine plus the
+// park-and-resume scheduler (src/core/sched.h). Each thread drives batched
+// SubmitBatch/Poll requests — which park at in-flight fills, kWritingBack
+// pins, and demand reads — interleaved with blocking stores, msync, and
+// madvise churn on its own mapping, all sharing one undersized cache so
+// parked fills race eviction and async writebacks from every core. The
+// batch surface is per-thread by contract, so each thread gets its own map
+// over a disjoint device slice; the cache, freelist, engine queues, and
+// scheduler wake path are the shared state under torture.
+TEST(PipelineStressTest, CooperativeBatchPipelineTorture) {
+  const int kThreads = StressThreads();
+  constexpr uint64_t kSliceBytes = 2ull << 20;
+  const uint64_t kDeviceBytes = static_cast<uint64_t>(kThreads) * kSliceBytes;
+
+  PmemDevice::Options dev_options;
+  dev_options.capacity_bytes = kDeviceBytes;
+  PmemDevice device(dev_options);
+  for (uint64_t i = 0; i < kDeviceBytes; i++) {
+    device.dax_base()[i] = static_cast<uint8_t>(i * 131 + 17);
+  }
+
+  Aquila::Options options;
+  options.hypervisor.host_memory_bytes = 128ull << 20;
+  options.hypervisor.chunk_size = 1ull << 20;
+  // Half the combined slices fit: every thread's batches run under
+  // eviction pressure and submit async writebacks of other threads' dirt.
+  options.cache.capacity_pages = kDeviceBytes / kPageSize / 2;
+  options.cache.max_pages = options.cache.capacity_pages * 2;
+  options.cache.eviction_batch = 64;
+  options.cache.freelist.core_queue_threshold = 64;
+  options.cache.freelist.move_batch = 32;
+  options.async_writeback = true;
+  options.coop_sched = true;
+  Aquila runtime(options);
+
+  std::atomic<bool> corrupt{false};
+  std::atomic<uint64_t> completions{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      runtime.EnterThread();
+      DeviceBacking backing(&device, t * kSliceBytes, kSliceBytes);
+      StatusOr<MemoryMap*> map =
+          runtime.Map(&backing, kSliceBytes, kProtRead | kProtWrite);
+      ASSERT_TRUE(map.ok());
+      const uint64_t pages = kSliceBytes / kPageSize;
+      ASSERT_TRUE((*map)->Advise(0, kSliceBytes, Advice::kRandom).ok());
+      Rng rng(t * 6151 + 13);
+      std::vector<MmioRequest> batch;
+      std::vector<MmioCompletion> done(16);
+      for (int i = 0; i < 600; i++) {
+        // A batch of random touches: reads park on demand fills, writes
+        // additionally hit kWritingBack pins left by eviction.
+        batch.clear();
+        const uint32_t n = 1 + static_cast<uint32_t>(rng.Uniform(8));
+        for (uint32_t j = 0; j < n; j++) {
+          MmioRequest req;
+          req.kind = rng.OneIn(4) ? MmioRequest::Kind::kWrite : MmioRequest::Kind::kRead;
+          req.offset = rng.Uniform(pages) * kPageSize;
+          req.user_tag = j;
+          batch.push_back(req);
+        }
+        ASSERT_TRUE((*map)->SubmitBatch(std::span(batch.data(), n)).ok());
+        uint32_t reaped = 0;
+        while (reaped < n) {
+          size_t got = (*map)->Poll(std::span(done.data(), n - reaped));
+          ASSERT_GT(got, 0u);
+          for (size_t c = 0; c < got; c++) {
+            if (!done[c].status.ok()) {
+              corrupt.store(true);
+            }
+          }
+          reaped += static_cast<uint32_t>(got);
+        }
+        completions.fetch_add(n, std::memory_order_relaxed);
+        // Blocking ops interleaved on the same map: private slot integrity
+        // across parks, plus the shared read-only device pattern.
+        uint64_t page = rng.Uniform(pages);
+        uint64_t off = page * kPageSize + 64;
+        uint64_t value = (static_cast<uint64_t>(t) << 56) | (page * 2654435761ull);
+        (*map)->StoreValue<uint64_t>(off, value);
+        if ((*map)->LoadValue<uint64_t>(off) != value) {
+          corrupt.store(true);
+        }
+        uint64_t probe = rng.Uniform(pages) * kPageSize + 4000;
+        uint64_t dev_off = t * kSliceBytes + probe;
+        if ((*map)->LoadValue<uint8_t>(probe) !=
+            static_cast<uint8_t>(dev_off * 131 + 17)) {
+          corrupt.store(true);
+        }
+        if (i % 128 == 127) {
+          ASSERT_TRUE((*map)->Sync(0, kSliceBytes).ok());
+        }
+        if (i % 192 == 191) {
+          ASSERT_TRUE((*map)->Advise(0, kSliceBytes / 4, Advice::kDontNeed).ok());
+          ASSERT_TRUE((*map)->Advise(0, kSliceBytes, Advice::kRandom).ok());
+        }
+      }
+      ASSERT_TRUE((*map)->Sync(0, kSliceBytes).ok());
+      ASSERT_TRUE(runtime.Unmap(*map).ok());
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_GT(completions.load(), 0u);
+  ASSERT_NE(runtime.sched(), nullptr);
+  EXPECT_GT(runtime.sched()->parked_total.load(), 0u);
+  // Every consumed park was committed; KickParked may cancel (not resume) a
+  // committed park whose completion raced in late, so <= rather than ==.
+  EXPECT_LE(runtime.sched()->resumed_total.load(), runtime.sched()->parked_total.load());
+  EXPECT_GT(runtime.sched()->resumed_total.load(), 0u);
+  EXPECT_EQ(runtime.sched()->parked_depth.load(), 0);
+  EXPECT_GT(runtime.fault_stats().evicted_pages.load(), 0u);
+  EXPECT_GT(runtime.fault_stats().writeback_pages.load(), 0u);
 }
 
 // Mask-publication ordering torture (DESIGN.md §10): fault-path

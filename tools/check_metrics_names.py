@@ -34,6 +34,10 @@ REQUIRED_NAMES = frozenset({
     "aquila.device.health_state",
     "aquila.device.hedges",
     "aquila.device.timeouts",
+    "aquila.sched.park_depth",
+    "aquila.sched.parked",
+    "aquila.sched.resumed",
+    "aquila.sched.steals",
     "aquila.span.dropped",
     "aquila.span.finalized",
     "aquila.span.retained",
