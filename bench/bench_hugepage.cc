@@ -1,0 +1,268 @@
+// Transparent 2 MB huge-page mmio (DESIGN.md §14): guest-fault and
+// cycles/page trajectory for the three mapping tiers on a dense scan, plus
+// a Ligra-BFS leg where promotion has to coexist with dirty data and
+// eviction pressure.
+//
+//  dense scan  8 threads sweep disjoint span-aligned slices of a pmem
+//              mapping under kSequential advice. 4K-only pays one guest
+//              fault per page; fault-around batches the readahead window's
+//              PTE installs under one fault; huge promotes each 2 MB span
+//              on its first touch and serves the other 511 pages from one
+//              leaf.
+//  ligra bfs   the fig-6 workload (R-MAT graph heap over mmio, cache =
+//              heap/4): graph build dirties the heap, msync cleans it, then
+//              BFS refaults it through eviction churn — promotions must win
+//              against demotions instead of a clean read-only stream.
+//
+// Emits BENCH_hugepage.json (aquila-bench-v1) and GATES in-bench on the
+// dense scan: huge mode must take >= 4x fewer guest faults than 4K-only
+// AND spend fewer cycles per page. `--smoke` shrinks the run for CI; the
+// gates still apply.
+#include <cinttypes>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/graph/bfs.h"
+#include "src/graph/rmat.h"
+
+namespace aquila {
+namespace bench {
+namespace {
+
+struct Mode {
+  const char* name;
+  bool huge_pages;
+  uint32_t promote_threshold;
+  uint32_t fault_around;
+};
+
+constexpr Mode kModes[] = {
+    {"4k", false, 0, 0},
+    {"fault_around", true, 0, 16},  // threshold 0 disables promotion
+    {"huge", true, 64, 16},
+};
+
+uint64_t GuestFaults(const Aquila& runtime) {
+  const FaultStats& fs = runtime.fault_stats();
+  return fs.major_faults.load() + fs.minor_faults.load() + fs.write_upgrades.load();
+}
+
+Aquila::Options ModeOptions(const Mode& mode, uint64_t cache_bytes, int active_cores) {
+  Aquila::Options options = AquilaOptions(cache_bytes, active_cores);
+  // Explicit per-mode knobs override the AQUILA_HUGE_* env defaults so the
+  // three rows always measure the three tiers.
+  options.huge_pages = mode.huge_pages;
+  options.huge_promote_threshold = mode.promote_threshold;
+  options.fault_around_pages = mode.fault_around;
+  return options;
+}
+
+struct ScanOut {
+  uint64_t guest_faults;
+  double cycles_per_page;
+  uint64_t promotions;
+  uint64_t demotions;
+  uint64_t fault_around_mapped;
+  uint64_t runs_carved;
+  CostBreakdown breakdown;
+};
+
+// `threads` workers sweep disjoint, span-aligned slices of one shared
+// mapping, one TouchRead per page.
+ScanOut RunScan(const Mode& mode, int threads, uint64_t data_bytes, uint64_t cache_bytes) {
+  auto device = MakePmem(data_bytes);
+  auto runtime = std::make_unique<Aquila>(ModeOptions(mode, cache_bytes, threads + 1));
+  DeviceBacking backing(device->direct, 0, data_bytes);
+  auto map = runtime->Map(&backing, data_bytes, kProtRead);
+  AQUILA_CHECK(map.ok());
+  AQUILA_CHECK((*map)->Advise(0, data_bytes, Advice::kSequential).ok());
+
+  const uint64_t pages = data_bytes / kPageSize;
+  const uint64_t slice = pages / threads;
+  std::atomic<uint64_t> cycles{0};
+  std::mutex breakdown_mu;
+  CostBreakdown breakdown;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; t++) {
+    pool.emplace_back([&, t] {
+      CoreRegistry::SetCurrentCoreForTest(t + 1);  // main thread keeps core 0
+      runtime->EnterThread();
+      SimClock& clock = ThisThreadClock();
+      const uint64_t start = clock.Now();
+      const CostBreakdown before = clock.Breakdown();
+      const uint64_t begin = t * slice;
+      const uint64_t end = (t == threads - 1) ? pages : begin + slice;
+      for (uint64_t p = begin; p < end; p++) {
+        (*map)->TouchRead(p * kPageSize + 64);
+      }
+      cycles.fetch_add(clock.Now() - start, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(breakdown_mu);
+      breakdown += clock.Breakdown() - before;
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+
+  ScanOut out;
+  out.breakdown = breakdown;
+  out.guest_faults = GuestFaults(*runtime);
+  out.cycles_per_page = static_cast<double>(cycles.load()) / static_cast<double>(pages);
+  out.promotions = runtime->huge_stats().promotions.load();
+  out.demotions = runtime->huge_stats().demotions.load();
+  out.fault_around_mapped = runtime->huge_stats().fault_around_mapped.load();
+  out.runs_carved = runtime->huge_stats().runs_carved.load();
+  AQUILA_CHECK(runtime->Unmap(*map).ok());
+  return out;
+}
+
+struct BfsOut {
+  double seconds;
+  uint64_t guest_faults;
+  uint64_t promotions;
+  uint64_t demotions;
+};
+
+// Fig-6-style leg: build the graph heap on the mapping (dirtying it), msync
+// it clean, then run BFS with the DRAM cache at a quarter of the heap.
+BfsOut RunLigraBfs(const Mode& mode, const std::vector<std::pair<uint64_t, uint64_t>>& edges,
+                   uint64_t vertices, uint64_t mapping_bytes, uint64_t cache_bytes,
+                   int threads) {
+  auto device = MakePmem(mapping_bytes);
+  auto runtime = std::make_unique<Aquila>(ModeOptions(mode, cache_bytes, threads + 1));
+  DeviceBacking backing(device->direct, 0, mapping_bytes);
+  auto map = runtime->Map(&backing, mapping_bytes, kProtRead | kProtWrite);
+  AQUILA_CHECK(map.ok());
+
+  MmioHeap heap(*map);
+  Graph graph = BuildGraph(vertices, edges, &heap);
+  std::unique_ptr<WordArray> parents = heap.AllocArray(vertices);
+  // Clean the build's dirty pages so BFS reads meet promotable (clean)
+  // spans, exactly as a loader handing off to a read-mostly phase would.
+  AQUILA_CHECK((*map)->Sync(0, mapping_bytes).ok());
+
+  LigraOptions options;
+  options.threads = threads;
+  options.thread_init = [&runtime] { runtime->EnterThread(); };
+
+  const uint64_t faults_before = GuestFaults(*runtime);
+  SimClock& clock = ThisThreadClock();
+  const uint64_t start = clock.Now();
+  BfsResult result = Bfs(graph, 0, parents.get(), options);
+  AQUILA_CHECK(result.reached > vertices / 2);
+
+  BfsOut out;
+  out.seconds = static_cast<double>(clock.Now() - start) /
+                (static_cast<double>(GlobalCostModel().cycles_per_us) * 1e6);
+  out.guest_faults = GuestFaults(*runtime) - faults_before;
+  out.promotions = runtime->huge_stats().promotions.load();
+  out.demotions = runtime->huge_stats().demotions.load();
+  AQUILA_CHECK(runtime->Unmap(*map).ok());
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aquila
+
+int main(int argc, char** argv) {
+  using namespace aquila;
+  using namespace aquila::bench;
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  PrintHeader("Transparent 2 MB huge pages: dense scan + Ligra BFS");
+  const int kThreads = 8;
+  const uint64_t kScanBytes = smoke ? (16ull << 20) : Scaled(64ull << 20);
+  const uint64_t kScanCache = kScanBytes + (kScanBytes / 2);  // in-memory scan
+
+  std::printf("=== dense scan: %d threads, %" PRIu64 " MB pmem mapping ===\n", kThreads,
+              kScanBytes >> 20);
+  std::printf("%-14s %12s %14s %11s %10s %13s %11s\n", "mode", "guest_faults", "cycles/page",
+              "promotions", "demotions", "fault_around", "runs_carved");
+  ScanOut scans[3];
+  for (size_t m = 0; m < 3; m++) {
+    scans[m] = RunScan(kModes[m], kThreads, kScanBytes, kScanCache);
+    std::printf("%-14s %12" PRIu64 " %14.1f %11" PRIu64 " %10" PRIu64 " %13" PRIu64
+                " %11" PRIu64 "\n",
+                kModes[m].name, scans[m].guest_faults, scans[m].cycles_per_page,
+                scans[m].promotions, scans[m].demotions, scans[m].fault_around_mapped,
+                scans[m].runs_carved);
+  }
+  for (size_t m = 0; m < 3; m++) {
+    std::printf("  %-12s %s\n", kModes[m].name, scans[m].breakdown.ToString().c_str());
+  }
+
+  // Scaled R-MAT graph, heap over mmio. The cache sits at half the heap so
+  // BFS churns through eviction, but never below two aligned runs — a cache
+  // under kRunFrames frames carves no runs at all and the huge leg would
+  // silently degenerate to 4K.
+  const uint64_t vertices = (smoke ? 8 : Scaled(40)) * 1024;
+  auto edges = GenerateRmat(vertices, vertices * 10);
+  const uint64_t approx_heap = (vertices + 1 + edges.size() * 2 + vertices) * 8;
+  const uint64_t mapping_bytes = approx_heap * 3 / 2;
+  const uint64_t bfs_cache = std::max(approx_heap, uint64_t{6} << 20);
+  std::printf("\n=== ligra bfs: %d threads, %" PRIu64 " vertices, heap ~%" PRIu64
+              " MB, cache ~= heap ===\n",
+              kThreads, vertices, approx_heap >> 20);
+  std::printf("%-14s %10s %12s %11s %10s\n", "mode", "seconds", "guest_faults", "promotions",
+              "demotions");
+  BfsOut bfs[2];
+  const Mode* bfs_modes[2] = {&kModes[0], &kModes[2]};
+  for (size_t m = 0; m < 2; m++) {
+    bfs[m] = RunLigraBfs(*bfs_modes[m], edges, vertices, mapping_bytes, bfs_cache, kThreads);
+    std::printf("%-14s %10.3f %12" PRIu64 " %11" PRIu64 " %10" PRIu64 "\n", bfs_modes[m]->name,
+                bfs[m].seconds, bfs[m].guest_faults, bfs[m].promotions, bfs[m].demotions);
+  }
+
+  BenchJsonWriter json("hugepage", smoke, kThreads);
+  json.AddMeta("scan_bytes", std::to_string(kScanBytes));
+  json.AddMeta("bfs_vertices", std::to_string(vertices));
+  json.BeginSection("dense_scan");
+  for (size_t m = 0; m < 3; m++) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"mode\": \"%s\", \"guest_faults\": %" PRIu64
+                  ", \"cycles_per_page\": %.1f, \"promotions\": %" PRIu64
+                  ", \"fault_around_mapped\": %" PRIu64 "}",
+                  kModes[m].name, scans[m].guest_faults, scans[m].cycles_per_page,
+                  scans[m].promotions, scans[m].fault_around_mapped);
+    json.AddRow(buf);
+  }
+  json.BeginSection("ligra_bfs");
+  for (size_t m = 0; m < 2; m++) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"mode\": \"%s\", \"seconds\": %.3f, \"guest_faults\": %" PRIu64
+                  ", \"promotions\": %" PRIu64 ", \"demotions\": %" PRIu64 "}",
+                  bfs_modes[m]->name, bfs[m].seconds, bfs[m].guest_faults, bfs[m].promotions,
+                  bfs[m].demotions);
+    json.AddRow(buf);
+  }
+  json.Write();
+
+  // Acceptance gates (dense scan, huge vs 4K-only).
+  bool ok = true;
+  if (scans[2].guest_faults * 4 > scans[0].guest_faults) {
+    std::fprintf(stderr, "GATE FAILED: huge guest faults %" PRIu64 " not >= 4x below 4k %" PRIu64
+                         "\n",
+                 scans[2].guest_faults, scans[0].guest_faults);
+    ok = false;
+  }
+  if (scans[2].cycles_per_page >= scans[0].cycles_per_page) {
+    std::fprintf(stderr, "GATE FAILED: huge cycles/page %.1f not below 4k %.1f\n",
+                 scans[2].cycles_per_page, scans[0].cycles_per_page);
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\ngate: huge >= 4x fewer guest faults and cheaper per page than 4K -- PASS\n");
+  }
+  return ok ? 0 : 1;
+}

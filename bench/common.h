@@ -205,6 +205,27 @@ inline Aquila::Options AquilaOptions(uint64_t cache_bytes, int active_cores = 0)
       options.sched_max_parked = static_cast<uint32_t>(n);
     }
   }
+  // Transparent 2 MB huge pages: AQUILA_HUGE_PAGES=1 turns on run carving,
+  // fault-around, and density-triggered promotion (unset keeps the 4K path
+  // bit-identical). AQUILA_HUGE_PROMOTE_THRESHOLD=<n> sets the resident-PTE
+  // density that triggers promotion (0 = fault-around only);
+  // AQUILA_FAULT_AROUND=<n> sets the per-fault neighbor-mapping budget.
+  if (const char* huge = std::getenv("AQUILA_HUGE_PAGES");
+      huge != nullptr && *huge != '\0' && *huge != '0') {
+    options.huge_pages = true;
+  }
+  if (const char* thr = std::getenv("AQUILA_HUGE_PROMOTE_THRESHOLD"); thr != nullptr) {
+    int n = std::atoi(thr);
+    if (n >= 0) {
+      options.huge_promote_threshold = static_cast<uint32_t>(n);
+    }
+  }
+  if (const char* fa = std::getenv("AQUILA_FAULT_AROUND"); fa != nullptr) {
+    int n = std::atoi(fa);
+    if (n >= 0) {
+      options.fault_around_pages = static_cast<uint32_t>(n);
+    }
+  }
   if (const char* sample = std::getenv("AQUILA_SPAN_SAMPLE"); sample != nullptr) {
     int n = std::atoi(sample);
     if (n >= 1) {
@@ -363,6 +384,8 @@ class BenchJsonWriter {
         "AQUILA_STATS_PORT",        "AQUILA_FAULT_SEED",      "AQUILA_FAULT_READ_ERR",
         "AQUILA_FAULT_WRITE_ERR",   "AQUILA_DEVICE_TIMEOUT_US", "AQUILA_HEDGE_READS",
         "AQUILA_COOP_SCHED",        "AQUILA_SCHED_MAX_PARKED",
+        "AQUILA_HUGE_PAGES",        "AQUILA_HUGE_PROMOTE_THRESHOLD",
+        "AQUILA_FAULT_AROUND",
     };
     std::fprintf(f, "  \"options\": {");
     bool first = true;

@@ -57,7 +57,8 @@ TwoLevelFreelist::TwoLevelFreelist(uint32_t max_frames, const Options& options)
       next_(std::make_unique<std::atomic<uint32_t>[]>(max_frames)),
       stamps_(std::make_unique<ReuseStamp[]>(max_frames)),
       core_queues_(CoreRegistry::kMaxCores),
-      numa_queues_(static_cast<size_t>(options.numa_nodes)) {
+      numa_queues_(static_cast<size_t>(options.numa_nodes)),
+      run_queues_(static_cast<size_t>(options.numa_nodes)) {
   AQUILA_CHECK(options_.numa_nodes >= 1);
   for (FrameStack& q : core_queues_) {
     q.BindNextArray(next_.get());
@@ -65,10 +66,43 @@ TwoLevelFreelist::TwoLevelFreelist(uint32_t max_frames, const Options& options)
   for (FrameStack& q : numa_queues_) {
     q.BindNextArray(next_.get());
   }
+  for (FrameStack& q : run_queues_) {
+    q.BindNextArray(next_.get());
+  }
 }
 
-void TwoLevelFreelist::AddFrames(FrameId first, uint32_t count) {
+void TwoLevelFreelist::AddFrames(FrameId first, uint32_t count, uint64_t align_page) {
   AQUILA_CHECK(static_cast<uint64_t>(first) + count <= capacity_);
+  if (!options_.carve_runs) {
+    AddSingles(first, count);
+    return;
+  }
+  // Carve maximal aligned runs; the lead-in below the first aligned offset
+  // and the tail past the last full run stay single frames.
+  uint32_t lead =
+      static_cast<uint32_t>((kRunFrames - align_page % kRunFrames) % kRunFrames);
+  if (lead >= count || count - lead < kRunFrames) {
+    AddSingles(first, count);
+    return;
+  }
+  FrameId run = first + lead;
+  const FrameId end = first + count;
+  uint32_t node = 0;
+  const uint32_t nodes = static_cast<uint32_t>(run_queues_.size());
+  while (run + kRunFrames <= end) {
+    run_queues_[node % nodes].Push(run);
+    node++;
+    run += kRunFrames;
+  }
+  if (lead > 0) {
+    AddSingles(first, lead);
+  }
+  if (run < end) {
+    AddSingles(run, end - run);
+  }
+}
+
+void TwoLevelFreelist::AddSingles(FrameId first, uint32_t count) {
   // Spread across NUMA queues in contiguous runs, pre-linking each run
   // locally so the publish is one CAS per queue.
   uint32_t nodes = static_cast<uint32_t>(numa_queues_.size());
@@ -110,7 +144,87 @@ FrameId TwoLevelFreelist::Alloc(int core) {
       return frame;
     }
   }
+  if (options_.carve_runs) {
+    // Last resort under 4K pressure: break an intact run into singles rather
+    // than force an eviction while 2 MB of frames sit idle. The run is
+    // popped whole before any of its frames become visible as singles, so
+    // ApproxFree only ever understates across the transition. The reserve
+    // watermark is checked approximately — a racing breaker can take the
+    // count below it, which costs one promotion opportunity, not safety.
+    uint32_t intact = 0;
+    for (const FrameStack& q : run_queues_) {
+      intact += q.ApproxSize();
+    }
+    if (intact <= options_.reserve_runs) {
+      return kInvalidFrame;  // protect the last runs for promotion; evict
+    }
+    FrameId run = PopRun(local_node);
+    if (run != kInvalidFrame) {
+      // Run-queue frames carry no live stamps (runs never pass through the
+      // stamped Free path), but the slots may hold garbage from an earlier
+      // single-frame life — reset them before the frames re-enter the
+      // stamped alloc path.
+      for (uint32_t i = 0; i < kRunFrames; i++) {
+        stamps_[run + i] = ReuseStamp{};
+      }
+      // Split the burst: a move_batch-sized chunk stays local for this
+      // core's next allocations, the bulk goes to the NUMA queue where every
+      // core can reach it. Parking all 511 in this core's queue (owner-only,
+      // and under the overflow threshold) would hide them from allocation
+      // everywhere else — with a mostly-run-carved freelist that is most of
+      // the free memory, and other cores fall back to eviction sweeps while
+      // it idles here.
+      uint32_t keep = std::min(options_.move_batch, kRunFrames - 1);
+      for (uint32_t i = 1; i + 1 < kRunFrames; i++) {
+        next_[run + i].store(run + i + 1, std::memory_order_relaxed);
+      }
+      AQUILA_RACE_POINT("freelist.break_run.pre_push");
+      core_queues_[core].PushChain(run + 1, run + keep, keep);
+      if (keep < kRunFrames - 1) {
+        numa_queues_[local_node].PushChain(run + keep + 1, run + kRunFrames - 1,
+                                           kRunFrames - 1 - keep);
+      }
+      stats_.runs_broken.fetch_add(1, std::memory_order_relaxed);
+      return run;
+    }
+  }
   return kInvalidFrame;
+}
+
+FrameId TwoLevelFreelist::PopRun(int local_node) {
+  FrameId run = run_queues_[local_node].Pop();
+  if (run != kInvalidFrame) {
+    return run;
+  }
+  for (size_t i = 0; i < run_queues_.size(); i++) {
+    if (static_cast<int>(i) == local_node) {
+      continue;
+    }
+    run = run_queues_[i].Pop();
+    if (run != kInvalidFrame) {
+      stats_.run_steals.fetch_add(1, std::memory_order_relaxed);
+      return run;
+    }
+  }
+  return kInvalidFrame;
+}
+
+FrameId TwoLevelFreelist::AllocRun(int core) {
+  AQUILA_DCHECK(options_.carve_runs);
+  int local_node = NumaTopology::NodeOfCore(core) % static_cast<int>(run_queues_.size());
+  FrameId run = PopRun(local_node);
+  if (run != kInvalidFrame) {
+    stats_.run_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return run;
+}
+
+void TwoLevelFreelist::FreeRun(int core, FrameId first) {
+  AQUILA_DCHECK(options_.carve_runs);
+  AQUILA_DCHECK(static_cast<uint64_t>(first) + kRunFrames <= capacity_);
+  int local_node = NumaTopology::NodeOfCore(core) % static_cast<int>(run_queues_.size());
+  run_queues_[local_node].Push(first);
+  stats_.run_frees.fetch_add(1, std::memory_order_relaxed);
 }
 
 FrameId TwoLevelFreelist::Alloc(int core, ReuseStamp* stamp_out) {
@@ -135,6 +249,24 @@ void TwoLevelFreelist::Free(int core, FrameId frame, const ReuseStamp& stamp) {
   stamps_[frame] = stamp;
   core_queues_[core].Push(frame);
   MaybeOverflow(core);
+}
+
+void TwoLevelFreelist::FreeBatch(int core, const FrameId* frames, uint32_t count) {
+  if (count == 0) {
+    return;
+  }
+  // Like the stamped Free: the slots are owned by the holder until the
+  // publish CAS, and the PushChain release edge publishes the resets.
+  for (uint32_t i = 0; i < count; i++) {
+    stamps_[frames[i]] = ReuseStamp{};
+  }
+  for (uint32_t i = 0; i + 1 < count; i++) {
+    next_[frames[i]].store(frames[i + 1], std::memory_order_relaxed);
+  }
+  AQUILA_RACE_POINT("freelist.free_batch.pre_publish");
+  int node = NumaTopology::NodeOfCore(core) % static_cast<int>(numa_queues_.size());
+  numa_queues_[node].PushChain(frames[0], frames[count - 1], count);
+  stats_.batch_moves.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TwoLevelFreelist::MaybeOverflow(int core) {
@@ -167,6 +299,16 @@ uint64_t TwoLevelFreelist::ApproxFree() const {
   }
   for (const FrameStack& q : numa_queues_) {
     total += q.ApproxSize();
+  }
+  // Each queued run counts as kRunFrames. A frame is reachable from exactly
+  // one queue — via its run head above, or as a single in the sums before —
+  // never both, so runs cannot double-count. Both transitions that move
+  // frames across the run/single boundary (AllocRun handing a run out,
+  // Alloc's break-run fallback) pop the run *before* any of its frames are
+  // republished as singles, so like the batch-migration window the estimate
+  // transiently understates across a run boundary; it never inflates.
+  for (const FrameStack& q : run_queues_) {
+    total += static_cast<uint64_t>(q.ApproxSize()) * kRunFrames;
   }
   return total;
 }

@@ -28,6 +28,12 @@ namespace aquila {
 using FrameId = uint32_t;
 inline constexpr FrameId kInvalidFrame = ~0u;
 
+// Frames per 2 MB aligned run (kHugePage2M / kPageSize). Runs are the unit
+// the huge-page promotion path allocates: 512 frames whose backing GPAs are
+// contiguous and 2 MB-aligned, so one guest-PT entry and one EPT chunk cover
+// all of them.
+inline constexpr uint32_t kRunFrames = 512;
+
 // Last-owner stamp carried with a frame through the freelist (DESIGN.md
 // §10): written by the freeing core immediately before the Push CAS and read
 // by the allocating core only after the Pop CAS, so the acq_rel edges on the
@@ -87,6 +93,22 @@ class TwoLevelFreelist {
     // Frames moved per core->NUMA transfer.
     uint32_t move_batch = 256;
     int numa_nodes = NumaTopology::kNumaNodes;
+    // Carve 2 MB-aligned kRunFrames-frame runs out of AddFrames and serve
+    // them intact via AllocRun/FreeRun. Off by default: seeding order,
+    // allocation behavior, and ApproxFree are byte-identical to the runless
+    // freelist. Run integrity is structural — a run sits in a run queue as
+    // one node and only moves whole (no batch migration path touches run
+    // queues), so cross-NUMA steals can never tear one.
+    bool carve_runs = false;
+    // Intact runs the break-run fallback must leave for AllocRun. Broken
+    // runs never re-form, so unbounded breaking permanently starves
+    // promotion whenever sustained 4K demand precedes it (a graph build
+    // before the read-mostly phase, say) — the watermark analog of the
+    // kernel's high-order atomic reserves. Approximate: concurrent breakers
+    // may dip slightly below. 0 = break freely. Only meaningful with
+    // carve_runs; keep it well under the smallest expected run count or 4K
+    // allocation degenerates to eviction-only.
+    uint32_t reserve_runs = 0;
   };
 
   struct Stats {
@@ -94,6 +116,10 @@ class TwoLevelFreelist {
     std::atomic<uint64_t> numa_hits{0};
     std::atomic<uint64_t> remote_hits{0};
     std::atomic<uint64_t> batch_moves{0};
+    std::atomic<uint64_t> run_allocs{0};    // intact runs handed out
+    std::atomic<uint64_t> run_frees{0};     // intact runs returned
+    std::atomic<uint64_t> run_steals{0};    // AllocRun served from a remote node
+    std::atomic<uint64_t> runs_broken{0};   // runs split into singles under 4K pressure
   };
 
   // `max_frames` is the hard capacity: the largest frame id the cache can
@@ -105,8 +131,13 @@ class TwoLevelFreelist {
   uint32_t capacity() const { return static_cast<uint32_t>(capacity_); }
 
   // Seeds the freelist with frames [first, first + count), spread across
-  // NUMA queues.
-  void AddFrames(FrameId first, uint32_t count);
+  // NUMA queues. With Options::carve_runs, `align_page` is the global page
+  // number of frame `first` in the space runs must be aligned in (the cache
+  // passes its backing GPA >> 12): maximal runs are carved at offsets where
+  // (align_page + (f - first)) % kRunFrames == 0, so every run's 2 MB of
+  // backing GPA is naturally aligned and sits inside one EPT chunk. Leftover
+  // frames outside aligned runs are spread as singles.
+  void AddFrames(FrameId first, uint32_t count, uint64_t align_page = 0);
 
   // Allocates a frame for `core`; kInvalidFrame when every queue is empty
   // (the caller must evict).
@@ -126,10 +157,45 @@ class TwoLevelFreelist {
   // written before the Push, so the push edge publishes it with the frame.
   void Free(int core, FrameId frame, const ReuseStamp& stamp);
 
+  // Returns a burst of frames straight to `core`'s NUMA queue in one
+  // PushChain, skipping the core level. A burst parked in the freeing core's
+  // queue is invisible to every other core (core queues are owner-only) and
+  // can sit entirely under the overflow threshold — other cores then grind
+  // through fruitless eviction sweeps while hundreds of frames idle. Level
+  // movement is batched anyway (§3.2), so a batch-sized free starts at the
+  // shared level. Stamps are reset: batch frees come from retirement paths
+  // that already executed or captured their shootdowns.
+  void FreeBatch(int core, const FrameId* frames, uint32_t count);
+
+  // Pops an intact aligned run (local NUMA node first, then remote steal).
+  // Returns the first frame id of the run — frames [first, first+kRunFrames)
+  // are all owned by the caller — or kInvalidFrame when no intact run is
+  // left (the caller falls back to 4K). Requires Options::carve_runs.
+  FrameId AllocRun(int core);
+
+  // Returns an intact run previously handed out by AllocRun (or carved by
+  // AddFrames). The caller must own every frame of the run; partial returns
+  // go through Free() frame by frame instead.
+  void FreeRun(int core, FrameId first);
+
+  // Cheap (approximate) "would AllocRun succeed" probe: promotion uses it to
+  // skip the 512-lock protocol outright when every run is spent, instead of
+  // discovering that after claiming the whole span.
+  bool RunAvailable() const {
+    for (const FrameStack& q : run_queues_) {
+      if (q.ApproxSize() > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   const Stats& stats() const { return stats_; }
   uint64_t ApproxFree() const;
 
  private:
+  void AddSingles(FrameId first, uint32_t count);
+  FrameId PopRun(int local_node);
   void MaybeOverflow(int core);
 
   Options options_;
@@ -141,6 +207,12 @@ class TwoLevelFreelist {
   std::unique_ptr<ReuseStamp[]> stamps_;
   std::vector<FrameStack> core_queues_;  // one per logical core
   std::vector<FrameStack> numa_queues_;  // one per NUMA node
+  // One run queue per NUMA node, intrusive over the same next_[] array: a
+  // run is linked into a queue by its first frame only, so a frame is
+  // reachable from exactly one queue — a single queue (counted as 1 by
+  // ApproxFree) or, via its run head, a run queue (counted as kRunFrames).
+  // Populated only under Options::carve_runs.
+  std::vector<FrameStack> run_queues_;
   Stats stats_;
 };
 

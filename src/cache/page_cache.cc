@@ -110,6 +110,21 @@ void PageCache::FreeFrame(int core, FrameId id, const ReuseStamp& stamp) {
   freelist_.Free(core, id, stamp);
 }
 
+void PageCache::FreeFrames(int core, const FrameId* ids, uint32_t count) {
+  // Same reset-then-publish contract as FreeFrame; the batch PushChain is
+  // the release edge that publishes every reset at once.
+  for (uint32_t i = 0; i < count; i++) {
+    Frame& f = frames_[ids[i]];
+    f.key.store(0, std::memory_order_relaxed);
+    f.vaddr.store(0, std::memory_order_relaxed);
+    f.dirty.store(0, std::memory_order_relaxed);
+    f.cpu_mask.store(0, std::memory_order_relaxed);
+    f.tlb_epoch.store(0, std::memory_order_relaxed);
+    f.state.store(FrameState::kFree, std::memory_order_release);
+  }
+  freelist_.FreeBatch(core, ids, count);
+}
+
 size_t PageCache::SelectVictims(size_t max, FrameId* out) {
   stats_.clock_sweeps.fetch_add(1, std::memory_order_relaxed);
   uint64_t total = total_frames_.load(std::memory_order_acquire);
@@ -210,9 +225,47 @@ Status PageCache::Grow(Vcpu& vcpu, uint64_t add_pages) {
   }
   ranges_.push_back(std::move(range));
   total_frames_.store(current + add_pages, std::memory_order_release);
-  freelist_.AddFrames(static_cast<FrameId>(current), static_cast<uint32_t>(add_pages));
+  // The GPA page of the first frame anchors run carving: runs are aligned in
+  // GPA space, so each one's 2 MB of backing is naturally aligned and falls
+  // inside a single EPT chunk mapping (grants are chunk-aligned).
+  freelist_.AddFrames(static_cast<FrameId>(current), static_cast<uint32_t>(add_pages),
+                      *gpa >> kPageShift);
   capacity_pages_.fetch_add(add_pages, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+FrameId PageCache::AllocRun(int core) {
+  FrameId first = freelist_.AllocRun(core);
+  if (first == kInvalidFrame) {
+    return kInvalidFrame;
+  }
+  for (uint32_t i = 0; i < kRunFrames; i++) {
+    Frame& f = frames_[first + i];
+    AQUILA_DCHECK(f.state.load(std::memory_order_relaxed) == FrameState::kFree);
+    // Same contract as AllocFrame: the run queue's Pop acquire pairs with the
+    // release that published the frames, so the previous incarnations'
+    // routing-state resets are visible here. Run frames carry no reuse
+    // stamps — the promotion path resolves per-page deferrals itself before
+    // any translation goes live.
+    AQUILA_DCHECK(f.cpu_mask.load(std::memory_order_relaxed) == 0);
+    AQUILA_DCHECK(f.tlb_epoch.load(std::memory_order_relaxed) == 0);
+    f.state.store(FrameState::kFilling, std::memory_order_relaxed);
+    f.referenced.store(1, std::memory_order_relaxed);
+  }
+  return first;
+}
+
+void PageCache::FreeRun(int core, FrameId first) {
+  for (uint32_t i = 0; i < kRunFrames; i++) {
+    Frame& f = frames_[first + i];
+    f.key.store(0, std::memory_order_relaxed);
+    f.vaddr.store(0, std::memory_order_relaxed);
+    f.dirty.store(0, std::memory_order_relaxed);
+    f.cpu_mask.store(0, std::memory_order_relaxed);
+    f.tlb_epoch.store(0, std::memory_order_relaxed);
+    f.state.store(FrameState::kFree, std::memory_order_release);
+  }
+  freelist_.FreeRun(core, first);
 }
 
 StatusOr<uint64_t> PageCache::Shrink(Vcpu& vcpu, uint64_t remove_pages,

@@ -139,6 +139,24 @@ class PageCache {
   // frame's routing state first — see the ordering contract in FreeFrame.
   void FreeFrame(int core, FrameId id);
   void FreeFrame(int core, FrameId id, const ReuseStamp& stamp);
+  // Bulk free that publishes the whole batch to the NUMA level in one push:
+  // for retirement bursts (huge-page promotion replacing up to 512 resident
+  // 4K frames with a run) that would otherwise pile up invisibly in one
+  // core's queue while allocation on other cores falls back to eviction.
+  void FreeFrames(int core, const FrameId* ids, uint32_t count);
+
+  // Allocates a 2 MB-aligned kRunFrames-frame run for huge-page promotion;
+  // every frame comes back in state kFilling, owned by the caller. Returns
+  // kInvalidFrame when no intact run is available (the caller stays at 4K).
+  // Requires the freelist's carve_runs option.
+  FrameId AllocRun(int core);
+  // Returns an intact run handed out by AllocRun, resetting every frame like
+  // FreeFrame. A fragmented run (demoted span) goes back frame by frame
+  // through FreeFrame instead and never re-forms — runs are carved once at
+  // Grow time.
+  void FreeRun(int core, FrameId first);
+  // Approximate "would AllocRun succeed": promotion's cheap pre-check.
+  bool RunAvailable() const { return freelist_.RunAvailable(); }
 
   // --- Eviction support -----------------------------------------------------------
   // Clock sweep: claims up to `max` resident frames (state -> kEvicting) and

@@ -18,6 +18,18 @@ Aquila::Aquila(const Options& options)
       guest_(hypervisor_.CreateGuest()),
       fabric_(options.ipi_send_path) {
   EnterThread();
+  // Huge pages need aligned runs carved at Grow time; with the option off
+  // the freelist keeps its exact pre-huge-page layout (byte-identical off
+  // path).
+  options_.cache.freelist.carve_runs = options_.huge_pages;
+  // Keep one intact run in reserve for promotion — broken runs never
+  // re-form, so a 4K-heavy warmup phase would otherwise spend every run as
+  // singles and lock the mapping out of huge pages for its whole lifetime.
+  // Only when the cache is comfortably larger than the reserve; a tiny
+  // cache keeps every frame available for 4K demand.
+  if (options_.huge_pages && options_.cache.capacity_pages > 2 * kRunFrames) {
+    options_.cache.freelist.reserve_runs = 1;
+  }
   cache_ = std::make_unique<PageCache>(&hypervisor_, guest_, ThisVcpu(), options_.cache);
 
   metrics_.AddCounter("aquila.core.major_faults", fault_stats_.major_faults);
@@ -44,6 +56,16 @@ Aquila::Aquila(const Options& options)
                [this] { return tlb_.reuse_elided(); });
   metrics_.Add("aquila.tlb.reuse_mismatch", telemetry::MetricKind::kCounter,
                [this] { return tlb_.reuse_mismatch(); });
+
+  if (options_.huge_pages) {
+    // Registered only when the feature is on, keeping off-mode metric dumps
+    // identical to pre-huge-page builds.
+    metrics_.AddCounter("aquila.huge.promotions", huge_stats_.promotions);
+    metrics_.AddCounter("aquila.huge.demotions", huge_stats_.demotions);
+    metrics_.AddCounter("aquila.huge.fault_around_mapped", huge_stats_.fault_around_mapped);
+    metrics_.AddCounter("aquila.huge.runs_carved", huge_stats_.runs_carved);
+    metrics_.AddCounter("aquila.huge.promote_aborts", huge_stats_.promote_aborts);
+  }
 
   if (options_.coop_sched) {
     AQUILA_CHECK(options_.async_writeback);  // parks resume on async completions
@@ -265,6 +287,11 @@ StatusOr<MemoryMap*> Aquila::Remap(MemoryMap* map, uint64_t new_length) {
   new_map->vma_.mapping_id = old_map->vma_.mapping_id;
   AQUILA_RETURN_IF_ERROR(new_map->Install());
 
+  // Huge spans of the old mapping split back to 4K first: the per-page
+  // Remove below cannot see through a 2 MB leaf, so moving a promoted span
+  // without demoting would silently drop all 512 translations.
+  old_map->DemoteAllSpans(vcpu);
+
   // Move resident translations: for every present PTE in the overlapping
   // prefix, re-point the frame at its new virtual address.
   uint64_t move_pages = std::min(old_map->vma_.page_count, new_map->vma_.page_count);
@@ -283,6 +310,7 @@ StatusOr<MemoryMap*> Aquila::Remap(MemoryMap* map, uint64_t new_length) {
       Frame& f = cache_->frame(frame);
       f.vaddr = new_vaddr;
       page_table_.Install(new_vaddr, Pte::Gpa(pte), pte & Pte::kFlagsMask & ~Pte::kPresent);
+      new_map->NotePteInstalled(i);
       // Unified capture rule (CaptureShootdownPage): entry lock held, PTE
       // already removed above.
       old_vpns.push_back(CaptureShootdownPage(f, old_page));

@@ -67,6 +67,15 @@ inline PageShootdown CaptureShootdownPage(const Frame& frame, uint64_t vpn) {
                        frame.tlb_epoch.load(std::memory_order_relaxed)};
 }
 
+// Transparent 2 MB huge-page counters (DESIGN.md §14). All-atomic.
+struct HugeStats {
+  std::atomic<uint64_t> promotions{0};          // spans switched to a 2 MB leaf
+  std::atomic<uint64_t> demotions{0};           // spans split back to 4K
+  std::atomic<uint64_t> fault_around_mapped{0}; // neighbors mapped by fault-around
+  std::atomic<uint64_t> runs_carved{0};         // aligned runs consumed by promotion
+  std::atomic<uint64_t> promote_aborts{0};      // promotions unwound mid-protocol
+};
+
 struct FaultStats {
   std::atomic<uint64_t> major_faults{0};   // page read from the device
   std::atomic<uint64_t> minor_faults{0};   // page was in cache, mapping installed
@@ -145,6 +154,22 @@ class Aquila : public MmioEngine {
     // Simulated microseconds in kFailed before the prober re-admits one op
     // to test the device.
     uint32_t device_probe_interval_us = 1000;
+    // Transparent 2 MB huge pages (DESIGN.md §14): the freelist carves
+    // aligned 512-frame runs at Grow time, soft-mode mappings get 2 MB-
+    // aligned VA plus a per-span density tracker, the 4K fault path maps
+    // already-resident neighbors (fault-around), and dense spans promote to
+    // a single 2 MB guest-PT leaf filled by one batched device read. Off by
+    // default: no runs are carved, no spans are allocated, and sim metrics
+    // are bit-identical to pre-huge-page builds.
+    bool huge_pages = false;
+    // 4K PTEs resident in a 2 MB span before the next fault promotes it
+    // (kSequential advice promotes on first touch). 0 disables promotion,
+    // leaving fault-around only.
+    uint32_t huge_promote_threshold = 64;
+    // Already-resident forward neighbors mapped per 4K fault (clamped to the
+    // faulting page's 2 MB span, like Linux's PMD-bounded fault-around).
+    // 0 disables fault-around. Only consulted when huge_pages is on.
+    uint32_t fault_around_pages = 16;
     // Request-scoped causal tracing (src/telemetry/span.h): sample one
     // request in N into the span collector, which decomposes each sampled
     // fault/msync into child phases and keeps the slowest trees. 0
@@ -207,6 +232,8 @@ class Aquila : public MmioEngine {
   PostedIpiFabric& fabric() { return fabric_; }
   FaultStats& fault_stats() { return fault_stats_; }
   const FaultStats& fault_stats() const { return fault_stats_; }
+  HugeStats& huge_stats() { return huge_stats_; }
+  const HugeStats& huge_stats() const { return huge_stats_; }
   const Options& options() const { return options_; }
   int guest() const { return guest_; }
   int active_cores() const;
@@ -269,6 +296,7 @@ class Aquila : public MmioEngine {
   VaAllocator va_allocator_;
   std::unique_ptr<PageCache> cache_;
   FaultStats fault_stats_;
+  HugeStats huge_stats_;
 
   SpinLock maps_lock_;
   std::vector<std::unique_ptr<AquilaMap>> maps_;

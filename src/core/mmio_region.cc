@@ -8,6 +8,7 @@
 #include "src/telemetry/scoped_timer.h"
 #include "src/telemetry/span.h"
 #include "src/util/bitops.h"
+#include "src/util/race_injector.h"
 
 namespace aquila {
 
@@ -48,6 +49,13 @@ AquilaMap::AquilaMap(Aquila* runtime, Backing* backing, uint64_t length, int pro
 Status AquilaMap::Install() {
   if (transparent_base_ != nullptr) {
     vma_.start_page = reinterpret_cast<uint64_t>(transparent_base_) >> kPageShift;
+  } else if (runtime_->options().huge_pages) {
+    // 2 MB-aligned VA, so every kSpanPages-aligned file span is also a 2 MB-
+    // aligned virtual span (InstallHuge requires the alignment).
+    vma_.start_page =
+        runtime_->va_allocator_.AllocateAligned(vma_.page_count, kSpanPages) >> kPageShift;
+    span_count_ = (vma_.page_count + kSpanPages - 1) / kSpanPages;
+    spans_ = std::make_unique<HugeSpan[]>(span_count_);
   } else {
     vma_.start_page = runtime_->va_allocator_.Allocate(vma_.page_count) >> kPageShift;
   }
@@ -66,6 +74,11 @@ Status AquilaMap::TearDown() {
   if (engine_ != nullptr) {
     (void)engine_->Drain(vcpu);
   }
+
+  // Huge spans split back to 4K first: the sweep below removes PTEs page by
+  // page, and Remove() on a vaddr covered by a 2 MB leaf no-ops — it would
+  // silently leak the live translation and the whole run.
+  DemoteAllSpans(vcpu);
 
   PageCache& cache = runtime_->cache();
   WritebackPlanner planner;
@@ -251,6 +264,15 @@ StatusOr<AquilaMap::PageRef> AquilaMap::AccessPage(uint64_t offset, bool write,
     uint64_t epoch = runtime_->tlb().Insert(vcpu.core(), page, write, frame);
     NoteTlbInsert(runtime_->cache().frame(frame), vcpu.core(), epoch);
     ref.faulted = true;
+    if (spans_ != nullptr) {
+      uint64_t file_page = offset >> kPageShift;
+      FaultAround(vcpu, file_page);
+      uint64_t span = SpanOf(file_page);
+      if (PromotionEligible(span)) {
+        // The wrapper promotes after UnlockPage — see PageRef::promote_span.
+        ref.promote_span = span;
+      }
+    }
   }
   Frame& f = runtime_->cache().frame(frame);
   f.referenced.store(1, std::memory_order_relaxed);
@@ -282,6 +304,14 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write,
   uint64_t key = MakeKey(vma_.mapping_id, file_page);
 
   uint64_t pte = runtime_->page_table().Lookup(vaddr);
+  if (spans_ != nullptr && Pte::Present(pte) && Pte::Huge(pte)) {
+    // Write fault on a 2 MB span (huge mappings are never writable — reads
+    // hit in AccessPage and never reach here): dirty divergence. Split back
+    // to 4K and re-read the now-4K PTE; the upgrade below dirties just this
+    // page while its 511 neighbors stay clean.
+    DemoteSpanForPage(vcpu, file_page);
+    pte = runtime_->page_table().Lookup(vaddr);
+  }
   if (Pte::Present(pte)) {
     // Write fault on a read-only mapping: the dirty-tracking fault (§3.2).
     AQUILA_DCHECK(write && !Pte::Writable(pte));
@@ -408,6 +438,7 @@ StatusOr<FrameId> AquilaMap::HandleFault(Vcpu& vcpu, uint64_t vaddr, bool write,
             write ? (Pte::kWritable | Pte::kDirty | Pte::kAccessed) : Pte::kAccessed;
         AQUILA_CHECK(runtime_->page_table().Install(
             vaddr, static_cast<uint64_t>(frame) << kPageShift, flags));
+        NotePteInstalled(file_page);
         if (write && f.dirty.load(std::memory_order_relaxed) == 0) {
           cache.MarkDirty(vcpu.core(), frame, SortKey(file_page * kPageSize));
         }
@@ -587,6 +618,7 @@ Status AquilaMap::FillAndPublish(Vcpu& vcpu, FrameId frame, uint64_t vaddr, uint
   uint64_t flags = write ? (Pte::kWritable | Pte::kDirty | Pte::kAccessed) : Pte::kAccessed;
   AQUILA_CHECK(
       runtime_->page_table().Install(vaddr, static_cast<uint64_t>(frame) << kPageShift, flags));
+  NotePteInstalled(file_page);
   AQUILA_CHECK(cache.InsertMapping(key, frame));
   if (write) {
     cache.MarkDirty(vcpu.core(), frame, SortKey(file_offset));
@@ -772,8 +804,17 @@ StatusOr<size_t> AquilaMap::EvictBatch(Vcpu& vcpu) {
         f.state.store(FrameState::kResident, std::memory_order_release);
         continue;
       }
-      (void)runtime_->page_table().Remove(vaddr);
       auto* owner = static_cast<AquilaMap*>(vma->backing);
+      if (owner->spans_ != nullptr) {
+        // Demote-before-sweep: Remove() refuses to descend through a 2 MB
+        // leaf, so evicting a huge-covered page without splitting first
+        // would free the frame while its translation stays live.
+        owner->DemoteSpanForPage(vcpu, page - owner->vma_.start_page);
+      }
+      uint64_t old_pte = runtime_->page_table().Remove(vaddr);
+      if (owner->spans_ != nullptr && Pte::Present(old_pte)) {
+        owner->NotePteRemoved(page - owner->vma_.start_page);
+      }
       if (owner->transparent_base_ != nullptr) {
         TrapDriver::RemoveRealMapping(vaddr);
       }
@@ -885,6 +926,9 @@ Status AquilaMap::Read(uint64_t offset, std::span<uint8_t> dst) {
     }
     std::memcpy(dst.data() + done, ref->data + in_page, run);
     UnlockPage(vma_.start_page + ((offset + done) >> kPageShift));
+    if (ref->promote_span != kNoSpan) {
+      MaybePromote(ThisVcpu(), ref->promote_span);
+    }
     done += run;
   }
   return Status::Ok();
@@ -904,6 +948,9 @@ Status AquilaMap::Write(uint64_t offset, std::span<const uint8_t> src) {
     }
     std::memcpy(ref->data + in_page, src.data() + done, run);
     UnlockPage(vma_.start_page + ((offset + done) >> kPageShift));
+    if (ref->promote_span != kNoSpan) {
+      MaybePromote(ThisVcpu(), ref->promote_span);
+    }
     done += run;
   }
   return Status::Ok();
@@ -919,6 +966,9 @@ AccessResult AquilaMap::TouchRead(uint64_t offset) {
   (void)sink;
   bool faulted = ref->faulted;
   UnlockPage(vma_.start_page + (offset >> kPageShift));
+  if (ref->promote_span != kNoSpan) {
+    MaybePromote(ThisVcpu(), ref->promote_span);
+  }
   return AccessResult{faulted, Status::Ok()};
 }
 
@@ -930,6 +980,9 @@ AccessResult AquilaMap::TouchWrite(uint64_t offset) {
   ref->data[offset % kPageSize]++;
   bool faulted = ref->faulted;
   UnlockPage(vma_.start_page + (offset >> kPageShift));
+  if (ref->promote_span != kNoSpan) {
+    MaybePromote(ThisVcpu(), ref->promote_span);
+  }
   return AccessResult{faulted, Status::Ok()};
 }
 
@@ -997,6 +1050,9 @@ void AquilaMap::CoopStep(Vcpu& vcpu, CoreScheduler* sched, CoreScheduler::Task* 
   }
   const bool faulted = ref->faulted || task->completion.faulted;
   UnlockPage(vma_.start_page + (req.offset >> kPageShift));
+  if (ref->promote_span != kNoSpan) {
+    MaybePromote(vcpu, ref->promote_span);
+  }
   task->completion = MmioCompletion{req.user_tag, Status::Ok(), faulted};
   task->done = true;
 }
@@ -1258,6 +1314,11 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
         if (!runtime_->vma_tree().TryLockEntry(page, &vma)) {
           continue;
         }
+        if (spans_ != nullptr) {
+          // Partial eviction of a huge span: split before the per-page
+          // Remove below, which cannot see through a 2 MB leaf.
+          DemoteSpanForPage(vcpu, file_page);
+        }
         uint64_t key = MakeKey(vma_.mapping_id, file_page);
         FrameId frame;
         if (!cache.Lookup(key, &frame)) {
@@ -1280,7 +1341,10 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
         }
         uint64_t fvaddr = f.vaddr.load(std::memory_order_relaxed);
         if (fvaddr != 0) {
-          (void)runtime_->page_table().Remove(fvaddr);
+          uint64_t old_pte = runtime_->page_table().Remove(fvaddr);
+          if (Pte::Present(old_pte)) {
+            NotePteRemoved(file_page);
+          }
         }
         if (transparent_base_ != nullptr && fvaddr != 0) {
           TrapDriver::RemoveRealMapping(fvaddr);
@@ -1355,6 +1419,374 @@ Status AquilaMap::Advise(uint64_t offset, uint64_t length, Advice advice) {
     }
   }
   return Status::InvalidArgument("unknown advice");
+}
+
+// --- Transparent 2 MB huge pages (DESIGN.md §14) -----------------------------
+
+void AquilaMap::FaultAround(Vcpu& vcpu, uint64_t file_page) {
+  const uint32_t budget = runtime_->options().fault_around_pages;
+  if (budget == 0) {
+    return;
+  }
+  PageCache& cache = runtime_->cache();
+  // Forward window, clamped to this 2 MB span (like Linux's PMD-bounded
+  // fault-around) and to the mapping.
+  const uint64_t span_end = (SpanOf(file_page) + 1) * kSpanPages;
+  const uint64_t last =
+      std::min({file_page + budget, span_end - 1, vma_.page_count - 1});
+  uint64_t mapped = 0;
+  uint64_t highest = 0;
+  ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+  for (uint64_t fp = file_page + 1; fp <= last; fp++) {
+    uint64_t page = vma_.start_page + fp;
+    uint64_t vaddr = page << kPageShift;
+    Vma* vma;
+    if (!runtime_->vma_tree().TryLockEntry(page, &vma)) {
+      continue;
+    }
+    if (Pte::Present(runtime_->page_table().Lookup(vaddr))) {
+      UnlockPage(page);
+      continue;
+    }
+    uint64_t key = MakeKey(vma_.mapping_id, fp);
+    FrameId frame;
+    if (!cache.Lookup(key, &frame)) {
+      UnlockPage(page);
+      continue;
+    }
+    Frame& f = cache.frame(frame);
+    // Pin before touching, exactly like the minor-fault path: a readahead
+    // frame (vaddr == 0) is evictable without our entry lock.
+    FrameState expected = FrameState::kResident;
+    if (!f.state.compare_exchange_strong(expected, FrameState::kFilling,
+                                         std::memory_order_acq_rel)) {
+      UnlockPage(page);
+      continue;  // fill/eviction/writeback in flight; it can fault in later
+    }
+    if (f.key.load(std::memory_order_relaxed) != key) {
+      // Evicted and recycled for another page between lookup and pin.
+      f.state.store(FrameState::kResident, std::memory_order_release);
+      UnlockPage(page);
+      continue;
+    }
+    runtime_->ResolveDeferredForVpn(vcpu, page, frame);
+    f.vaddr.store(vaddr, std::memory_order_relaxed);
+    AQUILA_RACE_POINT("huge.fault_around.pre_install");
+    // Read-only even when the triggering fault was a write: the neighbor
+    // itself was not written, and its first write takes the upgrade fault.
+    AQUILA_CHECK(runtime_->page_table().Install(
+        vaddr, static_cast<uint64_t>(frame) << kPageShift, Pte::kAccessed));
+    NotePteInstalled(fp);
+    f.referenced.store(1, std::memory_order_relaxed);
+    f.state.store(FrameState::kResident, std::memory_order_release);
+    UnlockPage(page);
+    mapped++;
+    highest = fp;
+  }
+  if (mapped == 0) {
+    return;
+  }
+  runtime_->huge_stats().fault_around_mapped.fetch_add(mapped, std::memory_order_relaxed);
+  // Fault-around consumed these pages: advance the readahead high-water mark
+  // past them so the windowed prefetcher does not resubmit their fills.
+  uint64_t target = highest + 1;
+  uint64_t seen = next_readahead_.load(std::memory_order_relaxed);
+  while (seen < target &&
+         !next_readahead_.compare_exchange_weak(seen, target, std::memory_order_relaxed)) {
+  }
+}
+
+bool AquilaMap::PromotionEligible(uint64_t span) const {
+  const uint32_t threshold = runtime_->options().huge_promote_threshold;
+  if (threshold == 0) {
+    return false;  // fault-around only; never promote
+  }
+  // Only full-size spans promote: the 2 MB leaf maps all kSpanPages pages,
+  // so every one must exist in both the mapping and the backing file.
+  if ((span + 1) * kSpanPages > vma_.page_count ||
+      (span + 1) * kSpanPages * kPageSize > backing_->size_bytes()) {
+    return false;
+  }
+  const HugeSpan& s = spans_[span];
+  if (static_cast<SpanState>(s.state.load(std::memory_order_acquire)) != SpanState::k4K) {
+    return false;
+  }
+  // An explicit sequential hint promotes on first touch (the madvise analog
+  // of MADV_HUGEPAGE); otherwise wait for the density signal.
+  uint32_t needed = advice_.load(std::memory_order_relaxed) == Advice::kSequential
+                        ? 1
+                        : std::min<uint32_t>(threshold, kSpanPages);
+  return s.resident.load(std::memory_order_relaxed) >= needed;
+}
+
+void AquilaMap::MaybePromote(Vcpu& vcpu, uint64_t span) {
+  HugeSpan& s = spans_[span];
+  // Cheap pre-check: without an intact run the full protocol (512 TryLocks,
+  // up to 512 claims, unwind) can only discover the same answer the hard
+  // way — and a dense span that cannot promote re-arms on EVERY fault, so
+  // the waste compounds. Approximate is fine: a lost race just aborts below.
+  if (!runtime_->cache().RunAvailable()) {
+    runtime_->huge_stats().promote_aborts.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  uint8_t expected = static_cast<uint8_t>(SpanState::k4K);
+  if (!s.state.compare_exchange_strong(expected, static_cast<uint8_t>(SpanState::kPromoting),
+                                       std::memory_order_acq_rel)) {
+    return;  // another promoter or a demotion won the span; not an abort
+  }
+  if (!TryPromote(vcpu, span)) {
+    runtime_->huge_stats().promote_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool AquilaMap::TryPromote(Vcpu& vcpu, uint64_t span) {
+  PageCache& cache = runtime_->cache();
+  HugeSpan& s = spans_[span];
+  const uint64_t base_fp = span * kSpanPages;
+  const uint64_t base_page = vma_.start_page + base_fp;
+  const uint64_t base_vaddr = base_page << kPageShift;
+
+  // (1) Entry locks for the whole span, TryLock only — this is what makes a
+  // demoter's spin on kPromoting deadlock-free (see the SpanState comment).
+  struct OldFrame {
+    uint64_t fp;
+    FrameId frame;
+  };
+  std::vector<OldFrame> old_frames;
+  old_frames.reserve(kSpanPages);
+  uint64_t locked = 0;
+  FrameId run = kInvalidFrame;
+  bool ok = true;
+  for (; locked < kSpanPages; locked++) {
+    Vma* vma;
+    if (!runtime_->vma_tree().TryLockEntry(base_page + locked, &vma)) {
+      ok = false;
+      break;
+    }
+  }
+
+  // (2) Claim every resident page of the span; abort on anything in flight
+  // (pending fill, writeback, eviction) or dirty — the 2 MB leaf is
+  // read-only, so promoting over a dirty 4K page would lose its dirtiness.
+  if (ok) {
+    ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+    for (uint64_t i = 0; i < kSpanPages; i++) {
+      uint64_t key = MakeKey(vma_.mapping_id, base_fp + i);
+      FrameId frame;
+      bool hit = cache.Lookup(key, &frame);
+      if (!hit && engine_ != nullptr) {
+        if (engine_->HasPendingFill(key)) {
+          // An in-flight readahead fill would publish into our hash slot
+          // mid-promotion. Its completion publishes under the engine lock
+          // HasPendingFill just took, so the re-check below cannot miss a
+          // fill that completed before the verdict.
+          ok = false;
+          break;
+        }
+        hit = cache.Lookup(key, &frame);
+      }
+      if (!hit) {
+        continue;  // not resident; the run fill below reads it from the device
+      }
+      Frame& f = cache.frame(frame);
+      AQUILA_RACE_POINT("huge.promote.pre_claim");
+      FrameState expected = FrameState::kResident;
+      if (!f.state.compare_exchange_strong(expected, FrameState::kEvicting,
+                                           std::memory_order_acq_rel)) {
+        ok = false;  // a fill, writeback, or eviction owns the frame
+        break;
+      }
+      if (f.key.load(std::memory_order_relaxed) != key ||
+          f.dirty.load(std::memory_order_relaxed) != 0) {
+        // Recycled under us, or dirty divergence: unclaim and abort.
+        f.state.store(FrameState::kResident, std::memory_order_release);
+        ok = false;
+        break;
+      }
+      old_frames.push_back({base_fp + i, frame});
+    }
+  }
+
+  // (3) The aligned frame run.
+  if (ok) {
+    ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+    run = cache.AllocRun(vcpu.core());
+    ok = run != kInvalidFrame;
+  }
+
+  // (4) Fill the whole span with ONE batched device submission. Clean
+  // resident pages equal the device bytes by definition, so re-reading the
+  // full 2 MB is correct and keeps this a single request instead of a
+  // scatter of copies plus a sub-batch read.
+  if (ok) {
+    std::vector<uint64_t> offsets(kSpanPages);
+    std::vector<uint8_t*> buffers(kSpanPages);
+    for (uint64_t i = 0; i < kSpanPages; i++) {
+      offsets[i] = (base_fp + i) * kPageSize;
+      buffers[i] = cache.FrameData(vcpu, run + static_cast<FrameId>(i));
+    }
+    Status fill;
+    {
+      telemetry::ChildSpan device_span(vcpu.clock(), telemetry::SpanPhase::kDevice,
+                                       base_fp * kPageSize);
+      fill = backing_->ReadPages(vcpu, offsets, buffers, kPageSize);
+    }
+    ok = fill.ok();
+  }
+
+  if (!ok) {
+    // Unwind in reverse: run, claims, locks, span state.
+    if (run != kInvalidFrame) {
+      cache.FreeRun(vcpu.core(), run);
+    }
+    for (const OldFrame& of : old_frames) {
+      cache.frame(of.frame).state.store(FrameState::kResident, std::memory_order_release);
+    }
+    for (uint64_t i = 0; i < locked; i++) {
+      UnlockPage(base_page + i);
+    }
+    s.state.store(static_cast<uint8_t>(SpanState::k4K), std::memory_order_release);
+    return false;
+  }
+
+  runtime_->huge_stats().runs_carved.fetch_add(1, std::memory_order_relaxed);
+
+  // (5) Retire the 4K frames: PTE out, shootdown captured, mapping dropped,
+  // frame freed — all under the entry locks, so no faulter can re-install.
+  std::vector<PageShootdown> vpns;
+  vpns.reserve(old_frames.size());
+  std::vector<FrameId> retired;
+  retired.reserve(old_frames.size());
+  {
+    ScopedMeasure measure(vcpu.clock(), CostCategory::kCacheMgmt);
+    for (const OldFrame& of : old_frames) {
+      Frame& f = cache.frame(of.frame);
+      uint64_t fvaddr = f.vaddr.load(std::memory_order_relaxed);
+      if (fvaddr != 0) {
+        uint64_t old_pte = runtime_->page_table().Remove(fvaddr);
+        if (Pte::Present(old_pte)) {
+          NotePteRemoved(of.fp);
+        }
+        // Unified capture rule (CaptureShootdownPage): frame claimed
+        // (kEvicting), PTE removed above.
+        vpns.push_back(CaptureShootdownPage(f, fvaddr >> kPageShift));
+      }
+      cache.RemoveMapping(MakeKey(vma_.mapping_id, of.fp));
+      retired.push_back(of.frame);
+    }
+    // One batched free to the NUMA level: up to 512 frames retired at a
+    // stroke would vanish into this core's queue (under the overflow
+    // threshold) while other cores, out of singles and runs, spin through
+    // empty eviction sweeps waiting for exactly these frames.
+    cache.FreeFrames(vcpu.core(), retired.data(),
+                     static_cast<uint32_t>(retired.size()));
+
+    // (6) Publish the run's frames as the span's residents: the cache keeps
+    // seeing per-4K entries (msync, DONTNEED, and eviction stay
+    // huge-oblivious up to the demote hooks), they just happen to be
+    // id-contiguous.
+    for (uint64_t i = 0; i < kSpanPages; i++) {
+      FrameId frame = run + static_cast<FrameId>(i);
+      uint64_t key = MakeKey(vma_.mapping_id, base_fp + i);
+      uint64_t vaddr = (base_page + i) << kPageShift;
+      runtime_->ResolveDeferredForVpn(vcpu, base_page + i, frame);
+      Frame& f = cache.frame(frame);
+      f.key.store(key, std::memory_order_relaxed);
+      f.vaddr.store(vaddr, std::memory_order_relaxed);
+      AQUILA_CHECK(cache.InsertMapping(key, frame));
+      f.referenced.store(1, std::memory_order_relaxed);
+      f.state.store(FrameState::kResident, std::memory_order_release);
+    }
+  }
+
+  // (7) Shoot down the retired translations BEFORE the huge install: while
+  // we hold every entry lock no new 4K TLB entry for the span can be minted,
+  // so the flush cannot race a fresh insert.
+  runtime_->ShootdownPages(vcpu, vpns);
+
+  // (8) One 2 MB guest-PT leaf over the run, read-only — the first write
+  // demotes (dirty divergence) rather than dirtying 2 MB at a stroke. The
+  // guest PT's "GPA" space is frame_id << 12, where contiguous run frames
+  // are exactly a 2 MB extent; the EPT-side assert checks the hypervisor-GPA
+  // run (aligned by the freelist's carve anchor) sits under one large
+  // mapping, i.e. the hardware could genuinely serve this as a huge page.
+  {
+    ScopedMeasure measure(vcpu.clock(), CostCategory::kPageTable);
+    AQUILA_RACE_POINT("huge.promote.pre_install");
+    AQUILA_CHECK(runtime_->page_table().InstallHuge(
+        base_vaddr, static_cast<uint64_t>(run) << kPageShift, Pte::kAccessed));
+  }
+  // Sub-2MB EPT chunks can never satisfy this (the run then spans chunks);
+  // the promotion still works in the simulation, it just is not
+  // hardware-realizable, so only assert when chunks are large enough.
+  AQUILA_DCHECK(runtime_->hypervisor().chunk_size() < kHugePage2M ||
+                runtime_->hypervisor().GuestEpt(runtime_->guest())
+                        .MappedPageSize(cache.frame(run).gpa) >= kHugePage2M);
+
+  s.run_first.store(run, std::memory_order_relaxed);
+  AQUILA_DCHECK(s.resident.load(std::memory_order_relaxed) == 0);
+  s.resident.store(0, std::memory_order_relaxed);
+  s.state.store(static_cast<uint8_t>(SpanState::kHuge), std::memory_order_release);
+  runtime_->huge_stats().promotions.fetch_add(1, std::memory_order_relaxed);
+
+  for (uint64_t i = 0; i < kSpanPages; i++) {
+    UnlockPage(base_page + i);
+  }
+  return true;
+}
+
+void AquilaMap::DemoteSpan(Vcpu& vcpu, uint64_t span) {
+  HugeSpan& s = spans_[span];
+  SpinBackoff backoff;
+  while (true) {
+    uint8_t state = s.state.load(std::memory_order_acquire);
+    if (state == static_cast<uint8_t>(SpanState::k4K)) {
+      return;
+    }
+    if (state == static_cast<uint8_t>(SpanState::kHuge)) {
+      if (s.state.compare_exchange_strong(state, static_cast<uint8_t>(SpanState::kDemoting),
+                                          std::memory_order_acq_rel)) {
+        break;
+      }
+      continue;
+    }
+    // kPromoting or another demoter: wait it out. Safe even while holding
+    // one entry lock of the span — the promoter only TryLocks, so it aborts
+    // against our lock instead of blocking on it.
+    backoff.Pause();
+  }
+
+  ScopedMeasure measure(vcpu.clock(), CostCategory::kPageTable);
+  uint64_t base_vaddr = (vma_.start_page + span * kSpanPages) << kPageShift;
+  AQUILA_RACE_POINT("huge.demote.pre_split");
+  uint64_t huge = runtime_->page_table().SplitHuge(base_vaddr);
+  AQUILA_CHECK(Pte::Huge(huge));
+  // No shootdown: the 512 fresh 4K PTEs translate identically to the huge
+  // leaf (same frames, same read-only flags), so every cached TLB entry
+  // stays correct through the split.
+  s.run_first.store(kInvalidFrame, std::memory_order_relaxed);
+  s.resident.store(static_cast<uint32_t>(kSpanPages), std::memory_order_relaxed);
+  s.state.store(static_cast<uint8_t>(SpanState::k4K), std::memory_order_release);
+  runtime_->huge_stats().demotions.fetch_add(1, std::memory_order_relaxed);
+  // The run's frames now evict/writeback/discard individually; the run
+  // fragments and its frames return to the freelist as singles.
+}
+
+void AquilaMap::DemoteSpanForPage(Vcpu& vcpu, uint64_t file_page) {
+  uint64_t span = SpanOf(file_page);
+  if (span >= span_count_) {
+    return;
+  }
+  if (static_cast<SpanState>(spans_[span].state.load(std::memory_order_acquire)) !=
+      SpanState::k4K) {
+    DemoteSpan(vcpu, span);
+  }
+}
+
+void AquilaMap::DemoteAllSpans(Vcpu& vcpu) {
+  for (uint64_t span = 0; span < span_count_; span++) {
+    DemoteSpan(vcpu, span);
+  }
 }
 
 Status AquilaMap::Protect(int prot) {

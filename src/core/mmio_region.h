@@ -86,7 +86,47 @@ class AquilaMap : public MemoryMap {
   struct PageRef {
     uint8_t* data = nullptr;
     bool faulted = false;
+    // Span whose density crossed the promotion threshold during this access;
+    // the wrapper promotes AFTER UnlockPage — promotion retires 4K frames,
+    // so running it while `data` is live would free the page under the
+    // caller.
+    uint64_t promote_span = kNoSpan;
   };
+
+  // --- Transparent 2 MB huge pages (DESIGN.md §14) ---------------------------
+  static constexpr uint64_t kSpanPages = kHugePage2M / kPageSize;  // 512
+  static constexpr uint64_t kNoSpan = ~0ull;
+
+  // Per-span promotion state machine. k4K -> kPromoting (the promoter holds
+  // every entry lock of the span, taken with TryLockEntry only) -> kHuge,
+  // and kHuge -> kDemoting -> k4K. Because only promoters multi-lock and
+  // only with TryLock, a demoter that spins on kPromoting while holding one
+  // entry lock always forces the promoter's abort instead of deadlocking.
+  enum class SpanState : uint8_t { k4K = 0, kPromoting, kHuge, kDemoting };
+
+  struct HugeSpan {
+    // 4K PTEs currently installed in the span (readahead frames with no PTE
+    // do not count): the promotion density signal.
+    std::atomic<uint32_t> resident{0};
+    std::atomic<uint8_t> state{0};  // a SpanState; starts k4K
+    // First frame of the backing run while kHuge; kInvalidFrame otherwise.
+    std::atomic<uint32_t> run_first{kInvalidFrame};
+  };
+
+  bool huge_enabled() const { return spans_ != nullptr; }
+  uint64_t SpanOf(uint64_t file_page) const { return file_page / kSpanPages; }
+  // PTE-count bookkeeping at install/remove sites; no-ops when huge pages
+  // are off (spans_ null), keeping the off path branch-only.
+  void NotePteInstalled(uint64_t file_page) {
+    if (spans_ != nullptr) {
+      spans_[SpanOf(file_page)].resident.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void NotePteRemoved(uint64_t file_page) {
+    if (spans_ != nullptr) {
+      spans_[SpanOf(file_page)].resident.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
 
   // Cooperative-scheduling context threaded through AccessPage/HandleFault
   // for batch requests. nullptr (every legacy caller) keeps the blocking
@@ -149,6 +189,26 @@ class AquilaMap : public MemoryMap {
   // The async pipeline, present iff Options::async_writeback.
   AsyncWritebackEngine* writeback_engine() { return engine_.get(); }
 
+  // Maps up to Options::fault_around_pages already-resident forward
+  // neighbors of a just-faulted page under their entry locks (read-only, so
+  // no shootdown is needed) — the cheap tier below promotion. Advances
+  // next_readahead_ past what it mapped so the readahead engine does not
+  // resubmit fills for those pages.
+  void FaultAround(Vcpu& vcpu, uint64_t file_page);
+  // True when `span` is full-size, still 4K, and dense enough to promote.
+  bool PromotionEligible(uint64_t span) const;
+  // Runs the promotion protocol for `span` (must be called with NO entry
+  // locks held). Counts an abort when the span cannot be promoted safely.
+  void MaybePromote(Vcpu& vcpu, uint64_t span);
+  // Body of MaybePromote once the span is CASed to kPromoting; returns
+  // success and leaves the span kHuge, or unwinds and leaves it k4K.
+  bool TryPromote(Vcpu& vcpu, uint64_t span);
+  // Splits the span covering `file_page` back to 4K if it is huge (or
+  // becoming huge). Safe to call with one entry lock of the span held.
+  void DemoteSpanForPage(Vcpu& vcpu, uint64_t file_page);
+  void DemoteSpan(Vcpu& vcpu, uint64_t span);
+  void DemoteAllSpans(Vcpu& vcpu);
+
   // Internal setup/teardown used by Aquila::Map/Unmap.
   Status Install();
   Status TearDown();
@@ -166,6 +226,11 @@ class AquilaMap : public MemoryMap {
   // in-flight fill is invisible to the cache hash, so without it a re-armed
   // window would resubmit every fill still in the queue.
   std::atomic<uint64_t> next_readahead_{0};
+  // One tracker per 2 MB-aligned span of the mapping; allocated by Install()
+  // iff Options::huge_pages and the mapping is soft-mode. Null means every
+  // huge-page branch in the hot paths collapses to one predictable test.
+  std::unique_ptr<HugeSpan[]> spans_;
+  uint64_t span_count_ = 0;  // fixed at Install()
 };
 
 }  // namespace aquila

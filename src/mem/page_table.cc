@@ -13,13 +13,20 @@ struct PageTable::Node {
 
 PageTable::PageTable() : root_(new Node()) {}
 
-PageTable::~PageTable() { FreeRecursive(root_, kLevels - 1); }
+PageTable::~PageTable() {
+  FreeRecursive(root_, kLevels - 1);
+  for (Node* node : retired_) {
+    delete node;  // leaf tables displaced by InstallHuge; no children
+  }
+}
 
 void PageTable::FreeRecursive(Node* node, int level) {
   if (level > 0) {
     for (auto& slot : node->slots) {
       uint64_t child = slot.load(std::memory_order_relaxed);
-      if (child != 0) {
+      // A present-flagged value in an interior slot is a 2 MB leaf, not a
+      // Node* (nodes are 8-aligned, so bit 0 of a pointer is always clear).
+      if (child != 0 && !Pte::Present(child)) {
         FreeRecursive(reinterpret_cast<Node*>(child), level - 1);
       }
     }
@@ -30,6 +37,7 @@ void PageTable::FreeRecursive(Node* node, int level) {
 PageTable::Node* PageTable::EnsureChild(Node* node, int index) {
   uint64_t child = node->slots[index].load(std::memory_order_acquire);
   if (child != 0) {
+    AQUILA_CHECK(!Pte::Present(child));  // 2 MB leaf: caller must demote first
     return reinterpret_cast<Node*>(child);
   }
   Node* fresh = new Node();
@@ -39,6 +47,7 @@ PageTable::Node* PageTable::EnsureChild(Node* node, int index) {
     return fresh;
   }
   delete fresh;  // lost the install race
+  AQUILA_CHECK(!Pte::Present(expected));  // raced with InstallHuge: protocol error
   return reinterpret_cast<Node*>(expected);
 }
 
@@ -54,7 +63,9 @@ std::atomic<uint64_t>* PageTable::WalkExisting(uint64_t vaddr) const {
   Node* node = root_;
   for (int level = kLevels - 1; level > 0; level--) {
     uint64_t child = node->slots[IndexAt(vaddr, level)].load(std::memory_order_acquire);
-    if (child == 0) {
+    // Missing child or a 2 MB leaf (present-flagged value, never a Node*):
+    // no 4K slot exists here.
+    if (child == 0 || Pte::Present(child)) {
       return nullptr;
     }
     node = reinterpret_cast<Node*>(child);
@@ -63,8 +74,87 @@ std::atomic<uint64_t>* PageTable::WalkExisting(uint64_t vaddr) const {
 }
 
 uint64_t PageTable::Lookup(uint64_t vaddr) const {
-  std::atomic<uint64_t>* pte = WalkExisting(vaddr);
-  return pte == nullptr ? 0 : pte->load(std::memory_order_acquire);
+  Node* node = root_;
+  for (int level = kLevels - 1; level > 0; level--) {
+    uint64_t child = node->slots[IndexAt(vaddr, level)].load(std::memory_order_acquire);
+    if (child == 0) {
+      return 0;
+    }
+    if (Pte::Present(child)) {
+      // 2 MB leaf (only ever installed at level 1): synthesize the covering
+      // 4K view. The run's GPAs are contiguous, so advancing the base by the
+      // in-span offset lands on exactly the page a 4K PTE would name.
+      AQUILA_DCHECK(level == 1);
+      uint64_t offset = vaddr & (kHugePage2M - 1) & ~(kPageSize - 1);
+      return Pte::Make(Pte::Gpa(child) + offset, child & Pte::kFlagsMask) | Pte::kHuge;
+    }
+    node = reinterpret_cast<Node*>(child);
+  }
+  return node->slots[IndexAt(vaddr, 0)].load(std::memory_order_acquire);
+}
+
+bool PageTable::InstallHuge(uint64_t vaddr, uint64_t gpa, uint64_t flags) {
+  AQUILA_DCHECK(IsAligned(vaddr, kHugePage2M));
+  AQUILA_DCHECK(IsAligned(gpa, kPageSize));
+  Node* node = root_;
+  for (int level = kLevels - 1; level > 1; level--) {
+    node = EnsureChild(node, IndexAt(vaddr, level));
+  }
+  std::atomic<uint64_t>& slot = node->slots[IndexAt(vaddr, 1)];
+  uint64_t desired = Pte::Make(gpa, (flags & Pte::kFlagsMask) | Pte::kPresent) | Pte::kHuge;
+  uint64_t old = slot.load(std::memory_order_acquire);
+  while (true) {
+    if (Pte::Present(old)) {
+      return false;  // already huge
+    }
+    if (slot.compare_exchange_weak(old, desired, std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  if (old != 0) {
+    // Displaced child table. The caller already removed every PTE in it, but
+    // a concurrent lock-free descent may still hold the pointer: retire, do
+    // not delete.
+    std::lock_guard<SpinLock> guard(retired_lock_);
+    retired_.push_back(reinterpret_cast<Node*>(old));
+  }
+  present_.fetch_add(kEntriesPerTable, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t PageTable::SplitHuge(uint64_t vaddr) {
+  AQUILA_DCHECK(IsAligned(vaddr, kHugePage2M));
+  Node* node = root_;
+  for (int level = kLevels - 1; level > 1; level--) {
+    uint64_t child = node->slots[IndexAt(vaddr, level)].load(std::memory_order_acquire);
+    if (child == 0) {
+      return 0;
+    }
+    node = reinterpret_cast<Node*>(child);
+  }
+  std::atomic<uint64_t>& slot = node->slots[IndexAt(vaddr, 1)];
+  uint64_t huge = slot.load(std::memory_order_acquire);
+  // Present is the pointer-vs-leaf discriminator (a Node* is 8-aligned, so
+  // its bit 0 is clear — but bit 7, the PS bit, can be anything in a heap
+  // address, so Pte::Huge alone would misread a child table as a leaf).
+  if (!Pte::Present(huge)) {
+    return 0;  // empty slot or an already-split child table
+  }
+  AQUILA_DCHECK(Pte::Huge(huge));
+  // Build the replacement table fully before publishing: 512 4K PTEs whose
+  // translations equal the huge view bit for bit (kHuge itself stays out of
+  // kFlagsMask), so stale TLB entries remain correct and the swap needs no
+  // shootdown.
+  Node* child = new Node();
+  uint64_t flags = huge & Pte::kFlagsMask;
+  for (int i = 0; i < kEntriesPerTable; i++) {
+    child->slots[i].store(
+        Pte::Make(Pte::Gpa(huge) + static_cast<uint64_t>(i) * kPageSize, flags),
+        std::memory_order_relaxed);
+  }
+  slot.store(reinterpret_cast<uint64_t>(child), std::memory_order_release);
+  // present_ unchanged: 512 new 4K entries replace a leaf counted as 512.
+  return huge;
 }
 
 bool PageTable::Install(uint64_t vaddr, uint64_t gpa, uint64_t flags) {

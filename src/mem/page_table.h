@@ -17,8 +17,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "src/util/bitops.h"
+#include "src/util/spinlock.h"
 
 namespace aquila {
 
@@ -27,12 +29,16 @@ namespace aquila {
 //   bit 1   W   writable
 //   bit 5   A   accessed
 //   bit 6   D   dirty
+//   bit 7   PS  huge (2 MB leaf parked in a level-1 interior slot)
 //   bits 12..51 guest-physical frame base (GPA >> 12 << 12)
 struct Pte {
   static constexpr uint64_t kPresent = 1ull << 0;
   static constexpr uint64_t kWritable = 1ull << 1;
   static constexpr uint64_t kAccessed = 1ull << 5;
   static constexpr uint64_t kDirty = 1ull << 6;
+  // Hardware's PS bit position. Deliberately NOT in kFlagsMask: paths that
+  // copy flags between PTEs (remap, upgrade) must never propagate hugeness.
+  static constexpr uint64_t kHuge = 1ull << 7;
   static constexpr uint64_t kFlagsMask = kPresent | kWritable | kAccessed | kDirty;
   static constexpr uint64_t kAddrMask = 0x000ffffffffff000ull;
 
@@ -41,6 +47,7 @@ struct Pte {
   static bool Present(uint64_t pte) { return (pte & kPresent) != 0; }
   static bool Writable(uint64_t pte) { return (pte & kWritable) != 0; }
   static bool Dirty(uint64_t pte) { return (pte & kDirty) != 0; }
+  static bool Huge(uint64_t pte) { return (pte & kHuge) != 0; }
 };
 
 class PageTable {
@@ -53,14 +60,35 @@ class PageTable {
 
   // Returns the leaf PTE slot for `vaddr`, creating intermediate tables on
   // demand. Never fails (aborts on OOM). The returned pointer stays valid
-  // for the table's lifetime.
+  // for the table's lifetime. CHECK-fails if the descent hits a 2 MB leaf:
+  // every 4K-granular mutation protocol demotes (SplitHuge) first.
   std::atomic<uint64_t>* Walk(uint64_t vaddr);
 
   // Returns the leaf PTE slot if all intermediate tables exist, else null.
+  // A 2 MB leaf covering `vaddr` also returns null — huge mappings are
+  // read-only by protocol, so callers that probe-and-modify (protect, sync,
+  // remove) correctly treat the span as having nothing to modify.
   std::atomic<uint64_t>* WalkExisting(uint64_t vaddr) const;
 
-  // Convenience: current PTE value (0 if nothing installed).
+  // Convenience: current PTE value (0 if nothing installed). For a vaddr
+  // covered by a 2 MB leaf this synthesizes the equivalent 4K view —
+  // Gpa() advanced to the covering 4K page, flags preserved, kHuge set —
+  // so hit paths derive the frame without knowing about huge mappings.
   uint64_t Lookup(uint64_t vaddr) const;
+
+  // Installs a 2 MB leaf in the level-1 slot covering `vaddr` (both `vaddr`
+  // and `gpa` 2 MB-aligned). The caller must have already removed every 4K
+  // PTE under the slot and must hold whatever locks keep concurrent installs
+  // out of the span. Returns false if the slot already holds a huge leaf.
+  // A replaced (empty) child table is kept on a retired list until table
+  // destruction so concurrent lock-free descents stay safe.
+  bool InstallHuge(uint64_t vaddr, uint64_t gpa, uint64_t flags);
+
+  // Splits the 2 MB leaf covering `vaddr` back into 512 4K PTEs with
+  // identical translations (GPA-contiguous by construction), so the swap
+  // needs no TLB shootdown. Single demoter per span by protocol. Returns
+  // the old huge PTE value, or 0 if the slot held no huge leaf.
+  uint64_t SplitHuge(uint64_t vaddr);
 
   // Installs a translation; returns false if a present mapping already
   // existed (lost the race to a concurrent fault).
@@ -86,6 +114,11 @@ class PageTable {
 
   Node* root_;
   std::atomic<uint64_t> present_{0};
+  // Child tables displaced by InstallHuge. They hold no present PTEs, but a
+  // concurrent WalkExisting may still be dereferencing them, so (like every
+  // interior node) they live until the table is destroyed.
+  SpinLock retired_lock_;
+  std::vector<Node*> retired_;
 };
 
 }  // namespace aquila

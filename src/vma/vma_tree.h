@@ -104,6 +104,16 @@ class VaAllocator {
     return next_.fetch_add(span, std::memory_order_relaxed);
   }
 
+  // Like Allocate, but the returned start is aligned to `align_pages` pages.
+  // Huge-page mappings use this so every 2 MB file span coincides with one
+  // level-1 page-table slot. Over-reserves by the alignment; the skipped
+  // gap doubles as guard space.
+  uint64_t AllocateAligned(uint64_t pages, uint64_t align_pages) {
+    uint64_t span = (pages + align_pages + 1) * kPageSize;
+    uint64_t base = next_.fetch_add(span, std::memory_order_relaxed);
+    return AlignUp(base, align_pages * kPageSize);
+  }
+
  private:
   std::atomic<uint64_t> next_{kBase};
 };

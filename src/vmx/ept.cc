@@ -55,6 +55,20 @@ bool ExtendedPageTable::Translate(uint64_t gpa, uint64_t* hpa) const {
   return true;
 }
 
+uint64_t ExtendedPageTable::MappedPageSize(uint64_t gpa) const {
+  SharedLockGuard guard(lock_);
+  auto it = entries_.upper_bound(gpa);
+  if (it == entries_.begin()) {
+    return 0;
+  }
+  --it;
+  const Mapping& m = it->second;
+  if (gpa < m.gpa || gpa >= m.gpa + m.size) {
+    return 0;
+  }
+  return m.page_size;
+}
+
 uint64_t ExtendedPageTable::EntryCount() const {
   SharedLockGuard guard(lock_);
   return entries_.size();

@@ -40,6 +40,12 @@ class ExtendedPageTable {
   // (the caller raises an EPT fault through the hypervisor).
   bool Translate(uint64_t gpa, uint64_t* hpa) const;
 
+  // Hardware page size of the mapping covering `gpa`, 0 if unmapped. The
+  // huge-page promotion path uses this to assert that a 2 MB frame run is
+  // covered by a single large-page mapping (chunk-granular backing makes
+  // any 2 MB-aligned run fall inside one entry).
+  uint64_t MappedPageSize(uint64_t gpa) const;
+
   uint64_t MappedBytes() const { return mapped_bytes_.load(std::memory_order_relaxed); }
   uint64_t EntryCount() const;
 

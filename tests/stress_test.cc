@@ -296,6 +296,154 @@ TEST(FreelistStressTest, CrossNumaStealUnderContention) {
   EXPECT_GT(fl.stats().batch_moves.load(), 0u);
 }
 
+// Aligned-run torture: AllocRun/FreeRun churning against single-frame
+// Alloc/Free (which breaks runs under pressure), batch migration, and
+// cross-NUMA run steals. Invariants: no frame is ever handed out twice
+// (whether as part of a run or as a single), AllocRun results are always
+// 2 MB-aligned in the anchor space, ApproxFree never exceeds capacity, and
+// at quiescence every frame is back in the freelist.
+TEST(FreelistStressTest, AlignedRunChurnNoDoubleHandout) {
+  constexpr uint32_t kFrames = 8 * kRunFrames;
+  constexpr uint64_t kAlignPage = 0;  // anchor already aligned
+  const int kThreads = StressThreads();
+  TwoLevelFreelist::Options options;
+  options.core_queue_threshold = 16;
+  options.move_batch = 8;
+  options.carve_runs = true;
+  TwoLevelFreelist fl(kFrames, options);
+  fl.AddFrames(0, kFrames, kAlignPage);
+  ASSERT_EQ(fl.ApproxFree(), kFrames);
+
+  // Deterministic pre-pass: drain every run from core 0 — the runs seeded
+  // round-robin onto node 1 come back as cross-NUMA steals — then return
+  // them intact.
+  {
+    std::vector<FrameId> runs;
+    FrameId first;
+    while ((first = fl.AllocRun(0)) != kInvalidFrame) {
+      ASSERT_EQ(first % kRunFrames, 0u);
+      runs.push_back(first);
+    }
+    ASSERT_EQ(runs.size(), kFrames / kRunFrames);
+    EXPECT_GT(fl.stats().run_steals.load(), 0u);
+    for (FrameId r : runs) {
+      fl.FreeRun(0, r);
+    }
+    ASSERT_EQ(fl.ApproxFree(), kFrames);
+  }
+
+  // owners[f] counts how many holders frame f has; it must never exceed 1.
+  std::vector<std::atomic<int>> owners(kFrames);
+  for (auto& o : owners) {
+    o.store(0);
+  }
+  std::atomic<bool> double_handout{false};
+  std::atomic<bool> stop{false};
+  auto claim = [&](FrameId id) {
+    ASSERT_LT(id, kFrames);
+    if (owners[id].fetch_add(1, std::memory_order_acq_rel) != 0) {
+      double_handout.store(true);
+    }
+  };
+  auto release = [&](FrameId id) {
+    owners[id].fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  // Sampler: ApproxFree is approximate but must never overshoot capacity
+  // (run accounting bugs show up as phantom frames).
+  std::atomic<bool> overshoot{false};
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (fl.ApproxFree() > kFrames) {
+        overshoot.store(true);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      int core = t % CoreRegistry::kMaxCores;
+      std::vector<FrameId> runs;    // held intact runs (first frame ids)
+      std::vector<FrameId> singles; // held single frames
+      for (int round = 0; round < 400; round++) {
+        switch (round % 4) {
+          case 0: {  // grab a run
+            if (runs.size() < 2) {
+              FrameId first = fl.AllocRun(core);
+              if (first != kInvalidFrame) {
+                ASSERT_EQ(first % kRunFrames, 0u);
+                for (uint32_t i = 0; i < kRunFrames; i++) {
+                  claim(first + i);
+                }
+                runs.push_back(first);
+              }
+            }
+            break;
+          }
+          case 1: {  // return a run intact
+            if (!runs.empty()) {
+              FrameId first = runs.back();
+              runs.pop_back();
+              for (uint32_t i = 0; i < kRunFrames; i++) {
+                release(first + i);
+              }
+              fl.FreeRun(core, first);
+            }
+            break;
+          }
+          case 2: {  // single-frame pressure (breaks runs when queues dry up)
+            while (singles.size() < 64) {
+              FrameId id = fl.Alloc(core);
+              if (id == kInvalidFrame) {
+                break;
+              }
+              claim(id);
+              singles.push_back(id);
+            }
+            break;
+          }
+          default: {  // drain singles
+            for (FrameId id : singles) {
+              release(id);
+              fl.Free(core, id);
+            }
+            singles.clear();
+            break;
+          }
+        }
+      }
+      for (FrameId first : runs) {
+        for (uint32_t i = 0; i < kRunFrames; i++) {
+          release(first + i);
+        }
+        fl.FreeRun(core, first);
+      }
+      for (FrameId id : singles) {
+        release(id);
+        fl.Free(core, id);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+
+  EXPECT_FALSE(double_handout.load());
+  EXPECT_FALSE(overshoot.load());
+  for (uint32_t i = 0; i < kFrames; i++) {
+    ASSERT_EQ(owners[i].load(), 0) << "frame " << i;
+  }
+  // Everything came home: singles and surviving runs add back up exactly.
+  EXPECT_EQ(fl.ApproxFree(), kFrames);
+  EXPECT_GT(fl.stats().run_allocs.load(), 0u);
+  EXPECT_GT(fl.stats().run_frees.load(), 0u);
+  EXPECT_GT(fl.stats().runs_broken.load(), 0u);
+}
+
 // --- DirtyTreeSet + clock sweep ----------------------------------------------------
 
 // Concurrent dirtying vs victim selection vs writeback collection on a real

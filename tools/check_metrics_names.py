@@ -34,6 +34,10 @@ REQUIRED_NAMES = frozenset({
     "aquila.device.health_state",
     "aquila.device.hedges",
     "aquila.device.timeouts",
+    "aquila.huge.demotions",
+    "aquila.huge.fault_around_mapped",
+    "aquila.huge.promotions",
+    "aquila.huge.runs_carved",
     "aquila.sched.park_depth",
     "aquila.sched.parked",
     "aquila.sched.resumed",
